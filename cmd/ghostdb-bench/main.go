@@ -1,0 +1,190 @@
+// Command ghostdb-bench regenerates the tables and figures of the GhostDB
+// paper's evaluation (§6) at a configurable scale factor, printing the
+// same series the paper plots.
+//
+// Usage:
+//
+//	ghostdb-bench -exp all                 # every table and figure
+//	ghostdb-bench -exp fig8 -scale 0.02    # one figure, larger scale
+//	ghostdb-bench -exp ablations           # the DESIGN.md ablations
+//
+// The paper's full scale (10M-tuple root table) is -scale 1.0; the
+// default keeps laptop runtimes pleasant. Reported times are simulated
+// (flash I/O + link transfer under the Table 1 cost model), so they are
+// comparable across machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ghostdb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations")
+	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	lab := experiments.NewLab(*scale, *seed)
+	if err := run(lab, strings.ToLower(*exp)); err != nil {
+		fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lab *experiments.Lab, exp string) error {
+	type entry struct {
+		name string
+		f    func() (*experiments.Figure, error)
+	}
+	figures := []entry{
+		{"fig7", lab.Fig7}, {"fig8", lab.Fig8}, {"fig9", lab.Fig9},
+		{"fig10", lab.Fig10}, {"fig11", lab.Fig11}, {"fig12", lab.Fig12},
+		{"fig13", lab.Fig13}, {"fig14", lab.Fig14}, {"fig15", lab.Fig15},
+		{"fig16", lab.Fig16},
+	}
+	ablations := []entry{
+		{"ablation-merge", lab.AblationMergeReduction},
+		{"ablation-bloom", lab.AblationBloomRatio},
+		{"ablation-climb", lab.AblationClimbingVsCascade},
+	}
+
+	if exp == "table1" || exp == "all" {
+		fmt.Println("== Table 1: Main performance parameters of USB keys ==")
+		for _, line := range experiments.Table1() {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
+		if exp == "table1" {
+			return nil
+		}
+	}
+	var todo []entry
+	switch exp {
+	case "all":
+		todo = append(figures, ablations...)
+	case "ablations":
+		todo = ablations
+	default:
+		for _, e := range append(figures, ablations...) {
+			if e.name == exp {
+				todo = []entry{e}
+			}
+		}
+		if todo == nil {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+	}
+	for _, e := range todo {
+		fig, err := e.f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		printFigure(fig)
+	}
+	return nil
+}
+
+func printFigure(fig *experiments.Figure) {
+	fmt.Printf("== %s: %s ==\n", fig.Name, fig.Title)
+	fmt.Printf("   x-axis: %s\n", fig.XLabel)
+	if fig.Name == "fig7" {
+		printFig7(fig)
+		fmt.Println()
+		return
+	}
+	if fig.Name == "fig15" || fig.Name == "fig16" {
+		printBars(fig)
+		fmt.Println()
+		return
+	}
+	// Group points by series, ordered by first appearance.
+	series := map[string][]experiments.Point{}
+	var order []string
+	for _, p := range fig.Points {
+		if _, ok := series[p.Series]; !ok {
+			order = append(order, p.Series)
+		}
+		series[p.Series] = append(series[p.Series], p)
+	}
+	sort.Strings(order)
+	for _, s := range order {
+		fmt.Printf("  %-22s", s)
+		pts := series[s]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for _, p := range pts {
+			if p.Skipped {
+				fmt.Printf("  %8s", "-")
+				continue
+			}
+			fmt.Printf("  %8.2fms", float64(p.Time.Microseconds())/1000)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  %-22s", "x =")
+	pts := series[order[0]]
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	for _, p := range pts {
+		fmt.Printf("  %10.3f", p.X)
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+func printFig7(fig *experiments.Figure) {
+	bySeries := map[string]map[float64]float64{}
+	var ks []float64
+	seen := map[float64]bool{}
+	for _, p := range fig.Points {
+		if bySeries[p.Series] == nil {
+			bySeries[p.Series] = map[float64]float64{}
+		}
+		bySeries[p.Series][p.X] = experiments.SizeMB(p)
+		if p.X >= 0 && !seen[p.X] {
+			seen[p.X] = true
+			ks = append(ks, p.X)
+		}
+	}
+	sort.Float64s(ks)
+	fmt.Printf("  %-14s", "k")
+	for _, k := range ks {
+		fmt.Printf("  %8.0f", k)
+	}
+	fmt.Println()
+	for _, s := range []string{"FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize"} {
+		fmt.Printf("  %-14s", s)
+		for _, k := range ks {
+			fmt.Printf("  %6.1fMB", bySeries[s][k])
+		}
+		fmt.Println()
+	}
+	fmt.Println("  medical dataset (all hidden attrs indexed):")
+	for _, s := range []string{"medical-FullIndex", "medical-BasicIndex", "medical-StarIndex", "medical-JoinIndex", "medical-DBSize"} {
+		fmt.Printf("    %-26s %6.1fMB\n", s, bySeries[s][-1])
+	}
+}
+
+func printBars(fig *experiments.Figure) {
+	comps := []string{"Merge", "SJoin", "Store", "Project"}
+	fmt.Printf("  %-8s", "case")
+	for _, c := range comps {
+		fmt.Printf("  %10s", c)
+	}
+	fmt.Printf("  %10s\n", "total-IO")
+	for _, p := range fig.Points {
+		if p.Skipped {
+			fmt.Printf("  %-8s  skipped: %s\n", p.Series, p.Note)
+			continue
+		}
+		fmt.Printf("  %-8s", p.Series)
+		for _, c := range comps {
+			fmt.Printf("  %8.2fms", float64(p.Breakdown[c].Microseconds())/1000)
+		}
+		fmt.Printf("  %8.2fms\n", float64(p.IOTime.Microseconds())/1000)
+	}
+}

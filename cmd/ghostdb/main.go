@@ -1,0 +1,167 @@
+// Command ghostdb is an interactive shell over a demo GhostDB instance:
+// it loads the medical database of the paper's evaluation (§6.2) — or the
+// synthetic tree dataset — and executes SQL from stdin, printing result
+// rows and the simulated secure-token cost of every query.
+//
+// Usage:
+//
+//	ghostdb                         # medical demo, interactive
+//	ghostdb -db synthetic -scale 0.01
+//	echo "SELECT ..." | ghostdb -stats
+//
+// Shell commands: \schema  \stats  \audit  \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ghostdb/internal/datagen"
+	"ghostdb/internal/exec"
+	"ghostdb/internal/flash"
+)
+
+func main() {
+	which := flag.String("db", "medical", "demo database: medical or synthetic")
+	scale := flag.Float64("scale", 0.005, "scale factor (paper = 1.0)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	stats := flag.Bool("stats", false, "print cost statistics after every query")
+	flag.Parse()
+
+	db, err := buildDemo(*which, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghostdb:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("GhostDB demo shell — %s dataset at scale %g\n", *which, *scale)
+	for _, t := range db.Sch.Tables {
+		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
+	}
+	fmt.Println(`Type SQL (single line), or \schema, \stats, \audit, \quit.`)
+
+	showStats := *stats
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("ghostdb> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\schema`:
+			fmt.Print(db.Sch.String())
+			continue
+		case line == `\stats`:
+			showStats = !showStats
+			fmt.Printf("stats: %v\n", showStats)
+			continue
+		case line == `\audit`:
+			ups := db.Bus.UplinkRecords()
+			fmt.Printf("Secure -> Untrusted transfers since the last query: %d\n", len(ups))
+			for _, r := range ups {
+				fmt.Printf("  [%s] %d bytes: %q\n", r.Kind, r.Bytes, r.Payload)
+			}
+			continue
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("unknown command:", line)
+			continue
+		}
+		res, err := db.Run(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+		if showStats {
+			printStats(res)
+		}
+	}
+}
+
+func buildDemo(which string, scale float64, seed int64) (*exec.DB, error) {
+	var ds *datagen.Dataset
+	var err error
+	switch which {
+	case "medical":
+		ds, err = datagen.Medical(scale, seed)
+	case "synthetic":
+		ds, err = datagen.Synthetic(scale, seed)
+	default:
+		return nil, fmt.Errorf("unknown demo database %q", which)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := flash.DefaultParams()
+	p.Blocks = 1 << 14
+	return ds.NewDB(exec.Options{FlashParams: p})
+}
+
+func printResult(res *exec.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Println("ok")
+		return
+	}
+	const maxRows = 25
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	shown := res.Rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	cells := make([][]string, len(shown))
+	for ri, row := range shown {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		fmt.Printf("| %-*s ", widths[i], c)
+	}
+	fmt.Println("|")
+	for i := range res.Columns {
+		fmt.Print("|", strings.Repeat("-", widths[i]+2))
+	}
+	fmt.Println("|")
+	for _, row := range cells {
+		for ci, s := range row {
+			fmt.Printf("| %-*s ", widths[ci], s)
+		}
+		fmt.Println("|")
+	}
+	if len(res.Rows) > maxRows {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	} else {
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
+}
+
+func printStats(res *exec.Result) {
+	s := res.Stats
+	fmt.Printf("simulated time: %v (flash %v + link %v)\n", s.SimTime, s.IOTime, s.CommTime)
+	fmt.Printf("flash: %d reads, %d writes, %d bytes to RAM; link: %d B down / %d B up; RAM high water: %d B\n",
+		s.Flash.PageReads, s.Flash.PageWrites, s.Flash.BytesToRAM, s.BusDown, s.BusUp, s.RAMHigh)
+	if len(s.Strategy) > 0 {
+		fmt.Print("strategies: ")
+		for t, st := range s.Strategy {
+			fmt.Printf("%s=%v ", t, st)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,169 @@
+// Medical: the hospital scenario that motivates the paper. A clinician
+// carries the sensitive part of a diabetes database (who the patients
+// are, who treats them, what links a measurement to a person) on the
+// secure token, while the voluminous but anonymous measurement stream
+// stays visible on the hospital workstation. Queries freely combine both
+// sides; identities never leave the token.
+//
+// The schema is §6.2 of the paper verbatim, expressed in SQL with HIDDEN
+// annotations; following the design guideline, every foreign key and
+// every identifying attribute is Hidden.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ghostdb"
+)
+
+var ddl = []string{
+	`CREATE TABLE Doctors (id int, specialty char(20), description char(60),
+	   firstname char(20) HIDDEN, name char(20) HIDDEN)`,
+	`CREATE TABLE Patients (id int, doctor_id int REFERENCES Doctors HIDDEN,
+	   firstname char(20), name char(20) HIDDEN, ssn char(10) HIDDEN,
+	   address char(50) HIDDEN, birthdate char(10) HIDDEN,
+	   bodymassindex float HIDDEN, age int, sexe char(2), city char(20),
+	   zipcode char(6))`,
+	`CREATE TABLE Drugs (id int, property char(60), comment char(100) HIDDEN)`,
+	`CREATE TABLE Measurements (id int,
+	   patient_id int REFERENCES Patients HIDDEN,
+	   drug_id int REFERENCES Drugs HIDDEN,
+	   time char(10), measurement char(10), comment char(100))`,
+}
+
+func main() {
+	db, err := ghostdb.Create(ddl, ghostdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	load(db)
+
+	queries := []string{
+		// The §3 example: which measurements belong to psychiatric
+		// patients with a high body mass index? Links the Visible
+		// specialty with the Hidden bmi through two Hidden joins.
+		`SELECT Doctors.id, Patients.id, Measurements.id
+		   FROM Measurements, Doctors, Patients
+		   WHERE Measurements.patient_id = Patients.id AND Patients.doctor_id = Doctors.id
+		   AND Doctors.specialty = 'Psychiatrist' AND Patients.bodymassindex > 30.0`,
+		// Who are those patients? Hidden names decrypt only on the token.
+		`SELECT Patients.name, Patients.firstname, Patients.bodymassindex
+		   FROM Patients, Doctors
+		   WHERE Patients.doctor_id = Doctors.id
+		   AND Doctors.specialty = 'Psychiatrist' AND Patients.bodymassindex > 30.0`,
+		// Visible-only queries never touch the token's flash.
+		`SELECT id, specialty FROM Doctors WHERE specialty = 'Cardiologist'`,
+		// A three-way link with a visible time filter on the root table.
+		`SELECT Measurements.id, Measurements.measurement, Patients.name
+		   FROM Measurements, Patients
+		   WHERE Measurements.patient_id = Patients.id
+		   AND Measurements.time >= '2006-11-01' AND Patients.bodymassindex > 38.0`,
+	}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", oneline(q))
+		fmt.Printf("  -> %d rows", len(res.Rows))
+		for i, row := range res.Rows {
+			if i == 3 {
+				fmt.Print(" ...")
+				break
+			}
+			fmt.Printf("  %v", row)
+		}
+		fmt.Println()
+		fmt.Printf("  cost %v | strategies: %v\n\n", res.Stats.SimTime, res.Stats.Strategy)
+	}
+}
+
+func oneline(q string) string {
+	out := ""
+	for _, f := range splitFields(q) {
+		if out != "" {
+			out += " "
+		}
+		out += f
+	}
+	if len(out) > 100 {
+		out = out[:100] + "..."
+	}
+	return out
+}
+
+func splitFields(q string) []string {
+	var fields []string
+	cur := ""
+	for _, r := range q {
+		if r == ' ' || r == '\n' || r == '\t' {
+			if cur != "" {
+				fields = append(fields, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		fields = append(fields, cur)
+	}
+	return fields
+}
+
+func load(db *ghostdb.DB) {
+	rng := rand.New(rand.NewSource(2006))
+	specialties := []string{"Psychiatrist", "Cardiologist", "Endocrinologist", "Generalist"}
+	first := []string{"Alice", "Bob", "Carol", "David", "Emma", "Felix", "Grace", "Hugo"}
+	last := []string{"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Petit", "Durand", "Leroy"}
+	ld := db.Loader()
+	const nDocs, nPats, nDrugs, nMeas = 24, 150, 8, 4000
+	for i := 0; i < nDocs; i++ {
+		must(ld.Append("Doctors", ghostdb.R{
+			"specialty":   specialties[i%len(specialties)],
+			"description": fmt.Sprintf("practice since %d", 1975+rng.Intn(30)),
+			"firstname":   first[rng.Intn(len(first))],
+			"name":        last[rng.Intn(len(last))],
+		}))
+	}
+	for i := 0; i < nPats; i++ {
+		must(ld.Append("Patients", ghostdb.R{
+			"doctor_id":     rng.Intn(nDocs),
+			"firstname":     first[rng.Intn(len(first))],
+			"name":          fmt.Sprintf("%s%03d", last[rng.Intn(len(last))], i),
+			"ssn":           fmt.Sprintf("%010d", rng.Intn(1_000_000_000)),
+			"address":       fmt.Sprintf("%d avenue des Peupliers", 1+rng.Intn(150)),
+			"birthdate":     fmt.Sprintf("19%02d-%02d-01", 20+rng.Intn(70), 1+rng.Intn(12)),
+			"bodymassindex": 16 + 26*rng.Float64(),
+			"age":           int(20 + rng.Intn(70)),
+			"sexe":          []string{"M", "F"}[rng.Intn(2)],
+			"city":          "Paris",
+			"zipcode":       fmt.Sprintf("750%02d", 1+rng.Intn(20)),
+		}))
+	}
+	drugs := []string{"Insulin", "Metformin", "Glipizide", "Acarbose", "Exenatide", "Sitagliptin", "Glimepiride", "Pioglitazone"}
+	for i := 0; i < nDrugs; i++ {
+		must(ld.Append("Drugs", ghostdb.R{
+			"property": drugs[i] + " standard dose",
+			"comment":  fmt.Sprintf("trial batch %04d", rng.Intn(10000)),
+		}))
+	}
+	for i := 0; i < nMeas; i++ {
+		must(ld.Append("Measurements", ghostdb.R{
+			"patient_id":  rng.Intn(nPats),
+			"drug_id":     rng.Intn(nDrugs),
+			"time":        fmt.Sprintf("2006-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+			"measurement": fmt.Sprintf("%d.%d", 4+rng.Intn(10), rng.Intn(10)),
+			"comment":     fmt.Sprintf("glycemia reading %05d", i),
+		}))
+	}
+	must(ld.Commit())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: the smallest possible GhostDB program.
+//
+// It declares the Patients table from §2.1 of the paper — name and body
+// mass index are HIDDEN, everything else is Visible — loads a few rows,
+// and runs the paper's example query, which links a Visible selection
+// (age) with a Hidden one (bodymassindex). The program then prints the
+// audit trail showing that the only bytes that ever left the secure token
+// were the query text itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghostdb"
+)
+
+func main() {
+	db, err := ghostdb.Create([]string{
+		`CREATE TABLE Patients (id int, name char(200) HIDDEN,
+		   age int, city char(100), bodymassindex float HIDDEN)`,
+	}, ghostdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ld := db.Loader()
+	patients := []ghostdb.R{
+		{"name": "Durand", "age": 50, "city": "Paris", "bodymassindex": 23.0},
+		{"name": "Martin", "age": 50, "city": "Lyon", "bodymassindex": 31.5},
+		{"name": "Dubois", "age": 44, "city": "Paris", "bodymassindex": 23.0},
+		{"name": "Leroy", "age": 50, "city": "Lille", "bodymassindex": 23.0},
+		{"name": "Moreau", "age": 61, "city": "Paris", "bodymassindex": 27.8},
+	}
+	for _, p := range patients {
+		if err := ld.Append("Patients", p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ld.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's §2.1 example: a mono-table selection mixing Visible and
+	// Hidden predicates. Untrusted resolves age=50 and ships candidate
+	// ids; Secure intersects them with the bodymassindex selection.
+	sql := `SELECT * FROM Patients WHERE age = 50 AND bodymassindex = 23.0`
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", sql)
+	fmt.Println(res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	fmt.Printf("\nsimulated cost: %v (flash %v, link %v)\n",
+		res.Stats.SimTime, res.Stats.IOTime, res.Stats.CommTime)
+
+	// Inserts work after load, maintaining every index structure.
+	if err := db.Exec(`INSERT INTO Patients (name, age, city, bodymassindex)
+	    VALUES ('Petit', 50, 'Nantes', 23.0)`); err != nil {
+		log.Fatal(err)
+	}
+	res, err = db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter INSERT: %d matching patients\n", len(res.Rows))
+}

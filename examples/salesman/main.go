@@ -1,0 +1,119 @@
+// Salesman: the introduction's motivating scenario. Bob carries sensitive
+// corporate data — who his customers are, negotiated discounts, private
+// technical notes — on a smart USB key. The public product catalog lives
+// on whatever untrusted machine he plugs into. Queries link both worlds;
+// plugging the key into a spyware-ridden laptop reveals nothing but the
+// SQL he types.
+//
+// The example also shows the effect of the link throughput (Figure 14):
+// the same query is replayed while the modeled USB speed varies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ghostdb"
+)
+
+var ddl = []string{
+	// Public product catalog: fully visible.
+	`CREATE TABLE Products (id int, name char(30), category char(20),
+	   listprice float, specs char(60) HIDDEN)`,
+	// Private customer list: identities and terms are hidden.
+	`CREATE TABLE Customers (id int, company char(30) HIDDEN,
+	   contact char(30) HIDDEN, region char(20), discount float HIDDEN)`,
+	// Order lines: the links between customers and products are exactly
+	// the relationship Bob must never leak, so both fks are hidden.
+	`CREATE TABLE Orders (id int,
+	   customer_id int REFERENCES Customers HIDDEN,
+	   product_id int REFERENCES Products HIDDEN,
+	   quarter char(7), quantity int, amount float HIDDEN)`,
+}
+
+func main() {
+	db, err := ghostdb.Create(ddl, ghostdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	load(db)
+
+	// Which of Bob's customers bought storage products this quarter, and
+	// under what negotiated terms? Visible data: catalog category and the
+	// quarter. Hidden: who bought, and the discount.
+	sql := `SELECT Customers.company, Customers.discount, Products.name, Orders.quantity
+	  FROM Orders, Customers, Products
+	  WHERE Orders.customer_id = Customers.id AND Orders.product_id = Products.id
+	  AND Products.category = 'storage' AND Orders.quarter = '2006-Q4'
+	  AND Customers.discount > 0.2`
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("confidential Q4 storage deals: %d rows\n", len(res.Rows))
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %v\n", row)
+	}
+	fmt.Printf("cost %v | strategies %v\n\n", res.Stats.SimTime, res.Stats.Strategy)
+
+	// Figure 14 in miniature: the link becomes the bottleneck below
+	// roughly 1.3 MB/s because the catalog rows must cross it untrimmed.
+	fmt.Println("same query under varying USB throughput:")
+	for _, mbps := range []float64{0.3, 0.8, 1.3, 3, 10} {
+		db.SetThroughput(mbps)
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.1f MB/s -> total %8v (flash %v + link %v)\n",
+			mbps, res.Stats.SimTime, res.Stats.IOTime, res.Stats.CommTime)
+	}
+}
+
+func load(db *ghostdb.DB) {
+	rng := rand.New(rand.NewSource(7))
+	categories := []string{"storage", "network", "compute", "software"}
+	regions := []string{"north", "south", "east", "west"}
+	ld := db.Loader()
+	const nProd, nCust, nOrd = 120, 40, 6000
+	for i := 0; i < nProd; i++ {
+		if err := ld.Append("Products", ghostdb.R{
+			"name":      fmt.Sprintf("Unit-%03d", i),
+			"category":  categories[rng.Intn(len(categories))],
+			"listprice": 100 + float64(rng.Intn(900)),
+			"specs":     fmt.Sprintf("internal spec sheet %03d", i),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < nCust; i++ {
+		if err := ld.Append("Customers", ghostdb.R{
+			"company":  fmt.Sprintf("Corp-%02d", i),
+			"contact":  fmt.Sprintf("contact-%02d@corp%02d.example", i, i),
+			"region":   regions[rng.Intn(len(regions))],
+			"discount": float64(rng.Intn(40)) / 100,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	quarters := []string{"2006-Q1", "2006-Q2", "2006-Q3", "2006-Q4"}
+	for i := 0; i < nOrd; i++ {
+		if err := ld.Append("Orders", ghostdb.R{
+			"customer_id": rng.Intn(nCust),
+			"product_id":  rng.Intn(nProd),
+			"quarter":     quarters[rng.Intn(len(quarters))],
+			"quantity":    int(1 + rng.Intn(50)),
+			"amount":      float64(rng.Intn(100000)) / 100,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ld.Commit(); err != nil {
+		log.Fatal(err)
+	}
+}

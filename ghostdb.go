@@ -1,0 +1,187 @@
+// Package ghostdb is a faithful reimplementation of GhostDB (Anciaux,
+// Benzine, Bouganim, Pucheral, Shasha — SIGMOD 2007): a database that
+// splits every table between an Untrusted computer (Visible columns) and
+// a simulated Secure USB key (Hidden columns), and evaluates standard SQL
+// select-project-join queries so that hidden data never leaves the secure
+// perimeter — the only information an observer learns is the query text.
+//
+// The embedded secure token is simulated I/O-accurately, in the same
+// spirit as the paper's own evaluation platform: a NAND flash device with
+// an FTL (25µs page reads, 200µs page writes, 50ns/byte transfers), a
+// 64KB RAM budget and a throughput-limited USB link. Query costs are
+// reported as simulated time derived from those counters.
+//
+// Quick start:
+//
+//	db, _ := ghostdb.Create([]string{
+//	    `CREATE TABLE Patients (id int, name char(20) HIDDEN, age int)`,
+//	}, ghostdb.Options{})
+//	ld := db.Loader()
+//	ld.Append("Patients", ghostdb.R{"name": "Dupont", "age": 52})
+//	ld.Commit()
+//	res, _ := db.Query(`SELECT id, name FROM Patients WHERE age = 52`)
+package ghostdb
+
+import (
+	"errors"
+	"fmt"
+
+	"ghostdb/internal/exec"
+	"ghostdb/internal/flash"
+	"ghostdb/internal/index"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+// Re-exported value types. Values returned by queries are of type Value;
+// construct them with IntVal, FloatVal and CharVal when needed.
+type (
+	// Value is a dynamically typed column value.
+	Value = schema.Value
+	// Row is one result tuple.
+	Row = schema.Row
+	// Stats reports the simulated cost of a query.
+	Stats = exec.Stats
+	// Result is a query answer: column labels, rows and cost statistics.
+	Result = exec.Result
+	// Strategy selects the visible/hidden combination strategy (§3.3).
+	Strategy = exec.Strategy
+	// Projector selects the projection algorithm (§4).
+	Projector = exec.Projector
+)
+
+// IntVal, FloatVal and CharVal construct Values.
+func IntVal(i int64) Value     { return schema.IntVal(i) }
+func FloatVal(f float64) Value { return schema.FloatVal(f) }
+func CharVal(s string) Value   { return schema.CharVal(s) }
+
+// Execution strategies (StrategyAuto lets the planner decide, which is
+// the recommended setting; the rest force a strategy for experiments).
+const (
+	StrategyAuto            = exec.StratAuto
+	StrategyPreFilter       = exec.StratPre
+	StrategyCrossPreFilter  = exec.StratCrossPre
+	StrategyPostFilter      = exec.StratPost
+	StrategyCrossPostFilter = exec.StratCrossPost
+	StrategyPostSelect      = exec.StratPostSelect
+	StrategyNoFilter        = exec.StratNoFilter
+)
+
+// Projection algorithms.
+const (
+	ProjectorBloom      = exec.ProjectBloom
+	ProjectorNoBF       = exec.ProjectNoBF
+	ProjectorBruteForce = exec.ProjectBruteForce
+)
+
+// ErrBloomInfeasible mirrors exec.ErrBloomInfeasible for callers forcing
+// Post-Filter strategies.
+var ErrBloomInfeasible = exec.ErrBloomInfeasible
+
+// Options configures the simulated secure platform. The zero value uses
+// the paper's Table 1 parameters: 2KB pages, 64KB RAM, 1.5 MB/s link.
+type Options struct {
+	// RAMBytes is the secure chip RAM budget (default 65536).
+	RAMBytes int
+	// ThroughputMBps is the USB link speed (default 1.5).
+	ThroughputMBps float64
+	// FlashPageSize is the flash I/O unit (default 2048).
+	FlashPageSize int
+	// FlashBlocks sets the device capacity in 64-page erase blocks
+	// (default 32768 ≈ 4GB).
+	FlashBlocks int
+}
+
+func (o Options) toExec() exec.Options {
+	var eo exec.Options
+	eo.RAMBudget = o.RAMBytes
+	eo.ThroughputMBps = o.ThroughputMBps
+	fp := flash.DefaultParams()
+	if o.FlashPageSize > 0 {
+		fp.PageSize = o.FlashPageSize
+	}
+	if o.FlashBlocks > 0 {
+		fp.Blocks = o.FlashBlocks
+	}
+	eo.FlashParams = fp
+	eo.Variant = index.VariantFull
+	return eo
+}
+
+// DB is a GhostDB instance: an untrusted visible store plus a simulated
+// secure USB key holding the hidden partition and all index structures.
+type DB struct {
+	sch    *schema.Schema
+	inner  *exec.DB
+	loaded bool
+}
+
+// Create parses the CREATE TABLE statements (with HIDDEN annotations and
+// REFERENCES clauses forming a tree schema) and prepares an empty
+// database. Load data with Loader before querying.
+func Create(ddl []string, opts Options) (*DB, error) {
+	var defs []schema.TableDef
+	for _, stmt := range ddl {
+		parsed, err := sqlparse.Parse(stmt)
+		if err != nil {
+			return nil, err
+		}
+		ct, ok := parsed.(sqlparse.CreateTable)
+		if !ok {
+			return nil, fmt.Errorf("ghostdb: Create expects CREATE TABLE statements, got %T", parsed)
+		}
+		defs = append(defs, ct.Def)
+	}
+	sch, err := schema.New(defs)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := exec.NewDB(sch, opts.toExec())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sch: sch, inner: inner}, nil
+}
+
+// Schema renders the database schema as SQL.
+func (db *DB) Schema() string { return db.sch.String() }
+
+// Rows returns the cardinality of a table.
+func (db *DB) Rows(table string) (int, error) {
+	t, ok := db.sch.Lookup(table)
+	if !ok {
+		return 0, fmt.Errorf("ghostdb: unknown table %q", table)
+	}
+	return db.inner.Rows(t.Index), nil
+}
+
+// Query executes a SELECT statement and returns rows plus cost stats.
+func (db *DB) Query(sql string) (*Result, error) {
+	if !db.loaded {
+		return nil, errors.New("ghostdb: load data first (Loader / Commit)")
+	}
+	return db.inner.Run(sql)
+}
+
+// Exec executes a non-SELECT statement (INSERT).
+func (db *DB) Exec(sql string) error {
+	if !db.loaded {
+		return errors.New("ghostdb: load data first (Loader / Commit)")
+	}
+	_, err := db.inner.Run(sql)
+	return err
+}
+
+// ForceStrategy overrides the planner for experiments; pass StrategyAuto
+// to restore normal planning.
+func (db *DB) ForceStrategy(s Strategy) { db.inner.SetForceStrategy(s) }
+
+// SetProjector selects the projection algorithm.
+func (db *DB) SetProjector(p Projector) { db.inner.SetProjector(p) }
+
+// SetThroughput changes the modeled USB link speed in MB/s.
+func (db *DB) SetThroughput(mbps float64) { db.inner.SetThroughput(mbps) }
+
+// Internal returns the underlying engine, for the benchmark harness and
+// tools living inside this module.
+func (db *DB) Internal() *exec.DB { return db.inner }

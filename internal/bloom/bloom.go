@@ -1,0 +1,162 @@
+// Package bloom implements the space-efficient probabilistic membership
+// filter GhostDB uses for post-filtering (§3.3–3.4). The paper's
+// calibration rules are built in: a ratio m/n = 8 bits per element with 4
+// hash functions yields ≈2.4% false positives; when the element count is
+// too large for the available RAM the ratio degrades smoothly (e.g. m/n = 6
+// gives ≈5.5%), rather than failing.
+package bloom
+
+import (
+	"errors"
+	"math"
+)
+
+// TargetBitsPerElement is the paper's recommended m/n ratio.
+const TargetBitsPerElement = 8
+
+// DefaultHashes is the paper's hash-function count for m/n = 8.
+const DefaultHashes = 4
+
+// ErrTooSmall is returned when the RAM allowance cannot hold even a
+// degraded filter (fewer than 1 bit per element).
+var ErrTooSmall = errors.New("bloom: not enough memory for a useful filter")
+
+// Filter is a classic Bloom filter over 32-bit tuple identifiers.
+type Filter struct {
+	bits   []uint64
+	mBits  uint64
+	k      int
+	n      int // elements inserted
+	target int // expected elements (for rate estimation)
+}
+
+// Plan describes the geometry chosen for a filter before building it, so
+// the planner can weigh expected false-positive rates against RAM.
+type Plan struct {
+	Bits        uint64
+	Bytes       int
+	Hashes      int
+	BitsPerElem float64
+	ExpectedFPR float64
+}
+
+// PlanFor computes the filter geometry for n expected elements within
+// maxBytes of RAM, following §3.4: aim for m = 8n bits, and degrade the
+// ratio smoothly when RAM is short.
+func PlanFor(n int, maxBytes int) (Plan, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if maxBytes <= 0 {
+		return Plan{}, ErrTooSmall
+	}
+	wantBits := uint64(n) * TargetBitsPerElement
+	maxBits := uint64(maxBytes) * 8
+	bits := wantBits
+	if bits > maxBits {
+		bits = maxBits
+	}
+	ratio := float64(bits) / float64(n)
+	if ratio < 1 {
+		return Plan{}, ErrTooSmall
+	}
+	k := int(math.Round(ratio * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	if ratio >= TargetBitsPerElement {
+		k = DefaultHashes // the paper's fixed choice at m/n = 8
+	}
+	p := Plan{
+		Bits:        bits,
+		Bytes:       int((bits + 7) / 8),
+		Hashes:      k,
+		BitsPerElem: ratio,
+		ExpectedFPR: fprEstimate(ratio, k),
+	}
+	return p, nil
+}
+
+func fprEstimate(bitsPerElem float64, k int) float64 {
+	// (1 - e^(-k/ratio))^k
+	return math.Pow(1-math.Exp(-float64(k)/bitsPerElem), float64(k))
+}
+
+// New builds an empty filter from a plan.
+func New(p Plan, expected int) *Filter {
+	words := (p.Bits + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	return &Filter{
+		bits:   make([]uint64, words),
+		mBits:  p.Bits,
+		k:      p.Hashes,
+		target: expected,
+	}
+}
+
+// NewWithRatio builds a filter for n elements at an explicit bits-per-
+// element ratio (ablation benchmarks exercise degraded ratios directly).
+func NewWithRatio(n int, bitsPerElem float64, hashes int) *Filter {
+	bits := uint64(math.Ceil(float64(n) * bitsPerElem))
+	if bits == 0 {
+		bits = 64
+	}
+	return New(Plan{Bits: bits, Hashes: hashes}, n)
+}
+
+// SizeBytes returns the RAM footprint of the bit vector.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Count returns the number of inserted elements.
+func (f *Filter) Count() int { return f.n }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// hash derives the i-th hash via double hashing of a strong 64-bit mix.
+func (f *Filter) hash(id uint32, i int) uint64 {
+	x := uint64(id)
+	// SplitMix64 finalizer: well distributed for sequential IDs.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	h1 := x
+	h2 := (x >> 32) | (x << 32) | 1
+	return (h1 + uint64(i)*h2) % f.mBits
+}
+
+// Add inserts an identifier.
+func (f *Filter) Add(id uint32) {
+	for i := 0; i < f.k; i++ {
+		b := f.hash(id, i)
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether id may have been inserted. False positives
+// occur at roughly the planned rate; false negatives never.
+func (f *Filter) MayContain(id uint32) bool {
+	for i := 0; i < f.k; i++ {
+		b := f.hash(id, i)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimatedFPR returns the expected false-positive rate at the current
+// fill level.
+func (f *Filter) EstimatedFPR() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return fprEstimate(float64(f.mBits)/float64(f.n), f.k)
+}

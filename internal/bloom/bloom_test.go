@@ -1,0 +1,102 @@
+package bloom
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	// Property: every inserted element is found, for arbitrary ID sets.
+	f := func(ids []uint32) bool {
+		p, err := PlanFor(len(ids)+1, 1<<16)
+		if err != nil {
+			return false
+		}
+		fl := New(p, len(ids))
+		for _, id := range ids {
+			fl.Add(id)
+		}
+		for _, id := range ids {
+			if !fl.MayContain(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearPlan(t *testing.T) {
+	const n = 20000
+	p, err := PlanFor(n, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitsPerElem != 8 || p.Hashes != DefaultHashes {
+		t.Fatalf("plan = %+v, want m/n=8 k=4", p)
+	}
+	f := New(p, n)
+	for i := uint32(0); i < n; i++ {
+		f.Add(i)
+	}
+	rng := rand.New(rand.NewSource(42))
+	fp := 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		id := uint32(n) + uint32(rng.Intn(1<<30))
+		if f.MayContain(id) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Paper: 0.024 at m/n=8, k=4. Allow generous slack.
+	if rate < 0.005 || rate > 0.05 {
+		t.Fatalf("false positive rate %.4f outside [0.005, 0.05]", rate)
+	}
+}
+
+func TestDegradedRatio(t *testing.T) {
+	// RAM allows only 6 bits per element -> paper predicts ~5.5% FPR.
+	const n = 64000
+	p, err := PlanFor(n, 6*n/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitsPerElem > 6.01 || p.BitsPerElem < 5.5 {
+		t.Fatalf("bits per elem = %v", p.BitsPerElem)
+	}
+	if p.ExpectedFPR < 0.02 || p.ExpectedFPR > 0.12 {
+		t.Fatalf("expected FPR = %v", p.ExpectedFPR)
+	}
+}
+
+func TestTooSmall(t *testing.T) {
+	if _, err := PlanFor(1000000, 10); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := PlanFor(10, 0); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("zero budget: %v", err)
+	}
+}
+
+func TestNewWithRatio(t *testing.T) {
+	f := NewWithRatio(1000, 4, 3)
+	for i := uint32(0); i < 1000; i++ {
+		f.Add(i)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if !f.MayContain(i) {
+			t.Fatalf("false negative at %d", i)
+		}
+	}
+	if f.EstimatedFPR() <= 0 {
+		t.Fatal("estimated FPR should be positive")
+	}
+	if f.Count() != 1000 || f.Hashes() != 3 {
+		t.Fatalf("count=%d hashes=%d", f.Count(), f.Hashes())
+	}
+}

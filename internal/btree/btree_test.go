@@ -1,0 +1,373 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ghostdb/internal/flash"
+)
+
+func testDev(t *testing.T) *flash.Device {
+	t.Helper()
+	return flash.MustDevice(flash.Params{PageSize: 256, PagesPerBlock: 8, Blocks: 2048, ReserveBlocks: 4})
+}
+
+func key8(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+func pay4(v uint32) []byte {
+	p := make([]byte, 4)
+	binary.BigEndian.PutUint32(p, v)
+	return p
+}
+
+func bulkOf(t *testing.T, dev *flash.Device, keys []uint64) *Tree {
+	t.Helper()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	entries := make([]Entry, len(keys))
+	for i, k := range keys {
+		entries[i] = Entry{Key: key8(k), Payload: pay4(uint32(k % 1000))}
+	}
+	tr, err := Bulk(dev, 8, 4, &SliceSource{Entries: entries})
+	if err != nil {
+		t.Fatalf("Bulk: %v", err)
+	}
+	return tr
+}
+
+func TestBulkAndLookup(t *testing.T) {
+	dev := testDev(t)
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+	}
+	tr := bulkOf(t, dev, keys)
+	if tr.Count() != 5000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, expected multi-level", tr.Height())
+	}
+	for _, k := range []uint64{0, 3, 7497, 14997} {
+		p, err := tr.Lookup(key8(k))
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", k, err)
+		}
+		if binary.BigEndian.Uint32(p) != uint32(k%1000) {
+			t.Fatalf("payload(%d) = %d", k, binary.BigEndian.Uint32(p))
+		}
+	}
+	if _, err := tr.Lookup(key8(4)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if _, err := tr.Lookup(key8(1 << 60)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("beyond max: %v", err)
+	}
+}
+
+func TestSeekRangeScan(t *testing.T) {
+	dev := testDev(t)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i * 10)
+	}
+	tr := bulkOf(t, dev, keys)
+	// Scan [995, 2000]: first key >= 995 is 1000.
+	cur, err := tr.Seek(key8(995))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || binary.BigEndian.Uint64(k) > 2000 {
+			break
+		}
+		got = append(got, binary.BigEndian.Uint64(k))
+	}
+	if len(got) != 101 || got[0] != 1000 || got[100] != 2000 {
+		t.Fatalf("range scan got %d keys, first %v", len(got), got[:min(3, len(got))])
+	}
+}
+
+func TestFullScanSorted(t *testing.T) {
+	dev := testDev(t)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 30))
+	}
+	tr := bulkOf(t, dev, keys)
+	cur, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	n := 0
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatal("scan not sorted")
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if n != len(keys) {
+		t.Fatalf("scanned %d of %d", n, len(keys))
+	}
+}
+
+func TestInsertIntoBulk(t *testing.T) {
+	dev := testDev(t)
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = uint64(i * 4)
+	}
+	tr := bulkOf(t, dev, keys)
+	// Insert odd keys, forcing splits.
+	for i := 0; i < 2000; i++ {
+		k := uint64(i*4 + 1)
+		if err := tr.Insert(key8(k), pay4(uint32(k%1000))); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	if tr.Count() != 4000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	for _, k := range []uint64{1, 4001, 7997, 0, 7996} {
+		p, err := tr.Lookup(key8(k))
+		if err != nil {
+			t.Fatalf("Lookup(%d) after inserts: %v", k, err)
+		}
+		if binary.BigEndian.Uint32(p) != uint32(k%1000) {
+			t.Fatalf("payload(%d) wrong", k)
+		}
+	}
+}
+
+func TestInsertFromEmpty(t *testing.T) {
+	dev := testDev(t)
+	tr, err := New(dev, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	want := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(10000))
+		_ = tr.Insert(key8(k), pay4(uint32(k)))
+		want[k] = true
+	}
+	// Every inserted key findable; full scan sorted with correct count.
+	for k := range want {
+		if _, err := tr.Lookup(key8(k)); err != nil {
+			t.Fatalf("Lookup(%d): %v", k, err)
+		}
+	}
+	cur, _ := tr.First()
+	n := 0
+	var prev uint64
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		v := binary.BigEndian.Uint64(k)
+		if n > 0 && v < prev {
+			t.Fatal("unsorted after inserts")
+		}
+		prev = v
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("scan count = %d (duplicates must be kept)", n)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	dev := testDev(t)
+	entries := []Entry{
+		{Key: key8(5), Payload: pay4(1)},
+		{Key: key8(5), Payload: pay4(2)},
+		{Key: key8(5), Payload: pay4(3)},
+		{Key: key8(9), Payload: pay4(4)},
+	}
+	tr, err := Bulk(dev, 8, 4, &SliceSource{Entries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := tr.Seek(key8(5))
+	count := 0
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || binary.BigEndian.Uint64(k) != 5 {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("duplicates seen = %d", count)
+	}
+}
+
+func TestBulkRejectsUnsorted(t *testing.T) {
+	dev := testDev(t)
+	entries := []Entry{{Key: key8(5), Payload: pay4(1)}, {Key: key8(3), Payload: pay4(2)}}
+	if _, err := Bulk(dev, 8, 4, &SliceSource{Entries: entries}); err == nil {
+		t.Fatal("unsorted bulk accepted")
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	dev := testDev(t)
+	tr, err := Bulk(dev, 8, 4, &SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: count=%d height=%d", tr.Count(), tr.Height())
+	}
+	if _, err := tr.Lookup(key8(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup in empty: %v", err)
+	}
+	cur, _ := tr.First()
+	if _, _, ok, _ := cur.Next(); ok {
+		t.Fatal("empty tree yielded an entry")
+	}
+}
+
+func TestZeroPayload(t *testing.T) {
+	dev := testDev(t)
+	tr, err := Bulk(dev, 4, 0, &SliceSource{Entries: []Entry{{Key: pay4(1), Payload: nil}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup(pay4(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	dev := testDev(t)
+	if _, err := New(dev, 0, 4); err == nil {
+		t.Fatal("zero key width accepted")
+	}
+	if _, err := New(dev, 200, 200); err == nil {
+		t.Fatal("entries larger than half a page accepted")
+	}
+	tr, _ := New(dev, 8, 4)
+	if err := tr.Insert(key8(1), make([]byte, 9)); err == nil {
+		t.Fatal("bad payload width accepted")
+	}
+}
+
+func TestBulkMatchesSortedReferenceProperty(t *testing.T) {
+	// Property: for arbitrary key multisets, a bulk-built tree scan
+	// reproduces the sorted input and every key is findable.
+	f := func(raw []uint16) bool {
+		dev := flash.MustDevice(flash.Params{PageSize: 256, PagesPerBlock: 8, Blocks: 1024, ReserveBlocks: 4})
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		entries := make([]Entry, len(keys))
+		for i, k := range keys {
+			entries[i] = Entry{Key: key8(k), Payload: pay4(uint32(i))}
+		}
+		tr, err := Bulk(dev, 8, 4, &SliceSource{Entries: entries})
+		if err != nil {
+			return false
+		}
+		cur, err := tr.First()
+		if err != nil {
+			return false
+		}
+		i := 0
+		for {
+			k, _, ok, err := cur.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			if i >= len(keys) || binary.BigEndian.Uint64(k) != keys[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSeekLandsBeforeDuplicateRunAcrossLeaves(t *testing.T) {
+	// Regression: a duplicate run spanning a leaf split must be fully
+	// visible from Seek (read-mode descent uses strict less-than).
+	dev := testDev(t)
+	tr, err := New(dev, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill one leaf, then insert many duplicates of a middle key to
+	// force splits with equal keys on both sides.
+	for i := 0; i < 15; i++ {
+		_ = tr.Insert(key8(uint64(i*10)), pay4(uint32(i)))
+	}
+	for i := 0; i < 40; i++ {
+		if err := tr.Insert(key8(70), pay4(uint32(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := tr.Seek(key8(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || binary.BigEndian.Uint64(k) != 70 {
+			break
+		}
+		count++
+	}
+	if count != 41 { // 1 original + 40 duplicates
+		t.Fatalf("duplicates visible from Seek = %d, want 41", count)
+	}
+}

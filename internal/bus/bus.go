@@ -1,0 +1,116 @@
+// Package bus models the USB link between the Untrusted computer and the
+// Secure USB key. It counts every byte in each direction so the cost model
+// can charge communication time (Figure 14 of the paper varies the link
+// throughput from 0.3 to 10 MBps), and it records an audit trail of all
+// Secure→Untrusted traffic: GhostDB's security argument is that the only
+// information ever leaving the secure token is the query text itself, and
+// the auditor lets tests prove that invariant for every execution strategy.
+package bus
+
+import "fmt"
+
+// Direction of a transfer across the link.
+type Direction int
+
+const (
+	// Down is Untrusted -> Secure (visible data entering the token).
+	Down Direction = iota
+	// Up is Secure -> Untrusted (must only ever carry query text).
+	Up
+)
+
+func (d Direction) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// DefaultThroughputMBps is USB 2.0 full speed (12 Mb/s ≈ 1.5 MB/s), the
+// platform assumed in §2.2.
+const DefaultThroughputMBps = 1.5
+
+// Record is one audited transfer.
+type Record struct {
+	Dir     Direction
+	Kind    string // e.g. "query", "vis-ids", "vis-values"
+	Bytes   int
+	Payload string // kept only for Up records (they must be tiny)
+}
+
+// Channel is the simulated link. Not safe for concurrent use.
+type Channel struct {
+	throughputMBps float64
+	downBytes      uint64
+	upBytes        uint64
+	records        []Record
+	auditPayloads  bool
+}
+
+// NewChannel creates a link with the given throughput in MB/s.
+func NewChannel(throughputMBps float64) *Channel {
+	if throughputMBps <= 0 {
+		throughputMBps = DefaultThroughputMBps
+	}
+	return &Channel{throughputMBps: throughputMBps, auditPayloads: true}
+}
+
+// SetThroughput changes the modeled link speed (MB/s).
+func (c *Channel) SetThroughput(mbps float64) {
+	if mbps > 0 {
+		c.throughputMBps = mbps
+	}
+}
+
+// ThroughputMBps returns the modeled link speed.
+func (c *Channel) ThroughputMBps() float64 { return c.throughputMBps }
+
+// Transfer accounts for n bytes moving in direction dir. kind labels the
+// message for the audit trail. For Up transfers, payload should be the
+// full content (queries are small); it is retained for auditing.
+func (c *Channel) Transfer(dir Direction, kind string, n int, payload string) error {
+	if n < 0 {
+		return fmt.Errorf("bus: negative transfer %d", n)
+	}
+	switch dir {
+	case Down:
+		c.downBytes += uint64(n)
+		payload = "" // visible data content is not interesting to audit
+	case Up:
+		c.upBytes += uint64(n)
+	default:
+		return fmt.Errorf("bus: unknown direction %d", dir)
+	}
+	if c.auditPayloads {
+		c.records = append(c.records, Record{Dir: dir, Kind: kind, Bytes: n, Payload: payload})
+	}
+	return nil
+}
+
+// Counters reports cumulative bytes in each direction.
+func (c *Channel) Counters() (down, up uint64) { return c.downBytes, c.upBytes }
+
+// ResetCounters zeroes the byte counters and the audit trail.
+func (c *Channel) ResetCounters() {
+	c.downBytes, c.upBytes = 0, 0
+	c.records = c.records[:0]
+}
+
+// Records returns the audit trail (a copy).
+func (c *Channel) Records() []Record {
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// UplinkRecords returns only Secure->Untrusted transfers. A leak-free
+// execution has exactly the query-text records here and nothing else.
+func (c *Channel) UplinkRecords() []Record {
+	var out []Record
+	for _, r := range c.records {
+		if r.Dir == Up {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package bus
+
+import "testing"
+
+func TestCountersAndAudit(t *testing.T) {
+	c := NewChannel(1.5)
+	if err := c.Transfer(Up, "query", 120, "SELECT ..."); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Transfer(Down, "vis-ids", 4000, ""); err != nil {
+		t.Fatal(err)
+	}
+	down, up := c.Counters()
+	if down != 4000 || up != 120 {
+		t.Fatalf("counters = %d/%d", down, up)
+	}
+	ups := c.UplinkRecords()
+	if len(ups) != 1 || ups[0].Kind != "query" || ups[0].Payload != "SELECT ..." {
+		t.Fatalf("uplink audit = %+v", ups)
+	}
+	if len(c.Records()) != 2 {
+		t.Fatalf("records = %d", len(c.Records()))
+	}
+	c.ResetCounters()
+	down, up = c.Counters()
+	if down != 0 || up != 0 || len(c.Records()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDownPayloadNotRetained(t *testing.T) {
+	c := NewChannel(0) // 0 -> default throughput
+	if c.ThroughputMBps() != DefaultThroughputMBps {
+		t.Fatalf("default throughput = %v", c.ThroughputMBps())
+	}
+	_ = c.Transfer(Down, "vis-values", 10, "should-be-dropped")
+	if c.Records()[0].Payload != "" {
+		t.Fatal("down payload retained")
+	}
+}
+
+func TestNegativeTransferRejected(t *testing.T) {
+	c := NewChannel(1)
+	if err := c.Transfer(Down, "x", -1, ""); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package datagen
+
+import (
+	"testing"
+
+	"ghostdb/internal/exec"
+	"ghostdb/internal/flash"
+	"ghostdb/internal/query"
+	"ghostdb/internal/ref"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+func defaultTestOpts() exec.Options {
+	return exec.Options{FlashParams: flash.Params{
+		PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4}}
+}
+
+func refRows(t *testing.T, ds *Dataset, re *ref.Engine, sql string) []schema.Row {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Resolve(ds.Sch, stmt.(*sqlparse.Select), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := re.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ghostdb/internal/exec"
+	"ghostdb/internal/schema"
+)
+
+// MedicalDefs returns the diabetes database schema of §6.2. Following the
+// paper's design guideline, all foreign keys are hidden, along with every
+// attribute that could identify an individual; the superscripts in the
+// paper map to the Hidden flags below. Measurements is the root (largest,
+// central) table; Patients and Drugs are its children and Doctors hangs
+// below Patients.
+func MedicalDefs() []schema.TableDef {
+	return []schema.TableDef{
+		{Name: "Measurements", Columns: []schema.Column{
+			{Name: "time", Kind: schema.KindChar, Width: 10},
+			{Name: "measurement", Kind: schema.KindChar, Width: 10},
+			{Name: "comment", Kind: schema.KindChar, Width: 100},
+		}, Refs: []schema.Ref{
+			{FKColumn: "patient_id", Child: "Patients", Hidden: true},
+			{FKColumn: "drug_id", Child: "Drugs", Hidden: true},
+		}},
+		{Name: "Patients", Columns: []schema.Column{
+			{Name: "firstname", Kind: schema.KindChar, Width: 20},
+			{Name: "name", Kind: schema.KindChar, Width: 20, Hidden: true},
+			{Name: "ssn", Kind: schema.KindChar, Width: 10, Hidden: true},
+			{Name: "address", Kind: schema.KindChar, Width: 50, Hidden: true},
+			{Name: "birthdate", Kind: schema.KindChar, Width: 10, Hidden: true},
+			{Name: "bodymassindex", Kind: schema.KindFloat, Hidden: true},
+			{Name: "age", Kind: schema.KindInt},
+			{Name: "sexe", Kind: schema.KindChar, Width: 2},
+			{Name: "city", Kind: schema.KindChar, Width: 20},
+			{Name: "zipcode", Kind: schema.KindChar, Width: 6},
+		}, Refs: []schema.Ref{
+			{FKColumn: "doctor_id", Child: "Doctors", Hidden: true},
+		}},
+		{Name: "Doctors", Columns: []schema.Column{
+			{Name: "specialty", Kind: schema.KindChar, Width: 20},
+			{Name: "description", Kind: schema.KindChar, Width: 60},
+			{Name: "firstname", Kind: schema.KindChar, Width: 20, Hidden: true},
+			{Name: "name", Kind: schema.KindChar, Width: 20, Hidden: true},
+		}},
+		{Name: "Drugs", Columns: []schema.Column{
+			{Name: "property", Kind: schema.KindChar, Width: 60},
+			{Name: "comment", Kind: schema.KindChar, Width: 100, Hidden: true},
+		}},
+	}
+}
+
+// MedicalCardinalities returns the paper's table sizes scaled by sf
+// (Doctors 4.5K, Patients 14K, Measurements 1.3M, Drugs 45).
+func MedicalCardinalities(sf float64) map[string]int {
+	card := func(n int, min int) int {
+		v := int(float64(n) * sf)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	return map[string]int{
+		"Measurements": card(1_300_000, 50),
+		"Patients":     card(14_000, 10),
+		"Doctors":      card(4_500, 5),
+		"Drugs":        card(45, 3),
+	}
+}
+
+var (
+	firstnames  = []string{"Alice", "Bob", "Carol", "David", "Emma", "Felix", "Grace", "Hugo", "Iris", "Jules", "Karim", "Lea", "Marc", "Nora", "Oscar", "Paula"}
+	surnames    = []string{"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent", "Lefebvre", "Michel", "Garcia", "Fournier"}
+	cities      = []string{"Paris", "Versailles", "Lyon", "Lille", "Nantes", "Rennes", "Rouen", "Dijon", "Tours", "Nancy"}
+	specialties = []string{"Psychiatrist", "Cardiologist", "Endocrinologist", "Generalist", "Nutritionist", "Ophthalmologist", "Nephrologist", "Podiatrist"}
+	drugNames   = []string{"Insulin", "Metformin", "Glipizide", "Acarbose", "Exenatide", "Sitagliptin", "Glimepiride", "Pioglitazone", "Repaglinide"}
+)
+
+// Medical generates the medical dataset at scale sf. Data is synthetic
+// but structured: real-looking names and specialties for the example
+// applications, plus uniform padded attributes (Patients.zipcode and
+// Doctors.name carry the Domain-graduated values used by the Figure 16
+// selectivity sweep).
+func Medical(sf float64, seed int64) (*Dataset, error) {
+	sch, err := schema.New(MedicalDefs())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cards := MedicalCardinalities(sf)
+	ds := &Dataset{Sch: sch, Load: map[int]*exec.TableLoad{}, Rows: cards}
+
+	set := func(t *schema.Table, ld *exec.TableLoad, row int, name string, v schema.Value) error {
+		_, ci, ok := t.Column(name)
+		if !ok {
+			return fmt.Errorf("datagen: no column %s.%s", t.Name, name)
+		}
+		w := t.Columns[ci].EncodedWidth()
+		return schema.EncodeValue(ld.Cols[ci].Data[row*w:(row+1)*w], v)
+	}
+	blank := func(t *schema.Table, n int) *exec.TableLoad {
+		ld := &exec.TableLoad{Rows: n, FKs: map[int][]uint32{}}
+		for _, col := range t.Columns {
+			ld.Cols = append(ld.Cols, exec.ColData{Width: col.EncodedWidth(), Data: make([]byte, n*col.EncodedWidth())})
+		}
+		return ld
+	}
+
+	// Drugs.
+	drugs, _ := sch.Lookup("Drugs")
+	nDrugs := cards["Drugs"]
+	dl := blank(drugs, nDrugs)
+	for i := 0; i < nDrugs; i++ {
+		if err := set(drugs, dl, i, "property", schema.CharVal(drugNames[i%len(drugNames)]+fmt.Sprintf(" form %d", i))); err != nil {
+			return nil, err
+		}
+		if err := set(drugs, dl, i, "comment", schema.CharVal(fmt.Sprintf("batch %04d trial notes", rng.Intn(10000)))); err != nil {
+			return nil, err
+		}
+	}
+	ds.Load[drugs.Index] = dl
+
+	// Doctors: the hidden name carries the graduated domain value.
+	docs, _ := sch.Lookup("Doctors")
+	nDocs := cards["Doctors"]
+	dol := blank(docs, nDocs)
+	for i := 0; i < nDocs; i++ {
+		if err := set(docs, dol, i, "specialty", schema.CharVal(specialties[rng.Intn(len(specialties))])); err != nil {
+			return nil, err
+		}
+		if err := set(docs, dol, i, "description", schema.CharVal(fmt.Sprintf("practice since %d", 1970+rng.Intn(35)))); err != nil {
+			return nil, err
+		}
+		if err := set(docs, dol, i, "firstname", schema.CharVal(firstnames[rng.Intn(len(firstnames))])); err != nil {
+			return nil, err
+		}
+		if err := set(docs, dol, i, "name", schema.CharVal(PadValue(rng.Intn(Domain)))); err != nil {
+			return nil, err
+		}
+	}
+	ds.Load[docs.Index] = dol
+
+	// Patients: zipcode carries the graduated domain value.
+	pats, _ := sch.Lookup("Patients")
+	nPats := cards["Patients"]
+	pl := blank(pats, nPats)
+	pl.FKs[docs.Index] = make([]uint32, nPats)
+	for i := 0; i < nPats; i++ {
+		pl.FKs[docs.Index][i] = uint32(rng.Intn(nDocs))
+		vals := map[string]schema.Value{
+			"firstname":     schema.CharVal(firstnames[rng.Intn(len(firstnames))]),
+			"name":          schema.CharVal(surnames[rng.Intn(len(surnames))] + fmt.Sprintf("%03d", i%1000)),
+			"ssn":           schema.CharVal(fmt.Sprintf("%010d", rng.Intn(1_000_000_000))),
+			"address":       schema.CharVal(fmt.Sprintf("%d rue de la Gare", 1+rng.Intn(200))),
+			"birthdate":     schema.CharVal(fmt.Sprintf("19%02d-%02d-%02d", rng.Intn(90), 1+rng.Intn(12), 1+rng.Intn(28))),
+			"bodymassindex": schema.FloatVal(15 + 25*rng.Float64()),
+			"age":           schema.IntVal(int64(rng.Intn(100))),
+			"sexe":          schema.CharVal([]string{"M", "F"}[rng.Intn(2)]),
+			"city":          schema.CharVal(cities[rng.Intn(len(cities))]),
+			"zipcode":       schema.CharVal(fmt.Sprintf("%06d", rng.Intn(Domain))),
+		}
+		for name, v := range vals {
+			if err := set(pats, pl, i, name, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ds.Load[pats.Index] = pl
+
+	// Measurements.
+	meas, _ := sch.Lookup("Measurements")
+	nMeas := cards["Measurements"]
+	ml := blank(meas, nMeas)
+	ml.FKs[pats.Index] = make([]uint32, nMeas)
+	ml.FKs[drugs.Index] = make([]uint32, nMeas)
+	for i := 0; i < nMeas; i++ {
+		ml.FKs[pats.Index][i] = uint32(rng.Intn(nPats))
+		ml.FKs[drugs.Index][i] = uint32(rng.Intn(nDrugs))
+		if err := set(meas, ml, i, "time", schema.CharVal(fmt.Sprintf("2006-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)))); err != nil {
+			return nil, err
+		}
+		if err := set(meas, ml, i, "measurement", schema.CharVal(fmt.Sprintf("%d.%d", 4+rng.Intn(12), rng.Intn(10)))); err != nil {
+			return nil, err
+		}
+		if err := set(meas, ml, i, "comment", schema.CharVal(fmt.Sprintf("glycemia reading %06d", i))); err != nil {
+			return nil, err
+		}
+	}
+	ds.Load[meas.Index] = ml
+	return ds, nil
+}
+
+// MedicalZipSelValue returns the literal x such that `zipcode < x`
+// selects fraction sel of Patients (zipcodes are uniform over Domain).
+func MedicalZipSelValue(sel float64) string {
+	v := int(sel * Domain)
+	if v < 0 {
+		v = 0
+	}
+	if v > Domain {
+		v = Domain
+	}
+	return fmt.Sprintf("%06d", v)
+}

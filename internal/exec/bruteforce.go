@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/store"
+)
+
+// bruteForce is the strawman projector of Figures 12–13: stream the QEPSJ
+// result and fetch every attribute value with *random* flash accesses — a
+// binary search over the spooled visible rows and a direct row read in
+// the hidden image, per tuple, per table. Visible-selection false
+// positives are discarded when the binary search misses.
+func (r *queryRun) bruteForce(res *Result) error {
+	db, q := r.db, r.q
+	anchor := q.Anchor
+
+	var grants []*ram.Grant
+	defer func() {
+		for _, g := range grants {
+			g.Release()
+		}
+	}()
+	alloc := func(n int) error {
+		g, err := db.RAM.AllocBuffers(n)
+		if err != nil {
+			return err
+		}
+		grants = append(grants, g)
+		return nil
+	}
+
+	// Column readers: anchor plus every table we must look at.
+	tables := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != anchor {
+			tables[ti] = true
+		}
+	}
+	for ti := range r.exactAtProject {
+		tables[ti] = true
+	}
+	var order []int
+	for ti := range tables {
+		order = append(order, ti)
+	}
+	sort.Ints(order)
+
+	anchorCol := r.resCols[anchor]
+	anchorRd := anchorCol.seg.NewRunReader(anchorCol.run)
+	if err := alloc(1); err != nil {
+		return err
+	}
+	colRd := map[int]*store.RunReader{}
+	for _, ti := range order {
+		c, ok := r.resCols[ti]
+		if !ok {
+			return fmt.Errorf("exec: missing QEPSJ column for %s", db.Sch.Tables[ti].Name)
+		}
+		colRd[ti] = c.seg.NewRunReader(c.run)
+		if err := alloc(1); err != nil {
+			return err
+		}
+	}
+
+	projVis := r.projectedVisibleCols()
+	spoolOff := map[int]map[int]int{} // table -> colIdx -> offset in spool row
+	for ti, sp := range r.spool {
+		offs := map[int]int{}
+		off := store.IDBytes
+		for _, c := range sp.cols {
+			offs[c] = off
+			off += db.Sch.Tables[ti].Columns[c].EncodedWidth()
+		}
+		spoolOff[ti] = offs
+	}
+
+	ids := map[int]uint32{}
+	visRec := map[int][]byte{}
+	hidRec := map[int][]byte{}
+
+	for pos := 0; pos < r.resN; pos++ {
+		aid, ok, err := anchorRd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("exec: anchor column exhausted early")
+		}
+		ids[anchor] = aid
+		for _, ti := range order {
+			v, ok, err := colRd[ti].Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("exec: column of %s exhausted early", db.Sch.Tables[ti].Name)
+			}
+			ids[ti] = v
+		}
+		// Exact visible verification by random binary search.
+		keep := true
+		for ti := range visRec {
+			delete(visRec, ti)
+		}
+		for ti := range hidRec {
+			delete(hidRec, ti)
+		}
+		check := append([]int{anchor}, order...)
+		for _, ti := range check {
+			sp := r.spool[ti]
+			needVis := len(projVis[ti]) > 0
+			needExact := r.exactAtProject[ti]
+			if sp == nil || (!needVis && !needExact) {
+				continue
+			}
+			rec, found, err := spoolSearch(sp.file, ids[ti])
+			if err != nil {
+				return err
+			}
+			if !found {
+				if needExact {
+					keep = false
+					break
+				}
+				return fmt.Errorf("exec: id %d of %s missing from Vis spool", ids[ti], db.Sch.Tables[ti].Name)
+			}
+			visRec[ti] = rec
+		}
+		if !keep {
+			continue
+		}
+		// Assemble the row with random hidden-image reads.
+		row := make(schema.Row, 0, len(q.Projections))
+		for _, p := range q.Projections {
+			if p.ColIdx == query.IDCol {
+				row = append(row, schema.IntVal(int64(ids[p.Table])))
+				continue
+			}
+			col := db.Sch.Tables[p.Table].Columns[p.ColIdx]
+			if !col.Hidden {
+				rec := visRec[p.Table]
+				if rec == nil {
+					return fmt.Errorf("exec: no visible record for %s", db.Sch.Tables[p.Table].Name)
+				}
+				off := spoolOff[p.Table][p.ColIdx]
+				v, err := schema.DecodeValue(rec[off:off+col.EncodedWidth()], col.Kind)
+				if err != nil {
+					return err
+				}
+				row = append(row, v)
+				continue
+			}
+			img := db.Hidden[p.Table]
+			if img == nil {
+				return fmt.Errorf("exec: no hidden image for %s", db.Sch.Tables[p.Table].Name)
+			}
+			rec := hidRec[p.Table]
+			if rec == nil {
+				rec = make([]byte, img.File.RowWidth())
+				if err := img.File.ReadRow(ids[p.Table], rec); err != nil {
+					return err
+				}
+				hidRec[p.Table] = rec
+			}
+			o, w := img.Codec.ColumnRange(img.ColPos[p.ColIdx])
+			v, err := schema.DecodeValue(rec[o:o+w], col.Kind)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return nil
+}
+
+// spoolSearch binary-searches an id-sorted spool file; every probe is one
+// random page read, the defining cost of the brute-force projector.
+func spoolSearch(f *store.RowFile, id uint32) ([]byte, bool, error) {
+	rec := make([]byte, f.RowWidth())
+	lo, hi := 0, f.Count()-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if err := f.ReadRow(uint32(mid), rec); err != nil {
+			return nil, false, err
+		}
+		got := binary.BigEndian.Uint32(rec)
+		switch {
+		case got == id:
+			return rec, true, nil
+		case got < id:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/flash"
+	"ghostdb/internal/index"
+	"ghostdb/internal/metrics"
+	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+	"ghostdb/internal/store"
+	"ghostdb/internal/untrusted"
+)
+
+// Strategy selects how a Visible selection is combined with Hidden
+// computation (§3.3). StratAuto lets the planner decide per predicate.
+type Strategy int
+
+const (
+	StratAuto Strategy = iota
+	// StratPre climbs from the Visible ID list to the anchor through the
+	// table's id index, one lookup per id, before any join.
+	StratPre
+	// StratCrossPre intersects the Visible list with the Hidden
+	// selections available at the same level first, then climbs.
+	StratCrossPre
+	// StratPost builds a Bloom filter over the Visible list and probes
+	// the join results; false positives are discarded at projection time.
+	StratPost
+	// StratCrossPost is StratPost with the Visible list pre-reduced by
+	// same-level Hidden selections (smaller, more accurate filter).
+	StratCrossPost
+	// StratPostSelect performs an exact (chunked in-RAM) selection on the
+	// join result instead of a Bloom filter — the strawman of Figure 11.
+	StratPostSelect
+	// StratCrossPostSelect is StratPostSelect on the cross-reduced list.
+	StratCrossPostSelect
+	// StratNoFilter postpones the Visible selection entirely to
+	// projection time (the fallback when a Bloom filter would admit more
+	// false positives than it eliminates, sV > 0.5).
+	StratNoFilter
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StratAuto:
+		return "Auto"
+	case StratPre:
+		return "Pre-Filter"
+	case StratCrossPre:
+		return "Cross-Pre-Filter"
+	case StratPost:
+		return "Post-Filter"
+	case StratCrossPost:
+		return "Cross-Post-Filter"
+	case StratPostSelect:
+		return "Post-Select"
+	case StratCrossPostSelect:
+		return "Cross-Post-Select"
+	case StratNoFilter:
+		return "No-Filter"
+	}
+	return "?"
+}
+
+// Projector selects the projection algorithm (§4, Figures 12–13).
+type Projector int
+
+const (
+	// ProjectBloom is the paper's Project algorithm: Bloom-filtered
+	// σVH lists and batched MJoin passes.
+	ProjectBloom Projector = iota
+	// ProjectNoBF is Project without the Bloom optimization: irrelevant
+	// Visible values are not pre-filtered, inflating MJoin passes.
+	ProjectNoBF
+	// ProjectBruteForce loads the QEPSJ result in RAM chunks and fetches
+	// every attribute value with random flash accesses.
+	ProjectBruteForce
+)
+
+func (p Projector) String() string {
+	switch p {
+	case ProjectBloom:
+		return "Project"
+	case ProjectNoBF:
+		return "Project-NoBF"
+	case ProjectBruteForce:
+		return "Brute-Force"
+	}
+	return "?"
+}
+
+// Options configures a DB.
+type Options struct {
+	FlashParams    flash.Params
+	RAMBudget      int     // secure chip RAM in bytes (default 64KB)
+	ThroughputMBps float64 // USB link speed (default 1.5)
+	Model          metrics.Model
+	Variant        index.Variant
+	ForceStrategy  Strategy  // forced for every non-anchor visible table
+	Projector      Projector // projection algorithm
+}
+
+// withDefaults fills unset options with Table 1 values.
+func (o Options) withDefaults() Options {
+	if o.FlashParams.PageSize == 0 {
+		o.FlashParams = flash.DefaultParams()
+	}
+	if o.RAMBudget == 0 {
+		o.RAMBudget = ram.DefaultBudget
+	}
+	if o.ThroughputMBps == 0 {
+		o.ThroughputMBps = bus.DefaultThroughputMBps
+	}
+	if o.Model == (metrics.Model{}) {
+		o.Model = metrics.DefaultModel()
+	}
+	return o
+}
+
+// HiddenImage is the flash-resident image of a table's hidden non-key
+// attributes, in ID order ("TiH, the Hidden image of Ti", §4).
+type HiddenImage struct {
+	Codec  *store.Codec
+	File   *store.RowFile
+	ColPos map[int]int // table column index -> position within the image
+}
+
+// DB wires together the secure device, the untrusted engine, the index
+// catalog and the hidden images: a complete GhostDB instance.
+type DB struct {
+	Sch  *schema.Schema
+	Dev  *flash.Device
+	RAM  *ram.Manager
+	Bus  *bus.Channel
+	Col  *metrics.Collector
+	Cat  *index.Catalog
+	Untr *untrusted.Engine
+
+	Hidden map[int]*HiddenImage
+	rows   map[int]int
+	opts   Options
+}
+
+// ColData is one encoded column for loading (Width bytes per row).
+type ColData struct {
+	Width int
+	Data  []byte
+}
+
+// TableLoad is the bulk-load image of one table.
+type TableLoad struct {
+	Rows int
+	Cols []ColData        // aligned with the table's Columns
+	FKs  map[int][]uint32 // child table index -> referenced id per row
+}
+
+// NewDB creates a DB for the schema with the given options.
+func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	dev, err := flash.NewDevice(opts.FlashParams)
+	if err != nil {
+		return nil, err
+	}
+	ch := bus.NewChannel(opts.ThroughputMBps)
+	db := &DB{
+		Sch:    sch,
+		Dev:    dev,
+		RAM:    ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
+		Bus:    ch,
+		Col:    metrics.NewCollector(dev, ch, opts.Model),
+		Untr:   untrusted.NewEngine(sch, ch),
+		Hidden: make(map[int]*HiddenImage),
+		rows:   make(map[int]int),
+		opts:   opts,
+	}
+	return db, nil
+}
+
+// Options returns the effective options.
+func (db *DB) Options() Options { return db.opts }
+
+// SetForceStrategy overrides the planner for subsequent queries.
+func (db *DB) SetForceStrategy(s Strategy) { db.opts.ForceStrategy = s }
+
+// SetProjector selects the projection algorithm for subsequent queries.
+func (db *DB) SetProjector(p Projector) { db.opts.Projector = p }
+
+// SetThroughput adjusts the modeled link speed (Figure 14).
+func (db *DB) SetThroughput(mbps float64) { db.Bus.SetThroughput(mbps) }
+
+// Rows returns the cardinality of a table.
+func (db *DB) Rows(table int) int { return db.rows[table] }
+
+// Load bulk-loads every table: visible columns go to Untrusted, hidden
+// columns to the hidden images on flash, and the index catalog (SKTs +
+// climbing indexes) is built for the configured variant.
+func (db *DB) Load(data map[int]*TableLoad) error {
+	if db.Cat != nil {
+		return errors.New("exec: database already loaded")
+	}
+	inputs := make(map[int]*index.TableInput, len(db.Sch.Tables))
+	for _, t := range db.Sch.Tables {
+		ld := data[t.Index]
+		if ld == nil {
+			return fmt.Errorf("exec: no load data for table %q", t.Name)
+		}
+		if len(ld.Cols) != len(t.Columns) {
+			return fmt.Errorf("exec: table %q: %d columns loaded, schema has %d",
+				t.Name, len(ld.Cols), len(t.Columns))
+		}
+		db.rows[t.Index] = ld.Rows
+		in := &index.TableInput{Rows: ld.Rows, FKs: ld.FKs}
+
+		// Visible columns -> untrusted store (zero copy).
+		for ci, col := range t.Columns {
+			c := ld.Cols[ci]
+			if col.EncodedWidth() != c.Width {
+				return fmt.Errorf("exec: %s.%s width %d != %d", t.Name, col.Name, c.Width, col.EncodedWidth())
+			}
+			if len(c.Data) != c.Width*ld.Rows {
+				return fmt.Errorf("exec: %s.%s has %d bytes, want %d", t.Name, col.Name, len(c.Data), c.Width*ld.Rows)
+			}
+			if col.Hidden {
+				in.Attrs = append(in.Attrs, index.AttrData{ColIdx: ci, Width: c.Width, Data: c.Data})
+				continue
+			}
+			if err := db.Untr.LoadColumn(t.Index, ci, c.Width, c.Data); err != nil {
+				return err
+			}
+		}
+		if err := db.Untr.SetRows(t.Index, ld.Rows); err != nil {
+			return err
+		}
+
+		// Hidden image.
+		hidden := t.HiddenColumns()
+		if len(hidden) > 0 {
+			img := &HiddenImage{Codec: store.NewCodec(hidden), ColPos: map[int]int{}}
+			pos := 0
+			for ci, col := range t.Columns {
+				if col.Hidden {
+					img.ColPos[ci] = pos
+					pos++
+				}
+			}
+			f, err := store.NewRowFile(db.Dev, img.Codec.Width())
+			if err != nil {
+				return err
+			}
+			rec := make([]byte, img.Codec.Width())
+			for r := 0; r < ld.Rows; r++ {
+				off := 0
+				for ci, col := range t.Columns {
+					if !col.Hidden {
+						continue
+					}
+					w := col.EncodedWidth()
+					copy(rec[off:off+w], ld.Cols[ci].Data[r*w:(r+1)*w])
+					off += w
+				}
+				if err := f.Append(rec); err != nil {
+					return err
+				}
+			}
+			if err := f.Seal(); err != nil {
+				return err
+			}
+			img.File = f
+			db.Hidden[t.Index] = img
+		}
+		inputs[t.Index] = in
+	}
+	cat, err := index.Build(db.Dev, db.Sch, inputs, db.opts.Variant)
+	if err != nil {
+		return err
+	}
+	db.Cat = cat
+	db.Col.Reset() // exclude load/build I/O from query measurements
+	return nil
+}
+
+// Stats summarizes the cost of one query under the paper's cost model.
+type Stats struct {
+	SimTime   time.Duration // IOTime + CommTime
+	IOTime    time.Duration
+	CommTime  time.Duration
+	Breakdown map[string]time.Duration // per-operator I/O time (Figs 15-16)
+	Flash     flash.Counters
+	BusDown   uint64
+	BusUp     uint64
+	RAMHigh   int
+	Strategy  map[string]Strategy // per visible table
+	Projector Projector
+}
+
+// Result is a query answer plus its cost statistics.
+type Result struct {
+	Columns []string
+	Rows    []schema.Row
+	Stats   Stats
+}
+
+// Run parses and executes one SQL statement.
+func (db *DB) Run(sql string) (*Result, error) {
+	if db.Cat == nil {
+		return nil, errors.New("exec: database not loaded")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.Select:
+		q, err := query.Resolve(db.Sch, st, sql)
+		if err != nil {
+			return nil, err
+		}
+		return db.Select(q)
+	case sqlparse.Insert:
+		if err := db.Insert(st); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case sqlparse.CreateTable:
+		return nil, errors.New("exec: schema is fixed at load time; CREATE TABLE goes through ghostdb.Create")
+	}
+	return nil, fmt.Errorf("exec: unsupported statement %T", stmt)
+}
+
+// Select executes a resolved query.
+func (db *DB) Select(q *query.Query) (*Result, error) {
+	db.Col.Reset()
+	// The query text is the only thing that ever leaves the secure
+	// perimeter (§1: "the only information revealed to a potential spy is
+	// which queries you pose").
+	if err := db.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
+		return nil, err
+	}
+	r := &queryRun{db: db, q: q}
+	res, err := r.execute()
+	if err != nil {
+		return nil, err
+	}
+	if q.CountOnly {
+		res = &Result{
+			Columns: []string{"count(*)"},
+			Rows:    []schema.Row{{schema.IntVal(int64(len(res.Rows)))}},
+		}
+	}
+	res.Stats = db.collectStats(r)
+	return res, nil
+}
+
+func (db *DB) collectStats(r *queryRun) Stats {
+	down, up := db.Bus.Counters()
+	total := metrics.Sample{Flash: db.Dev.Counters(), BusDown: down, BusUp: up}
+	st := Stats{
+		IOTime:    db.opts.Model.IOTime(total),
+		CommTime:  db.opts.Model.CommTime(total, db.Bus.ThroughputMBps()),
+		Breakdown: db.Col.Breakdown(),
+		Flash:     db.Dev.Counters(),
+		BusDown:   down,
+		BusUp:     up,
+		RAMHigh:   db.RAM.HighWater(),
+		Strategy:  map[string]Strategy{},
+		Projector: db.opts.Projector,
+	}
+	st.SimTime = st.IOTime + st.CommTime
+	if r != nil {
+		for ti, s := range r.strategies {
+			st.Strategy[db.Sch.Tables[ti].Name] = s
+		}
+	}
+	return st
+}
+
+// columnLabel renders a projection header.
+func (db *DB) columnLabel(p query.Proj) string {
+	t := db.Sch.Tables[p.Table]
+	if p.ColIdx == query.IDCol {
+		return t.Name + ".id"
+	}
+	return t.Name + "." + t.Columns[p.ColIdx].Name
+}

@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/store"
+)
+
+// segReader streams fixed-width tuples out of a tuple segment run.
+type segReader struct {
+	seg    *store.Segment
+	off    int
+	end    int
+	tupleW int
+	buf    []byte
+	bufLo  int
+	bufLen int
+}
+
+func newSegReader(seg *store.Segment, run segRun, tupleW int) *segReader {
+	return &segReader{
+		seg:    seg,
+		off:    run.off,
+		end:    run.off + run.count*tupleW,
+		tupleW: tupleW,
+		buf:    make([]byte, 2*seg.PageSize()),
+		bufLo:  -1,
+	}
+}
+
+func (s *segReader) next() ([]byte, bool, error) {
+	if s.off >= s.end {
+		return nil, false, nil
+	}
+	if s.bufLo < 0 || s.off < s.bufLo || s.off+s.tupleW > s.bufLo+s.bufLen {
+		ps := s.seg.PageSize()
+		// Read from off to the end of the page containing the tuple's
+		// last byte (each flash page is touched once per pass).
+		last := s.off + s.tupleW - 1
+		wend := (last/ps + 1) * ps
+		if wend > s.end {
+			wend = s.end
+		}
+		n := wend - s.off
+		if err := s.seg.ReadAt(s.buf[:n], s.off, n); err != nil {
+			return nil, false, err
+		}
+		s.bufLo = s.off
+		s.bufLen = n
+	}
+	t := s.buf[s.off-s.bufLo : s.off-s.bufLo+s.tupleW]
+	s.off += s.tupleW
+	return t, true, nil
+}
+
+// tupleCursor merges the pos-sorted batch runs of one table's MJoin
+// output. Positions are disjoint across runs (each result position's id
+// belongs to exactly one σVH batch), so a simple min-head scan suffices.
+type tupleCursor struct {
+	readers []*segReader
+	heads   [][]byte
+	poss    []int64
+}
+
+func newTupleCursor(tp *tableProj) (*tupleCursor, error) {
+	c := &tupleCursor{}
+	for _, run := range tp.outRuns {
+		if run.count == 0 {
+			continue
+		}
+		c.readers = append(c.readers, newSegReader(tp.outSeg, run, tp.tupleW))
+		c.heads = append(c.heads, nil)
+		c.poss = append(c.poss, -1)
+	}
+	for i := range c.readers {
+		if err := c.advance(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *tupleCursor) advance(i int) error {
+	t, ok, err := c.readers[i].next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		c.poss[i] = -1
+		c.heads[i] = nil
+		return nil
+	}
+	// Copy: the reader reuses its window buffer across next() calls.
+	c.heads[i] = append(c.heads[i][:0], t...)
+	c.poss[i] = int64(binary.BigEndian.Uint32(c.heads[i]))
+	return nil
+}
+
+// take returns the tuple at position pos, if any run holds it. Ownership
+// of the returned slice passes to the caller (valid until the next take
+// for the same table).
+func (c *tupleCursor) take(pos uint32) ([]byte, bool, error) {
+	for i := range c.readers {
+		if c.poss[i] == int64(pos) {
+			t := c.heads[i]
+			c.heads[i] = nil // relinquish; advance allocates a fresh head
+			if err := c.advance(i); err != nil {
+				return nil, false, err
+			}
+			return t, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// buffers returns the RAM buffers this cursor needs open.
+func (c *tupleCursor) buffers() int { return len(c.readers) }
+
+// valueGetter decodes one projection item from the final-join state.
+type valueGetter func() (schema.Value, error)
+
+// finalJoin is step 7 of the Project algorithm (§4): all operands are
+// sorted by position (equivalently by anchor id), so one synchronized
+// sequential pass assembles the final tuples and drops the remaining
+// false positives.
+func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
+	db, q := r.db, r.q
+	anchor := q.Anchor
+
+	var grants []*ram.Grant
+	defer func() {
+		for _, g := range grants {
+			g.Release()
+		}
+	}()
+	alloc := func(n int) error {
+		if n == 0 {
+			return nil
+		}
+		g, err := db.RAM.AllocBuffers(n)
+		if err != nil {
+			return err
+		}
+		grants = append(grants, g)
+		return nil
+	}
+
+	anchorCol := r.resCols[anchor]
+	anchorRd := anchorCol.seg.NewRunReader(anchorCol.run)
+	if err := alloc(1); err != nil {
+		return err
+	}
+
+	// Anchor visible values (spooled, id-sorted).
+	projVis := r.projectedVisibleCols()
+	var aCur *spoolCursor
+	aColOff := map[int]int{}
+	if cols := projVis[anchor]; len(cols) > 0 {
+		sp := r.spool[anchor]
+		if sp == nil {
+			return fmt.Errorf("exec: anchor visible values not spooled")
+		}
+		aCur = newSpoolCursor(sp.file)
+		off := store.IDBytes
+		for _, c := range sp.cols {
+			aColOff[c] = off
+			off += db.Sch.Tables[anchor].Columns[c].EncodedWidth()
+		}
+		if err := alloc(1); err != nil {
+			return err
+		}
+	}
+
+	// Anchor hidden values.
+	var aHidRd *store.SortedReader
+	var aHidRec []byte
+	aImg := db.Hidden[anchor]
+	anchorHidden := false
+	for _, p := range q.Projections {
+		if p.Table == anchor && p.ColIdx != query.IDCol && db.Sch.Tables[anchor].Columns[p.ColIdx].Hidden {
+			anchorHidden = true
+		}
+	}
+	if anchorHidden {
+		if aImg == nil {
+			return fmt.Errorf("exec: no hidden image for anchor")
+		}
+		aHidRd = aImg.File.NewSortedReader()
+		aHidRec = make([]byte, aImg.File.RowWidth())
+		if err := alloc(1); err != nil {
+			return err
+		}
+	}
+
+	// Non-anchor id columns.
+	idRd := map[int]*store.RunReader{}
+	idVal := map[int]uint32{}
+	for _, p := range q.Projections {
+		if p.Table == anchor || p.ColIdx != query.IDCol {
+			continue
+		}
+		if _, dup := idRd[p.Table]; dup {
+			continue
+		}
+		col, ok := r.resCols[p.Table]
+		if !ok {
+			return fmt.Errorf("exec: missing QEPSJ column for %s", db.Sch.Tables[p.Table].Name)
+		}
+		idRd[p.Table] = col.seg.NewRunReader(col.run)
+		if err := alloc(1); err != nil {
+			return err
+		}
+	}
+
+	// Per-table tuple cursors and value layouts.
+	curs := map[int]*tupleCursor{}
+	tupleOff := map[[2]int]int{} // (table, colIdx) -> byte offset within tuple
+	for _, tp := range tps {
+		c, err := newTupleCursor(tp)
+		if err != nil {
+			return err
+		}
+		if err := alloc(c.buffers()); err != nil {
+			return err
+		}
+		curs[tp.table] = c
+		off := 4
+		for _, ci := range tp.visCols {
+			tupleOff[[2]int{tp.table, ci}] = off
+			off += db.Sch.Tables[tp.table].Columns[ci].EncodedWidth()
+		}
+		for _, ci := range tp.hidCols {
+			tupleOff[[2]int{tp.table, ci}] = off
+			off += db.Sch.Tables[tp.table].Columns[ci].EncodedWidth()
+		}
+	}
+
+	tuples := map[int][]byte{}
+	var aid uint32
+	var aHidLoaded bool
+
+	// Build one getter per projection item.
+	getters := make([]valueGetter, len(q.Projections))
+	for i, p := range q.Projections {
+		p := p
+		t := db.Sch.Tables[p.Table]
+		switch {
+		case p.Table == anchor && p.ColIdx == query.IDCol:
+			getters[i] = func() (schema.Value, error) { return schema.IntVal(int64(aid)), nil }
+		case p.Table != anchor && p.ColIdx == query.IDCol:
+			getters[i] = func() (schema.Value, error) { return schema.IntVal(int64(idVal[p.Table])), nil }
+		case p.Table == anchor && !t.Columns[p.ColIdx].Hidden:
+			col := t.Columns[p.ColIdx]
+			getters[i] = func() (schema.Value, error) {
+				rec, err := aCur.seek(aid)
+				if err != nil {
+					return schema.Value{}, err
+				}
+				if rec == nil {
+					return schema.Value{}, fmt.Errorf("exec: anchor id %d missing from its Vis spool", aid)
+				}
+				off := aColOff[p.ColIdx]
+				return schema.DecodeValue(rec[off:off+col.EncodedWidth()], col.Kind)
+			}
+		case p.Table == anchor:
+			col := t.Columns[p.ColIdx]
+			getters[i] = func() (schema.Value, error) {
+				if !aHidLoaded {
+					if err := aHidRd.Read(aid, aHidRec); err != nil {
+						return schema.Value{}, err
+					}
+					aHidLoaded = true
+				}
+				o, w := aImg.Codec.ColumnRange(aImg.ColPos[p.ColIdx])
+				return schema.DecodeValue(aHidRec[o:o+w], col.Kind)
+			}
+		default:
+			col := t.Columns[p.ColIdx]
+			off, ok := tupleOff[[2]int{p.Table, p.ColIdx}]
+			if !ok {
+				return fmt.Errorf("exec: no value source for %s.%s", t.Name, col.Name)
+			}
+			getters[i] = func() (schema.Value, error) {
+				tup := tuples[p.Table]
+				return schema.DecodeValue(tup[off:off+col.EncodedWidth()], col.Kind)
+			}
+		}
+	}
+
+	for pos := uint32(0); int(pos) < r.resN; pos++ {
+		var ok bool
+		var err error
+		aid, ok, err = anchorRd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("exec: anchor column shorter than result count")
+		}
+		aHidLoaded = false
+		for ti, rd := range idRd {
+			v, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("exec: id column of %s exhausted early", db.Sch.Tables[ti].Name)
+			}
+			idVal[ti] = v
+		}
+		keep := true
+		for _, tp := range tps {
+			tup, found, err := curs[tp.table].take(pos)
+			if err != nil {
+				return err
+			}
+			if !found {
+				keep = false // exact filter: a required table lacks this position
+				continue
+			}
+			tuples[tp.table] = tup
+		}
+		if !keep {
+			continue
+		}
+		row := make(schema.Row, len(getters))
+		for i, g := range getters {
+			v, err := g()
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return nil
+}

@@ -1,0 +1,353 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ghostdb/internal/store"
+)
+
+// reduceGroups implements the sublist reduction phase of §3.4: when the
+// total number of sublists exceeds the RAM buffers available for the
+// Merge, the smallest sublists of the largest group are pre-unioned into
+// a single sublist spilled to flash, repeatedly, until everything fits.
+// reserved buffers are kept back for the downstream pipeline (SKT reader,
+// column writers).
+func (r *queryRun) reduceGroups(groups []*mergeGroup, reserved int) error {
+	totalRuns := 0
+	for _, g := range groups {
+		totalRuns += len(g.runs)
+	}
+	avail := r.db.RAM.AvailableBuffers() - reserved - 1 // -1: reduction output buffer
+	if avail < 2 {
+		return fmt.Errorf("exec: RAM budget too small for merge (have %d buffers)", r.db.RAM.AvailableBuffers())
+	}
+	for totalRuns > avail {
+		// Largest group first.
+		g := groups[0]
+		for _, cand := range groups[1:] {
+			if len(cand.runs) > len(g.runs) {
+				g = cand
+			}
+		}
+		if len(g.runs) < 2 {
+			return fmt.Errorf("exec: cannot reduce below %d sublists with %d buffers", totalRuns, avail)
+		}
+		// Union the k smallest sublists ("the smallest sublists of each
+		// list are the best candidates for reduction").
+		k := avail
+		if k > len(g.runs) {
+			k = len(g.runs)
+		}
+		order := make([]int, len(g.runs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return g.runs[order[a]].Count < g.runs[order[b]].Count })
+		pick := order[:k]
+		sort.Ints(pick)
+
+		srcs := make([]idStream, 0, k)
+		for _, i := range pick {
+			s, err := newRunStream(g.runSegs[i], g.runs[i], r.db.RAM)
+			if err != nil {
+				for _, s2 := range srcs {
+					s2.close()
+				}
+				return err
+			}
+			srcs = append(srcs, s)
+		}
+		u, err := newUnionStream(srcs)
+		if err != nil {
+			return err
+		}
+		out := r.newTemp()
+		err = r.db.Col.Span(spanMerge, func() error {
+			if err := out.BeginRun(); err != nil {
+				return err
+			}
+			for {
+				v, ok, err := u.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := out.Add(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		u.close()
+		if err != nil {
+			return err
+		}
+		run, err := out.EndRun()
+		if err != nil {
+			return err
+		}
+		if err := out.Seal(); err != nil {
+			return err
+		}
+		// Replace the k reduced sublists with the single union.
+		keep := make(map[int]bool, k)
+		for _, i := range pick {
+			keep[i] = true
+		}
+		var nruns []store.Run
+		var nsegs []*store.ListSegment
+		for i := range g.runs {
+			if !keep[i] {
+				nruns = append(nruns, g.runs[i])
+				nsegs = append(nsegs, g.runSegs[i])
+			}
+		}
+		g.runs = append(nruns, run)
+		g.runSegs = append(nsegs, out)
+		totalRuns -= k - 1
+	}
+	return nil
+}
+
+// openGroup opens the union stream of one merge group (one RAM buffer per
+// flash sublist; direct streams ride the communication buffer).
+func (r *queryRun) openGroup(g *mergeGroup) (idStream, error) {
+	srcs := make([]idStream, 0, len(g.runs)+len(g.streams))
+	for i := range g.runs {
+		s, err := newRunStream(g.runSegs[i], g.runs[i], r.db.RAM)
+		if err != nil {
+			for _, s2 := range srcs {
+				s2.close()
+			}
+			return nil, err
+		}
+		srcs = append(srcs, s)
+	}
+	srcs = append(srcs, g.streams...)
+	if len(srcs) == 0 {
+		return emptyStream{}, nil
+	}
+	if len(srcs) == 1 {
+		return srcs[0], nil
+	}
+	return newUnionStream(srcs)
+}
+
+// openMerged opens the full Merge: the intersection of all groups. With
+// no groups at all, every anchor tuple qualifies so far (a sequential id
+// stream over the anchor table).
+func (r *queryRun) openMerged(groups []*mergeGroup) (idStream, error) {
+	if len(groups) == 0 {
+		return &seqStream{n: uint32(r.db.rows[r.q.Anchor])}, nil
+	}
+	srcs := make([]idStream, 0, len(groups))
+	for _, g := range groups {
+		s, err := r.openGroup(g)
+		if err != nil {
+			for _, s2 := range srcs {
+				s2.close()
+			}
+			return nil, err
+		}
+		srcs = append(srcs, s)
+	}
+	if len(srcs) == 1 {
+		return srcs[0], nil
+	}
+	return newIntersectStream(srcs), nil
+}
+
+// joinAndStore drives the pipelined batch loop: pull anchor ids from the
+// Merge, semi-join them with the anchor's SKT to recover the descendant
+// ids the projection needs, probe the Bloom filters, and materialize the
+// survivors column by column (the Store cost of Figure 15).
+func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) error {
+	db := r.db
+	anchor := r.q.Anchor
+
+	anchorSeg := r.newTemp()
+	if err := anchorSeg.BeginRun(); err != nil {
+		return err
+	}
+	colSegs := make(map[int]*store.ListSegment, len(needed))
+	for _, ti := range needed {
+		colSegs[ti] = r.newTemp()
+		if err := colSegs[ti].BeginRun(); err != nil {
+			return err
+		}
+	}
+
+	// RAM for the writers (one page each) and, if joining, the SKT reader.
+	writers := len(needed) + 1
+	grant, err := db.RAM.AllocBuffers(writers)
+	if err != nil {
+		return err
+	}
+	defer grant.Release()
+
+	var skt *sktAccess
+	if len(needed) > 0 {
+		s, ok := db.Cat.SKTOf(anchor)
+		if !ok {
+			return fmt.Errorf("exec: no SKT on anchor %s", db.Sch.Tables[anchor].Name)
+		}
+		g, err := db.RAM.AllocBuffers(1)
+		if err != nil {
+			return err
+		}
+		defer g.Release()
+		cols := make([]int, len(needed))
+		for i, ti := range needed {
+			c, ok := s.ColumnOf(ti)
+			if !ok {
+				return fmt.Errorf("exec: SKT of %s has no column for %s",
+					db.Sch.Tables[anchor].Name, db.Sch.Tables[ti].Name)
+			}
+			cols[i] = c
+		}
+		skt = &sktAccess{skt: s, reader: s.File().NewSortedReader(), cols: cols,
+			rec: make([]byte, s.File().RowWidth())}
+	}
+
+	const batchSize = 512
+	ids := make([]uint32, 0, batchSize)
+	tuple := make([]uint32, len(needed))
+	n := 0
+	for {
+		// Merge: fill a batch of anchor ids.
+		ids = ids[:0]
+		err := db.Col.Span(spanMerge, func() error {
+			for len(ids) < batchSize {
+				v, ok, err := merged.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				ids = append(ids, v)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			break
+		}
+		for _, id := range ids {
+			// SJoin: fetch the descendant ids from the SKT.
+			if skt != nil {
+				err := db.Col.Span(spanSJoin, func() error {
+					return skt.read(id, tuple)
+				})
+				if err != nil {
+					return err
+				}
+			}
+			// ProbeBF: approximate visible filtering.
+			if len(bfs) > 0 {
+				drop := false
+				err := db.Col.Span(spanBF, func() error {
+					for _, f := range bfs {
+						v := tupleValue(anchor, id, needed, tuple, f.table)
+						if !f.filter.MayContain(v) {
+							drop = true
+							return nil
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if drop {
+					continue
+				}
+			}
+			// Store: materialize the survivor.
+			err = db.Col.Span(spanStore, func() error {
+				if err := anchorSeg.Add(id); err != nil {
+					return err
+				}
+				for i, ti := range needed {
+					if err := colSegs[ti].Add(tuple[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			n++
+		}
+	}
+
+	r.resN = n
+	r.resCols = map[int]resCol{}
+	finish := func(ti int, seg *store.ListSegment) error {
+		return db.Col.Span(spanStore, func() error {
+			run, err := seg.EndRun()
+			if err != nil {
+				return err
+			}
+			if err := seg.Seal(); err != nil {
+				return err
+			}
+			r.resCols[ti] = resCol{seg: seg, run: run}
+			return nil
+		})
+	}
+	if err := finish(anchor, anchorSeg); err != nil {
+		return err
+	}
+	for _, ti := range needed {
+		if err := finish(ti, colSegs[ti]); err != nil {
+			return err
+		}
+	}
+
+	// Exact Post-Select passes, if any.
+	for ti, ids := range r.postSelect {
+		if err := r.applyPostSelect(ti, ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sktAccess wraps sorted SKT row access with column projection.
+type sktAccess struct {
+	skt    interface{ File() *store.RowFile }
+	reader *store.SortedReader
+	cols   []int
+	rec    []byte
+}
+
+func (s *sktAccess) read(id uint32, dst []uint32) error {
+	if err := s.reader.Read(id, s.rec); err != nil {
+		return err
+	}
+	for i, c := range s.cols {
+		dst[i] = binary.BigEndian.Uint32(s.rec[c*store.IDBytes:])
+	}
+	return nil
+}
+
+// tupleValue extracts the id of table `want` from the current tuple.
+func tupleValue(anchor int, anchorID uint32, needed []int, tuple []uint32, want int) uint32 {
+	if want == anchor {
+		return anchorID
+	}
+	for i, ti := range needed {
+		if ti == want {
+			return tuple[i]
+		}
+	}
+	return anchorID
+}

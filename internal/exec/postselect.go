@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"fmt"
+	"slices"
+
+	"ghostdb/internal/store"
+)
+
+// applyPostSelect implements the Post-Select strategy of Figure 11: an
+// *exact* selection on the materialized QEPSJ result. The visible id list
+// is staged in RAM; when it does not fit, the result column is re-scanned
+// once per chunk — which is precisely why the paper dismisses Post-Select
+// as a relevant strategy.
+func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
+	db := r.db
+	return db.Col.Span(spanPostSelect, func() error {
+		col, ok := r.resCols[tv]
+		if !ok {
+			return fmt.Errorf("exec: post-select table %s has no result column", db.Sch.Tables[tv].Name)
+		}
+		// Stage the id list in RAM chunks.
+		avail := db.RAM.Available() - 4*db.RAM.BufferSize()
+		if avail < db.RAM.BufferSize() {
+			return fmt.Errorf("exec: not enough RAM for post-select")
+		}
+		grant, err := db.RAM.Alloc(avail)
+		if err != nil {
+			return err
+		}
+		chunkCap := avail / 4
+		posSeg := r.newTemp()
+		var posRuns []store.Run
+		for start := 0; start < len(visIDs); start += chunkCap {
+			end := start + chunkCap
+			if end > len(visIDs) {
+				end = len(visIDs)
+			}
+			chunk := visIDs[start:end]
+			if err := posSeg.BeginRun(); err != nil {
+				grant.Release()
+				return err
+			}
+			rd := col.seg.NewRunReader(col.run)
+			pos := uint32(0)
+			for {
+				v, ok, err := rd.Next()
+				if err != nil {
+					grant.Release()
+					return err
+				}
+				if !ok {
+					break
+				}
+				if _, found := slices.BinarySearch(chunk, v); found {
+					if err := posSeg.Add(pos); err != nil {
+						grant.Release()
+						return err
+					}
+				}
+				pos++
+			}
+			run, err := posSeg.EndRun()
+			if err != nil {
+				grant.Release()
+				return err
+			}
+			posRuns = append(posRuns, run)
+		}
+		grant.Release()
+		if err := posSeg.Seal(); err != nil {
+			return err
+		}
+
+		// Rebuild every result column, keeping only selected positions.
+		newCols := make(map[int]resCol, len(r.resCols))
+		newN := 0
+		for ti, c := range r.resCols {
+			srcs := make([]idStream, 0, len(posRuns))
+			for _, run := range posRuns {
+				s, err := newRunStream(posSeg, run, db.RAM)
+				if err != nil {
+					for _, s2 := range srcs {
+						s2.close()
+					}
+					return err
+				}
+				srcs = append(srcs, s)
+			}
+			var ps idStream = emptyStream{}
+			if len(srcs) > 0 {
+				u, err := newUnionStream(srcs)
+				if err != nil {
+					return err
+				}
+				ps = u
+			}
+			out := r.newTemp()
+			if err := out.BeginRun(); err != nil {
+				ps.close()
+				return err
+			}
+			rd := c.seg.NewRunReader(c.run)
+			nextSel, selOK, err := ps.next()
+			if err != nil {
+				ps.close()
+				return err
+			}
+			pos := uint32(0)
+			kept := 0
+			for selOK {
+				v, ok, err := rd.Next()
+				if err != nil {
+					ps.close()
+					return err
+				}
+				if !ok {
+					break
+				}
+				if pos == nextSel {
+					if err := out.Add(v); err != nil {
+						ps.close()
+						return err
+					}
+					kept++
+					nextSel, selOK, err = ps.next()
+					if err != nil {
+						ps.close()
+						return err
+					}
+				}
+				pos++
+			}
+			ps.close()
+			run, err := out.EndRun()
+			if err != nil {
+				return err
+			}
+			if err := out.Seal(); err != nil {
+				return err
+			}
+			newCols[ti] = resCol{seg: out, run: run}
+			newN = kept
+		}
+		r.resCols = newCols
+		r.resN = newN
+		return nil
+	})
+}

@@ -1,0 +1,456 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sort"
+
+	"ghostdb/internal/bloom"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/store"
+)
+
+// segRun locates one pos-sorted tuple run inside a tuple segment.
+type segRun struct {
+	off   int
+	count int
+}
+
+// tableProj is the projection work for one non-anchor table (§4: the
+// Project algorithm works "on a table-by-table basis").
+type tableProj struct {
+	table    int
+	visCols  []int // projected visible columns (spool layout order)
+	hidCols  []int // projected hidden columns (table column indexes)
+	presence bool  // exact visible verification required (post/no-filter)
+
+	visW, hidW int
+	tupleW     int // 4 (pos) + visW + hidW
+
+	outSeg  *store.Segment
+	outRuns []segRun
+}
+
+func (tp *tableProj) hasValues() bool { return tp.visW+tp.hidW > 0 }
+
+// project runs QEPP: σVH computation, MJoin batches and the final
+// positional join, producing the result rows.
+func (r *queryRun) project() (*Result, error) {
+	db, q := r.db, r.q
+	res := &Result{}
+	for _, p := range q.Projections {
+		res.Columns = append(res.Columns, db.columnLabel(p))
+	}
+	if r.resN == 0 {
+		res.Rows = []schema.Row{}
+		return res, nil
+	}
+	if db.opts.Projector == ProjectBruteForce {
+		err := db.Col.Span(spanProject, func() error { return r.bruteForce(res) })
+		return res, err
+	}
+
+	// ---- Per-table preparation.
+	var tps []*tableProj
+	projVis := r.projectedVisibleCols()
+	hidProj := map[int][]int{}
+	for _, p := range q.Projections {
+		if p.ColIdx == query.IDCol || p.Table == q.Anchor {
+			continue
+		}
+		col := db.Sch.Tables[p.Table].Columns[p.ColIdx]
+		if col.Hidden && !slices.Contains(hidProj[p.Table], p.ColIdx) {
+			hidProj[p.Table] = append(hidProj[p.Table], p.ColIdx)
+		}
+	}
+	tables := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != q.Anchor {
+			tables[ti] = true
+		}
+	}
+	for ti := range r.exactAtProject {
+		tables[ti] = true
+	}
+	var order []int
+	for ti := range tables {
+		order = append(order, ti)
+	}
+	sort.Ints(order)
+	for _, ti := range order {
+		tp := &tableProj{table: ti, presence: r.exactAtProject[ti]}
+		if sp := r.spool[ti]; sp != nil {
+			for _, c := range sp.cols {
+				if slices.Contains(projVis[ti], c) {
+					tp.visCols = append(tp.visCols, c)
+					tp.visW += db.Sch.Tables[ti].Columns[c].EncodedWidth()
+				}
+			}
+		}
+		for _, c := range hidProj[ti] {
+			tp.hidCols = append(tp.hidCols, c)
+			tp.hidW += db.Sch.Tables[ti].Columns[c].EncodedWidth()
+		}
+		tp.tupleW = 4 + tp.visW + tp.hidW
+		if !tp.hasValues() && !tp.presence {
+			continue // id-only projection: read the QEPSJ column directly
+		}
+		tps = append(tps, tp)
+	}
+
+	err := db.Col.Span(spanProject, func() error {
+		for _, tp := range tps {
+			if err := r.mjoinTable(tp); err != nil {
+				return err
+			}
+		}
+		return r.finalJoin(res, tps)
+	})
+	return res, err
+}
+
+// sigmaVH computes σVH(Ti): the visible ids that can possibly appear in
+// the result, per §4 — a Bloom filter over the QEPSJ.Ti.id column probed
+// with the ids sent by Untrusted. Returns a temp run of sorted ids.
+func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error) {
+	db := r.db
+	col := r.resCols[tp.table]
+	sp := r.spool[tp.table]
+	out := r.newTemp()
+	if err := out.BeginRun(); err != nil {
+		return nil, store.Run{}, err
+	}
+
+	if sp == nil {
+		// No visible data for this table: derive the sorted distinct ids
+		// of the column by chunked in-RAM sorting.
+		if err := r.sortColumn(col, out); err != nil {
+			return nil, store.Run{}, err
+		}
+	} else {
+		var f *bloom.Filter
+		var grant interface{ Release() }
+		if db.opts.Projector == ProjectBloom {
+			// "The Bloom filter is calibrated by default to occupy the
+			// entire RAM" (§5), minus working buffers.
+			budget := db.RAM.Available() - 4*db.RAM.BufferSize()
+			bp, err := bloom.PlanFor(r.resN, budget)
+			if err == nil {
+				g, err := db.RAM.Alloc(bp.Bytes)
+				if err != nil {
+					return nil, store.Run{}, err
+				}
+				grant = g
+				f = bloom.New(bp, r.resN)
+				rd := col.seg.NewRunReader(col.run)
+				for {
+					v, ok, err := rd.Next()
+					if err != nil {
+						return nil, store.Run{}, err
+					}
+					if !ok {
+						break
+					}
+					f.Add(v)
+				}
+			}
+		}
+		// Probe the spooled visible ids (sequential flash scan).
+		srd := sp.file.NewSeqReader()
+		for {
+			rec, _, ok, err := srd.Next()
+			if err != nil {
+				return nil, store.Run{}, err
+			}
+			if !ok {
+				break
+			}
+			id := binary.BigEndian.Uint32(rec)
+			if f == nil || f.MayContain(id) {
+				if err := out.Add(id); err != nil {
+					return nil, store.Run{}, err
+				}
+			}
+		}
+		if grant != nil {
+			grant.Release()
+		}
+	}
+	run, err := out.EndRun()
+	if err != nil {
+		return nil, store.Run{}, err
+	}
+	if err := out.Seal(); err != nil {
+		return nil, store.Run{}, err
+	}
+	return out, run, nil
+}
+
+// sortColumn writes the sorted distinct ids of a result column into an
+// open run, using RAM-sized chunks and a union merge.
+func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
+	db := r.db
+	avail := db.RAM.Available() - 4*db.RAM.BufferSize()
+	if avail < db.RAM.BufferSize() {
+		return fmt.Errorf("exec: not enough RAM to sort a column")
+	}
+	grant, err := db.RAM.Alloc(avail)
+	if err != nil {
+		return err
+	}
+	defer grant.Release()
+	cap := avail / 4
+	chunks := r.newTemp()
+	var runs []store.Run
+	rd := col.seg.NewRunReader(col.run)
+	buf := make([]uint32, 0, cap)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		slices.Sort(buf)
+		buf = slices.Compact(buf)
+		run, err := chunks.AppendRun(buf)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		v, ok, err := rd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, v)
+		if len(buf) == cap {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := chunks.Seal(); err != nil {
+		return err
+	}
+	srcs := make([]idStream, 0, len(runs))
+	for _, run := range runs {
+		s, err := newRunStream(chunks, run, db.RAM)
+		if err != nil {
+			for _, s2 := range srcs {
+				s2.close()
+			}
+			return err
+		}
+		srcs = append(srcs, s)
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	u, err := newUnionStream(srcs)
+	if err != nil {
+		return err
+	}
+	defer u.close()
+	for {
+		v, ok, err := u.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := out.Add(v); err != nil {
+			return err
+		}
+	}
+}
+
+// mjoinTable runs the MJoin of §4 for one table: σVH ids and their
+// attribute values are staged in RAM batches; for each batch the
+// QEPSJ.Ti.id column is scanned once and matching positions emit
+// <pos, vlist, hlist> tuples to flash.
+func (r *queryRun) mjoinTable(tp *tableProj) error {
+	db := r.db
+	sigSeg, sigRun, err := r.sigmaVH(tp)
+	if err != nil {
+		return err
+	}
+
+	// Batch capacity: RAM minus working buffers ("RAM capacity minus two
+	// buffers" in the paper; we also keep buffers for the readers).
+	memTuple := 4 + tp.visW + tp.hidW
+	avail := db.RAM.Available() - 5*db.RAM.BufferSize()
+	if avail < memTuple {
+		return fmt.Errorf("exec: not enough RAM for MJoin batches")
+	}
+	grant, err := db.RAM.Alloc(avail)
+	if err != nil {
+		return err
+	}
+	defer grant.Release()
+	batchCap := avail / memTuple
+
+	tp.outSeg = store.NewSegment(db.Dev)
+	defer func() { r.tempSegs = append(r.tempSegs, tp.outSeg) }()
+
+	sig := sigSeg.NewRunReader(sigRun)
+	var spoolCur *spoolCursor
+	var sp *visSpool
+	if tp.visW > 0 {
+		sp = r.spool[tp.table]
+		spoolCur = newSpoolCursor(sp.file)
+	}
+	var hidRd *store.SortedReader
+	var img *HiddenImage
+	var hidRec []byte
+	if tp.hidW > 0 {
+		img = db.Hidden[tp.table]
+		if img == nil {
+			return fmt.Errorf("exec: no hidden image for %s", db.Sch.Tables[tp.table].Name)
+		}
+		hidRd = img.File.NewSortedReader()
+		hidRec = make([]byte, img.File.RowWidth())
+	}
+
+	col := r.resCols[tp.table]
+	batchIDs := make([]uint32, 0, batchCap)
+	batchVals := make([]byte, 0, batchCap*(tp.visW+tp.hidW))
+	valW := tp.visW + tp.hidW
+	posBuf := make([]byte, 4)
+
+	// Lay out the visible columns of the spool row once.
+	var visOffsets []int
+	var visWidths []int
+	if sp != nil {
+		off := store.IDBytes
+		for _, c := range sp.cols {
+			w := db.Sch.Tables[tp.table].Columns[c].EncodedWidth()
+			if slices.Contains(tp.visCols, c) {
+				visOffsets = append(visOffsets, off)
+				visWidths = append(visWidths, w)
+			}
+			off += w
+		}
+	}
+
+	for {
+		// Fill one batch from σVH.
+		batchIDs = batchIDs[:0]
+		batchVals = batchVals[:0]
+		for len(batchIDs) < batchCap {
+			id, ok, err := sig.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			batchIDs = append(batchIDs, id)
+			if tp.visW > 0 {
+				rec, err := spoolCur.seek(id)
+				if err != nil {
+					return err
+				}
+				if rec == nil {
+					return fmt.Errorf("exec: σVH id %d missing from spool of %s",
+						id, db.Sch.Tables[tp.table].Name)
+				}
+				for i, off := range visOffsets {
+					batchVals = append(batchVals, rec[off:off+visWidths[i]]...)
+				}
+			}
+			if tp.hidW > 0 {
+				if err := hidRd.Read(id, hidRec); err != nil {
+					return err
+				}
+				for _, c := range tp.hidCols {
+					o, w := img.Codec.ColumnRange(img.ColPos[c])
+					batchVals = append(batchVals, hidRec[o:o+w]...)
+				}
+			}
+		}
+		if len(batchIDs) == 0 {
+			break
+		}
+		// Scan the QEPSJ.Ti.id column and emit matches.
+		start := tp.outSeg.Bytes()
+		count := 0
+		rd := col.seg.NewRunReader(col.run)
+		pos := uint32(0)
+		for {
+			v, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if i, found := slices.BinarySearch(batchIDs, v); found {
+				binary.BigEndian.PutUint32(posBuf, pos)
+				if err := tp.outSeg.Append(posBuf); err != nil {
+					return err
+				}
+				if valW > 0 {
+					if err := tp.outSeg.Append(batchVals[i*valW : (i+1)*valW]); err != nil {
+						return err
+					}
+				}
+				count++
+			}
+			pos++
+		}
+		tp.outRuns = append(tp.outRuns, segRun{off: start, count: count})
+	}
+	return tp.outSeg.Seal()
+}
+
+// spoolCursor is a sequential cursor over an id-sorted spool file with
+// one-record pushback, so overshooting a missing id never loses a row.
+type spoolCursor struct {
+	rd   *store.SeqReader
+	rec  []byte
+	have bool
+}
+
+func newSpoolCursor(f *store.RowFile) *spoolCursor {
+	return &spoolCursor{rd: f.NewSeqReader()}
+}
+
+// seek returns the row with the given id, or nil if absent. Requested ids
+// must be non-decreasing across calls.
+func (c *spoolCursor) seek(id uint32) ([]byte, error) {
+	for {
+		if !c.have {
+			rec, _, ok, err := c.rd.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, nil
+			}
+			// Copy: the SeqReader reuses its page buffer.
+			c.rec = append(c.rec[:0], rec...)
+			c.have = true
+		}
+		got := binary.BigEndian.Uint32(c.rec)
+		switch {
+		case got == id:
+			// Do not consume: several columns of the same row may be
+			// fetched with repeated seeks to the same id.
+			return c.rec, nil
+		case got > id:
+			return nil, nil // keep the record for the next seek
+		default:
+			c.have = false
+		}
+	}
+}

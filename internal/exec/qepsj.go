@@ -1,0 +1,506 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ghostdb/internal/bloom"
+	"ghostdb/internal/index"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+	"ghostdb/internal/store"
+	"ghostdb/internal/untrusted"
+)
+
+// ErrBloomInfeasible is returned when a forced Post-Filter strategy cannot
+// build a useful Bloom filter (the paper stops the Post-Filter curve at
+// sV = 0.5 for exactly this reason).
+var ErrBloomInfeasible = errors.New("exec: bloom filter would admit more false positives than it eliminates")
+
+// Span names for the per-operator cost decomposition (Figures 15–16).
+const (
+	spanVis        = "Vis"
+	spanCI         = "CI"
+	spanMerge      = "Merge"
+	spanSJoin      = "SJoin"
+	spanBF         = "BF"
+	spanStore      = "Store"
+	spanProject    = "Project"
+	spanPostSelect = "PostSelect"
+	spanScan       = "Scan"
+)
+
+// visSpool is the flash-resident copy of one table's Vis result: rows of
+// (id, projected visible values), in id order.
+type visSpool struct {
+	file  *store.RowFile
+	cols  []int // visible column positions carried per row
+	width int   // row width: 4 + Σ widths
+}
+
+// resCol is one column of the materialized QEPSJ result.
+type resCol struct {
+	seg *store.ListSegment
+	run store.Run
+}
+
+// queryRun is the per-query execution state.
+type queryRun struct {
+	db *DB
+	q  *query.Query
+
+	vis        map[int]*untrusted.VisResult
+	spool      map[int]*visSpool
+	strategies map[int]Strategy
+	// exact verification needed at projection time (Post / Cross-Post /
+	// NoFilter tables).
+	exactAtProject map[int]bool
+	// exact in-RAM selection after materialization (Post-Select).
+	postSelect map[int][]uint32
+	anchorPred []query.Pred // id predicates on the anchor (free filters)
+
+	// QEPSJ output.
+	resN    int
+	resCols map[int]resCol
+
+	temps    []*store.ListSegment
+	tempSegs []*store.Segment
+	files    []*store.RowFile
+}
+
+func (r *queryRun) newTemp() *store.ListSegment {
+	t := store.NewListSegment(r.db.Dev)
+	r.temps = append(r.temps, t)
+	return t
+}
+
+func (r *queryRun) cleanup() {
+	for _, t := range r.temps {
+		_ = t.Free()
+	}
+	for _, s := range r.tempSegs {
+		_ = s.Free()
+	}
+	for _, f := range r.files {
+		_ = f.Free()
+	}
+}
+
+// execute runs the full pipeline: Vis, planning, QEPSJ, projection.
+func (r *queryRun) execute() (*Result, error) {
+	defer r.cleanup()
+	q, db := r.q, r.db
+
+	if res, done, err := r.visibleOnlyFastPath(); done {
+		return res, err
+	}
+
+	// ---- Vis: visible selections and projected visible values.
+	visPreds := q.VisiblePreds()
+	projVis := r.projectedVisibleCols()
+	r.vis = map[int]*untrusted.VisResult{}
+	for _, ti := range q.Tables {
+		preds, hasPreds := visPreds[ti]
+		cols := projVis[ti]
+		if !hasPreds && len(cols) == 0 {
+			continue
+		}
+		var vr *untrusted.VisResult
+		err := db.Col.Span(spanVis, func() error {
+			var err error
+			vr, err = db.Untr.Vis(ti, preds, cols)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.vis[ti] = vr
+	}
+
+	// ---- Plan strategies per visible-selection table.
+	if err := r.plan(); err != nil {
+		return nil, err
+	}
+
+	// ---- Spool visible rows needed at projection time.
+	if err := r.spoolVis(); err != nil {
+		return nil, err
+	}
+
+	// ---- QEPSJ: selections, climbs, merge, semi-join, filters.
+	if err := r.qepsj(); err != nil {
+		return nil, err
+	}
+
+	// ---- QEPP: projection.
+	return r.project()
+}
+
+// projectedVisibleCols returns, per table, the visible column positions in
+// the projection list (sorted, deduplicated).
+func (r *queryRun) projectedVisibleCols() map[int][]int {
+	out := map[int][]int{}
+	seen := map[[2]int]bool{}
+	for _, p := range r.q.Projections {
+		if p.ColIdx == query.IDCol {
+			continue
+		}
+		col := r.db.Sch.Tables[p.Table].Columns[p.ColIdx]
+		if col.Hidden || seen[[2]int{p.Table, p.ColIdx}] {
+			continue
+		}
+		seen[[2]int{p.Table, p.ColIdx}] = true
+		// Keep declaration order (stable within a table).
+		lst := out[p.Table]
+		pos := len(lst)
+		for i, c := range lst {
+			if c > p.ColIdx {
+				pos = i
+				break
+			}
+		}
+		lst = append(lst[:pos:pos], append([]int{p.ColIdx}, lst[pos:]...)...)
+		out[p.Table] = lst
+	}
+	return out
+}
+
+// visibleOnlyFastPath executes single-table all-visible queries entirely
+// on Untrusted: no hidden data is involved, so Secure only relays.
+func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
+	q, db := r.q, r.db
+	if len(q.Tables) != 1 {
+		return nil, false, nil
+	}
+	ti := q.Tables[0]
+	t := db.Sch.Tables[ti]
+	for _, p := range q.Preds {
+		if p.ColIdx == query.IDCol {
+			continue // id is known on both sides
+		}
+		if t.Columns[p.ColIdx].Hidden {
+			return nil, false, nil
+		}
+	}
+	for _, p := range q.Projections {
+		if p.ColIdx != query.IDCol && t.Columns[p.ColIdx].Hidden {
+			return nil, false, nil
+		}
+	}
+	// All visible: evaluate on the PC.
+	var preds []query.Pred
+	preds = append(preds, q.Preds...)
+	cols := r.projectedVisibleCols()[ti]
+	var vr *untrusted.VisResult
+	err := db.Col.Span(spanVis, func() error {
+		var err error
+		vr, err = db.Untr.Vis(ti, preds, cols)
+		return err
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	res := &Result{}
+	for _, p := range q.Projections {
+		res.Columns = append(res.Columns, db.columnLabel(p))
+	}
+	colPos := map[int]int{}
+	for i, c := range cols {
+		colPos[c] = i
+	}
+	// Decode shipped rows.
+	offsets := make([]int, len(cols)+1)
+	offsets[0] = store.IDBytes
+	for i, c := range cols {
+		offsets[i+1] = offsets[i] + t.Columns[c].EncodedWidth()
+	}
+	for i, id := range vr.IDs {
+		var raw []byte
+		if len(cols) > 0 {
+			raw = vr.Rows[i*vr.RowWidth : (i+1)*vr.RowWidth]
+		}
+		row := make(schema.Row, 0, len(q.Projections))
+		for _, p := range q.Projections {
+			if p.ColIdx == query.IDCol {
+				row = append(row, schema.IntVal(int64(id)))
+				continue
+			}
+			ci := colPos[p.ColIdx]
+			w := t.Columns[p.ColIdx].EncodedWidth()
+			v, err := schema.DecodeValue(raw[offsets[ci]:offsets[ci]+w], t.Columns[p.ColIdx].Kind)
+			if err != nil {
+				return nil, true, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Stats = db.collectStats(r)
+	return res, true, nil
+}
+
+// plan assigns a strategy to every non-anchor table carrying visible
+// predicates, following the selectivity thresholds observed in §6.
+func (r *queryRun) plan() error {
+	q, db := r.q, r.db
+	r.strategies = map[int]Strategy{}
+	r.exactAtProject = map[int]bool{}
+	r.postSelect = map[int][]uint32{}
+	for ti := range q.VisiblePreds() {
+		if ti == q.Anchor {
+			continue // anchor visible lists merge directly: always exact
+		}
+		vr := r.vis[ti]
+		rows := db.rows[ti]
+		sV := 1.0
+		if rows > 0 {
+			sV = float64(len(vr.IDs)) / float64(rows)
+		}
+		cross := r.crossAvailable(ti)
+		s := db.opts.ForceStrategy
+		if s == StratAuto {
+			switch {
+			case cross && sV <= 0.1:
+				s = StratCrossPre
+			case cross:
+				s = StratCrossPost
+			case sV <= 0.05:
+				s = StratPre
+			case sV <= 0.5:
+				s = StratPost
+			default:
+				s = StratNoFilter
+			}
+		}
+		// Forced cross strategies degrade gracefully when no same-level
+		// hidden selection exists.
+		if !cross {
+			switch s {
+			case StratCrossPre:
+				s = StratPre
+			case StratCrossPost:
+				s = StratPost
+			case StratCrossPostSelect:
+				s = StratPostSelect
+			}
+		}
+		r.strategies[ti] = s
+	}
+	return nil
+}
+
+// crossAvailable reports whether the Cross optimization applies to a
+// table: a hidden selection on the same table or on one of its
+// descendants (whose climbing index carries this table's level), §3.3.
+func (r *queryRun) crossAvailable(ti int) bool {
+	for _, p := range r.q.HiddenPreds() {
+		if p.Table == ti && p.ColIdx == query.IDCol && ti == r.q.Anchor {
+			continue
+		}
+		if p.Table == ti || r.db.Sch.IsAncestorOf(ti, p.Table) {
+			if p.Table == ti {
+				return true
+			}
+			// The descendant's index must carry level ti (FullIndex does).
+			if ci := r.indexFor(p); ci != nil {
+				if _, ok := ci.LevelOf(ti); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// indexFor returns the climbing index evaluating a hidden predicate.
+func (r *queryRun) indexFor(p query.Pred) *index.Climbing {
+	if p.ColIdx == query.IDCol {
+		ci, _ := r.db.Cat.IDIndex(p.Table)
+		return ci
+	}
+	ci, _ := r.db.Cat.AttrIndex(p.Table, p.ColIdx)
+	return ci
+}
+
+// spoolVis writes the Vis rows needed at projection time to flash.
+func (r *queryRun) spoolVis() error {
+	r.spool = map[int]*visSpool{}
+	for ti, vr := range r.vis {
+		needValues := len(vr.ProjCols) > 0
+		needIDs := r.needsExact(ti) || ti == r.q.Anchor && needValues
+		if !needValues && !needIDs {
+			continue
+		}
+		sp := &visSpool{cols: vr.ProjCols, width: vr.RowWidth}
+		if !needValues {
+			sp.width = store.IDBytes
+		}
+		f, err := store.NewRowFile(r.db.Dev, sp.width)
+		if err != nil {
+			return err
+		}
+		r.files = append(r.files, f)
+		err = r.db.Col.Span(spanVis, func() error {
+			if needValues {
+				for i := range vr.IDs {
+					if err := f.Append(vr.Rows[i*vr.RowWidth : (i+1)*vr.RowWidth]); err != nil {
+						return err
+					}
+				}
+			} else {
+				var idb [store.IDBytes]byte
+				for _, id := range vr.IDs {
+					binary.BigEndian.PutUint32(idb[:], id)
+					if err := f.Append(idb[:]); err != nil {
+						return err
+					}
+				}
+			}
+			return f.Seal()
+		})
+		if err != nil {
+			return err
+		}
+		sp.file = f
+		r.spool[ti] = sp
+	}
+	return nil
+}
+
+// needsExact reports whether a table's visible selection must be verified
+// exactly at projection time.
+func (r *queryRun) needsExact(ti int) bool {
+	switch r.strategies[ti] {
+	case StratPost, StratCrossPost, StratNoFilter:
+		return true
+	}
+	return false
+}
+
+// mergeGroup is one conjunct of the anchor-level Merge: the union of its
+// sorted sublists (flash runs and/or direct streams).
+type mergeGroup struct {
+	label   string
+	runs    []store.Run
+	seg     *store.ListSegment // segment holding runs (one per group source)
+	runSegs []*store.ListSegment
+	streams []idStream
+}
+
+func (g *mergeGroup) addRun(seg *store.ListSegment, run store.Run) {
+	if run.Count == 0 {
+		return
+	}
+	g.runs = append(g.runs, run)
+	g.runSegs = append(g.runSegs, seg)
+}
+
+// encodePredKey encodes a predicate literal for the index key space.
+func encodePredKey(width int, v schema.Value) ([]byte, error) {
+	k := make([]byte, width)
+	if err := schema.EncodeValue(k, v); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// runsForHiddenPred evaluates one hidden predicate through an index at
+// the given level slot, returning the matching sublists.
+func (r *queryRun) runsForHiddenPred(p query.Pred, ci *index.Climbing, slot int) ([]store.Run, error) {
+	if p.ColIdx == query.IDCol {
+		// Identifier predicates use the id index key space directly.
+		mk := func(i int64) []byte {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(i))
+			return b[:]
+		}
+		clamp := func(i int64) int64 {
+			if i < 0 {
+				return 0
+			}
+			if i > int64(^uint32(0)) {
+				return int64(^uint32(0))
+			}
+			return i
+		}
+		switch p.Op {
+		case sqlparse.OpEq:
+			if p.Lo.I < 0 || p.Lo.I > int64(^uint32(0)) {
+				return nil, nil
+			}
+			return ci.RunsEq(mk(p.Lo.I), slot)
+		case sqlparse.OpNe:
+			if p.Lo.I < 0 || p.Lo.I > int64(^uint32(0)) {
+				return ci.RunsRange(nil, nil, true, true, slot)
+			}
+			a, err := ci.RunsRange(nil, mk(p.Lo.I), true, false, slot)
+			if err != nil {
+				return nil, err
+			}
+			b, err := ci.RunsRange(mk(p.Lo.I), nil, false, true, slot)
+			if err != nil {
+				return nil, err
+			}
+			return append(a, b...), nil
+		case sqlparse.OpLt:
+			return ci.RunsRange(nil, mk(clamp(p.Lo.I)), true, p.Lo.I > int64(^uint32(0)), slot)
+		case sqlparse.OpLe:
+			return ci.RunsRange(nil, mk(clamp(p.Lo.I)), true, p.Lo.I >= 0, slot)
+		case sqlparse.OpGt:
+			return ci.RunsRange(mk(clamp(p.Lo.I)), nil, p.Lo.I < 0, true, slot)
+		case sqlparse.OpGe:
+			return ci.RunsRange(mk(clamp(p.Lo.I)), nil, p.Lo.I <= int64(^uint32(0)), true, slot)
+		case sqlparse.OpBetween:
+			if p.Hi.I < 0 || p.Lo.I > int64(^uint32(0)) {
+				return nil, nil
+			}
+			return ci.RunsRange(mk(clamp(p.Lo.I)), mk(clamp(p.Hi.I)), true, true, slot)
+		}
+		return nil, fmt.Errorf("exec: unsupported id predicate op %v", p.Op)
+	}
+	col := r.db.Sch.Tables[p.Table].Columns[p.ColIdx]
+	w := col.EncodedWidth()
+	lo, err := encodePredKey(w, p.Lo)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Op {
+	case sqlparse.OpEq:
+		return ci.RunsEq(lo, slot)
+	case sqlparse.OpNe:
+		a, err := ci.RunsRange(nil, lo, true, false, slot)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ci.RunsRange(lo, nil, false, true, slot)
+		if err != nil {
+			return nil, err
+		}
+		return append(a, b...), nil
+	case sqlparse.OpLt:
+		return ci.RunsRange(nil, lo, true, false, slot)
+	case sqlparse.OpLe:
+		return ci.RunsRange(nil, lo, true, true, slot)
+	case sqlparse.OpGt:
+		return ci.RunsRange(lo, nil, false, true, slot)
+	case sqlparse.OpGe:
+		return ci.RunsRange(lo, nil, true, true, slot)
+	case sqlparse.OpBetween:
+		hi, err := encodePredKey(w, p.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return ci.RunsRange(lo, hi, true, true, slot)
+	}
+	return nil, fmt.Errorf("exec: unsupported predicate op %v", p.Op)
+}
+
+// bfFilter is a live Bloom filter over one table's (possibly crossed)
+// visible id list, probed against QEPSJ tuples.
+type bfFilter struct {
+	table  int
+	filter *bloom.Filter
+	grant  interface{ Release() }
+}

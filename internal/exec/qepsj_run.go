@@ -1,0 +1,484 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostdb/internal/bloom"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+	"ghostdb/internal/store"
+)
+
+// qepsj evaluates the selection/join part of the query (§3.3): it builds
+// one Merge group per conjunct at the anchor level, reduces sublists to
+// fit the RAM budget, and pipelines Merge → SJoin → ProbeBF → Store.
+func (r *queryRun) qepsj() error {
+	q, db := r.q, r.db
+	anchor := q.Anchor
+
+	var groups []*mergeGroup
+	hidden := q.HiddenPreds()
+	absorbed := make([]bool, len(hidden))
+
+	// ---- Visible strategies (non-anchor tables).
+	type bfPlanned struct {
+		table int
+		ids   []uint32
+	}
+	var bfPlans []bfPlanned
+	// Deepest tables first, so cross absorption picks the tightest level.
+	var visTables []int
+	for tv := range r.strategies {
+		visTables = append(visTables, tv)
+	}
+	sort.Slice(visTables, func(i, j int) bool {
+		a, b := visTables[i], visTables[j]
+		if db.Sch.Tables[a].Depth != db.Sch.Tables[b].Depth {
+			return db.Sch.Tables[a].Depth > db.Sch.Tables[b].Depth
+		}
+		return a < b
+	})
+	for _, tv := range visTables {
+		strat := r.strategies[tv]
+		vr := r.vis[tv]
+		crossPreds, crossIdx := r.crossingPreds(tv, hidden, absorbed)
+
+		// Degrade cross strategies when every crossing predicate has
+		// already been absorbed by a deeper table.
+		if len(crossPreds) == 0 {
+			switch strat {
+			case StratCrossPre:
+				strat = StratPre
+			case StratCrossPost:
+				strat = StratPost
+			case StratCrossPostSelect:
+				strat = StratPostSelect
+			}
+			r.strategies[tv] = strat
+		}
+
+		switch strat {
+		case StratPre:
+			g, err := r.preFilterGroup(tv, vr.IDs)
+			if err != nil {
+				return err
+			}
+			groups = append(groups, g)
+		case StratCrossPre:
+			l, err := r.crossedList(tv, crossPreds)
+			if err != nil {
+				return err
+			}
+			for _, i := range crossIdx {
+				absorbed[i] = true // exact: no need to re-apply at anchor
+			}
+			g, err := r.preFilterGroup(tv, l)
+			if err != nil {
+				return err
+			}
+			groups = append(groups, g)
+		case StratPost:
+			bfPlans = append(bfPlans, bfPlanned{table: tv, ids: vr.IDs})
+		case StratCrossPost:
+			l, err := r.crossedList(tv, crossPreds)
+			if err != nil {
+				return err
+			}
+			bfPlans = append(bfPlans, bfPlanned{table: tv, ids: l})
+		case StratPostSelect:
+			r.postSelect[tv] = vr.IDs
+		case StratCrossPostSelect:
+			l, err := r.crossedList(tv, crossPreds)
+			if err != nil {
+				return err
+			}
+			r.postSelect[tv] = l
+		case StratNoFilter:
+			// postponed entirely to projection time
+		default:
+			return fmt.Errorf("exec: unexpected strategy %v", strat)
+		}
+		if r.needsExact(tv) {
+			r.exactAtProject[tv] = true
+		}
+	}
+
+	// ---- Hidden predicates (not absorbed) at the anchor level.
+	for i, p := range hidden {
+		if absorbed[i] {
+			continue
+		}
+		if p.Table == anchor && p.ColIdx == query.IDCol {
+			r.anchorPred = append(r.anchorPred, p)
+			continue
+		}
+		g := &mergeGroup{label: fmt.Sprintf("hidden:%s", db.Sch.Tables[p.Table].Name)}
+		ci := r.indexFor(p)
+		if ci == nil {
+			if err := r.scanFallback(g, p); err != nil {
+				return err
+			}
+			groups = append(groups, g)
+			continue
+		}
+		slot, ok := ci.LevelOf(anchor)
+		if !ok {
+			if err := r.scanFallback(g, p); err != nil {
+				return err
+			}
+			groups = append(groups, g)
+			continue
+		}
+		var runs []store.Run
+		err := db.Col.Span(spanCI, func() error {
+			var err error
+			runs, err = r.runsForHiddenPred(p, ci, slot)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for _, run := range runs {
+			g.addRun(ci.Lists(), run)
+		}
+		groups = append(groups, g)
+	}
+
+	// ---- Anchor-table visible selection: its id list is already at the
+	// anchor level, so it joins the Merge directly (always exact).
+	if vr := r.vis[anchor]; vr != nil && len(q.VisiblePreds()[anchor]) > 0 {
+		groups = append(groups, &mergeGroup{
+			label:   "vis:anchor",
+			streams: []idStream{newSliceStream(vr.IDs)},
+		})
+	}
+
+	// ---- Build Bloom filters (they live in RAM through the pipeline).
+	var bfs []*bfFilter
+	defer func() {
+		for _, f := range bfs {
+			f.grant.Release()
+		}
+	}()
+	for _, plan := range bfPlans {
+		n := len(plan.ids)
+		rows := db.rows[plan.table]
+		if rows > 0 && float64(n)/float64(rows) > 0.5 {
+			if db.opts.ForceStrategy != StratAuto {
+				return fmt.Errorf("%w: table %s selects %d of %d rows",
+					ErrBloomInfeasible, db.Sch.Tables[plan.table].Name, n, rows)
+			}
+			r.strategies[plan.table] = StratNoFilter
+			continue
+		}
+		budget := db.RAM.Budget() / 2
+		if len(bfPlans) > 1 {
+			budget /= len(bfPlans)
+		}
+		bp, err := bloom.PlanFor(n, budget)
+		if err != nil {
+			if db.opts.ForceStrategy != StratAuto {
+				return fmt.Errorf("%w: %v", ErrBloomInfeasible, err)
+			}
+			r.strategies[plan.table] = StratNoFilter
+			continue
+		}
+		grant, err := db.RAM.Alloc(bp.Bytes)
+		if err != nil {
+			return err
+		}
+		f := bloom.New(bp, n)
+		err = db.Col.Span(spanBF, func() error {
+			for _, id := range plan.ids {
+				f.Add(id)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		bfs = append(bfs, &bfFilter{table: plan.table, filter: f, grant: grant})
+	}
+
+	// ---- Which tables need a column in the QEPSJ result?
+	neededSet := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != anchor {
+			neededSet[ti] = true
+		}
+	}
+	for ti := range r.exactAtProject {
+		neededSet[ti] = true
+	}
+	for ti := range r.postSelect {
+		neededSet[ti] = true
+	}
+	for _, f := range bfs {
+		neededSet[f.table] = true
+	}
+	var needed []int
+	for ti := range neededSet {
+		needed = append(needed, ti)
+	}
+	sort.Ints(needed)
+
+	// ---- Reduce sublists to fit RAM, then open the merged stream.
+	reserved := 2 + len(needed) + 1 // SKT reader + column writers + anchor writer
+	if err := r.reduceGroups(groups, reserved); err != nil {
+		return err
+	}
+	merged, err := r.openMerged(groups)
+	if err != nil {
+		return err
+	}
+	defer merged.close()
+	for _, p := range r.anchorPred {
+		merged = &filterStream{src: merged, keep: idPredFilter(p)}
+	}
+
+	// ---- Pipeline: Merge -> SJoin -> ProbeBF -> Store.
+	return r.joinAndStore(merged, needed, bfs)
+}
+
+// idPredFilter compiles an anchor id predicate into a keep function.
+func idPredFilter(p query.Pred) func(uint32) bool {
+	lo, hi := p.Lo.I, p.Hi.I
+	switch p.Op {
+	case sqlparse.OpEq:
+		return func(id uint32) bool { return int64(id) == lo }
+	case sqlparse.OpNe:
+		return func(id uint32) bool { return int64(id) != lo }
+	case sqlparse.OpLt:
+		return func(id uint32) bool { return int64(id) < lo }
+	case sqlparse.OpLe:
+		return func(id uint32) bool { return int64(id) <= lo }
+	case sqlparse.OpGt:
+		return func(id uint32) bool { return int64(id) > lo }
+	case sqlparse.OpGe:
+		return func(id uint32) bool { return int64(id) >= lo }
+	case sqlparse.OpBetween:
+		return func(id uint32) bool { return int64(id) >= lo && int64(id) <= hi }
+	}
+	return func(uint32) bool { return false }
+}
+
+// crossingPreds returns the hidden predicates usable for the Cross
+// optimization at table tv, with their positions in the hidden list.
+func (r *queryRun) crossingPreds(tv int, hidden []query.Pred, absorbed []bool) ([]query.Pred, []int) {
+	var preds []query.Pred
+	var idx []int
+	for i, p := range hidden {
+		if absorbed[i] {
+			continue
+		}
+		if p.Table == tv {
+			if p.ColIdx == query.IDCol {
+				continue // id predicate on tv itself: cheap at anchor level
+			}
+			preds = append(preds, p)
+			idx = append(idx, i)
+			continue
+		}
+		if r.db.Sch.IsAncestorOf(tv, p.Table) {
+			if ci := r.indexFor(p); ci != nil {
+				if _, ok := ci.LevelOf(tv); ok {
+					preds = append(preds, p)
+					idx = append(idx, i)
+				}
+			}
+		}
+	}
+	return preds, idx
+}
+
+// crossedList intersects a table's Visible id list with the same-level
+// hidden selections (the Cross optimization, §3.3): the result is both
+// smaller and exact at level tv.
+func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
+	vr := r.vis[tv]
+	srcs := []idStream{newSliceStream(vr.IDs)}
+	cleanup := func() {
+		for _, s := range srcs {
+			s.close()
+		}
+	}
+	var groups []*mergeGroup
+	for _, p := range preds {
+		ci := r.indexFor(p)
+		slot, _ := ci.LevelOf(tv)
+		var runs []store.Run
+		err := r.db.Col.Span(spanCI, func() error {
+			var err error
+			runs, err = r.runsForHiddenPred(p, ci, slot)
+			return err
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		g := &mergeGroup{label: "cross"}
+		for _, run := range runs {
+			g.addRun(ci.Lists(), run)
+		}
+		groups = append(groups, g)
+	}
+	if err := r.reduceGroups(groups, 2); err != nil {
+		cleanup()
+		return nil, err
+	}
+	for _, g := range groups {
+		u, err := r.openGroup(g)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		srcs = append(srcs, u)
+	}
+	var out []uint32
+	err := r.db.Col.Span(spanMerge, func() error {
+		var err error
+		out, err = drain(newIntersectStream(srcs))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// preFilterGroup performs the Pre-Filter climb: one id-index lookup per
+// visible id, collecting anchor-level sublists (§3.3: "as many lookups on
+// the T1.id index as there are tuples resulting from the Visible
+// selection").
+func (r *queryRun) preFilterGroup(tv int, ids []uint32) (*mergeGroup, error) {
+	g := &mergeGroup{label: "pre:" + r.db.Sch.Tables[tv].Name}
+	ci, ok := r.db.Cat.IDIndex(tv)
+	if !ok {
+		return nil, fmt.Errorf("exec: no id index on %s", r.db.Sch.Tables[tv].Name)
+	}
+	slot, ok := ci.LevelOf(r.q.Anchor)
+	if !ok {
+		return nil, fmt.Errorf("exec: id index on %s lacks level %s",
+			r.db.Sch.Tables[tv].Name, r.db.Sch.Tables[r.q.Anchor].Name)
+	}
+	err := r.db.Col.Span(spanCI, func() error {
+		for _, id := range ids {
+			runs, err := ci.RunsForID(id, slot)
+			if err != nil {
+				return err
+			}
+			for _, run := range runs {
+				g.addRun(ci.Lists(), run)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// scanFallback evaluates a hidden predicate without an index by scanning
+// the hidden image (only reachable with reduced index variants).
+func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
+	db := r.db
+	img := db.Hidden[p.Table]
+	if img == nil || p.ColIdx == query.IDCol {
+		return fmt.Errorf("exec: no index and no hidden image for predicate on %s",
+			db.Sch.Tables[p.Table].Name)
+	}
+	pos, ok := img.ColPos[p.ColIdx]
+	if !ok {
+		return fmt.Errorf("exec: column %d of %s is not hidden", p.ColIdx, db.Sch.Tables[p.Table].Name)
+	}
+	matches := r.newTemp()
+	err := db.Col.Span(spanScan, func() error {
+		rd := img.File.NewSeqReader()
+		if err := matches.BeginRun(); err != nil {
+			return err
+		}
+		for {
+			rec, id, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			v, err := img.Codec.DecodeColumn(rec, pos)
+			if err != nil {
+				return err
+			}
+			if matchValue(p, v) {
+				if err := matches.Add(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	run, err := matches.EndRun()
+	if err != nil {
+		return err
+	}
+	if err := matches.Seal(); err != nil {
+		return err
+	}
+	if p.Table == r.q.Anchor {
+		g.addRun(matches, run)
+		return nil
+	}
+	// Climb per id through the id index (expensive, like Pre-Filter).
+	ci, ok := r.db.Cat.IDIndex(p.Table)
+	if !ok {
+		return fmt.Errorf("exec: no id index to climb from %s", db.Sch.Tables[p.Table].Name)
+	}
+	slot, ok := ci.LevelOf(r.q.Anchor)
+	if !ok {
+		return fmt.Errorf("exec: id index on %s lacks the anchor level", db.Sch.Tables[p.Table].Name)
+	}
+	ids, err := matches.ReadAll(run)
+	if err != nil {
+		return err
+	}
+	return db.Col.Span(spanCI, func() error {
+		for _, id := range ids {
+			runs, err := ci.RunsForID(id, slot)
+			if err != nil {
+				return err
+			}
+			for _, rn := range runs {
+				g.addRun(ci.Lists(), rn)
+			}
+		}
+		return nil
+	})
+}
+
+// matchValue evaluates a predicate against a decoded value.
+func matchValue(p query.Pred, v schema.Value) bool {
+	cmp := v.Compare(p.Lo)
+	switch p.Op {
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	case sqlparse.OpBetween:
+		return cmp >= 0 && v.Compare(p.Hi) <= 0
+	}
+	return false
+}

@@ -1,0 +1,239 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func tinyParams() Params {
+	return Params{PageSize: 64, PagesPerBlock: 4, Blocks: 8, ReserveBlocks: 2}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	d := MustDevice(tinyParams())
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	data := []byte("hello flash page")
+	if err := d.Write(id, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := d.Read(id, got, len(data)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("roundtrip mismatch: %q != %q", got, data)
+	}
+}
+
+func TestWritePadsWithZeros(t *testing.T) {
+	d := MustDevice(tinyParams())
+	id, _ := d.Alloc()
+	if err := d.Write(id, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 64)
+	if err := d.ReadFull(id, full); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 64; i++ {
+		if full[i] != 0 {
+			t.Fatalf("byte %d not zero-padded: %d", i, full[i])
+		}
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	d := MustDevice(tinyParams())
+	id, _ := d.Alloc()
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Counters()
+	got := make([]byte, 10)
+	if err := d.ReadRange(id, got, 20, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[20:30]) {
+		t.Fatalf("range mismatch: %v", got)
+	}
+	delta := d.Counters().Sub(before)
+	if delta.PageReads != 1 || delta.BytesToRAM != 10 {
+		t.Fatalf("cost delta = %+v, want 1 read / 10 bytes", delta)
+	}
+}
+
+func TestOutOfPlaceUpdate(t *testing.T) {
+	d := MustDevice(tinyParams())
+	id, _ := d.Alloc()
+	if err := d.Write(id, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if err := d.Read(id, got, 2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q after update", got)
+	}
+	if d.Counters().PageWrites != 2 {
+		t.Fatalf("writes = %d, want 2", d.Counters().PageWrites)
+	}
+}
+
+func TestGarbageCollectionReclaimsSpace(t *testing.T) {
+	d := MustDevice(tinyParams()) // 32 physical pages, capacity 24
+	id, _ := d.Alloc()
+	// Rewrite the same logical page many more times than there are
+	// physical pages; GC must reclaim invalidated pages.
+	for i := 0; i < 500; i++ {
+		if err := d.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	got := make([]byte, 1)
+	if err := d.Read(id, got, 1); err != nil {
+		t.Fatal(err)
+	}
+	if want := byte(499 % 256); got[0] != want {
+		t.Fatalf("final value %d, want %d", got[0], want)
+	}
+	if d.Counters().BlockErases == 0 {
+		t.Fatal("expected block erases under write pressure")
+	}
+}
+
+func TestGCPreservesOtherPages(t *testing.T) {
+	d := MustDevice(tinyParams())
+	keep := make(map[PageID]byte)
+	for i := 0; i < 10; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(id, []byte{byte(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		keep[id] = byte(100 + i)
+	}
+	churn, _ := d.Alloc()
+	for i := 0; i < 300; i++ {
+		if err := d.Write(churn, []byte{byte(i)}); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+	}
+	for id, want := range keep {
+		got := make([]byte, 1)
+		if err := d.Read(id, got, 1); err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		if got[0] != want {
+			t.Fatalf("page %d corrupted by GC: got %d want %d", id, got[0], want)
+		}
+	}
+	if d.MaxWear() == 0 {
+		t.Fatal("expected wear to be recorded")
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	d := MustDevice(tinyParams())
+	var ids []PageID
+	for {
+		id, err := d.Alloc()
+		if err != nil {
+			if !errors.Is(err, ErrDeviceFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		if err := d.Write(id, []byte{1}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) != d.Capacity() {
+		t.Fatalf("allocated %d pages, capacity %d", len(ids), d.Capacity())
+	}
+	// Freeing makes room again.
+	if err := d.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestFreeRecyclesLogicalIDs(t *testing.T) {
+	d := MustDevice(tinyParams())
+	a, _ := d.Alloc()
+	if err := d.Write(a, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Alloc()
+	if a != b {
+		t.Fatalf("expected recycled id %d, got %d", a, b)
+	}
+	// Reading a recycled-but-unwritten page must fail.
+	buf := make([]byte, 1)
+	if err := d.Read(b, buf, 1); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read of unwritten page: %v", err)
+	}
+}
+
+func TestInvalidOperations(t *testing.T) {
+	d := MustDevice(tinyParams())
+	buf := make([]byte, 8)
+	if err := d.Read(InvalidPage, buf, 1); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read invalid page: %v", err)
+	}
+	if err := d.Write(999, []byte{1}); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("write unallocated: %v", err)
+	}
+	id, _ := d.Alloc()
+	if err := d.Write(id, make([]byte, 65)); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("oversized write: %v", err)
+	}
+	d.Close()
+	if _, err := d.Alloc(); !errors.Is(err, ErrDeviceClose) {
+		t.Fatalf("alloc after close: %v", err)
+	}
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := Counters{PageReads: 10, PageWrites: 5, BlockErases: 1, BytesToRAM: 100, GCPageMoves: 2}
+	b := Counters{PageReads: 4, PageWrites: 2, BytesToRAM: 40}
+	diff := a.Sub(b)
+	if diff.PageReads != 6 || diff.PageWrites != 3 || diff.BytesToRAM != 60 {
+		t.Fatalf("sub = %+v", diff)
+	}
+	sum := diff.Add(b)
+	if sum != a {
+		t.Fatalf("add/sub not inverse: %+v != %+v", sum, a)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{},
+		{PageSize: 64, PagesPerBlock: 4, Blocks: 2, ReserveBlocks: 2},
+		{PageSize: 64, PagesPerBlock: 4, Blocks: 4, ReserveBlocks: 0},
+	} {
+		if _, err := NewDevice(p); err == nil {
+			t.Fatalf("params %+v accepted", p)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"ghostdb/internal/btree"
+	"ghostdb/internal/flash"
+	"ghostdb/internal/store"
+)
+
+// runDescWidth is the encoded width of one per-level run descriptor in a
+// climbing index payload: byte offset (4) + count (4).
+const runDescWidth = 8
+
+// Climbing is a climbing index on one attribute of one table (§3.2). Each
+// distinct attribute value maps to one sorted ID sublist *per level*,
+// where a level is the table itself or one of its ancestors up to the
+// root. For root-table attributes (single level) it degenerates to a
+// plain B+-tree, exactly as the paper notes.
+//
+// An index with colIdx < 0 is the table's ID index ("Climbing Index on
+// T1.id" in Figure 4): keys are tuple identifiers and levels contain
+// ancestor IDs only.
+type Climbing struct {
+	table  int
+	colIdx int // data-column position, or -1 for the id index
+	keyW   int
+	levels []int // table index per payload slot
+	tree   *btree.Tree
+	lists  *store.ListSegment
+}
+
+// ErrNoLevel is returned when an index does not carry the requested level.
+var ErrNoLevel = errors.New("index: level not present in climbing index")
+
+// Table returns the indexed table.
+func (c *Climbing) Table() int { return c.table }
+
+// ColIdx returns the indexed column position, or -1 for an ID index.
+func (c *Climbing) ColIdx() int { return c.colIdx }
+
+// Levels returns the table index carried at each payload slot.
+func (c *Climbing) Levels() []int { return c.levels }
+
+// KeyWidth returns the encoded key width.
+func (c *Climbing) KeyWidth() int { return c.keyW }
+
+// Tree exposes the underlying B+-tree (its height bounds the RAM buffers
+// a CI operator must reserve).
+func (c *Climbing) Tree() *btree.Tree { return c.tree }
+
+// Lists exposes the run store backing the sublists.
+func (c *Climbing) Lists() *store.ListSegment { return c.lists }
+
+// Pages returns the flash footprint of tree plus sublists.
+func (c *Climbing) Pages() int { return c.tree.Pages() + c.lists.Pages() }
+
+// LevelOf maps a table index to its payload slot.
+func (c *Climbing) LevelOf(table int) (int, bool) {
+	for i, t := range c.levels {
+		if t == table {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (c *Climbing) decodeRun(payload []byte, slot int) store.Run {
+	off := slot * runDescWidth
+	return store.Run{
+		Off:   int(binary.BigEndian.Uint32(payload[off:])),
+		Count: int(binary.BigEndian.Uint32(payload[off+4:])),
+	}
+}
+
+// RunsEq returns the sublists at the given level slot for all entries
+// whose key equals key (bulk entries plus any post-load insert entries).
+func (c *Climbing) RunsEq(key []byte, slot int) ([]store.Run, error) {
+	if slot < 0 || slot >= len(c.levels) {
+		return nil, ErrNoLevel
+	}
+	cur, err := c.tree.Seek(key)
+	if err != nil {
+		return nil, err
+	}
+	var runs []store.Run
+	for {
+		k, p, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || !bytes.Equal(k, key) {
+			return runs, nil
+		}
+		if r := c.decodeRun(p, slot); r.Count > 0 {
+			runs = append(runs, r)
+		}
+	}
+}
+
+// RunsRange returns the sublists at the given level slot for all entries
+// with lo <= key <= hi (nil bound = open). Bounds are encoded keys;
+// strictness is handled by the caller nudging bounds, or via the loInc /
+// hiInc flags.
+func (c *Climbing) RunsRange(lo, hi []byte, loInc, hiInc bool, slot int) ([]store.Run, error) {
+	if slot < 0 || slot >= len(c.levels) {
+		return nil, ErrNoLevel
+	}
+	var cur *btree.Cursor
+	var err error
+	if lo == nil {
+		cur, err = c.tree.First()
+	} else {
+		cur, err = c.tree.Seek(lo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var runs []store.Run
+	for {
+		k, p, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return runs, nil
+		}
+		if lo != nil && !loInc && bytes.Equal(k, lo) {
+			continue
+		}
+		if hi != nil {
+			cmp := bytes.Compare(k, hi)
+			if cmp > 0 || (cmp == 0 && !hiInc) {
+				return runs, nil
+			}
+		}
+		if r := c.decodeRun(p, slot); r.Count > 0 {
+			runs = append(runs, r)
+		}
+	}
+}
+
+// RunsForID is the ID-index lookup: one full tree descent per identifier,
+// which is precisely why Pre-Filter degrades at low selectivity ("as many
+// lookups on the T1.id index as there are tuples resulting from the
+// Visible selection", §3.3).
+func (c *Climbing) RunsForID(id uint32, slot int) ([]store.Run, error) {
+	if c.colIdx >= 0 {
+		return nil, fmt.Errorf("index: RunsForID on attribute index")
+	}
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], id)
+	return c.RunsEq(key[:], slot)
+}
+
+// InsertEntry adds a post-load entry mapping key to one ID per level
+// (levels without a contribution may pass no id via a negative sentinel).
+// The new sublists are tiny runs appended to the list segment; lookups
+// union them with the bulk runs.
+func (c *Climbing) InsertEntry(key []byte, perLevel []int64) error {
+	if len(perLevel) != len(c.levels) {
+		return fmt.Errorf("index: InsertEntry has %d levels, want %d", len(perLevel), len(c.levels))
+	}
+	if err := c.lists.Reopen(); err != nil {
+		return err
+	}
+	payload := make([]byte, len(c.levels)*runDescWidth)
+	for i, v := range perLevel {
+		if v < 0 {
+			continue // empty run: Count stays 0
+		}
+		run, err := c.lists.AppendRun([]uint32{uint32(v)})
+		if err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(payload[i*runDescWidth:], uint32(run.Off))
+		binary.BigEndian.PutUint32(payload[i*runDescWidth+4:], uint32(run.Count))
+	}
+	if err := c.lists.Seal(); err != nil {
+		return err
+	}
+	return c.tree.Insert(key, payload)
+}
+
+// climbingInput is everything needed to build one climbing index.
+type climbingInput struct {
+	table  int
+	colIdx int // -1 for id index
+	keyW   int
+	vals   []byte // encoded values, keyW bytes per row of the table (nil for id index)
+	rows   int
+	// perLevel[i] is nil for the self level; for ancestor level A it maps
+	// each A-row to its descendant row in the indexed table.
+	levels    []int
+	descOfLvl [][]uint32
+}
+
+// buildClimbing constructs the index: it assigns an ordinal to each
+// distinct value, sorts (ordinal, id) pairs per level, packs the sorted
+// groups as runs in a list segment and bulk-loads the B+-tree.
+func buildClimbing(dev *flash.Device, in climbingInput) (*Climbing, error) {
+	c := &Climbing{
+		table:  in.table,
+		colIdx: in.colIdx,
+		keyW:   in.keyW,
+		levels: in.levels,
+		lists:  store.NewListSegment(dev),
+	}
+	var distinct [][]byte // ascending encoded keys
+	var ordOfRow []uint32 // row -> ordinal
+	if in.colIdx >= 0 {
+		order := make([]uint32, in.rows)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := order[a], order[b]
+			cmp := bytes.Compare(in.vals[int(ra)*in.keyW:int(ra+1)*in.keyW],
+				in.vals[int(rb)*in.keyW:int(rb+1)*in.keyW])
+			if cmp != 0 {
+				return cmp < 0
+			}
+			return ra < rb
+		})
+		ordOfRow = make([]uint32, in.rows)
+		for _, r := range order {
+			v := in.vals[int(r)*in.keyW : int(r+1)*in.keyW]
+			if len(distinct) == 0 || !bytes.Equal(distinct[len(distinct)-1], v) {
+				distinct = append(distinct, v)
+			}
+			ordOfRow[r] = uint32(len(distinct) - 1)
+		}
+	} else {
+		// ID index: the key of row i is i itself; every id is distinct.
+		distinct = make([][]byte, in.rows)
+		keys := make([]byte, in.rows*4)
+		for i := 0; i < in.rows; i++ {
+			binary.BigEndian.PutUint32(keys[i*4:], uint32(i))
+			distinct[i] = keys[i*4 : i*4+4]
+		}
+		// ordOfRow is the identity; represented implicitly below.
+	}
+	nvals := len(distinct)
+
+	// Sorted (ordinal, id) pairs per level, composite-encoded in uint64.
+	sorted := make([][]uint64, len(in.levels))
+	for li, lvlTable := range in.levels {
+		if lvlTable == in.table {
+			// Self level: group rows by ordinal.
+			comp := make([]uint64, in.rows)
+			for i := 0; i < in.rows; i++ {
+				ord := uint64(uint32(i))
+				if in.colIdx >= 0 {
+					ord = uint64(ordOfRow[i])
+				}
+				comp[i] = ord<<32 | uint64(uint32(i))
+			}
+			slices.Sort(comp)
+			sorted[li] = comp
+			continue
+		}
+		descTi := in.descOfLvl[li]
+		comp := make([]uint64, len(descTi))
+		for a, ti := range descTi {
+			ord := uint64(ti)
+			if in.colIdx >= 0 {
+				ord = uint64(ordOfRow[ti])
+			}
+			comp[a] = ord<<32 | uint64(uint32(a))
+		}
+		slices.Sort(comp)
+		sorted[li] = comp
+	}
+
+	// Pack runs value by value and assemble the tree entries.
+	entries := make([]btree.Entry, 0, nvals)
+	pos := make([]int, len(in.levels))
+	payloadW := len(in.levels) * runDescWidth
+	for ord := 0; ord < nvals; ord++ {
+		payload := make([]byte, payloadW)
+		for li := range in.levels {
+			comp := sorted[li]
+			p := pos[li]
+			if err := c.lists.BeginRun(); err != nil {
+				return nil, err
+			}
+			n := 0
+			for p < len(comp) && int(comp[p]>>32) == ord {
+				if err := c.lists.Add(uint32(comp[p])); err != nil {
+					return nil, err
+				}
+				p++
+				n++
+			}
+			pos[li] = p
+			run, err := c.lists.EndRun()
+			if err != nil {
+				return nil, err
+			}
+			binary.BigEndian.PutUint32(payload[li*runDescWidth:], uint32(run.Off))
+			binary.BigEndian.PutUint32(payload[li*runDescWidth+4:], uint32(n))
+		}
+		entries = append(entries, btree.Entry{Key: distinct[ord], Payload: payload})
+	}
+	if err := c.lists.Seal(); err != nil {
+		return nil, err
+	}
+	tree, err := btree.Bulk(dev, in.keyW, payloadW, &btree.SliceSource{Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	c.tree = tree
+	return c, nil
+}

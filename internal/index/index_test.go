@@ -1,0 +1,489 @@
+package index
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/store"
+)
+
+// fixture is a small instance of the paper's Figure 3 schema with fully
+// known contents, so index lookups can be checked against naive scans.
+type fixture struct {
+	sch    *schema.Schema
+	dev    *flash.Device
+	inputs map[int]*TableInput
+	// vals[table][row] is the single indexed attribute value (1 byte).
+	vals map[int][]byte
+	// fk chains for naive reference computations.
+	fks map[int]map[int][]uint32
+}
+
+func buildFixture(t *testing.T, seed int64, t0, t1, t2, t11, t12 int) *fixture {
+	t.Helper()
+	defs := []schema.TableDef{
+		{Name: "T0", Columns: cols(), Refs: []schema.Ref{
+			{FKColumn: "fk1", Child: "T1", Hidden: true},
+			{FKColumn: "fk2", Child: "T2", Hidden: true}}},
+		{Name: "T1", Columns: cols(), Refs: []schema.Ref{
+			{FKColumn: "fk11", Child: "T11", Hidden: true},
+			{FKColumn: "fk12", Child: "T12", Hidden: true}}},
+		{Name: "T2", Columns: cols()},
+		{Name: "T11", Columns: cols()},
+		{Name: "T12", Columns: cols()},
+	}
+	sch, err := schema.New(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := flash.MustDevice(flash.Params{PageSize: 256, PagesPerBlock: 8, Blocks: 4096, ReserveBlocks: 4})
+	rng := rand.New(rand.NewSource(seed))
+	rows := map[string]int{"T0": t0, "T1": t1, "T2": t2, "T11": t11, "T12": t12}
+	f := &fixture{sch: sch, dev: dev,
+		inputs: map[int]*TableInput{},
+		vals:   map[int][]byte{},
+		fks:    map[int]map[int][]uint32{},
+	}
+	for _, tb := range sch.Tables {
+		n := rows[tb.Name]
+		vals := make([]byte, n)
+		for i := range vals {
+			vals[i] = byte(rng.Intn(16)) // small domain -> many duplicates
+		}
+		f.vals[tb.Index] = vals
+		in := &TableInput{
+			Rows:  n,
+			FKs:   map[int][]uint32{},
+			Attrs: []AttrData{{ColIdx: 0, Width: 1, Data: vals}},
+		}
+		f.fks[tb.Index] = map[int][]uint32{}
+		for _, ci := range tb.Children() {
+			fk := make([]uint32, n)
+			for i := range fk {
+				fk[i] = uint32(rng.Intn(rows[sch.Tables[ci].Name]))
+			}
+			in.FKs[ci] = fk
+			f.fks[tb.Index][ci] = fk
+		}
+		f.inputs[tb.Index] = in
+	}
+	return f
+}
+
+func cols() []schema.Column {
+	return []schema.Column{{Name: "h1", Kind: schema.KindChar, Width: 1, Hidden: true}}
+}
+
+// chaseTo returns, for each row of `from`, the id of its row in ancestor
+// table `to`, computed naively... actually downward: for each row of
+// ancestor A, the referenced row in descendant D.
+func (f *fixture) chase(a, d int) []uint32 {
+	if a == d {
+		n := f.inputs[a].Rows
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = uint32(i)
+		}
+		return out
+	}
+	// Find the child of a on the path to d.
+	for _, c := range f.sch.Tables[a].Children() {
+		if c == d || contains(f.sch.Tables[c].Descendants(), d) {
+			inner := f.chase(c, d)
+			fk := f.fks[a][c]
+			out := make([]uint32, len(fk))
+			for i, v := range fk {
+				out[i] = inner[v]
+			}
+			return out
+		}
+	}
+	panic("no path")
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func idx(t *testing.T, f *fixture, name string) int {
+	tb, ok := f.sch.Lookup(name)
+	if !ok {
+		t.Fatalf("no table %s", name)
+	}
+	return tb.Index
+}
+
+func runsToIDs(t *testing.T, c *Climbing, runs []store.Run) []uint32 {
+	t.Helper()
+	var all []uint32
+	for _, r := range runs {
+		ids, err := c.Lists().ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// each run must be internally sorted
+		for i := 1; i < len(ids); i++ {
+			if ids[i] < ids[i-1] {
+				t.Fatalf("run not sorted: %v", ids)
+			}
+		}
+		all = append(all, ids...)
+	}
+	return all
+}
+
+func sortedEq(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[uint32]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+	}
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSKTMatchesFKChains(t *testing.T) {
+	f := buildFixture(t, 1, 500, 60, 40, 20, 20)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := idx(t, f, "T0")
+	skt, ok := cat.SKTOf(t0)
+	if !ok {
+		t.Fatal("no SKT on root")
+	}
+	if skt.Rows() != 500 {
+		t.Fatalf("skt rows = %d", skt.Rows())
+	}
+	want := map[int][]uint32{}
+	for _, d := range f.sch.Tables[t0].Descendants() {
+		want[d] = f.chase(t0, d)
+	}
+	got := make([]uint32, len(skt.Descendants()))
+	for i := uint32(0); i < 500; i++ {
+		if err := skt.ReadRow(i, got); err != nil {
+			t.Fatal(err)
+		}
+		for di, d := range skt.Descendants() {
+			if got[di] != want[d][i] {
+				t.Fatalf("SKT row %d col %s: %d != %d", i, f.sch.Tables[d].Name, got[di], want[d][i])
+			}
+		}
+	}
+	// T1's own SKT exists under FullIndex and covers T11, T12.
+	t1 := idx(t, f, "T1")
+	skt1, ok := cat.SKTOf(t1)
+	if !ok {
+		t.Fatal("no SKT on T1 under FullIndex")
+	}
+	if len(skt1.Descendants()) != 2 {
+		t.Fatalf("T1 SKT descendants = %v", skt1.Descendants())
+	}
+}
+
+func TestClimbingEqAllLevels(t *testing.T) {
+	f := buildFixture(t, 2, 400, 50, 30, 15, 15)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t12 := idx(t, f, "T12")
+	ci, ok := cat.AttrIndex(t12, 0)
+	if !ok {
+		t.Fatal("no index on T12.h1")
+	}
+	if len(ci.Levels()) != 3 {
+		t.Fatalf("T12 index levels = %v", ci.Levels())
+	}
+	for _, lvlTable := range ci.Levels() {
+		slot, _ := ci.LevelOf(lvlTable)
+		down := f.chase(lvlTable, t12) // per-A-row referenced T12 id
+		for v := 0; v < 16; v++ {
+			key := []byte{byte(v)}
+			runs, err := ci.RunsEq(key, slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runsToIDs(t, ci, runs)
+			var want []uint32
+			for a, ti := range down {
+				if f.vals[t12][ti] == byte(v) {
+					want = append(want, uint32(a))
+				}
+			}
+			if !sortedEq(got, want) {
+				t.Fatalf("level %s value %d: got %d ids, want %d",
+					f.sch.Tables[lvlTable].Name, v, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestClimbingRange(t *testing.T) {
+	f := buildFixture(t, 3, 300, 40, 20, 10, 10)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := idx(t, f, "T1")
+	t0 := idx(t, f, "T0")
+	ci, _ := cat.AttrIndex(t1, 0)
+	slot, ok := ci.LevelOf(t0)
+	if !ok {
+		t.Fatal("T1 index lacks T0 level")
+	}
+	down := f.chase(t0, t1)
+	cases := []struct {
+		lo, hi   int
+		loI, hiI bool
+	}{
+		{3, 9, true, true},
+		{3, 9, false, true},
+		{3, 9, true, false},
+		{0, 15, true, true},
+		{7, 7, true, true},
+		{9, 3, true, true}, // empty
+	}
+	for _, cse := range cases {
+		runs, err := ci.RunsRange([]byte{byte(cse.lo)}, []byte{byte(cse.hi)}, cse.loI, cse.hiI, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runsToIDs(t, ci, runs)
+		var want []uint32
+		for a, ti := range down {
+			v := int(f.vals[t1][ti])
+			okLo := v > cse.lo || (cse.loI && v == cse.lo)
+			okHi := v < cse.hi || (cse.hiI && v == cse.hi)
+			if okLo && okHi {
+				want = append(want, uint32(a))
+			}
+		}
+		if !sortedEq(got, want) {
+			t.Fatalf("range [%d,%d] inc(%v,%v): got %d want %d",
+				cse.lo, cse.hi, cse.loI, cse.hiI, len(got), len(want))
+		}
+	}
+	// Open bounds.
+	runs, err := ci.RunsRange(nil, nil, true, true, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runsToIDs(t, ci, runs); len(got) != 300 {
+		t.Fatalf("full range got %d ids", len(got))
+	}
+}
+
+func TestIDIndex(t *testing.T) {
+	f := buildFixture(t, 4, 300, 40, 20, 10, 10)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t0 := idx(t, f, "T1"), idx(t, f, "T0")
+	ci, ok := cat.IDIndex(t1)
+	if !ok {
+		t.Fatal("no id index on T1")
+	}
+	if _, ok := cat.IDIndex(t0); ok {
+		t.Fatal("root must not have an id index")
+	}
+	slot, _ := ci.LevelOf(t0)
+	fk := f.fks[t0][t1]
+	for id := uint32(0); id < 40; id++ {
+		runs, err := ci.RunsForID(id, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runsToIDs(t, ci, runs)
+		var want []uint32
+		for a, v := range fk {
+			if v == id {
+				want = append(want, uint32(a))
+			}
+		}
+		if !sortedEq(got, want) {
+			t.Fatalf("id %d: got %v want %v", id, got, want)
+		}
+	}
+	// Attribute index rejects RunsForID.
+	ai, _ := cat.AttrIndex(t1, 0)
+	if _, err := ai.RunsForID(1, 0); err == nil {
+		t.Fatal("RunsForID on attr index accepted")
+	}
+}
+
+func TestVariantsLevelsAndStorage(t *testing.T) {
+	sizes := map[Variant]int{}
+	for _, v := range []Variant{VariantFull, VariantBasic, VariantStar, VariantJoin} {
+		// Paper-like cardinality ratios (root much larger than nodes) so
+		// the SKT-vs-join-index storage ordering of Figure 7 is visible.
+		f := buildFixture(t, 5, 3000, 100, 60, 30, 30)
+		cat, err := Build(f.dev, f.sch, f.inputs, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		sizes[v] = cat.Storage().Total()
+		t12 := idx(t, f, "T12")
+		ci, _ := cat.AttrIndex(t12, 0)
+		switch v {
+		case VariantFull:
+			if len(ci.Levels()) != 3 {
+				t.Fatalf("full levels = %v", ci.Levels())
+			}
+			if _, ok := cat.SKTOf(idx(t, f, "T1")); !ok {
+				t.Fatal("full: missing T1 SKT")
+			}
+		case VariantBasic:
+			if len(ci.Levels()) != 2 {
+				t.Fatalf("basic levels = %v", ci.Levels())
+			}
+			if _, ok := cat.SKTOf(idx(t, f, "T1")); ok {
+				t.Fatal("basic: unexpected T1 SKT")
+			}
+			if _, ok := cat.SKTOf(idx(t, f, "T0")); !ok {
+				t.Fatal("basic: missing root SKT")
+			}
+		case VariantStar:
+			if len(ci.Levels()) != 1 {
+				t.Fatalf("star levels = %v", ci.Levels())
+			}
+			if _, ok := cat.IDIndex(t12); ok {
+				t.Fatal("star: unexpected id index")
+			}
+		case VariantJoin:
+			if len(ci.Levels()) != 1 {
+				t.Fatalf("join levels = %v", ci.Levels())
+			}
+			if _, ok := cat.SKTOf(idx(t, f, "T0")); ok {
+				t.Fatal("join: unexpected SKT")
+			}
+			idi, ok := cat.IDIndex(t12)
+			if !ok || len(idi.Levels()) != 1 || idi.Levels()[0] != idx(t, f, "T1") {
+				t.Fatal("join: id index should map to parent only")
+			}
+		}
+	}
+	// Figure 7 ordering: Full >= Basic >= Star >= Join.
+	if !(sizes[VariantFull] >= sizes[VariantBasic] &&
+		sizes[VariantBasic] > sizes[VariantStar] &&
+		sizes[VariantStar] > sizes[VariantJoin]) {
+		t.Fatalf("storage ordering violated: %v", sizes)
+	}
+}
+
+func TestInsertEntryMaintenance(t *testing.T) {
+	f := buildFixture(t, 6, 200, 30, 15, 8, 8)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t12, t0 := idx(t, f, "T12"), idx(t, f, "T0")
+	ci, _ := cat.AttrIndex(t12, 0)
+	slot, _ := ci.LevelOf(t0)
+	slotSelf, _ := ci.LevelOf(t12)
+	key := []byte{7}
+	before := runsToIDs(t, ci, mustRuns(t, ci, key, slot))
+	// Simulate a new T0 tuple (id 999) whose T12 descendant has value 7.
+	perLevel := make([]int64, len(ci.Levels()))
+	for i := range perLevel {
+		perLevel[i] = -1
+	}
+	perLevel[slot] = 999
+	if err := ci.InsertEntry(key, perLevel); err != nil {
+		t.Fatal(err)
+	}
+	after := runsToIDs(t, ci, mustRuns(t, ci, key, slot))
+	if len(after) != len(before)+1 {
+		t.Fatalf("after insert: %d ids, want %d", len(after), len(before)+1)
+	}
+	found := false
+	for _, id := range after {
+		if id == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted id not returned")
+	}
+	// Self level untouched by this entry.
+	selfAfter := runsToIDs(t, ci, mustRuns(t, ci, key, slotSelf))
+	for _, id := range selfAfter {
+		if id == 999 {
+			t.Fatal("self level polluted")
+		}
+	}
+	// Arity check.
+	if err := ci.InsertEntry(key, []int64{1}); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func mustRuns(t *testing.T, c *Climbing, key []byte, slot int) []store.Run {
+	t.Helper()
+	runs, err := c.RunsEq(key, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestBuildValidation(t *testing.T) {
+	f := buildFixture(t, 7, 50, 10, 5, 3, 3)
+	// Break referential integrity.
+	t0, t1 := idx(t, f, "T0"), idx(t, f, "T1")
+	f.inputs[t0].FKs[t1][0] = 9999
+	if _, err := Build(f.dev, f.sch, f.inputs, VariantFull); err == nil {
+		t.Fatal("dangling fk accepted")
+	}
+	f.inputs[t0].FKs[t1] = f.inputs[t0].FKs[t1][:5] // wrong length
+	if _, err := Build(f.dev, f.sch, f.inputs, VariantFull); err == nil {
+		t.Fatal("short fk column accepted")
+	}
+	delete(f.inputs, t1)
+	if _, err := Build(f.dev, f.sch, f.inputs, VariantFull); err == nil {
+		t.Fatal("missing table input accepted")
+	}
+}
+
+func TestRunPagesArithmetic(t *testing.T) {
+	// Guard against run descriptor encoding drift: offsets round-trip.
+	f := buildFixture(t, 8, 100, 20, 10, 5, 5)
+	cat, err := Build(f.dev, f.sch, f.inputs, VariantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := cat.AttrIndex(idx(t, f, "T1"), 0)
+	var total int
+	for v := 0; v < 16; v++ {
+		runs, err := ci.RunsEq([]byte{byte(v)}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range runs {
+			total += r.Count
+		}
+	}
+	if total != 20 {
+		t.Fatalf("self-level ids across all values = %d, want 20", total)
+	}
+	_ = binary.BigEndian
+}

@@ -1,0 +1,115 @@
+// Package index implements GhostDB's indexation model (§3.2): Subtree Key
+// Tables (SKT) — multidimensional join indexes that precompute every
+// key/foreign-key join below a table — and climbing indexes, whose entries
+// carry one sorted ID sublist per ancestor table so that a selection on
+// any table reaches any ancestor (including the root) in a single step.
+//
+// The package also builds the reduced variants compared in Figure 7
+// (BasicIndex, StarIndex, JoinIndex) for storage accounting and for the
+// climbing-vs-cascading ablation.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/store"
+)
+
+// SKT is the Subtree Key Table of a non-leaf table T: row i (implicitly
+// keyed by idT = i, which is not stored — the file is sorted on it, §3.2)
+// holds the IDs of the tuples of every descendant table joined with tuple
+// i. Child foreign keys are therefore materialized here and nowhere else.
+type SKT struct {
+	table int
+	desc  []int // descendant table indexes, preorder
+	cols  map[int]int
+	file  *store.RowFile
+}
+
+// NewSKT creates an empty SKT for table with the given descendant layout.
+func NewSKT(dev *flash.Device, table int, desc []int) (*SKT, error) {
+	if len(desc) == 0 {
+		return nil, fmt.Errorf("index: SKT needs at least one descendant")
+	}
+	f, err := store.NewRowFile(dev, len(desc)*store.IDBytes)
+	if err != nil {
+		return nil, err
+	}
+	cols := make(map[int]int, len(desc))
+	for i, d := range desc {
+		cols[d] = i
+	}
+	return &SKT{table: table, desc: desc, cols: cols, file: f}, nil
+}
+
+// Table returns the owning table index.
+func (s *SKT) Table() int { return s.table }
+
+// Descendants returns the descendant table indexes in column order.
+func (s *SKT) Descendants() []int { return s.desc }
+
+// ColumnOf returns the column position of a descendant table.
+func (s *SKT) ColumnOf(table int) (int, bool) {
+	c, ok := s.cols[table]
+	return c, ok
+}
+
+// File exposes the underlying row file (SJoin streams it directly).
+func (s *SKT) File() *store.RowFile { return s.file }
+
+// Rows returns the number of SKT rows (= table cardinality).
+func (s *SKT) Rows() int { return s.file.Count() }
+
+// Pages returns the flash footprint.
+func (s *SKT) Pages() int { return s.file.Pages() }
+
+// Append adds the descendant IDs for the next tuple during bulk load.
+func (s *SKT) Append(ids []uint32) error {
+	if len(ids) != len(s.desc) {
+		return fmt.Errorf("index: SKT row has %d ids, want %d", len(ids), len(s.desc))
+	}
+	rec := make([]byte, len(ids)*store.IDBytes)
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(rec[i*store.IDBytes:], id)
+	}
+	return s.file.Append(rec)
+}
+
+// Seal freezes the SKT after bulk load.
+func (s *SKT) Seal() error { return s.file.Seal() }
+
+// Insert appends a row after load (single-tuple updates).
+func (s *SKT) Insert(ids []uint32) error {
+	if len(ids) != len(s.desc) {
+		return fmt.Errorf("index: SKT row has %d ids, want %d", len(ids), len(s.desc))
+	}
+	rec := make([]byte, len(ids)*store.IDBytes)
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(rec[i*store.IDBytes:], id)
+	}
+	return s.file.Insert(rec)
+}
+
+// ReadRow decodes the descendant IDs of tuple id (one page read).
+func (s *SKT) ReadRow(id uint32, dst []uint32) error {
+	if len(dst) < len(s.desc) {
+		return fmt.Errorf("index: dst too small")
+	}
+	rec := make([]byte, s.file.RowWidth())
+	if err := s.file.ReadRow(id, rec); err != nil {
+		return err
+	}
+	for i := range s.desc {
+		dst[i] = binary.BigEndian.Uint32(rec[i*store.IDBytes:])
+	}
+	return nil
+}
+
+// DecodeRow extracts descendant IDs from a raw SKT record.
+func (s *SKT) DecodeRow(rec []byte, dst []uint32) {
+	for i := range s.desc {
+		dst[i] = binary.BigEndian.Uint32(rec[i*store.IDBytes:])
+	}
+}

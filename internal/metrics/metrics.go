@@ -1,0 +1,202 @@
+// Package metrics turns the raw I/O counters of the flash simulator and
+// the USB channel into simulated execution time, following the cost model
+// of Table 1 in the paper: 25µs to load a page from flash into the data
+// register, 200µs to program a page, 50ns per byte transferred between the
+// data register and RAM, plus communication time at the configured link
+// throughput. It also provides named cost spans so experiments can break a
+// query's cost down per operator (Figures 15 and 16).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/flash"
+)
+
+// Model holds the cost parameters.
+type Model struct {
+	ReadPage   time.Duration // flash -> data register latency per page
+	WritePage  time.Duration // data register -> flash program time per page
+	EraseBlock time.Duration // block erase time (0 in the paper's model)
+	PerByte    time.Duration // data register -> RAM per byte
+}
+
+// DefaultModel returns the Table 1 parameters.
+func DefaultModel() Model {
+	return Model{
+		ReadPage:  25 * time.Microsecond,
+		WritePage: 200 * time.Microsecond,
+		PerByte:   50 * time.Nanosecond,
+	}
+}
+
+// Sample is a combined snapshot of flash and bus activity.
+type Sample struct {
+	Flash   flash.Counters
+	BusDown uint64
+	BusUp   uint64
+}
+
+// Sub returns s - o component-wise.
+func (s Sample) Sub(o Sample) Sample {
+	return Sample{
+		Flash:   s.Flash.Sub(o.Flash),
+		BusDown: s.BusDown - o.BusDown,
+		BusUp:   s.BusUp - o.BusUp,
+	}
+}
+
+// Add returns s + o component-wise.
+func (s Sample) Add(o Sample) Sample {
+	return Sample{
+		Flash:   s.Flash.Add(o.Flash),
+		BusDown: s.BusDown + o.BusDown,
+		BusUp:   s.BusUp + o.BusUp,
+	}
+}
+
+// IOTime converts the flash component of a sample to simulated time.
+func (m Model) IOTime(s Sample) time.Duration {
+	t := time.Duration(s.Flash.PageReads)*m.ReadPage +
+		time.Duration(s.Flash.PageWrites)*m.WritePage +
+		time.Duration(s.Flash.BlockErases)*m.EraseBlock +
+		time.Duration(s.Flash.BytesToRAM)*m.PerByte
+	return t
+}
+
+// CommTime converts the bus component of a sample to simulated time at the
+// given link throughput (MB/s).
+func (m Model) CommTime(s Sample, throughputMBps float64) time.Duration {
+	if throughputMBps <= 0 {
+		return 0
+	}
+	bytes := float64(s.BusDown + s.BusUp)
+	secs := bytes / (throughputMBps * 1e6)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Time is IOTime + CommTime.
+func (m Model) Time(s Sample, throughputMBps float64) time.Duration {
+	return m.IOTime(s) + m.CommTime(s, throughputMBps)
+}
+
+// Collector attributes I/O activity to named spans. Spans may nest;
+// activity is attributed to the innermost open span, and enclosing spans
+// see only their own direct activity (so the per-operator decomposition of
+// Figure 15 sums to the total).
+type Collector struct {
+	dev   *flash.Device
+	ch    *bus.Channel
+	model Model
+
+	spans map[string]Sample
+	order []string
+	stack []frame
+}
+
+type frame struct {
+	name  string
+	start Sample
+	child Sample
+}
+
+// NewCollector creates a collector over the given device and channel.
+func NewCollector(dev *flash.Device, ch *bus.Channel, model Model) *Collector {
+	return &Collector{dev: dev, ch: ch, model: model, spans: make(map[string]Sample)}
+}
+
+// Model returns the collector's cost model.
+func (c *Collector) Model() Model { return c.model }
+
+func (c *Collector) now() Sample {
+	s := Sample{Flash: c.dev.Counters()}
+	s.BusDown, s.BusUp = c.ch.Counters()
+	return s
+}
+
+// Reset clears all recorded spans and the underlying counters.
+func (c *Collector) Reset() {
+	if len(c.stack) != 0 {
+		panic("metrics: reset with open spans")
+	}
+	c.spans = make(map[string]Sample)
+	c.order = c.order[:0]
+	c.dev.ResetCounters()
+	c.ch.ResetCounters()
+}
+
+// Span runs f, attributing its direct I/O activity to name.
+func (c *Collector) Span(name string, f func() error) error {
+	c.begin(name)
+	err := f()
+	c.end(name)
+	return err
+}
+
+func (c *Collector) begin(name string) {
+	c.stack = append(c.stack, frame{name: name, start: c.now()})
+}
+
+func (c *Collector) end(name string) {
+	n := len(c.stack)
+	if n == 0 || c.stack[n-1].name != name {
+		panic(fmt.Sprintf("metrics: unbalanced span %q", name))
+	}
+	fr := c.stack[n-1]
+	c.stack = c.stack[:n-1]
+	total := c.now().Sub(fr.start)
+	own := total.Sub(fr.child)
+	if _, seen := c.spans[name]; !seen {
+		c.order = append(c.order, name)
+	}
+	c.spans[name] = c.spans[name].Add(own)
+	if n > 1 {
+		c.stack[n-2].child = c.stack[n-2].child.Add(total)
+	}
+}
+
+// SampleOf returns the accumulated activity of a span.
+func (c *Collector) SampleOf(name string) Sample { return c.spans[name] }
+
+// TimeOf returns the simulated I/O time of a span (no communication).
+func (c *Collector) TimeOf(name string) time.Duration {
+	return c.model.IOTime(c.spans[name])
+}
+
+// CommTimeOf returns the simulated communication time of a span.
+func (c *Collector) CommTimeOf(name string) time.Duration {
+	return c.model.CommTime(c.spans[name], c.ch.ThroughputMBps())
+}
+
+// Names returns the span names in first-seen order.
+func (c *Collector) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Total returns the sum over all spans plus unattributed activity is NOT
+// included; use Device counters for grand totals. Breakdown returns the
+// per-span I/O times sorted by name for stable output.
+func (c *Collector) Breakdown() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(c.spans))
+	for n, s := range c.spans {
+		out[n] = c.model.IOTime(s)
+	}
+	return out
+}
+
+// FormatBreakdown renders the per-span costs for human consumption.
+func (c *Collector) FormatBreakdown() string {
+	names := c.Names()
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf("%-10s %12v  (reads=%d writes=%d bytes=%d)\n",
+			n, c.TimeOf(n), c.spans[n].Flash.PageReads, c.spans[n].Flash.PageWrites, c.spans[n].Flash.BytesToRAM)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/flash"
+)
+
+func testRig(t *testing.T) (*flash.Device, *bus.Channel, *Collector) {
+	t.Helper()
+	dev := flash.MustDevice(flash.Params{PageSize: 2048, PagesPerBlock: 4, Blocks: 16, ReserveBlocks: 2})
+	ch := bus.NewChannel(1.0)
+	return dev, ch, NewCollector(dev, ch, DefaultModel())
+}
+
+func TestIOTimeMath(t *testing.T) {
+	m := DefaultModel()
+	s := Sample{Flash: flash.Counters{PageReads: 4, PageWrites: 2, BytesToRAM: 1000}}
+	want := 4*25*time.Microsecond + 2*200*time.Microsecond + 1000*50*time.Nanosecond
+	if got := m.IOTime(s); got != want {
+		t.Fatalf("IOTime = %v, want %v", got, want)
+	}
+}
+
+func TestCommTimeMath(t *testing.T) {
+	m := DefaultModel()
+	s := Sample{BusDown: 1_000_000, BusUp: 500_000}
+	// 1.5MB at 1.5 MB/s = 1s.
+	if got := m.CommTime(s, 1.5); got != time.Second {
+		t.Fatalf("CommTime = %v, want 1s", got)
+	}
+	if m.CommTime(s, 0) != 0 {
+		t.Fatal("zero throughput should cost nothing")
+	}
+}
+
+func TestSpanAttribution(t *testing.T) {
+	dev, ch, col := testRig(t)
+	pg, _ := dev.Alloc()
+	buf := make([]byte, 2048)
+	err := col.Span("outer", func() error {
+		if err := dev.Write(pg, buf); err != nil { // outer's own write
+			return err
+		}
+		return col.Span("inner", func() error {
+			return dev.ReadFull(pg, buf) // inner's read
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ch
+	in := col.SampleOf("inner")
+	out := col.SampleOf("outer")
+	if in.Flash.PageReads != 1 || in.Flash.PageWrites != 0 {
+		t.Fatalf("inner = %+v", in.Flash)
+	}
+	if out.Flash.PageWrites != 1 || out.Flash.PageReads != 0 {
+		t.Fatalf("outer = %+v (must exclude inner)", out.Flash)
+	}
+	if got := col.TimeOf("outer"); got != 200*time.Microsecond {
+		t.Fatalf("outer time = %v", got)
+	}
+}
+
+func TestSpanAccumulatesAcrossCalls(t *testing.T) {
+	dev, _, col := testRig(t)
+	pg, _ := dev.Alloc()
+	buf := make([]byte, 2048)
+	for i := 0; i < 3; i++ {
+		_ = col.Span("w", func() error { return dev.Write(pg, buf) })
+	}
+	if col.SampleOf("w").Flash.PageWrites != 3 {
+		t.Fatalf("accumulated = %+v", col.SampleOf("w").Flash)
+	}
+	names := col.Names()
+	if len(names) != 1 || names[0] != "w" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestResetPanicsWithOpenSpans(t *testing.T) {
+	_, _, col := testRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	col.begin("open")
+	col.Reset()
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	dev, _, col := testRig(t)
+	pg, _ := dev.Alloc()
+	buf := make([]byte, 2048)
+	_ = col.Span("Merge", func() error { return dev.Write(pg, buf) })
+	_ = col.Span("SJoin", func() error { return dev.ReadFull(pg, buf) })
+	out := col.FormatBreakdown()
+	for _, want := range []string{"Merge", "SJoin", "writes=1", "reads=1"} {
+		if !containsStr(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	bd := col.Breakdown()
+	if bd["Merge"] != 200*time.Microsecond {
+		t.Fatalf("merge = %v", bd["Merge"])
+	}
+	if col.CommTimeOf("Merge") != 0 {
+		t.Fatal("no comm expected")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,373 @@
+// Package query resolves parsed SQL statements against a GhostDB schema:
+// it binds column references, checks that join predicates follow the
+// tree-structured schema's key/foreign-key edges (§3), classifies
+// predicates as Visible or Hidden, and computes the query's *anchor* — the
+// topmost referenced table, whose tuples drive the whole evaluation (the
+// root table T0 in all of the paper's examples, but any subtree root
+// works thanks to the FullIndex variant).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+// IDCol is the pseudo column index denoting the surrogate identifier.
+const IDCol = -1
+
+// ErrUnsupported marks queries outside the supported SPJ class.
+var ErrUnsupported = errors.New("query: unsupported construct")
+
+// Pred is a resolved selection conjunct.
+type Pred struct {
+	Table  int // table index in the schema
+	ColIdx int // column position, or IDCol
+	Hidden bool
+	Op     sqlparse.CompareOp
+	Lo     schema.Value
+	Hi     schema.Value // for OpBetween
+}
+
+// Proj is one resolved projection item.
+type Proj struct {
+	Table  int
+	ColIdx int // column position, or IDCol
+}
+
+// Query is a fully resolved select-project-join query.
+type Query struct {
+	SQL         string
+	Tables      []int // referenced tables (FROM order, deduplicated)
+	Anchor      int   // topmost table; ancestor-or-self of every other
+	Preds       []Pred
+	Projections []Proj
+	CountOnly   bool // SELECT COUNT(*): project nothing, return the cardinality
+}
+
+// HiddenPreds returns the predicates on Hidden attributes (id predicates
+// included: identifiers are replicated but their evaluation is free on
+// Secure, so they are processed there).
+func (q *Query) HiddenPreds() []Pred {
+	var out []Pred
+	for _, p := range q.Preds {
+		if p.Hidden {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VisiblePreds returns the predicates evaluated on Untrusted, grouped per
+// table (Untrusted computes each table's visible conjunction and ships a
+// single ID list per table, §3.3).
+func (q *Query) VisiblePreds() map[int][]Pred {
+	out := make(map[int][]Pred)
+	for _, p := range q.Preds {
+		if !p.Hidden {
+			out[p.Table] = append(out[p.Table], p)
+		}
+	}
+	return out
+}
+
+// ProjTables returns the set of tables contributing projected attributes.
+func (q *Query) ProjTables() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, pr := range q.Projections {
+		if !seen[pr.Table] {
+			seen[pr.Table] = true
+			out = append(out, pr.Table)
+		}
+	}
+	return out
+}
+
+// Resolve binds sel against the schema.
+func Resolve(sch *schema.Schema, sel *sqlparse.Select, sql string) (*Query, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("%w: empty FROM", ErrUnsupported)
+	}
+	q := &Query{SQL: sql}
+
+	// Bind FROM entries; aliases and names map to table indexes.
+	binding := map[string]int{} // lowercased alias or name -> table index
+	seen := map[int]bool{}
+	for _, tr := range sel.From {
+		t, ok := sch.Lookup(tr.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown table %q", tr.Name)
+		}
+		if seen[t.Index] {
+			return nil, fmt.Errorf("%w: table %q appears twice (self-joins)", ErrUnsupported, tr.Name)
+		}
+		seen[t.Index] = true
+		q.Tables = append(q.Tables, t.Index)
+		binding[strings.ToLower(tr.Name)] = t.Index
+		if tr.Alias != "" {
+			low := strings.ToLower(tr.Alias)
+			if _, dup := binding[low]; dup {
+				return nil, fmt.Errorf("query: ambiguous alias %q", tr.Alias)
+			}
+			binding[low] = t.Index
+		}
+	}
+
+	resolveCol := func(ref sqlparse.ColRef) (int, int, error) {
+		if ref.Table != "" {
+			ti, ok := binding[strings.ToLower(ref.Table)]
+			if !ok {
+				return 0, 0, fmt.Errorf("query: unknown table or alias %q", ref.Table)
+			}
+			ci, err := colIndex(sch.Tables[ti], ref.Column)
+			if err != nil {
+				return 0, 0, err
+			}
+			return ti, ci, nil
+		}
+		// Unqualified: must be unambiguous across FROM tables.
+		found := -1
+		foundCol := 0
+		for _, ti := range q.Tables {
+			if ci, err := colIndex(sch.Tables[ti], ref.Column); err == nil {
+				if found >= 0 {
+					return 0, 0, fmt.Errorf("query: ambiguous column %q", ref.Column)
+				}
+				found, foundCol = ti, ci
+			}
+		}
+		if found < 0 {
+			return 0, 0, fmt.Errorf("query: unknown column %q", ref.Column)
+		}
+		return found, foundCol, nil
+	}
+
+	// Joins must follow fk edges and connect the FROM set into one tree.
+	// A join side is either <table>.id or a foreign-key column.
+	type joinSide struct {
+		table int
+		fkTo  int // child table index if this side is a fk; -1 if id
+	}
+	resolveJoinSide := func(ref sqlparse.ColRef) (joinSide, error) {
+		tryTable := func(ti int) (joinSide, bool) {
+			t := sch.Tables[ti]
+			if strings.EqualFold(ref.Column, "id") {
+				return joinSide{table: ti, fkTo: -1}, true
+			}
+			for _, r := range t.Refs {
+				if strings.EqualFold(r.FKColumn, ref.Column) {
+					child, _ := sch.Lookup(r.Child)
+					return joinSide{table: ti, fkTo: child.Index}, true
+				}
+			}
+			return joinSide{}, false
+		}
+		if ref.Table != "" {
+			ti, ok := binding[strings.ToLower(ref.Table)]
+			if !ok {
+				return joinSide{}, fmt.Errorf("query: unknown table or alias %q", ref.Table)
+			}
+			s, ok := tryTable(ti)
+			if !ok {
+				return joinSide{}, fmt.Errorf("query: %q is neither id nor a foreign key of %q",
+					ref.Column, sch.Tables[ti].Name)
+			}
+			return s, nil
+		}
+		var found *joinSide
+		for _, ti := range q.Tables {
+			if s, ok := tryTable(ti); ok && s.fkTo >= 0 {
+				// Unqualified fk names must be unique; "id" alone is
+				// always ambiguous in a multi-table query.
+				if found != nil {
+					return joinSide{}, fmt.Errorf("query: ambiguous join column %q", ref.Column)
+				}
+				cp := s
+				found = &cp
+			}
+		}
+		if found == nil {
+			return joinSide{}, fmt.Errorf("query: cannot resolve join column %q", ref.Column)
+		}
+		return *found, nil
+	}
+	type edge struct{ parent, child int }
+	edges := map[edge]bool{}
+	for _, j := range sel.Joins {
+		ls, err := resolveJoinSide(j.Left)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := resolveJoinSide(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		fk, id := ls, rs
+		if fk.fkTo < 0 {
+			fk, id = rs, ls
+		}
+		if fk.fkTo < 0 || id.fkTo >= 0 {
+			return nil, fmt.Errorf("%w: join must be of the form parent.fk = child.id", ErrUnsupported)
+		}
+		if fk.fkTo != id.table {
+			return nil, fmt.Errorf("query: fk of %q references %q, not %q",
+				sch.Tables[fk.table].Name, sch.Tables[fk.fkTo].Name, sch.Tables[id.table].Name)
+		}
+		edges[edge{fk.table, id.table}] = true
+	}
+	if len(q.Tables) > 1 {
+		if len(edges) != len(q.Tables)-1 {
+			return nil, fmt.Errorf("%w: %d join predicates cannot connect %d tables",
+				ErrUnsupported, len(edges), len(q.Tables))
+		}
+		// Every non-anchor table must be reachable via joined edges.
+		joined := map[int]bool{}
+		for e := range edges {
+			if !seen[e.parent] || !seen[e.child] {
+				return nil, fmt.Errorf("query: join references table outside FROM")
+			}
+			if joined[e.child] {
+				return nil, fmt.Errorf("%w: table joined twice", ErrUnsupported)
+			}
+			joined[e.child] = true
+		}
+	}
+	q.Anchor = sch.CommonAncestor(q.Tables)
+	if !seen[q.Anchor] {
+		return nil, fmt.Errorf("%w: tables %v do not form a rooted subtree (missing %q in FROM)",
+			ErrUnsupported, q.Tables, sch.Tables[q.Anchor].Name)
+	}
+	for _, ti := range q.Tables {
+		if !sch.IsAncestorOf(q.Anchor, ti) {
+			return nil, fmt.Errorf("%w: %q is not under anchor %q",
+				ErrUnsupported, sch.Tables[ti].Name, sch.Tables[q.Anchor].Name)
+		}
+	}
+
+	// Predicates.
+	for _, p := range sel.Preds {
+		ti, ci, err := resolveCol(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		rp := Pred{Table: ti, ColIdx: ci, Op: p.Op}
+		if ci == IDCol {
+			rp.Hidden = true // evaluated on Secure; ids leak nothing extra
+			var err error
+			rp.Lo, err = coerce(p.Lo, schema.Column{Kind: schema.KindInt})
+			if err != nil {
+				return nil, fmt.Errorf("query: id predicate: %w", err)
+			}
+			if p.Op == sqlparse.OpBetween {
+				rp.Hi, err = coerce(p.Hi, schema.Column{Kind: schema.KindInt})
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			col := sch.Tables[ti].Columns[ci]
+			rp.Hidden = col.Hidden
+			rp.Lo, err = coerce(p.Lo, col)
+			if err != nil {
+				return nil, fmt.Errorf("query: predicate on %s.%s: %w",
+					sch.Tables[ti].Name, col.Name, err)
+			}
+			if p.Op == sqlparse.OpBetween {
+				rp.Hi, err = coerce(p.Hi, col)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		q.Preds = append(q.Preds, rp)
+	}
+
+	// Projections. COUNT(*) projects the anchor id internally: the exact
+	// SPJ pipeline yields one tuple per qualifying anchor row, so the
+	// count is the result cardinality.
+	if sel.Count {
+		q.CountOnly = true
+		q.Projections = []Proj{{Table: q.Anchor, ColIdx: IDCol}}
+		return q, nil
+	}
+	if sel.Star {
+		for _, ti := range q.Tables {
+			q.Projections = append(q.Projections, expandStar(sch.Tables[ti])...)
+		}
+	} else {
+		for _, ref := range sel.Projections {
+			if ref.Column == "*" {
+				ti, ok := binding[strings.ToLower(ref.Table)]
+				if !ok {
+					return nil, fmt.Errorf("query: unknown table %q", ref.Table)
+				}
+				q.Projections = append(q.Projections, expandStar(sch.Tables[ti])...)
+				continue
+			}
+			ti, ci, err := resolveCol(ref)
+			if err != nil {
+				return nil, err
+			}
+			q.Projections = append(q.Projections, Proj{Table: ti, ColIdx: ci})
+		}
+	}
+	return q, nil
+}
+
+func expandStar(t *schema.Table) []Proj {
+	out := []Proj{{Table: t.Index, ColIdx: IDCol}}
+	for i := range t.Columns {
+		out = append(out, Proj{Table: t.Index, ColIdx: i})
+	}
+	return out
+}
+
+// colIndex resolves a column name within a table; "id" maps to IDCol.
+// Foreign-key columns are not addressable: they are materialized in the
+// Subtree Key Tables and joined through them.
+func colIndex(t *schema.Table, name string) (int, error) {
+	if strings.EqualFold(name, "id") {
+		return IDCol, nil
+	}
+	if _, i, ok := t.Column(name); ok {
+		return i, nil
+	}
+	for _, r := range t.Refs {
+		if strings.EqualFold(r.FKColumn, name) {
+			return 0, fmt.Errorf("%w: foreign key %s.%s can only appear in join predicates",
+				ErrUnsupported, t.Name, name)
+		}
+	}
+	return 0, fmt.Errorf("query: no column %q in table %q", name, t.Name)
+}
+
+func coerce(v schema.Value, col schema.Column) (schema.Value, error) {
+	switch col.Kind {
+	case schema.KindInt:
+		switch v.Kind {
+		case schema.KindInt:
+			return v, nil
+		case schema.KindFloat:
+			return schema.Value{}, fmt.Errorf("float literal for int column")
+		}
+	case schema.KindFloat:
+		switch v.Kind {
+		case schema.KindFloat:
+			return v, nil
+		case schema.KindInt:
+			return schema.FloatVal(float64(v.I)), nil
+		}
+	case schema.KindChar:
+		if v.Kind == schema.KindChar {
+			if len(v.S) > col.Width {
+				return schema.Value{}, fmt.Errorf("string %q exceeds char(%d)", v.S, col.Width)
+			}
+			return v, nil
+		}
+	}
+	return schema.Value{}, fmt.Errorf("literal %s incompatible with %v column", v, col.Kind)
+}

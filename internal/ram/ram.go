@@ -1,0 +1,128 @@
+// Package ram enforces the secure chip's tiny RAM budget (64KB in the
+// paper, i.e. 32 buffers of 2KB — the flash I/O unit). Security dictates a
+// small silicon die, hence the small RAM; every GhostDB operator must
+// acquire its working memory here and fails over to multi-pass algorithms
+// when the budget is exhausted, exactly as the paper's operators do (§3.4).
+package ram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultBudget is the paper's secure-chip RAM size (Table 1).
+const DefaultBudget = 65536
+
+// ErrExhausted is returned when an allocation does not fit in the
+// remaining budget.
+var ErrExhausted = errors.New("ram: budget exhausted")
+
+// Manager tracks the secure RAM budget. The zero value is unusable; use
+// NewManager.
+type Manager struct {
+	budget    int
+	bufSize   int
+	inUse     int
+	highWater int
+	grants    int
+}
+
+// NewManager creates a manager with a total byte budget and the buffer
+// granularity (the flash page size).
+func NewManager(budget, bufSize int) *Manager {
+	if budget <= 0 || bufSize <= 0 || budget < bufSize {
+		panic(fmt.Sprintf("ram: invalid budget %d / buffer %d", budget, bufSize))
+	}
+	return &Manager{budget: budget, bufSize: bufSize}
+}
+
+// Budget returns the total byte budget.
+func (m *Manager) Budget() int { return m.budget }
+
+// BufferSize returns the allocation granularity in bytes.
+func (m *Manager) BufferSize() int { return m.bufSize }
+
+// Buffers returns the total budget expressed in whole buffers.
+func (m *Manager) Buffers() int { return m.budget / m.bufSize }
+
+// Available returns the bytes currently free.
+func (m *Manager) Available() int { return m.budget - m.inUse }
+
+// AvailableBuffers returns the number of whole buffers currently free.
+func (m *Manager) AvailableBuffers() int { return m.Available() / m.bufSize }
+
+// InUse returns the bytes currently allocated.
+func (m *Manager) InUse() int { return m.inUse }
+
+// HighWater returns the maximum bytes ever simultaneously allocated.
+func (m *Manager) HighWater() int { return m.highWater }
+
+// Grant is a live RAM reservation. Release it exactly once.
+type Grant struct {
+	m        *Manager
+	bytes    int
+	released bool
+}
+
+// Alloc reserves n bytes, or fails with ErrExhausted.
+func (m *Manager) Alloc(n int) (*Grant, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ram: non-positive allocation %d", n)
+	}
+	if m.inUse+n > m.budget {
+		return nil, fmt.Errorf("%w: want %d, free %d of %d", ErrExhausted, n, m.Available(), m.budget)
+	}
+	m.inUse += n
+	m.grants++
+	if m.inUse > m.highWater {
+		m.highWater = m.inUse
+	}
+	return &Grant{m: m, bytes: n}, nil
+}
+
+// AllocBuffers reserves n whole buffers.
+func (m *Manager) AllocBuffers(n int) (*Grant, error) {
+	return m.Alloc(n * m.bufSize)
+}
+
+// Bytes returns the size of the reservation.
+func (g *Grant) Bytes() int { return g.bytes }
+
+// Release returns the reservation to the pool. Releasing twice panics:
+// that is a bookkeeping bug, not a runtime condition.
+func (g *Grant) Release() {
+	if g == nil {
+		return
+	}
+	if g.released {
+		panic("ram: double release")
+	}
+	g.released = true
+	g.m.inUse -= g.bytes
+	g.m.grants--
+}
+
+// Resize grows or shrinks the reservation in place, failing with
+// ErrExhausted when growth does not fit.
+func (g *Grant) Resize(n int) error {
+	if g.released {
+		panic("ram: resize after release")
+	}
+	if n <= 0 {
+		return fmt.Errorf("ram: non-positive resize %d", n)
+	}
+	delta := n - g.bytes
+	if delta > 0 && g.m.inUse+delta > g.m.budget {
+		return fmt.Errorf("%w: grow by %d, free %d", ErrExhausted, delta, g.m.Available())
+	}
+	g.m.inUse += delta
+	g.bytes = n
+	if g.m.inUse > g.m.highWater {
+		g.m.highWater = g.m.inUse
+	}
+	return nil
+}
+
+// Leaked reports whether any grants are outstanding; tests use this to
+// catch operators that forget to release buffers.
+func (m *Manager) Leaked() bool { return m.grants != 0 }

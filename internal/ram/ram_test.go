@@ -1,0 +1,78 @@
+package ram
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBudgetEnforced(t *testing.T) {
+	m := NewManager(65536, 2048)
+	if m.Buffers() != 32 {
+		t.Fatalf("buffers = %d, want 32", m.Buffers())
+	}
+	g, err := m.AllocBuffers(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvailableBuffers() != 2 {
+		t.Fatalf("available = %d, want 2", m.AvailableBuffers())
+	}
+	if _, err := m.AllocBuffers(3); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-allocation: %v", err)
+	}
+	g2, err := m.AllocBuffers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	g2.Release()
+	if m.InUse() != 0 || m.Leaked() {
+		t.Fatalf("leak: inUse=%d", m.InUse())
+	}
+	if m.HighWater() != 65536 {
+		t.Fatalf("high water = %d, want 65536", m.HighWater())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	m := NewManager(4096, 2048)
+	g, _ := m.Alloc(100)
+	g.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	g.Release()
+}
+
+func TestResize(t *testing.T) {
+	m := NewManager(4096, 2048)
+	g, _ := m.Alloc(1000)
+	if err := g.Resize(2000); err != nil {
+		t.Fatal(err)
+	}
+	if m.InUse() != 2000 {
+		t.Fatalf("inUse = %d", m.InUse())
+	}
+	if err := g.Resize(8000); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("oversize resize: %v", err)
+	}
+	if err := g.Resize(500); err != nil {
+		t.Fatal(err)
+	}
+	if m.InUse() != 500 {
+		t.Fatalf("inUse after shrink = %d", m.InUse())
+	}
+	g.Release()
+}
+
+func TestInvalidAlloc(t *testing.T) {
+	m := NewManager(4096, 2048)
+	if _, err := m.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := m.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package ref is a naive, full-memory reference evaluator for the SPJ
+// query class GhostDB supports. It exists purely for differential testing:
+// every query answered by the secure engine is re-answered here by brute
+// force over the raw rows, and the results must match exactly, for every
+// execution strategy. It performs no I/O accounting and has no RAM limits.
+package ref
+
+import (
+	"fmt"
+
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+// Engine holds the full (visible + hidden) rows of every table.
+type Engine struct {
+	sch  *schema.Schema
+	rows map[int][]schema.Row     // data columns, aligned with Columns
+	fks  map[int]map[int][]uint32 // table -> child table -> per-row id
+}
+
+// New creates an empty reference engine.
+func New(sch *schema.Schema) *Engine {
+	return &Engine{
+		sch:  sch,
+		rows: make(map[int][]schema.Row),
+		fks:  make(map[int]map[int][]uint32),
+	}
+}
+
+// Load installs a table's rows and foreign keys.
+func (e *Engine) Load(table int, rows []schema.Row, fks map[int][]uint32) {
+	e.rows[table] = rows
+	e.fks[table] = fks
+}
+
+// Insert appends one row.
+func (e *Engine) Insert(table int, row schema.Row, fks map[int]uint32) {
+	e.rows[table] = append(e.rows[table], row)
+	if e.fks[table] == nil {
+		e.fks[table] = make(map[int][]uint32)
+	}
+	for c, id := range fks {
+		e.fks[table][c] = append(e.fks[table][c], id)
+	}
+}
+
+// Rows returns the row count of a table.
+func (e *Engine) Rows(table int) int { return len(e.rows[table]) }
+
+// chase returns the id of the q-descendant row referenced by row `id` of
+// table `a` (a must be an ancestor-or-self of d).
+func (e *Engine) chase(a, d int, id uint32) (uint32, error) {
+	if a == d {
+		if int(id) >= len(e.rows[a]) {
+			return 0, fmt.Errorf("ref: dangling id %d in %s", id, e.sch.Tables[a].Name)
+		}
+		return id, nil
+	}
+	for _, c := range e.sch.Tables[a].Children() {
+		if c == d || e.sch.IsAncestorOf(c, d) {
+			fk := e.fks[a][c]
+			if int(id) >= len(fk) {
+				return 0, fmt.Errorf("ref: dangling id %d in %s", id, e.sch.Tables[a].Name)
+			}
+			return e.chase(c, d, fk[id])
+		}
+	}
+	return 0, fmt.Errorf("ref: no path %s -> %s", e.sch.Tables[a].Name, e.sch.Tables[d].Name)
+}
+
+func match(op sqlparse.CompareOp, v, lo, hi schema.Value) bool {
+	cmp := v.Compare(lo)
+	switch op {
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	case sqlparse.OpBetween:
+		return cmp >= 0 && v.Compare(hi) <= 0
+	}
+	return false
+}
+
+// Evaluate answers a resolved query: one result row per anchor tuple
+// satisfying all predicates, in ascending anchor-id order, projecting the
+// requested columns.
+func (e *Engine) Evaluate(q *query.Query) ([]schema.Row, error) {
+	anchorRows := len(e.rows[q.Anchor])
+	var out []schema.Row
+	for id := uint32(0); int(id) < anchorRows; id++ {
+		ok := true
+		for _, p := range q.Preds {
+			did, err := e.chase(q.Anchor, p.Table, id)
+			if err != nil {
+				return nil, err
+			}
+			var v schema.Value
+			if p.ColIdx == query.IDCol {
+				v = schema.IntVal(int64(did))
+			} else {
+				v = e.rows[p.Table][did][p.ColIdx]
+			}
+			if !match(p.Op, v, p.Lo, p.Hi) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make(schema.Row, 0, len(q.Projections))
+		for _, pr := range q.Projections {
+			did, err := e.chase(q.Anchor, pr.Table, id)
+			if err != nil {
+				return nil, err
+			}
+			if pr.ColIdx == query.IDCol {
+				row = append(row, schema.IntVal(int64(did)))
+			} else {
+				row = append(row, e.rows[pr.Table][did][pr.ColIdx])
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

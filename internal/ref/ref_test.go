@@ -1,0 +1,119 @@
+package ref
+
+import (
+	"testing"
+
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+func refSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	cols := []schema.Column{
+		{Name: "v", Kind: schema.KindInt},
+		{Name: "h", Kind: schema.KindInt, Hidden: true},
+	}
+	defs := []schema.TableDef{
+		{Name: "A", Columns: cols, Refs: []schema.Ref{{FKColumn: "fb", Child: "B", Hidden: true}}},
+		{Name: "B", Columns: cols, Refs: []schema.Ref{{FKColumn: "fc", Child: "C", Hidden: true}}},
+		{Name: "C", Columns: cols},
+	}
+	s, err := schema.New(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func row(v, h int64) schema.Row { return schema.Row{schema.IntVal(v), schema.IntVal(h)} }
+
+func loadRef(t *testing.T, sch *schema.Schema) *Engine {
+	t.Helper()
+	e := New(sch)
+	a, _ := sch.Lookup("A")
+	b, _ := sch.Lookup("B")
+	c, _ := sch.Lookup("C")
+	e.Load(c.Index, []schema.Row{row(1, 10), row(2, 20), row(3, 30)}, nil)
+	e.Load(b.Index, []schema.Row{row(5, 50), row(6, 60)}, map[int][]uint32{c.Index: {2, 0}})
+	e.Load(a.Index, []schema.Row{row(7, 70), row(8, 80), row(9, 90)},
+		map[int][]uint32{b.Index: {0, 1, 0}})
+	return e
+}
+
+func evalQ(t *testing.T, sch *schema.Schema, e *Engine, sql string) []schema.Row {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Resolve(sch, stmt.(*sqlparse.Select), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTransitiveChase(t *testing.T) {
+	sch := refSchema(t)
+	e := loadRef(t, sch)
+	// A row 0 -> B row 0 -> C row 2 (h=30).
+	rows := evalQ(t, sch, e, `SELECT A.id, C.h FROM A, B, C WHERE A.fb = B.id AND B.fc = C.id AND C.h = 30`)
+	if len(rows) != 2 { // A rows 0 and 2 reference B0 -> C2
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].I != 0 || rows[1][0].I != 2 || rows[0][1].I != 30 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPredAndProjectionOrder(t *testing.T) {
+	sch := refSchema(t)
+	e := loadRef(t, sch)
+	rows := evalQ(t, sch, e, `SELECT B.v, A.id FROM A, B WHERE A.fb = B.id AND A.v >= 8`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Anchor order ascending: A1 then A2.
+	if rows[0][1].I != 1 || rows[0][0].I != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestInsertVisible(t *testing.T) {
+	sch := refSchema(t)
+	e := loadRef(t, sch)
+	b, _ := sch.Lookup("B")
+	c, _ := sch.Lookup("C")
+	e.Insert(b.Index, row(99, 990), map[int]uint32{c.Index: 1})
+	if e.Rows(b.Index) != 3 {
+		t.Fatalf("rows = %d", e.Rows(b.Index))
+	}
+	rows := evalQ(t, sch, e, `SELECT B.id, C.v FROM B, C WHERE B.fc = C.id AND B.v = 99`)
+	if len(rows) != 1 || rows[0][1].I != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDanglingReferenceError(t *testing.T) {
+	sch := refSchema(t)
+	e := New(sch)
+	a, _ := sch.Lookup("A")
+	b, _ := sch.Lookup("B")
+	c, _ := sch.Lookup("C")
+	e.Load(c.Index, []schema.Row{row(1, 1)}, nil)
+	e.Load(b.Index, []schema.Row{row(2, 2)}, map[int][]uint32{c.Index: {5}}) // dangling
+	e.Load(a.Index, []schema.Row{row(3, 3)}, map[int][]uint32{b.Index: {0}})
+	stmt, _ := sqlparse.Parse(`SELECT A.id FROM A, B, C WHERE A.fb = B.id AND B.fc = C.id AND C.h = 1`)
+	q, err := query.Resolve(sch, stmt.(*sqlparse.Select), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(q); err == nil {
+		t.Fatal("dangling reference evaluated")
+	}
+}

@@ -1,0 +1,127 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostdb/internal/schema"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable declares a table; HIDDEN columns and foreign keys are
+// captured in the embedded schema definition.
+type CreateTable struct {
+	Def schema.TableDef
+}
+
+// Insert adds one tuple.
+type Insert struct {
+	Table   string
+	Columns []string // optional explicit column list (fk names included)
+	Values  []schema.Value
+}
+
+// CompareOp enumerates predicate comparison operators.
+type CompareOp int
+
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween // value in [Lo, Hi]
+)
+
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	}
+	return "?"
+}
+
+// ColRef references a column, optionally qualified by table name.
+type ColRef struct {
+	Table  string // may be empty (resolved against FROM tables)
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Predicate is one conjunct `col op literal` (or BETWEEN lo AND hi).
+type Predicate struct {
+	Col ColRef
+	Op  CompareOp
+	Lo  schema.Value
+	Hi  schema.Value // only for OpBetween
+}
+
+func (p Predicate) String() string {
+	if p.Op == OpBetween {
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, quoted(p.Lo))
+}
+
+func quoted(v schema.Value) string {
+	if v.Kind == schema.KindChar {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// JoinPred is an equi-join conjunct `a.x = b.y`.
+type JoinPred struct {
+	Left, Right ColRef
+}
+
+// TableRef is a FROM-clause table, optionally aliased (FROM Patients P).
+type TableRef struct {
+	Name  string
+	Alias string // empty when not aliased
+}
+
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Name
+	}
+	return t.Name + " " + t.Alias
+}
+
+// Select is a select-project-join query with a conjunctive WHERE clause.
+// Count marks a SELECT COUNT(*) query (the only aggregate supported — the
+// paper leaves aggregates as future work; counting falls out of the exact
+// SPJ pipeline for free).
+type Select struct {
+	Star        bool
+	Count       bool
+	Projections []ColRef // empty iff Star or Count
+	From        []TableRef
+	Preds       []Predicate
+	Joins       []JoinPred
+}
+
+func (CreateTable) stmt() {}
+func (Insert) stmt()      {}
+func (*Select) stmt()     {}

@@ -1,0 +1,126 @@
+// Package sqlparse implements the SQL subset GhostDB exposes: CREATE
+// TABLE with the paper's HIDDEN annotation (§2.1), select-project-join
+// queries with conjunctive predicates (§3), and INSERT for updates.
+// "Users issue completely standard SQL, so application logic is
+// unchanged" (§7) — the grammar is ordinary SQL; HIDDEN is the only
+// extension, and it appears solely in the schema definition.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; . *
+	tokOp     // = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit():
+			l.pos++
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("(),;.*", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			op := l.src[start:l.pos]
+			if op == "!" {
+				return nil, fmt.Errorf("sql: stray '!' at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentPart(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

@@ -1,0 +1,400 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ghostdb/internal/schema"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.i++
+		return t, nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: pos %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) keyword(kw string) bool { return p.accept(tokIdent, kw) }
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.keyword("CREATE"):
+		return p.createTable()
+	case p.keyword("SELECT"):
+		return p.selectStmt()
+	case p.keyword("INSERT"):
+		return p.insertStmt()
+	}
+	return nil, p.errf("expected CREATE, SELECT or INSERT, found %q", p.cur().text)
+}
+
+// createTable parses
+//
+//	CREATE TABLE name (id int, col type [HIDDEN], fk int REFERENCES T [HIDDEN], ...)
+func (p *parser) createTable() (Statement, error) {
+	if _, err := p.expect(tokIdent, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	def := schema.TableDef{Name: name.text}
+	for {
+		colName, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		kind, width, err := p.columnType()
+		if err != nil {
+			return nil, err
+		}
+		if p.keyword("REFERENCES") {
+			child, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if kind != schema.KindInt {
+				return nil, p.errf("foreign key %q must be int", colName.text)
+			}
+			hidden := p.keyword("HIDDEN")
+			def.Refs = append(def.Refs, schema.Ref{FKColumn: colName.text, Child: child.text, Hidden: hidden})
+		} else if strings.EqualFold(colName.text, "id") {
+			// The surrogate identifier is implicit; accept and drop the
+			// declaration, as in the paper's CREATE TABLE examples.
+			if kind != schema.KindInt {
+				return nil, p.errf("surrogate id must be int")
+			}
+			if p.keyword("HIDDEN") {
+				return nil, p.errf("the id is replicated on both sides and cannot be HIDDEN")
+			}
+		} else {
+			hidden := p.keyword("HIDDEN")
+			def.Columns = append(def.Columns, schema.Column{
+				Name: colName.text, Kind: kind, Width: width, Hidden: hidden,
+			})
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return CreateTable{Def: def}, nil
+}
+
+func (p *parser) columnType() (schema.Kind, int, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return 0, 0, err
+	}
+	switch strings.ToLower(t.text) {
+	case "int", "integer", "bigint":
+		return schema.KindInt, 0, nil
+	case "float", "real", "double":
+		return schema.KindFloat, 0, nil
+	case "char", "varchar":
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return 0, 0, err
+		}
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return 0, 0, err
+		}
+		w, err := strconv.Atoi(n.text)
+		if err != nil || w <= 0 {
+			return 0, 0, p.errf("bad char width %q", n.text)
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return 0, 0, err
+		}
+		return schema.KindChar, w, nil
+	}
+	return 0, 0, p.errf("unknown type %q", t.text)
+}
+
+// insertStmt parses INSERT INTO t [(c1, c2, ...)] VALUES (v1, v2, ...).
+func (p *parser) insertStmt() (Statement, error) {
+	if _, err := p.expect(tokIdent, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ins := Insert{Table: name.text}
+	if p.accept(tokSymbol, "(") {
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c.text)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return ins, nil
+}
+
+// selectStmt parses SELECT cols FROM tables [WHERE conjuncts].
+func (p *parser) selectStmt() (Statement, error) {
+	sel := &Select{}
+	if p.accept(tokSymbol, "*") {
+		sel.Star = true
+	} else if p.at(tokIdent, "COUNT") && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+		p.i += 2
+		if _, err := p.expect(tokSymbol, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		sel.Count = true
+	} else {
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.Projections = append(sel.Projections, ref)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: t.text}
+		// Optional alias: a bare identifier that is not a clause keyword.
+		if p.at(tokIdent, "") && !isClauseKeyword(p.cur().text) {
+			ref.Alias = p.cur().text
+			p.i++
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.keyword("WHERE") {
+		for {
+			if err := p.conjunct(sel); err != nil {
+				return nil, err
+			}
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+// conjunct parses one WHERE conjunct: a join (a.x = b.y), a comparison
+// (col op literal, in either order) or col BETWEEN lo AND hi.
+func (p *parser) conjunct(sel *Select) error {
+	left, err := p.colRef()
+	if err != nil {
+		return err
+	}
+	if p.keyword("BETWEEN") {
+		lo, err := p.literal()
+		if err != nil {
+			return err
+		}
+		if !p.keyword("AND") {
+			return p.errf("BETWEEN needs AND")
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return err
+		}
+		sel.Preds = append(sel.Preds, Predicate{Col: left, Op: OpBetween, Lo: lo, Hi: hi})
+		return nil
+	}
+	opTok, err := p.expect(tokOp, "")
+	if err != nil {
+		return err
+	}
+	op, err := compareOp(opTok.text)
+	if err != nil {
+		return err
+	}
+	// Right-hand side: column (join) or literal (selection).
+	if p.at(tokIdent, "") && !isKeywordLiteral(p.cur().text) {
+		right, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		if op != OpEq {
+			return p.errf("only equi-joins are supported, found %q", opTok.text)
+		}
+		sel.Joins = append(sel.Joins, JoinPred{Left: left, Right: right})
+		return nil
+	}
+	v, err := p.literal()
+	if err != nil {
+		return err
+	}
+	sel.Preds = append(sel.Preds, Predicate{Col: left, Op: op, Lo: v})
+	return nil
+}
+
+func isClauseKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "AND", "FROM", "SELECT", "ORDER", "GROUP", "LIMIT":
+		return true
+	}
+	return false
+}
+
+func isKeywordLiteral(s string) bool {
+	switch strings.ToUpper(s) {
+	case "TRUE", "FALSE", "NULL":
+		return true
+	}
+	return false
+}
+
+func compareOp(s string) (CompareOp, error) {
+	switch s {
+	case "=":
+		return OpEq, nil
+	case "<>", "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("sql: unknown operator %q", s)
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		if p.accept(tokSymbol, "*") {
+			return ColRef{Table: first.text, Column: "*"}, nil
+		}
+		second, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first.text, Column: second.text}, nil
+	}
+	return ColRef{Column: first.text}, nil
+}
+
+func (p *parser) literal() (schema.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return schema.Value{}, p.errf("bad float %q", t.text)
+			}
+			return schema.FloatVal(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return schema.Value{}, p.errf("bad int %q", t.text)
+		}
+		return schema.IntVal(n), nil
+	case tokString:
+		p.i++
+		return schema.CharVal(t.text), nil
+	}
+	return schema.Value{}, p.errf("expected literal, found %q", t.text)
+}

@@ -1,0 +1,227 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"ghostdb/internal/schema"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestCreateTablePaperExample(t *testing.T) {
+	// Verbatim from §2.1 of the paper.
+	stmt := mustParse(t, `CREATE TABLE Patients (id int, name char(200) HIDDEN,
+	  age int, city char(100), bodymassindex float HIDDEN)`)
+	ct, ok := stmt.(CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Def.Name != "Patients" {
+		t.Fatalf("name = %q", ct.Def.Name)
+	}
+	if len(ct.Def.Columns) != 4 { // id is implicit
+		t.Fatalf("columns = %d", len(ct.Def.Columns))
+	}
+	byName := map[string]schema.Column{}
+	for _, c := range ct.Def.Columns {
+		byName[c.Name] = c
+	}
+	if !byName["name"].Hidden || byName["name"].Width != 200 {
+		t.Fatalf("name column = %+v", byName["name"])
+	}
+	if byName["age"].Hidden || byName["age"].Kind != schema.KindInt {
+		t.Fatalf("age column = %+v", byName["age"])
+	}
+	if !byName["bodymassindex"].Hidden || byName["bodymassindex"].Kind != schema.KindFloat {
+		t.Fatalf("bmi column = %+v", byName["bodymassindex"])
+	}
+}
+
+func TestCreateTableWithReferences(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE Measurements (id int,
+	  patient_id int REFERENCES Patients HIDDEN,
+	  drug_id int REFERENCES Drugs HIDDEN,
+	  time char(10), measurement char(10), comment char(100));`)
+	ct := stmt.(CreateTable)
+	if len(ct.Def.Refs) != 2 {
+		t.Fatalf("refs = %+v", ct.Def.Refs)
+	}
+	if ct.Def.Refs[0].Child != "Patients" || !ct.Def.Refs[0].Hidden {
+		t.Fatalf("ref[0] = %+v", ct.Def.Refs[0])
+	}
+	if len(ct.Def.Columns) != 3 {
+		t.Fatalf("columns = %d", len(ct.Def.Columns))
+	}
+}
+
+func TestSelectPaperQuery(t *testing.T) {
+	// The psychiatrist query from §3.
+	stmt := mustParse(t, `SELECT D.id, P.id, M.id
+	  FROM Measurements M, Doctors D, Patients P
+	  WHERE M.pid = P.id AND P.did = D.id
+	  AND D.specialty = 'Psychiatrist'
+	  AND P.bodymassindex > 25`)
+	sel := stmt.(*Select)
+	if len(sel.Projections) != 3 || sel.Projections[0].String() != "D.id" {
+		t.Fatalf("projections = %v", sel.Projections)
+	}
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %v", sel.From)
+	}
+	if sel.From[0].Name != "Measurements" || sel.From[0].Alias != "M" {
+		t.Fatalf("from[0] = %+v", sel.From[0])
+	}
+	if len(sel.Joins) != 2 || len(sel.Preds) != 2 {
+		t.Fatalf("joins=%d preds=%d", len(sel.Joins), len(sel.Preds))
+	}
+	if sel.Preds[0].Op != OpEq || sel.Preds[0].Lo.S != "Psychiatrist" {
+		t.Fatalf("pred[0] = %+v", sel.Preds[0])
+	}
+	if sel.Preds[1].Op != OpGt || sel.Preds[1].Lo.I != 25 {
+		t.Fatalf("pred[1] = %+v", sel.Preds[1])
+	}
+}
+
+func TestSelectStarAndTableStar(t *testing.T) {
+	sel := mustParse(t, `SELECT * FROM Patients WHERE age = 50 AND bodymassindex = 23`).(*Select)
+	if !sel.Star || len(sel.Preds) != 2 {
+		t.Fatalf("star=%v preds=%d", sel.Star, len(sel.Preds))
+	}
+	sel2 := mustParse(t, `SELECT T0.*, T1.id FROM T0, T1 WHERE T0.fk1 = T1.id`).(*Select)
+	if sel2.Projections[0].Column != "*" || sel2.Projections[0].Table != "T0" {
+		t.Fatalf("table star = %v", sel2.Projections[0])
+	}
+	if len(sel2.Joins) != 1 {
+		t.Fatalf("joins = %v", sel2.Joins)
+	}
+}
+
+func TestSelectOperatorsAndBetween(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM T WHERE a <= 3 AND b >= 4 AND c <> 'x'
+	  AND d != 5 AND e BETWEEN 10 AND 20 AND f < 1.5`).(*Select)
+	ops := []CompareOp{OpLe, OpGe, OpNe, OpNe, OpBetween, OpLt}
+	if len(sel.Preds) != len(ops) {
+		t.Fatalf("preds = %d", len(sel.Preds))
+	}
+	for i, op := range ops {
+		if sel.Preds[i].Op != op {
+			t.Fatalf("pred %d op = %v, want %v", i, sel.Preds[i].Op, op)
+		}
+	}
+	if sel.Preds[4].Lo.I != 10 || sel.Preds[4].Hi.I != 20 {
+		t.Fatalf("between = %+v", sel.Preds[4])
+	}
+	if sel.Preds[5].Lo.Kind != schema.KindFloat {
+		t.Fatalf("float literal = %+v", sel.Preds[5].Lo)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM T WHERE name = 'O''Brien'`).(*Select)
+	if sel.Preds[0].Lo.S != "O'Brien" {
+		t.Fatalf("escaped string = %q", sel.Preds[0].Lo.S)
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM T WHERE a = -42`).(*Select)
+	if sel.Preds[0].Lo.I != -42 {
+		t.Fatalf("negative literal = %+v", sel.Preds[0].Lo)
+	}
+}
+
+func TestInsert(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO Patients (fk1, name, age) VALUES (7, 'Bob', 52)`).(Insert)
+	if ins.Table != "Patients" || len(ins.Columns) != 3 || len(ins.Values) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Values[1].S != "Bob" || ins.Values[2].I != 52 {
+		t.Fatalf("values = %v", ins.Values)
+	}
+	ins2 := mustParse(t, `INSERT INTO T VALUES (1, 2.5)`).(Insert)
+	if len(ins2.Columns) != 0 || len(ins2.Values) != 2 {
+		t.Fatalf("insert2 = %+v", ins2)
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	sel := mustParse(t, `SELECT id FROM T -- trailing comment
+	  WHERE a = 1 -- another`).(*Select)
+	if len(sel.Preds) != 1 {
+		t.Fatalf("preds = %v", sel.Preds)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM T",
+		"SELECT id FROM",
+		"SELECT id FROM T WHERE",
+		"SELECT id FROM T WHERE a",
+		"SELECT id FROM T WHERE a = ",
+		"SELECT id FROM T WHERE a BETWEEN 1",
+		"SELECT id FROM T WHERE a < b", // non-equi join
+		"CREATE TABLE",
+		"CREATE TABLE x",
+		"CREATE TABLE x (a blob)",
+		"CREATE TABLE x (a char)",
+		"CREATE TABLE x (a char(0))",
+		"CREATE TABLE x (id char(3))",
+		"CREATE TABLE x (id int HIDDEN)",
+		"CREATE TABLE x (f char(3) REFERENCES y)",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES 1",
+		"SELECT id FROM T WHERE name = 'unterminated",
+		"SELECT id FROM T; SELECT id FROM T",
+		"SELECT id FROM T WHERE a ! 3",
+		"SELECT id FROM T @",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Col: ColRef{Table: "T", Column: "a"}, Op: OpBetween,
+		Lo: schema.IntVal(1), Hi: schema.IntVal(2)}
+	if !strings.Contains(p.String(), "BETWEEN") {
+		t.Fatalf("String = %q", p.String())
+	}
+	q := Predicate{Col: ColRef{Column: "n"}, Op: OpEq, Lo: schema.CharVal("a'b")}
+	if q.String() != "n = 'a''b'" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestCountStarParse(t *testing.T) {
+	sel := mustParse(t, `SELECT COUNT(*) FROM T WHERE a = 1`).(*Select)
+	if !sel.Count || sel.Star || len(sel.Projections) != 0 {
+		t.Fatalf("count select = %+v", sel)
+	}
+	// A column named count still works as an identifier.
+	sel2 := mustParse(t, `SELECT count FROM T`).(*Select)
+	if sel2.Count || len(sel2.Projections) != 1 {
+		t.Fatalf("bare count column = %+v", sel2)
+	}
+	for _, bad := range []string{
+		`SELECT COUNT(*) , id FROM T`,
+		`SELECT COUNT(id) FROM T`,
+		`SELECT COUNT( FROM T`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+
+	"ghostdb/internal/schema"
+)
+
+// Codec encodes and decodes fixed-width records for a given column list.
+// Every column occupies a fixed byte range (order-preserving encoding, see
+// schema.EncodeValue), so records are directly addressable on flash.
+type Codec struct {
+	cols    []schema.Column
+	offsets []int
+	width   int
+}
+
+// NewCodec builds a codec over the given columns.
+func NewCodec(cols []schema.Column) *Codec {
+	c := &Codec{cols: cols, offsets: make([]int, len(cols))}
+	for i, col := range cols {
+		c.offsets[i] = c.width
+		c.width += col.EncodedWidth()
+	}
+	return c
+}
+
+// Width returns the record width in bytes (possibly 0 for no columns).
+func (c *Codec) Width() int { return c.width }
+
+// Columns returns the column layout.
+func (c *Codec) Columns() []schema.Column { return c.cols }
+
+// Encode writes row into dst (len(dst) >= Width()).
+func (c *Codec) Encode(dst []byte, row schema.Row) error {
+	if len(row) != len(c.cols) {
+		return fmt.Errorf("store: row has %d values, codec wants %d", len(row), len(c.cols))
+	}
+	for i, col := range c.cols {
+		w := col.EncodedWidth()
+		if err := schema.EncodeValue(dst[c.offsets[i]:c.offsets[i]+w], row[i]); err != nil {
+			return fmt.Errorf("store: column %q: %w", col.Name, err)
+		}
+	}
+	return nil
+}
+
+// Decode parses a full record.
+func (c *Codec) Decode(src []byte) (schema.Row, error) {
+	row := make(schema.Row, len(c.cols))
+	for i := range c.cols {
+		v, err := c.DecodeColumn(src, i)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// DecodeColumn parses the i-th column out of a record.
+func (c *Codec) DecodeColumn(src []byte, i int) (schema.Value, error) {
+	col := c.cols[i]
+	w := col.EncodedWidth()
+	if len(src) < c.offsets[i]+w {
+		return schema.Value{}, fmt.Errorf("store: record too short for column %q", col.Name)
+	}
+	return schema.DecodeValue(src[c.offsets[i]:c.offsets[i]+w], col.Kind)
+}
+
+// ColumnRange returns the byte range of the i-th column within a record.
+func (c *Codec) ColumnRange(i int) (off, width int) {
+	return c.offsets[i], c.cols[i].EncodedWidth()
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ghostdb/internal/flash"
+)
+
+// IDBytes is the encoded width of one tuple identifier (Table 1).
+const IDBytes = 4
+
+// Run locates one packed sorted ID sublist within a ListSegment: Count
+// identifiers starting at byte offset Off.
+type Run struct {
+	Off   int
+	Count int
+}
+
+// Pages returns how many flash pages a sequential scan of the run touches.
+func (r Run) Pages(pageSize int) int {
+	if r.Count == 0 {
+		return 0
+	}
+	first := r.Off / pageSize
+	last := (r.Off + r.Count*IDBytes - 1) / pageSize
+	return last - first + 1
+}
+
+// ListSegment stores packed sorted runs of 4-byte identifiers. Climbing
+// index sublists, temporary intermediate ID lists and Merge spill areas
+// are all ListSegments.
+type ListSegment struct {
+	seg *Segment
+
+	runOpen  bool
+	runStart int
+	runCount int
+	scratch  [IDBytes]byte
+}
+
+// NewListSegment creates an empty list segment.
+func NewListSegment(dev *flash.Device) *ListSegment {
+	return &ListSegment{seg: NewSegment(dev)}
+}
+
+// BeginRun starts a new sublist at the current append position.
+func (l *ListSegment) BeginRun() error {
+	if l.runOpen {
+		return fmt.Errorf("store: run already open")
+	}
+	l.runOpen = true
+	l.runStart = l.seg.Bytes()
+	l.runCount = 0
+	return nil
+}
+
+// Add appends one identifier to the open run. Identifiers within a run
+// must be added in ascending order; this is checked cheaply at read time
+// by the operators, not here, to keep the hot path tight.
+func (l *ListSegment) Add(id uint32) error {
+	if !l.runOpen {
+		return fmt.Errorf("store: Add outside a run")
+	}
+	binary.BigEndian.PutUint32(l.scratch[:], id)
+	if err := l.seg.Append(l.scratch[:]); err != nil {
+		return err
+	}
+	l.runCount++
+	return nil
+}
+
+// EndRun closes the open run and returns its descriptor.
+func (l *ListSegment) EndRun() (Run, error) {
+	if !l.runOpen {
+		return Run{}, fmt.Errorf("store: EndRun without BeginRun")
+	}
+	l.runOpen = false
+	return Run{Off: l.runStart, Count: l.runCount}, nil
+}
+
+// AppendRun writes a whole sorted slice as one run.
+func (l *ListSegment) AppendRun(ids []uint32) (Run, error) {
+	if err := l.BeginRun(); err != nil {
+		return Run{}, err
+	}
+	for _, id := range ids {
+		if err := l.Add(id); err != nil {
+			return Run{}, err
+		}
+	}
+	return l.EndRun()
+}
+
+// Seal flushes the trailing partial page.
+func (l *ListSegment) Seal() error { return l.seg.Seal() }
+
+// Reopen makes a sealed list segment appendable again (post-load insert
+// maintenance appends tiny runs).
+func (l *ListSegment) Reopen() error { return l.seg.Reopen() }
+
+// Free releases all pages.
+func (l *ListSegment) Free() error { return l.seg.Free() }
+
+// Pages returns the flash footprint in pages.
+func (l *ListSegment) Pages() int { return l.seg.Pages() }
+
+// Bytes returns the number of content bytes appended so far.
+func (l *ListSegment) Bytes() int { return l.seg.Bytes() }
+
+// RunReader streams a run's identifiers in order, reading each underlying
+// flash page exactly once. It consumes one RAM buffer's worth of working
+// space (the caller accounts for it with a ram.Grant).
+type RunReader struct {
+	l    *ListSegment
+	run  Run
+	next int // ids consumed
+
+	buf    []byte
+	bufLo  int // absolute byte offset of buf[0]
+	bufLen int
+}
+
+// NewRunReader opens a streaming reader over run.
+func (l *ListSegment) NewRunReader(run Run) *RunReader {
+	return &RunReader{l: l, run: run, buf: make([]byte, l.seg.PageSize()), bufLo: -1}
+}
+
+// Remaining returns how many identifiers have not been consumed yet.
+func (r *RunReader) Remaining() int { return r.run.Count - r.next }
+
+// Next returns the next identifier, or ok=false at the end of the run.
+func (r *RunReader) Next() (uint32, bool, error) {
+	if r.next >= r.run.Count {
+		return 0, false, nil
+	}
+	off := r.run.Off + r.next*IDBytes
+	if r.bufLo < 0 || off < r.bufLo || off+IDBytes > r.bufLo+r.bufLen {
+		// Refill: read from off to the end of its flash page (or run).
+		ps := r.l.seg.PageSize()
+		pageEnd := (off/ps + 1) * ps
+		runEnd := r.run.Off + r.run.Count*IDBytes
+		end := pageEnd
+		if runEnd < end {
+			end = runEnd
+		}
+		n := end - off
+		if err := r.l.seg.ReadAt(r.buf[:n], off, n); err != nil {
+			return 0, false, err
+		}
+		r.bufLo = off
+		r.bufLen = n
+	}
+	v := binary.BigEndian.Uint32(r.buf[off-r.bufLo:])
+	r.next++
+	return v, true, nil
+}
+
+// ReadAll materializes the whole run into a slice (used by small-list fast
+// paths and by tests).
+func (l *ListSegment) ReadAll(run Run) ([]uint32, error) {
+	out := make([]uint32, 0, run.Count)
+	rd := l.NewRunReader(run)
+	for {
+		v, ok, err := rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}

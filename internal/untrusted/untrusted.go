@@ -1,0 +1,278 @@
+// Package untrusted implements the powerful-but-insecure side of GhostDB:
+// the personal computer (or remote server) holding the Visible partition
+// of every table. It evaluates the Visible conjuncts of a query and ships
+// the resulting identifier lists — and any projected visible attribute
+// values — down to the Secure USB key over the bus.
+//
+// Security model (§2.1): Untrusted sees only the query text and its own
+// Visible data. It cannot filter what it sends using Hidden information
+// (it has none), so the lists it produces may contain many irrelevant
+// tuples; Secure must filter them out quickly (design rule 2, §2.3).
+// Untrusted compute is modeled as free — the paper's costs are dominated
+// by Secure-side I/O and the link.
+package untrusted
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+	"ghostdb/internal/store"
+)
+
+// Engine is the untrusted visible-data processor.
+type Engine struct {
+	sch    *schema.Schema
+	ch     *bus.Channel
+	tables []*tableStore
+}
+
+type tableStore struct {
+	rows int
+	cols []colStore // aligned with schema Columns; hidden slots empty
+}
+
+type colStore struct {
+	width   int
+	data    []byte
+	present bool
+}
+
+// NewEngine creates an empty untrusted store for the schema.
+func NewEngine(sch *schema.Schema, ch *bus.Channel) *Engine {
+	e := &Engine{sch: sch, ch: ch, tables: make([]*tableStore, len(sch.Tables))}
+	for i, t := range sch.Tables {
+		e.tables[i] = &tableStore{cols: make([]colStore, len(t.Columns))}
+	}
+	return e
+}
+
+// LoadColumn installs the encoded values of one visible column (width
+// bytes per row). Hidden columns must never be loaded here.
+func (e *Engine) LoadColumn(table, colIdx int, width int, data []byte) error {
+	t := e.sch.Tables[table]
+	if colIdx < 0 || colIdx >= len(t.Columns) {
+		return fmt.Errorf("untrusted: bad column %d for %q", colIdx, t.Name)
+	}
+	col := t.Columns[colIdx]
+	if col.Hidden {
+		return fmt.Errorf("untrusted: refusing hidden column %s.%s", t.Name, col.Name)
+	}
+	if width != col.EncodedWidth() {
+		return fmt.Errorf("untrusted: width %d != %d for %s.%s", width, col.EncodedWidth(), t.Name, col.Name)
+	}
+	if len(data)%width != 0 {
+		return fmt.Errorf("untrusted: ragged column data for %s.%s", t.Name, col.Name)
+	}
+	ts := e.tables[table]
+	n := len(data) / width
+	if ts.rows == 0 {
+		ts.rows = n
+	} else if ts.rows != n {
+		return fmt.Errorf("untrusted: column %s.%s has %d rows, table has %d", t.Name, col.Name, n, ts.rows)
+	}
+	ts.cols[colIdx] = colStore{width: width, data: data, present: true}
+	return nil
+}
+
+// SetRows fixes the row count for tables with no visible columns.
+func (e *Engine) SetRows(table, rows int) error {
+	ts := e.tables[table]
+	if ts.rows != 0 && ts.rows != rows {
+		return fmt.Errorf("untrusted: row count mismatch: %d vs %d", ts.rows, rows)
+	}
+	ts.rows = rows
+	return nil
+}
+
+// Rows returns the visible row count of a table.
+func (e *Engine) Rows(table int) int { return e.tables[table].rows }
+
+// InsertRow appends the visible values of a new tuple (aligned with the
+// table's visible columns, in declaration order).
+func (e *Engine) InsertRow(table int, visible []schema.Value) error {
+	t := e.sch.Tables[table]
+	ts := e.tables[table]
+	vi := 0
+	for ci, col := range t.Columns {
+		if col.Hidden {
+			continue
+		}
+		if vi >= len(visible) {
+			return fmt.Errorf("untrusted: missing value for %s.%s", t.Name, col.Name)
+		}
+		w := col.EncodedWidth()
+		if !ts.cols[ci].present {
+			ts.cols[ci] = colStore{width: w, present: true}
+		}
+		buf := make([]byte, w)
+		if err := schema.EncodeValue(buf, visible[vi]); err != nil {
+			return fmt.Errorf("untrusted: %s.%s: %w", t.Name, col.Name, err)
+		}
+		ts.cols[ci].data = append(ts.cols[ci].data, buf...)
+		vi++
+	}
+	if vi != len(visible) {
+		return fmt.Errorf("untrusted: %d visible values for %d visible columns", len(visible), vi)
+	}
+	ts.rows++
+	return nil
+}
+
+// matches evaluates one resolved predicate against a row.
+func (ts *tableStore) matches(p query.Pred, row int, lo, hi []byte) bool {
+	if p.ColIdx == query.IDCol {
+		id := int64(row)
+		switch p.Op {
+		case sqlparse.OpEq:
+			return id == p.Lo.I
+		case sqlparse.OpNe:
+			return id != p.Lo.I
+		case sqlparse.OpLt:
+			return id < p.Lo.I
+		case sqlparse.OpLe:
+			return id <= p.Lo.I
+		case sqlparse.OpGt:
+			return id > p.Lo.I
+		case sqlparse.OpGe:
+			return id >= p.Lo.I
+		case sqlparse.OpBetween:
+			return id >= p.Lo.I && id <= p.Hi.I
+		}
+		return false
+	}
+	c := ts.cols[p.ColIdx]
+	v := c.data[row*c.width : (row+1)*c.width]
+	cmp := bytes.Compare(v, lo)
+	switch p.Op {
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	case sqlparse.OpBetween:
+		return cmp >= 0 && bytes.Compare(v, hi) <= 0
+	}
+	return false
+}
+
+// VisResult is the product of the Vis operator (§3.3): the sorted list of
+// identifiers of tuples satisfying every Visible predicate of the query
+// on one table, together with the projected visible attribute values.
+type VisResult struct {
+	Table    int
+	IDs      []uint32 // ascending
+	ProjCols []int    // visible column positions shipped with each id
+	RowWidth int      // bytes per shipped row: 4 (id) + Σ col widths
+	Rows     []byte   // len(IDs) rows of RowWidth bytes (empty if no cols)
+	Bytes    int      // bytes that crossed the link
+}
+
+// Vis evaluates the visible conjunction for one table and transfers the
+// result down to Secure, accounting every byte on the channel. projCols
+// lists the visible columns whose values the projection will need.
+func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
+	t := e.sch.Tables[table]
+	ts := e.tables[table]
+	// Pre-encode predicate bounds.
+	los := make([][]byte, len(preds))
+	his := make([][]byte, len(preds))
+	for i, p := range preds {
+		// Identifier predicates are acceptable even though the resolver
+		// routes them to Secure by default: ids are replicated on both
+		// sides (§2.1) and reveal nothing.
+		if p.ColIdx == query.IDCol {
+			continue
+		}
+		if p.Hidden {
+			return nil, fmt.Errorf("untrusted: refusing hidden predicate on %s", t.Name)
+		}
+		col := t.Columns[p.ColIdx]
+		if col.Hidden {
+			return nil, fmt.Errorf("untrusted: refusing hidden column %s.%s", t.Name, col.Name)
+		}
+		if !ts.cols[p.ColIdx].present {
+			return nil, fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, col.Name)
+		}
+		w := col.EncodedWidth()
+		los[i] = make([]byte, w)
+		if err := schema.EncodeValue(los[i], p.Lo); err != nil {
+			return nil, err
+		}
+		if p.Op == sqlparse.OpBetween {
+			his[i] = make([]byte, w)
+			if err := schema.EncodeValue(his[i], p.Hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &VisResult{Table: table, ProjCols: projCols, RowWidth: store.IDBytes}
+	for _, ci := range projCols {
+		col := t.Columns[ci]
+		if col.Hidden {
+			return nil, fmt.Errorf("untrusted: cannot project hidden column %s.%s", t.Name, col.Name)
+		}
+		if !ts.cols[ci].present {
+			return nil, fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, col.Name)
+		}
+		res.RowWidth += col.EncodedWidth()
+	}
+	for row := 0; row < ts.rows; row++ {
+		ok := true
+		for i, p := range preds {
+			if !ts.matches(p, row, los[i], his[i]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		res.IDs = append(res.IDs, uint32(row))
+		if len(projCols) > 0 {
+			var idb [store.IDBytes]byte
+			binary.BigEndian.PutUint32(idb[:], uint32(row))
+			res.Rows = append(res.Rows, idb[:]...)
+			for _, ci := range projCols {
+				c := ts.cols[ci]
+				res.Rows = append(res.Rows, c.data[row*c.width:(row+1)*c.width]...)
+			}
+		}
+	}
+	// Account the transfer: a 4-byte count header, then either bare ids
+	// or full (id, values) rows.
+	res.Bytes = 4
+	if len(projCols) > 0 {
+		res.Bytes += len(res.Rows)
+	} else {
+		res.Bytes += len(res.IDs) * store.IDBytes
+	}
+	label := "vis:" + t.Name
+	if err := e.ch.Transfer(bus.Down, label, res.Bytes, ""); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Value decodes one stored visible value (final result assembly of
+// visible-only queries, and tests).
+func (e *Engine) Value(table, colIdx int, id uint32) (schema.Value, error) {
+	t := e.sch.Tables[table]
+	ts := e.tables[table]
+	c := ts.cols[colIdx]
+	if !c.present {
+		return schema.Value{}, fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, t.Columns[colIdx].Name)
+	}
+	return schema.DecodeValue(c.data[int(id)*c.width:(int(id)+1)*c.width], t.Columns[colIdx].Kind)
+}

@@ -1,0 +1,193 @@
+package untrusted
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+)
+
+func testEngine(t *testing.T) (*Engine, *bus.Channel, *schema.Schema) {
+	t.Helper()
+	defs := []schema.TableDef{{Name: "T", Columns: []schema.Column{
+		{Name: "v1", Kind: schema.KindChar, Width: 4},
+		{Name: "num", Kind: schema.KindInt},
+		{Name: "h1", Kind: schema.KindChar, Width: 4, Hidden: true},
+	}}}
+	sch, err := schema.New(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := bus.NewChannel(1.5)
+	return NewEngine(sch, ch), ch, sch
+}
+
+func loadRows(t *testing.T, e *Engine, sch *schema.Schema, vals []string, nums []int64) {
+	t.Helper()
+	tb := sch.Tables[0]
+	n := len(vals)
+	v1 := make([]byte, n*4)
+	for i, s := range vals {
+		if err := schema.EncodeValue(v1[i*4:(i+1)*4], schema.CharVal(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	num := make([]byte, n*8)
+	for i, x := range nums {
+		if err := schema.EncodeValue(num[i*8:(i+1)*8], schema.IntVal(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.LoadColumn(tb.Index, 0, 4, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadColumn(tb.Index, 1, 8, num); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetRows(tb.Index, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisSelectionAndTransfer(t *testing.T) {
+	e, ch, sch := testEngine(t)
+	loadRows(t, e, sch, []string{"aa", "bb", "cc", "bb", "dd"}, []int64{1, 2, 3, 4, 5})
+	preds := []query.Pred{{Table: 0, ColIdx: 0, Op: sqlparse.OpEq, Lo: schema.CharVal("bb")}}
+	vr, err := e.Vis(0, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.IDs) != 2 || vr.IDs[0] != 1 || vr.IDs[1] != 3 {
+		t.Fatalf("ids = %v", vr.IDs)
+	}
+	down, up := ch.Counters()
+	if down != uint64(4+2*4) || up != 0 {
+		t.Fatalf("transfer = %d/%d", down, up)
+	}
+	if vr.Bytes != 12 {
+		t.Fatalf("bytes = %d", vr.Bytes)
+	}
+}
+
+func TestVisWithProjectedValues(t *testing.T) {
+	e, _, sch := testEngine(t)
+	loadRows(t, e, sch, []string{"aa", "bb", "cc"}, []int64{10, 20, 30})
+	preds := []query.Pred{{Table: 0, ColIdx: 1, Op: sqlparse.OpGe, Lo: schema.IntVal(20)}}
+	vr, err := e.Vis(0, preds, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.IDs) != 2 || vr.RowWidth != 4+4+8 {
+		t.Fatalf("vr = %+v", vr)
+	}
+	// First shipped row: id 1, "bb", 20.
+	if got := binary.BigEndian.Uint32(vr.Rows[:4]); got != 1 {
+		t.Fatalf("row id = %d", got)
+	}
+	v, err := schema.DecodeValue(vr.Rows[4:8], schema.KindChar)
+	if err != nil || v.S != "bb" {
+		t.Fatalf("row v1 = %v %v", v, err)
+	}
+	n, err := schema.DecodeValue(vr.Rows[8:16], schema.KindInt)
+	if err != nil || n.I != 20 {
+		t.Fatalf("row num = %v %v", n, err)
+	}
+}
+
+func TestVisOperators(t *testing.T) {
+	e, _, sch := testEngine(t)
+	loadRows(t, e, sch, []string{"aa", "bb", "cc", "dd"}, []int64{1, 2, 3, 4})
+	cases := []struct {
+		op   sqlparse.CompareOp
+		lo   int64
+		hi   int64
+		want int
+	}{
+		{sqlparse.OpEq, 2, 0, 1},
+		{sqlparse.OpNe, 2, 0, 3},
+		{sqlparse.OpLt, 3, 0, 2},
+		{sqlparse.OpLe, 3, 0, 3},
+		{sqlparse.OpGt, 3, 0, 1},
+		{sqlparse.OpGe, 3, 0, 2},
+		{sqlparse.OpBetween, 2, 3, 2},
+	}
+	for _, c := range cases {
+		p := query.Pred{Table: 0, ColIdx: 1, Op: c.op, Lo: schema.IntVal(c.lo), Hi: schema.IntVal(c.hi)}
+		vr, err := e.Vis(0, []query.Pred{p}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vr.IDs) != c.want {
+			t.Fatalf("op %v: %d ids, want %d", c.op, len(vr.IDs), c.want)
+		}
+	}
+	// id predicates work on the untrusted side too.
+	p := query.Pred{Table: 0, ColIdx: query.IDCol, Op: sqlparse.OpLe, Lo: schema.IntVal(1)}
+	vr, err := e.Vis(0, []query.Pred{p}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.IDs) != 2 {
+		t.Fatalf("id pred ids = %v", vr.IDs)
+	}
+}
+
+func TestRefusesHiddenData(t *testing.T) {
+	e, _, sch := testEngine(t)
+	tb := sch.Tables[0]
+	if err := e.LoadColumn(tb.Index, 2, 4, make([]byte, 4)); err == nil {
+		t.Fatal("hidden column load accepted")
+	}
+	loadRows(t, e, sch, []string{"aa"}, []int64{1})
+	hp := []query.Pred{{Table: 0, ColIdx: 2, Hidden: true, Op: sqlparse.OpEq, Lo: schema.CharVal("x")}}
+	if _, err := e.Vis(0, hp, nil); err == nil {
+		t.Fatal("hidden predicate accepted")
+	}
+	if _, err := e.Vis(0, nil, []int{2}); err == nil {
+		t.Fatal("hidden projection accepted")
+	}
+}
+
+func TestInsertRow(t *testing.T) {
+	e, _, sch := testEngine(t)
+	loadRows(t, e, sch, []string{"aa"}, []int64{1})
+	if err := e.InsertRow(0, []schema.Value{schema.CharVal("zz"), schema.IntVal(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows(0) != 2 {
+		t.Fatalf("rows = %d", e.Rows(0))
+	}
+	v, err := e.Value(0, 0, 1)
+	if err != nil || v.S != "zz" {
+		t.Fatalf("value = %v %v", v, err)
+	}
+	// Arity errors.
+	if err := e.InsertRow(0, []schema.Value{schema.CharVal("x")}); err == nil {
+		t.Fatal("short insert accepted")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	e, _, sch := testEngine(t)
+	tb := sch.Tables[0]
+	if err := e.LoadColumn(tb.Index, 0, 5, make([]byte, 5)); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	if err := e.LoadColumn(tb.Index, 0, 4, make([]byte, 6)); err == nil {
+		t.Fatal("ragged column accepted")
+	}
+	if err := e.LoadColumn(tb.Index, 0, 4, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadColumn(tb.Index, 1, 8, make([]byte, 8)); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+	// Unloaded column predicate.
+	p := []query.Pred{{Table: 0, ColIdx: 1, Op: sqlparse.OpEq, Lo: schema.IntVal(1)}}
+	if _, err := e.Vis(0, p, nil); err == nil {
+		t.Fatal("predicate on unloaded column accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package ghostdb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ghostdb/internal/exec"
+	"ghostdb/internal/schema"
+)
+
+// R is a row literal for Loader.Append: column name (or foreign-key
+// column name) to value. Values may be int, int64, float64 or string and
+// are coerced to the column type.
+type R map[string]any
+
+// Loader accumulates rows and bulk-loads the database: visible columns to
+// the untrusted store, hidden columns to the secure flash, and all index
+// structures (Subtree Key Tables + climbing indexes) built at Commit.
+type Loader struct {
+	db     *DB
+	rows   map[int][]schema.Row
+	fks    map[int]map[int][]uint32
+	closed bool
+}
+
+// Loader returns a bulk loader. Call Append for every row of every table,
+// then Commit exactly once.
+func (db *DB) Loader() *Loader {
+	return &Loader{
+		db:   db,
+		rows: map[int][]schema.Row{},
+		fks:  map[int]map[int][]uint32{},
+	}
+}
+
+// Append buffers one row. Foreign-key values reference the 0-based insert
+// order of the child table's rows.
+func (l *Loader) Append(table string, values R) error {
+	if l.closed {
+		return errors.New("ghostdb: loader already committed")
+	}
+	t, ok := l.db.sch.Lookup(table)
+	if !ok {
+		return fmt.Errorf("ghostdb: unknown table %q", table)
+	}
+	used := map[string]bool{}
+	row := make(schema.Row, len(t.Columns))
+	for ci, col := range t.Columns {
+		raw, ok := lookupKey(values, col.Name)
+		if !ok {
+			return fmt.Errorf("ghostdb: %s: missing column %q", table, col.Name)
+		}
+		used[strings.ToLower(col.Name)] = true
+		v, err := convert(raw, col)
+		if err != nil {
+			return fmt.Errorf("ghostdb: %s.%s: %w", table, col.Name, err)
+		}
+		row[ci] = v
+	}
+	if l.fks[t.Index] == nil {
+		l.fks[t.Index] = map[int][]uint32{}
+	}
+	for _, ref := range t.Refs {
+		raw, ok := lookupKey(values, ref.FKColumn)
+		if !ok {
+			return fmt.Errorf("ghostdb: %s: missing foreign key %q", table, ref.FKColumn)
+		}
+		used[strings.ToLower(ref.FKColumn)] = true
+		id, err := toID(raw)
+		if err != nil {
+			return fmt.Errorf("ghostdb: %s.%s: %w", table, ref.FKColumn, err)
+		}
+		child, _ := l.db.sch.Lookup(ref.Child)
+		l.fks[t.Index][child.Index] = append(l.fks[t.Index][child.Index], id)
+	}
+	for k := range values {
+		if !used[strings.ToLower(k)] {
+			return fmt.Errorf("ghostdb: %s: unknown column %q", table, k)
+		}
+	}
+	l.rows[t.Index] = append(l.rows[t.Index], row)
+	return nil
+}
+
+// Commit encodes the buffered rows and builds the database. After Commit
+// the database is queryable and further rows go through INSERT.
+func (l *Loader) Commit() error {
+	if l.closed {
+		return errors.New("ghostdb: loader already committed")
+	}
+	l.closed = true
+	load := map[int]*exec.TableLoad{}
+	for _, t := range l.db.sch.Tables {
+		rows := l.rows[t.Index]
+		ld := &exec.TableLoad{Rows: len(rows), FKs: l.fks[t.Index]}
+		if ld.FKs == nil {
+			ld.FKs = map[int][]uint32{}
+		}
+		for ci, col := range t.Columns {
+			w := col.EncodedWidth()
+			data := make([]byte, len(rows)*w)
+			for i, row := range rows {
+				if err := schema.EncodeValue(data[i*w:(i+1)*w], row[ci]); err != nil {
+					return fmt.Errorf("ghostdb: %s.%s row %d: %w", t.Name, col.Name, i, err)
+				}
+			}
+			ld.Cols = append(ld.Cols, exec.ColData{Width: w, Data: data})
+		}
+		load[t.Index] = ld
+	}
+	if err := l.db.inner.Load(load); err != nil {
+		return err
+	}
+	l.db.loaded = true
+	return nil
+}
+
+func lookupKey(values R, name string) (any, bool) {
+	if v, ok := values[name]; ok {
+		return v, true
+	}
+	for k, v := range values {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func convert(raw any, col schema.Column) (schema.Value, error) {
+	switch col.Kind {
+	case schema.KindInt:
+		switch x := raw.(type) {
+		case int:
+			return schema.IntVal(int64(x)), nil
+		case int64:
+			return schema.IntVal(x), nil
+		case uint32:
+			return schema.IntVal(int64(x)), nil
+		}
+	case schema.KindFloat:
+		switch x := raw.(type) {
+		case float64:
+			return schema.FloatVal(x), nil
+		case int:
+			return schema.FloatVal(float64(x)), nil
+		case int64:
+			return schema.FloatVal(float64(x)), nil
+		}
+	case schema.KindChar:
+		if s, ok := raw.(string); ok {
+			if len(s) > col.Width {
+				return schema.Value{}, fmt.Errorf("string %q exceeds char(%d)", s, col.Width)
+			}
+			return schema.CharVal(s), nil
+		}
+	}
+	return schema.Value{}, fmt.Errorf("cannot convert %T to %v", raw, col.Kind)
+}
+
+func toID(raw any) (uint32, error) {
+	switch x := raw.(type) {
+	case int:
+		if x >= 0 {
+			return uint32(x), nil
+		}
+	case int64:
+		if x >= 0 {
+			return uint32(x), nil
+		}
+	case uint32:
+		return x, nil
+	}
+	return 0, fmt.Errorf("foreign key must be a non-negative integer, got %T", raw)
+}
