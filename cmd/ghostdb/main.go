@@ -29,9 +29,10 @@ func main() {
 	scale := flag.Float64("scale", 0.005, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	stats := flag.Bool("stats", false, "print cost statistics after every query")
+	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
 	flag.Parse()
 
-	db, err := buildDemo(*which, *scale, *seed)
+	db, err := buildDemo(*which, *scale, *seed, *ramBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostdb:", err)
 		os.Exit(1)
@@ -87,7 +88,7 @@ func main() {
 	}
 }
 
-func buildDemo(which string, scale float64, seed int64) (*exec.DB, error) {
+func buildDemo(which string, scale float64, seed int64, ramBytes int) (*exec.DB, error) {
 	var ds *datagen.Dataset
 	var err error
 	switch which {
@@ -103,7 +104,10 @@ func buildDemo(which string, scale float64, seed int64) (*exec.DB, error) {
 	}
 	p := flash.DefaultParams()
 	p.Blocks = 1 << 14
-	return ds.NewDB(exec.Options{FlashParams: p})
+	if ramBytes != 0 && ramBytes < p.PageSize {
+		return nil, fmt.Errorf("-ram %d is smaller than one %d-byte flash buffer", ramBytes, p.PageSize)
+	}
+	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes})
 }
 
 func printResult(res *exec.Result) {

@@ -1,0 +1,3 @@
+module ghostdb
+
+go 1.24

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostdb/internal/ram"
+	"ghostdb/internal/store"
+)
+
+// This file holds the RAM-admission fallbacks shared by the operators:
+// when a stage receives fewer buffers than it has sorted sublists to
+// open, the sublists are consolidated by multi-pass unions (the sublist
+// reduction of §3.4) until they fit, instead of failing the query.
+
+// unionFanIn sizes one reduction pass over nRuns sublists: as many
+// streams as the free buffers allow (one is kept back for the spill
+// writer inside unionSmallest), but no more than the deficit requires —
+// merging k runs reduces the count by k-1, and rewriting extra sublists
+// costs flash I/O without buying anything. Fails wrapping
+// ram.ErrExhausted when not even a 2-way union fits.
+func (r *queryRun) unionFanIn(nRuns, deficit int) (int, error) {
+	k := r.db.RAM.AvailableBuffers() - 1
+	if k > nRuns {
+		k = nRuns
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("exec: cannot union %d sublists with %d buffers free: %w",
+			nRuns, r.db.RAM.AvailableBuffers(), ram.ErrExhausted)
+	}
+	if need := deficit + 1; k > need {
+		k = need
+	}
+	return k, nil
+}
+
+// unionSmallest merges the k smallest of the given runs into one new run
+// on a fresh temp segment, holding one stream buffer per input plus one
+// spill-writer buffer for the duration of the pass. The parallel
+// segs/runs slices are returned with the k inputs replaced by the union.
+func (r *queryRun) unionSmallest(segs []*store.ListSegment, runs []store.Run, k int, span string) ([]*store.ListSegment, []store.Run, error) {
+	if k < 2 || k > len(runs) {
+		return nil, nil, fmt.Errorf("exec: bad union fan-in %d of %d", k, len(runs))
+	}
+	order := make([]int, len(runs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return runs[order[a]].Count < runs[order[b]].Count })
+	pick := order[:k]
+	sort.Ints(pick)
+
+	wg, err := r.db.RAM.ReserveBuffers(1, 1) // spill writer
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wg.Release()
+
+	srcs := make([]idStream, 0, k)
+	for _, i := range pick {
+		s, err := newRunStream(segs[i], runs[i], r.db.RAM)
+		if err != nil {
+			for _, s2 := range srcs {
+				s2.close()
+			}
+			return nil, nil, err
+		}
+		srcs = append(srcs, s)
+	}
+	u, err := newUnionStream(srcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := r.newTemp()
+	err = r.db.Col.Span(span, func() error {
+		if err := out.BeginRun(); err != nil {
+			return err
+		}
+		for {
+			v, ok, err := u.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := out.Add(v); err != nil {
+				return err
+			}
+		}
+	})
+	u.close()
+	if err != nil {
+		return nil, nil, err
+	}
+	run, err := out.EndRun()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := out.Seal(); err != nil {
+		return nil, nil, err
+	}
+
+	picked := make(map[int]bool, k)
+	for _, i := range pick {
+		picked[i] = true
+	}
+	nsegs := make([]*store.ListSegment, 0, len(runs)-k+1)
+	nruns := make([]store.Run, 0, len(runs)-k+1)
+	for i := range runs {
+		if !picked[i] {
+			nsegs = append(nsegs, segs[i])
+			nruns = append(nruns, runs[i])
+		}
+	}
+	return append(nsegs, out), append(nruns, run), nil
+}
+
+// consolidateRuns unions sorted id runs in as many passes as needed until
+// at most maxRuns remain, so a downstream stage can open them with the
+// stream buffers it actually has. Needs 3 free buffers (2 streams + 1
+// writer) to make progress; fails wrapping ram.ErrExhausted below that.
+func (r *queryRun) consolidateRuns(segs []*store.ListSegment, runs []store.Run, maxRuns int, span string) ([]*store.ListSegment, []store.Run, error) {
+	if maxRuns < 1 {
+		maxRuns = 1
+	}
+	for len(runs) > maxRuns {
+		k, err := r.unionFanIn(len(runs), len(runs)-maxRuns)
+		if err != nil {
+			return nil, nil, err
+		}
+		segs, runs, err = r.unionSmallest(segs, runs, k, span)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return segs, runs, nil
+}
+
+// sameSegs builds the parallel segment slice for runs that all live in
+// one list segment.
+func sameSegs(seg *store.ListSegment, n int) []*store.ListSegment {
+	segs := make([]*store.ListSegment, n)
+	for i := range segs {
+		segs[i] = seg
+	}
+	return segs
+}
+
+// consolidateTupleRuns merges a table's pos-sorted MJoin batch runs until
+// at most maxRuns remain, so the final join can cursor over them with the
+// buffers its reservation granted. Runs hold disjoint position sets, so a
+// min-head merge is exact. Each pass reserves one buffer per input reader
+// plus one writer.
+func (r *queryRun) consolidateTupleRuns(tp *tableProj, maxRuns int) error {
+	if maxRuns < 1 {
+		maxRuns = 1
+	}
+	for len(tp.outRuns) > maxRuns {
+		g, err := r.db.RAM.ReserveBuffers(3, len(tp.outRuns)+1)
+		if err != nil {
+			return fmt.Errorf("exec: final join consolidation: %w", err)
+		}
+		k := g.Buffers() - 1
+		if k > len(tp.outRuns) {
+			k = len(tp.outRuns)
+		}
+		if need := len(tp.outRuns) - maxRuns + 1; k > need {
+			k = need
+		}
+		err = r.mergeTupleRuns(tp, k)
+		g.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeTupleRuns replaces the k smallest batch runs of tp with their
+// position-ordered merge, spilled to a fresh tuple segment.
+func (r *queryRun) mergeTupleRuns(tp *tableProj, k int) error {
+	order := make([]int, len(tp.outRuns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return tp.outRuns[order[a]].count < tp.outRuns[order[b]].count })
+	pick := order[:k]
+	sort.Ints(pick)
+
+	out := store.NewSegment(r.db.Dev)
+	r.tempSegs = append(r.tempSegs, out)
+	sub := &tableProj{table: tp.table, tupleW: tp.tupleW}
+	for _, i := range pick {
+		sub.outRuns = append(sub.outRuns, tp.outRuns[i])
+	}
+	cur, err := newTupleCursor(sub)
+	if err != nil {
+		return err
+	}
+	count := 0
+	err = r.db.Col.Span(spanProject, func() error {
+		for {
+			t, ok, err := cur.takeMin()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := out.Append(t); err != nil {
+				return err
+			}
+			count++
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := out.Seal(); err != nil {
+		return err
+	}
+
+	picked := make(map[int]bool, k)
+	for _, i := range pick {
+		picked[i] = true
+	}
+	var nruns []segRun
+	for i, run := range tp.outRuns {
+		if !picked[i] {
+			nruns = append(nruns, run)
+		}
+	}
+	tp.outRuns = append(nruns, segRun{seg: out, off: 0, count: count})
+	return nil
+}

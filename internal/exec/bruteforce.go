@@ -20,22 +20,9 @@ func (r *queryRun) bruteForce(res *Result) error {
 	db, q := r.db, r.q
 	anchor := q.Anchor
 
-	var grants []*ram.Grant
-	defer func() {
-		for _, g := range grants {
-			g.Release()
-		}
-	}()
-	alloc := func(n int) error {
-		g, err := db.RAM.AllocBuffers(n)
-		if err != nil {
-			return err
-		}
-		grants = append(grants, g)
-		return nil
-	}
-
-	// Column readers: anchor plus every table we must look at.
+	// Column readers: anchor plus every table we must look at. Their
+	// buffers are declared up front as one plan (the operator's
+	// documented minimum: one buffer per open column reader).
 	tables := map[int]bool{}
 	for _, ti := range q.ProjTables() {
 		if ti != anchor {
@@ -51,11 +38,14 @@ func (r *queryRun) bruteForce(res *Result) error {
 	}
 	sort.Ints(order)
 
+	resv, err := db.RAM.Plan(ram.Claim{Name: "column-readers", Min: 1 + len(order), Want: 1 + len(order)})
+	if err != nil {
+		return fmt.Errorf("exec: brute-force projection: %w", err)
+	}
+	defer resv.Release()
+
 	anchorCol := r.resCols[anchor]
 	anchorRd := anchorCol.seg.NewRunReader(anchorCol.run)
-	if err := alloc(1); err != nil {
-		return err
-	}
 	colRd := map[int]*store.RunReader{}
 	for _, ti := range order {
 		c, ok := r.resCols[ti]
@@ -63,9 +53,6 @@ func (r *queryRun) bruteForce(res *Result) error {
 			return fmt.Errorf("exec: missing QEPSJ column for %s", db.Sch.Tables[ti].Name)
 		}
 		colRd[ti] = c.seg.NewRunReader(c.run)
-		if err := alloc(1); err != nil {
-			return err
-		}
 	}
 
 	projVis := r.projectedVisibleCols()

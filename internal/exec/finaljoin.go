@@ -3,6 +3,8 @@ package exec
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
+	"sort"
 
 	"ghostdb/internal/query"
 	"ghostdb/internal/ram"
@@ -72,7 +74,7 @@ func newTupleCursor(tp *tableProj) (*tupleCursor, error) {
 		if run.count == 0 {
 			continue
 		}
-		c.readers = append(c.readers, newSegReader(tp.outSeg, run, tp.tupleW))
+		c.readers = append(c.readers, newSegReader(run.seg, run, tp.tupleW))
 		c.heads = append(c.heads, nil)
 		c.poss = append(c.poss, -1)
 	}
@@ -117,8 +119,26 @@ func (c *tupleCursor) take(pos uint32) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-// buffers returns the RAM buffers this cursor needs open.
-func (c *tupleCursor) buffers() int { return len(c.readers) }
+// takeMin returns the tuple with the smallest pending position across
+// all runs (positions are disjoint across runs). Used by the run
+// consolidation passes to rewrite many batch runs as one.
+func (c *tupleCursor) takeMin() ([]byte, bool, error) {
+	min := -1
+	for i, p := range c.poss {
+		if p >= 0 && (min < 0 || p < c.poss[min]) {
+			min = i
+		}
+	}
+	if min < 0 {
+		return nil, false, nil
+	}
+	t := c.heads[min]
+	c.heads[min] = nil
+	if err := c.advance(min); err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
 
 // valueGetter decodes one projection item from the final-join state.
 type valueGetter func() (schema.Value, error)
@@ -126,37 +146,115 @@ type valueGetter func() (schema.Value, error)
 // finalJoin is step 7 of the Project algorithm (§4): all operands are
 // sorted by position (equivalently by anchor id), so one synchronized
 // sequential pass assembles the final tuples and drops the remaining
-// false positives.
+// false positives. Its buffer needs are declared up front as one plan:
+// the fixed readers (anchor column, anchor spool, anchor hidden image,
+// projected id columns) plus one cursor buffer per joined table — MJoin
+// batch runs are consolidated first so that minimum always suffices.
 func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 	db, q := r.db, r.q
 	anchor := q.Anchor
 
-	var grants []*ram.Grant
-	defer func() {
-		for _, g := range grants {
-			g.Release()
+	projVis := r.projectedVisibleCols()
+	aImg := db.Hidden[anchor]
+	anchorHidden := false
+	for _, p := range q.Projections {
+		if p.Table == anchor && p.ColIdx != query.IDCol && db.Sch.Tables[anchor].Columns[p.ColIdx].Hidden {
+			anchorHidden = true
 		}
-	}()
-	alloc := func(n int) error {
-		if n == 0 {
-			return nil
-		}
-		g, err := db.RAM.AllocBuffers(n)
-		if err != nil {
-			return err
-		}
-		grants = append(grants, g)
-		return nil
 	}
+	var idTables []int
+	for _, p := range q.Projections {
+		if p.Table == anchor || p.ColIdx != query.IDCol || slices.Contains(idTables, p.Table) {
+			continue
+		}
+		idTables = append(idTables, p.Table)
+	}
+
+	// Fixed reader buffers this pass cannot do without, declared once so
+	// the consolidation budget below and the Plan stay in lockstep.
+	claims := []ram.Claim{{Name: "anchor", Min: 1, Want: 1}}
+	if len(projVis[anchor]) > 0 {
+		claims = append(claims, ram.Claim{Name: "anchor-spool", Min: 1, Want: 1})
+	}
+	if anchorHidden {
+		claims = append(claims, ram.Claim{Name: "anchor-hidden", Min: 1, Want: 1})
+	}
+	if len(idTables) > 0 {
+		claims = append(claims, ram.Claim{Name: "id-readers", Min: len(idTables), Want: len(idTables)})
+	}
+	fixed := 0
+	for _, c := range claims {
+		fixed += c.Min
+	}
+
+	// Drop empty batch runs, then consolidate each remaining table's
+	// runs to its share of the free buffers so the cursors below always
+	// fit.
+	liveTables := 0
+	for _, tp := range tps {
+		live := tp.outRuns[:0]
+		for _, run := range tp.outRuns {
+			if run.count > 0 {
+				live = append(live, run)
+			}
+		}
+		tp.outRuns = live
+		if len(tp.outRuns) > 0 {
+			liveTables++
+		}
+	}
+	if liveTables > 0 {
+		// Fail before consolidating when even one cursor per table cannot
+		// fit next to the fixed readers: the plan below would refuse
+		// anyway, and the consolidation rewrites are not free.
+		if fixed+liveTables > db.RAM.AvailableBuffers() {
+			return fmt.Errorf("exec: final join needs %d buffers, %d free: %w",
+				fixed+liveTables, db.RAM.AvailableBuffers(), ram.ErrExhausted)
+		}
+		budget := db.RAM.AvailableBuffers() - fixed
+		// Waterfill: satisfy run-light tables first so run-heavy ones get
+		// the leftovers instead of consolidating against a flat share.
+		order := make([]*tableProj, 0, liveTables)
+		for _, tp := range tps {
+			if len(tp.outRuns) > 0 {
+				order = append(order, tp)
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return len(order[a].outRuns) < len(order[b].outRuns) })
+		left := liveTables
+		for _, tp := range order {
+			share := budget / left
+			if share < 1 {
+				share = 1
+			}
+			give := len(tp.outRuns)
+			if give > share {
+				give = share
+				if err := r.consolidateTupleRuns(tp, give); err != nil {
+					return err
+				}
+			}
+			budget -= give
+			left--
+		}
+	}
+
+	for _, tp := range tps {
+		if n := len(tp.outRuns); n > 0 {
+			claims = append(claims, ram.Claim{
+				Name: fmt.Sprintf("cursors:%s", db.Sch.Tables[tp.table].Name), Min: n, Want: n})
+		}
+	}
+	resv, err := db.RAM.Plan(claims...)
+	if err != nil {
+		return fmt.Errorf("exec: final join: %w", err)
+	}
+	defer resv.Release()
 
 	anchorCol := r.resCols[anchor]
 	anchorRd := anchorCol.seg.NewRunReader(anchorCol.run)
-	if err := alloc(1); err != nil {
-		return err
-	}
 
 	// Anchor visible values (spooled, id-sorted).
-	projVis := r.projectedVisibleCols()
 	var aCur *spoolCursor
 	aColOff := map[int]int{}
 	if cols := projVis[anchor]; len(cols) > 0 {
@@ -170,50 +268,28 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 			aColOff[c] = off
 			off += db.Sch.Tables[anchor].Columns[c].EncodedWidth()
 		}
-		if err := alloc(1); err != nil {
-			return err
-		}
 	}
 
 	// Anchor hidden values.
 	var aHidRd *store.SortedReader
 	var aHidRec []byte
-	aImg := db.Hidden[anchor]
-	anchorHidden := false
-	for _, p := range q.Projections {
-		if p.Table == anchor && p.ColIdx != query.IDCol && db.Sch.Tables[anchor].Columns[p.ColIdx].Hidden {
-			anchorHidden = true
-		}
-	}
 	if anchorHidden {
 		if aImg == nil {
 			return fmt.Errorf("exec: no hidden image for anchor")
 		}
 		aHidRd = aImg.File.NewSortedReader()
 		aHidRec = make([]byte, aImg.File.RowWidth())
-		if err := alloc(1); err != nil {
-			return err
-		}
 	}
 
 	// Non-anchor id columns.
 	idRd := map[int]*store.RunReader{}
 	idVal := map[int]uint32{}
-	for _, p := range q.Projections {
-		if p.Table == anchor || p.ColIdx != query.IDCol {
-			continue
-		}
-		if _, dup := idRd[p.Table]; dup {
-			continue
-		}
-		col, ok := r.resCols[p.Table]
+	for _, ti := range idTables {
+		col, ok := r.resCols[ti]
 		if !ok {
-			return fmt.Errorf("exec: missing QEPSJ column for %s", db.Sch.Tables[p.Table].Name)
+			return fmt.Errorf("exec: missing QEPSJ column for %s", db.Sch.Tables[ti].Name)
 		}
-		idRd[p.Table] = col.seg.NewRunReader(col.run)
-		if err := alloc(1); err != nil {
-			return err
-		}
+		idRd[ti] = col.seg.NewRunReader(col.run)
 	}
 
 	// Per-table tuple cursors and value layouts.
@@ -222,9 +298,6 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 	for _, tp := range tps {
 		c, err := newTupleCursor(tp)
 		if err != nil {
-			return err
-		}
-		if err := alloc(c.buffers()); err != nil {
 			return err
 		}
 		curs[tp.table] = c

@@ -3,27 +3,25 @@ package exec
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
+	"ghostdb/internal/ram"
 	"ghostdb/internal/store"
 )
 
 // reduceGroups implements the sublist reduction phase of §3.4: when the
-// total number of sublists exceeds the RAM buffers available for the
-// Merge, the smallest sublists of the largest group are pre-unioned into
+// total number of sublists exceeds the stream buffers the Merge could
+// open, the smallest sublists of the largest group are pre-unioned into
 // a single sublist spilled to flash, repeatedly, until everything fits.
-// reserved buffers are kept back for the downstream pipeline (SKT reader,
-// column writers).
-func (r *queryRun) reduceGroups(groups []*mergeGroup, reserved int) error {
+// Downstream pipeline stages (SKT reader, column writers) hold their own
+// reservations, so whatever AvailableBuffers reports really is the
+// Merge's to spend. Needs 3 free buffers (2 streams + 1 spill writer) to
+// make progress when reduction is required.
+func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
 	totalRuns := 0
 	for _, g := range groups {
 		totalRuns += len(g.runs)
 	}
-	avail := r.db.RAM.AvailableBuffers() - reserved - 1 // -1: reduction output buffer
-	if avail < 2 {
-		return fmt.Errorf("exec: RAM budget too small for merge (have %d buffers)", r.db.RAM.AvailableBuffers())
-	}
-	for totalRuns > avail {
+	for totalRuns > r.db.RAM.AvailableBuffers() {
 		// Largest group first.
 		g := groups[0]
 		for _, cand := range groups[1:] {
@@ -32,82 +30,19 @@ func (r *queryRun) reduceGroups(groups []*mergeGroup, reserved int) error {
 			}
 		}
 		if len(g.runs) < 2 {
-			return fmt.Errorf("exec: cannot reduce below %d sublists with %d buffers", totalRuns, avail)
+			return fmt.Errorf("exec: cannot reduce %d merge sublists (largest group has %d): %w",
+				totalRuns, len(g.runs), ram.ErrExhausted)
 		}
 		// Union the k smallest sublists ("the smallest sublists of each
 		// list are the best candidates for reduction").
-		k := avail
-		if k > len(g.runs) {
-			k = len(g.runs)
-		}
-		order := make([]int, len(g.runs))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return g.runs[order[a]].Count < g.runs[order[b]].Count })
-		pick := order[:k]
-		sort.Ints(pick)
-
-		srcs := make([]idStream, 0, k)
-		for _, i := range pick {
-			s, err := newRunStream(g.runSegs[i], g.runs[i], r.db.RAM)
-			if err != nil {
-				for _, s2 := range srcs {
-					s2.close()
-				}
-				return err
-			}
-			srcs = append(srcs, s)
-		}
-		u, err := newUnionStream(srcs)
+		k, err := r.unionFanIn(len(g.runs), totalRuns-r.db.RAM.AvailableBuffers())
 		if err != nil {
 			return err
 		}
-		out := r.newTemp()
-		err = r.db.Col.Span(spanMerge, func() error {
-			if err := out.BeginRun(); err != nil {
-				return err
-			}
-			for {
-				v, ok, err := u.next()
-				if err != nil {
-					return err
-				}
-				if !ok {
-					break
-				}
-				if err := out.Add(v); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		u.close()
+		g.runSegs, g.runs, err = r.unionSmallest(g.runSegs, g.runs, k, spanMerge)
 		if err != nil {
 			return err
 		}
-		run, err := out.EndRun()
-		if err != nil {
-			return err
-		}
-		if err := out.Seal(); err != nil {
-			return err
-		}
-		// Replace the k reduced sublists with the single union.
-		keep := make(map[int]bool, k)
-		for _, i := range pick {
-			keep[i] = true
-		}
-		var nruns []store.Run
-		var nsegs []*store.ListSegment
-		for i := range g.runs {
-			if !keep[i] {
-				nruns = append(nruns, g.runs[i])
-				nsegs = append(nsegs, g.runSegs[i])
-			}
-		}
-		g.runs = append(nruns, run)
-		g.runSegs = append(nsegs, out)
 		totalRuns -= k - 1
 	}
 	return nil
@@ -164,7 +99,10 @@ func (r *queryRun) openMerged(groups []*mergeGroup) (idStream, error) {
 // joinAndStore drives the pipelined batch loop: pull anchor ids from the
 // Merge, semi-join them with the anchor's SKT to recover the descendant
 // ids the projection needs, probe the Bloom filters, and materialize the
-// survivors column by column (the Store cost of Figure 15).
+// survivors column by column (the Store cost of Figure 15). The RAM for
+// the column writers and the SKT reader is reserved up front by the
+// caller's pipeline plan (qepsj), so this stage never races the Merge
+// for buffers.
 func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) error {
 	db := r.db
 	anchor := r.q.Anchor
@@ -181,25 +119,12 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 		}
 	}
 
-	// RAM for the writers (one page each) and, if joining, the SKT reader.
-	writers := len(needed) + 1
-	grant, err := db.RAM.AllocBuffers(writers)
-	if err != nil {
-		return err
-	}
-	defer grant.Release()
-
 	var skt *sktAccess
 	if len(needed) > 0 {
 		s, ok := db.Cat.SKTOf(anchor)
 		if !ok {
 			return fmt.Errorf("exec: no SKT on anchor %s", db.Sch.Tables[anchor].Name)
 		}
-		g, err := db.RAM.AllocBuffers(1)
-		if err != nil {
-			return err
-		}
-		defer g.Release()
 		cols := make([]int, len(needed))
 		for i, ti := range needed {
 			c, ok := s.ColumnOf(ti)
@@ -308,13 +233,6 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 	}
 	for _, ti := range needed {
 		if err := finish(ti, colSegs[ti]); err != nil {
-			return err
-		}
-	}
-
-	// Exact Post-Select passes, if any.
-	for ti, ids := range r.postSelect {
-		if err := r.applyPostSelect(ti, ids); err != nil {
 			return err
 		}
 	}

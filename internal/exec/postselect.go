@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"slices"
 
+	"ghostdb/internal/ram"
 	"ghostdb/internal/store"
 )
 
 // applyPostSelect implements the Post-Select strategy of Figure 11: an
 // *exact* selection on the materialized QEPSJ result. The visible id list
-// is staged in RAM; when it does not fit, the result column is re-scanned
-// once per chunk — which is precisely why the paper dismisses Post-Select
-// as a relevant strategy.
+// is staged in RAM; when it does not fit the grant received, the result
+// column is re-scanned once per chunk — which is precisely why the paper
+// dismisses Post-Select as a relevant strategy. The operator never fails
+// while its 3-buffer minimum (staging chunk + column reader + position
+// writer) is free: a smaller staging grant only means more re-scans.
 func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 	db := r.db
 	return db.Col.Span(spanPostSelect, func() error {
@@ -19,66 +22,89 @@ func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 		if !ok {
 			return fmt.Errorf("exec: post-select table %s has no result column", db.Sch.Tables[tv].Name)
 		}
-		// Stage the id list in RAM chunks.
-		avail := db.RAM.Available() - 4*db.RAM.BufferSize()
-		if avail < db.RAM.BufferSize() {
-			return fmt.Errorf("exec: not enough RAM for post-select")
+		// Stage the id list in chunks sized by the grant actually
+		// received, re-scanning the result column once per chunk.
+		bufSize := db.RAM.BufferSize()
+		wantStage := (len(visIDs)*store.IDBytes + bufSize - 1) / bufSize
+		if wantStage < 1 {
+			wantStage = 1
 		}
-		grant, err := db.RAM.Alloc(avail)
+		resv, err := db.RAM.Plan(
+			ram.Claim{Name: "stage", Min: 1, Want: wantStage},
+			ram.Claim{Name: "scan", Min: 1, Want: 1},
+			ram.Claim{Name: "out", Min: 1, Want: 1},
+		)
 		if err != nil {
-			return err
+			return fmt.Errorf("exec: post-select: %w", err)
 		}
-		chunkCap := avail / 4
+		chunkCap := resv.Bytes("stage") / store.IDBytes
 		posSeg := r.newTemp()
 		var posRuns []store.Run
-		for start := 0; start < len(visIDs); start += chunkCap {
-			end := start + chunkCap
-			if end > len(visIDs) {
-				end = len(visIDs)
-			}
-			chunk := visIDs[start:end]
-			if err := posSeg.BeginRun(); err != nil {
-				grant.Release()
-				return err
-			}
-			rd := col.seg.NewRunReader(col.run)
-			pos := uint32(0)
-			for {
-				v, ok, err := rd.Next()
-				if err != nil {
-					grant.Release()
+		selErr := func() error {
+			for start := 0; start < len(visIDs); start += chunkCap {
+				end := start + chunkCap
+				if end > len(visIDs) {
+					end = len(visIDs)
+				}
+				chunk := visIDs[start:end]
+				if err := posSeg.BeginRun(); err != nil {
 					return err
 				}
-				if !ok {
-					break
-				}
-				if _, found := slices.BinarySearch(chunk, v); found {
-					if err := posSeg.Add(pos); err != nil {
-						grant.Release()
+				rd := col.seg.NewRunReader(col.run)
+				pos := uint32(0)
+				for {
+					v, ok, err := rd.Next()
+					if err != nil {
 						return err
 					}
+					if !ok {
+						break
+					}
+					if _, found := slices.BinarySearch(chunk, v); found {
+						if err := posSeg.Add(pos); err != nil {
+							return err
+						}
+					}
+					pos++
 				}
-				pos++
+				run, err := posSeg.EndRun()
+				if err != nil {
+					return err
+				}
+				posRuns = append(posRuns, run)
 			}
-			run, err := posSeg.EndRun()
-			if err != nil {
-				grant.Release()
-				return err
-			}
-			posRuns = append(posRuns, run)
-		}
-		grant.Release()
-		if err := posSeg.Seal(); err != nil {
-			return err
+			return posSeg.Seal()
+		}()
+		resv.Release()
+		if selErr != nil {
+			return selErr
 		}
 
 		// Rebuild every result column, keeping only selected positions.
+		// The chunk runs hold disjoint position ranges; consolidate them
+		// first when there are more than the stream buffers left after
+		// the per-column reader and writer.
+		posSegs := sameSegs(posSeg, len(posRuns))
+		posSegs, posRuns, err = r.consolidateRuns(posSegs, posRuns,
+			db.RAM.AvailableBuffers()-2, spanPostSelect)
+		if err != nil {
+			return err
+		}
+		rw, err := db.RAM.Plan(
+			ram.Claim{Name: "scan", Min: 1, Want: 1},
+			ram.Claim{Name: "out", Min: 1, Want: 1},
+		)
+		if err != nil {
+			return fmt.Errorf("exec: post-select: %w", err)
+		}
+		defer rw.Release()
+
 		newCols := make(map[int]resCol, len(r.resCols))
 		newN := 0
 		for ti, c := range r.resCols {
 			srcs := make([]idStream, 0, len(posRuns))
-			for _, run := range posRuns {
-				s, err := newRunStream(posSeg, run, db.RAM)
+			for i, run := range posRuns {
+				s, err := newRunStream(posSegs[i], run, db.RAM)
 				if err != nil {
 					for _, s2 := range srcs {
 						s2.close()

@@ -8,12 +8,14 @@ import (
 
 	"ghostdb/internal/bloom"
 	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/store"
 )
 
 // segRun locates one pos-sorted tuple run inside a tuple segment.
 type segRun struct {
+	seg   *store.Segment
 	off   int
 	count int
 }
@@ -131,29 +133,33 @@ func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error)
 		}
 	} else {
 		var f *bloom.Filter
-		var grant interface{ Release() }
+		var grant *ram.Grant
+		defer func() {
+			if grant != nil {
+				grant.Release()
+			}
+		}()
 		if db.opts.Projector == ProjectBloom {
 			// "The Bloom filter is calibrated by default to occupy the
-			// entire RAM" (§5), minus working buffers.
+			// entire RAM" (§5), minus working buffers. The filter is a pure
+			// optimization: when RAM is too tight for a useful one, σVH
+			// proceeds unfiltered instead of failing.
 			budget := db.RAM.Available() - 4*db.RAM.BufferSize()
-			bp, err := bloom.PlanFor(r.resN, budget)
-			if err == nil {
-				g, err := db.RAM.Alloc(bp.Bytes)
-				if err != nil {
-					return nil, store.Run{}, err
-				}
-				grant = g
-				f = bloom.New(bp, r.resN)
-				rd := col.seg.NewRunReader(col.run)
-				for {
-					v, ok, err := rd.Next()
-					if err != nil {
-						return nil, store.Run{}, err
+			if bp, err := bloom.PlanFor(r.resN, budget); err == nil {
+				if g, err := db.RAM.Alloc(bp.Bytes); err == nil {
+					grant = g
+					f = bloom.New(bp, r.resN)
+					rd := col.seg.NewRunReader(col.run)
+					for {
+						v, ok, err := rd.Next()
+						if err != nil {
+							return nil, store.Run{}, err
+						}
+						if !ok {
+							break
+						}
+						f.Add(v)
 					}
-					if !ok {
-						break
-					}
-					f.Add(v)
 				}
 			}
 		}
@@ -174,9 +180,6 @@ func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error)
 				}
 			}
 		}
-		if grant != nil {
-			grant.Release()
-		}
 	}
 	run, err := out.EndRun()
 	if err != nil {
@@ -189,61 +192,88 @@ func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error)
 }
 
 // sortColumn writes the sorted distinct ids of a result column into an
-// open run, using RAM-sized chunks and a union merge.
+// open run, using grant-sized chunks and a union merge. A small grant
+// only means more chunks, consolidated by multi-pass unions; the minimum
+// is 3 free buffers (chunk + reader + writer).
 func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
 	db := r.db
-	avail := db.RAM.Available() - 4*db.RAM.BufferSize()
-	if avail < db.RAM.BufferSize() {
-		return fmt.Errorf("exec: not enough RAM to sort a column")
+	bufSize := db.RAM.BufferSize()
+	want := (col.run.Count*store.IDBytes + bufSize - 1) / bufSize
+	if want < 1 {
+		want = 1
 	}
-	grant, err := db.RAM.Alloc(avail)
+	resv, err := db.RAM.Plan(
+		ram.Claim{Name: "chunk", Min: 1, Want: want},
+		ram.Claim{Name: "scan", Min: 1, Want: 1},
+		ram.Claim{Name: "write", Min: 1, Want: 1},
+	)
+	if err != nil {
+		return fmt.Errorf("exec: column sort: %w", err)
+	}
+	cap := resv.Bytes("chunk") / store.IDBytes
+	chunks := r.newTemp()
+	var runs []store.Run
+	chunkErr := func() error {
+		rd := col.seg.NewRunReader(col.run)
+		buf := make([]uint32, 0, cap)
+		flush := func() error {
+			if len(buf) == 0 {
+				return nil
+			}
+			slices.Sort(buf)
+			buf = slices.Compact(buf)
+			run, err := chunks.AppendRun(buf)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, run)
+			buf = buf[:0]
+			return nil
+		}
+		for {
+			v, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			buf = append(buf, v)
+			if len(buf) == cap {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		return chunks.Seal()
+	}()
+	resv.Release()
+	if chunkErr != nil {
+		return chunkErr
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+
+	// Union the chunk runs into the caller's open output run, reducing
+	// first when more chunks exist than stream buffers (one is kept back
+	// for the output writer).
+	segs := sameSegs(chunks, len(runs))
+	segs, runs, err = r.consolidateRuns(segs, runs, db.RAM.AvailableBuffers()-1, spanProject)
 	if err != nil {
 		return err
 	}
-	defer grant.Release()
-	cap := avail / 4
-	chunks := r.newTemp()
-	var runs []store.Run
-	rd := col.seg.NewRunReader(col.run)
-	buf := make([]uint32, 0, cap)
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		slices.Sort(buf)
-		buf = slices.Compact(buf)
-		run, err := chunks.AppendRun(buf)
-		if err != nil {
-			return err
-		}
-		runs = append(runs, run)
-		buf = buf[:0]
-		return nil
+	wg, err := db.RAM.ReserveBuffers(1, 1) // output writer
+	if err != nil {
+		return fmt.Errorf("exec: column sort: %w", err)
 	}
-	for {
-		v, ok, err := rd.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		buf = append(buf, v)
-		if len(buf) == cap {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return err
-	}
-	if err := chunks.Seal(); err != nil {
-		return err
-	}
+	defer wg.Release()
 	srcs := make([]idStream, 0, len(runs))
-	for _, run := range runs {
-		s, err := newRunStream(chunks, run, db.RAM)
+	for i, run := range runs {
+		s, err := newRunStream(segs[i], run, db.RAM)
 		if err != nil {
 			for _, s2 := range srcs {
 				s2.close()
@@ -251,9 +281,6 @@ func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
 			return err
 		}
 		srcs = append(srcs, s)
-	}
-	if len(srcs) == 0 {
-		return nil
 	}
 	u, err := newUnionStream(srcs)
 	if err != nil {
@@ -285,19 +312,39 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 		return err
 	}
 
-	// Batch capacity: RAM minus working buffers ("RAM capacity minus two
-	// buffers" in the paper; we also keep buffers for the readers).
+	// Declare the pipeline's buffer needs up front: one buffer per open
+	// reader/writer the table shape requires, and a batch staging area
+	// that takes whatever is left ("RAM capacity minus two buffers" in
+	// the paper). A minimal batch grant only means more passes over the
+	// QEPSJ column.
 	memTuple := 4 + tp.visW + tp.hidW
-	avail := db.RAM.Available() - 5*db.RAM.BufferSize()
-	if avail < memTuple {
-		return fmt.Errorf("exec: not enough RAM for MJoin batches")
+	bufSize := db.RAM.BufferSize()
+	minBatch := (memTuple + bufSize - 1) / bufSize
+	wantBatch := (sigRun.Count*memTuple + bufSize - 1) / bufSize
+	if wantBatch < minBatch {
+		wantBatch = minBatch
 	}
-	grant, err := db.RAM.Alloc(avail)
+	claims := []ram.Claim{
+		{Name: "sig", Min: 1, Want: 1}, // σVH run reader
+		{Name: "col", Min: 1, Want: 1}, // QEPSJ column reader
+		{Name: "out", Min: 1, Want: 1}, // batch output writer
+		{Name: "batch", Min: minBatch, Want: wantBatch},
+	}
+	if tp.visW > 0 {
+		claims = append(claims, ram.Claim{Name: "spool", Min: 1, Want: 1})
+	}
+	if tp.hidW > 0 {
+		claims = append(claims, ram.Claim{Name: "hidden", Min: 1, Want: 1})
+	}
+	resv, err := db.RAM.Plan(claims...)
 	if err != nil {
-		return err
+		return fmt.Errorf("exec: MJoin: %w", err)
 	}
-	defer grant.Release()
-	batchCap := avail / memTuple
+	defer resv.Release()
+	batchCap := resv.Bytes("batch") / memTuple
+	if batchCap < 1 {
+		batchCap = 1
+	}
 
 	tp.outSeg = store.NewSegment(db.Dev)
 	defer func() { r.tempSegs = append(r.tempSegs, tp.outSeg) }()
@@ -408,7 +455,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 			}
 			pos++
 		}
-		tp.outRuns = append(tp.outRuns, segRun{off: start, count: count})
+		tp.outRuns = append(tp.outRuns, segRun{seg: tp.outSeg, off: start, count: count})
 	}
 	return tp.outSeg.Seal()
 }

@@ -6,6 +6,7 @@ import (
 
 	"ghostdb/internal/bloom"
 	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 	"ghostdb/internal/store"
@@ -155,13 +156,54 @@ func (r *queryRun) qepsj() error {
 		})
 	}
 
+	// ---- Which tables need a column in the QEPSJ result?
+	neededSet := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != anchor {
+			neededSet[ti] = true
+		}
+	}
+	for ti := range r.exactAtProject {
+		neededSet[ti] = true
+	}
+	for ti := range r.postSelect {
+		neededSet[ti] = true
+	}
+	// bfPlans tables are already covered: Post / Cross-Post strategies
+	// are exact-at-project, so the loop above picked them up.
+	var needed []int
+	for ti := range neededSet {
+		needed = append(needed, ti)
+	}
+	sort.Ints(needed)
+
+	// ---- Reserve the store pipeline's buffers up front as named
+	// sub-reservations, so the Bloom filters and the Merge reduction can
+	// only spend what is genuinely left instead of racing the writers
+	// for it.
+	claims := []ram.Claim{{Name: "store-writers", Min: len(needed) + 1, Want: len(needed) + 1}}
+	if len(needed) > 0 {
+		claims = append(claims, ram.Claim{Name: "skt-reader", Min: 1, Want: 1})
+	}
+	pipe, err := db.RAM.Plan(claims...)
+	if err != nil {
+		return fmt.Errorf("exec: QEPSJ pipeline: %w", err)
+	}
+	// Release is idempotent: the defer covers error paths, the explicit
+	// release after joinAndStore returns the memory before Post-Select.
+	defer pipe.Release()
+
 	// ---- Build Bloom filters (they live in RAM through the pipeline).
 	var bfs []*bfFilter
-	defer func() {
+	releaseBFs := func() {
 		for _, f := range bfs {
-			f.grant.Release()
+			if f.grant != nil {
+				f.grant.Release()
+				f.grant = nil
+			}
 		}
-	}()
+	}
+	defer releaseBFs()
 	for _, plan := range bfPlans {
 		n := len(plan.ids)
 		rows := db.rows[plan.table]
@@ -177,6 +219,10 @@ func (r *queryRun) qepsj() error {
 		if len(bfPlans) > 1 {
 			budget /= len(bfPlans)
 		}
+		// The filter must also leave the Merge reduction room to run.
+		if free := db.RAM.Available() - 3*db.RAM.BufferSize(); budget > free {
+			budget = free
+		}
 		bp, err := bloom.PlanFor(n, budget)
 		if err != nil {
 			if db.opts.ForceStrategy != StratAuto {
@@ -187,7 +233,13 @@ func (r *queryRun) qepsj() error {
 		}
 		grant, err := db.RAM.Alloc(bp.Bytes)
 		if err != nil {
-			return err
+			// The filter is an optimization: under RAM pressure fall back
+			// to exact verification at projection time.
+			if db.opts.ForceStrategy != StratAuto {
+				return fmt.Errorf("%w: %v", ErrBloomInfeasible, err)
+			}
+			r.strategies[plan.table] = StratNoFilter
+			continue
 		}
 		f := bloom.New(bp, n)
 		err = db.Col.Span(spanBF, func() error {
@@ -197,49 +249,43 @@ func (r *queryRun) qepsj() error {
 			return nil
 		})
 		if err != nil {
+			grant.Release()
 			return err
 		}
 		bfs = append(bfs, &bfFilter{table: plan.table, filter: f, grant: grant})
 	}
 
-	// ---- Which tables need a column in the QEPSJ result?
-	neededSet := map[int]bool{}
-	for _, ti := range q.ProjTables() {
-		if ti != anchor {
-			neededSet[ti] = true
-		}
-	}
-	for ti := range r.exactAtProject {
-		neededSet[ti] = true
-	}
-	for ti := range r.postSelect {
-		neededSet[ti] = true
-	}
-	for _, f := range bfs {
-		neededSet[f.table] = true
-	}
-	var needed []int
-	for ti := range neededSet {
-		needed = append(needed, ti)
-	}
-	sort.Ints(needed)
-
-	// ---- Reduce sublists to fit RAM, then open the merged stream.
-	reserved := 2 + len(needed) + 1 // SKT reader + column writers + anchor writer
-	if err := r.reduceGroups(groups, reserved); err != nil {
+	// ---- Reduce sublists to fit the Merge's stream buffers, then open
+	// the merged stream.
+	if err := r.reduceGroups(groups); err != nil {
 		return err
 	}
 	merged, err := r.openMerged(groups)
 	if err != nil {
 		return err
 	}
-	defer merged.close()
 	for _, p := range r.anchorPred {
 		merged = &filterStream{src: merged, keep: idPredFilter(p)}
 	}
 
 	// ---- Pipeline: Merge -> SJoin -> ProbeBF -> Store.
-	return r.joinAndStore(merged, needed, bfs)
+	err = r.joinAndStore(merged, needed, bfs)
+	merged.close()
+	pipe.Release()
+	if err != nil {
+		return err
+	}
+	// The filters are dead once the pipeline has stored its columns;
+	// return their RAM before the exact Post-Select re-scans.
+	releaseBFs()
+
+	// ---- Exact Post-Select passes, if any (Figure 11).
+	for ti, ids := range r.postSelect {
+		if err := r.applyPostSelect(ti, ids); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // idPredFilter compiles an anchor id predicate into a keep function.
@@ -324,7 +370,7 @@ func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
 		}
 		groups = append(groups, g)
 	}
-	if err := r.reduceGroups(groups, 2); err != nil {
+	if err := r.reduceGroups(groups); err != nil {
 		cleanup()
 		return nil, err
 	}

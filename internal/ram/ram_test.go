@@ -67,6 +67,139 @@ func TestResize(t *testing.T) {
 	g.Release()
 }
 
+func TestReserveGrantsLargestFeasible(t *testing.T) {
+	m := NewManager(8192, 2048) // 4 buffers
+	// Everything free: want is honored.
+	g, err := m.Reserve(2048, 6144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bytes() != 6144 || g.Buffers() != 3 {
+		t.Fatalf("got %d bytes / %d buffers", g.Bytes(), g.Buffers())
+	}
+	// Less than want free: the grant shrinks to what is there.
+	g2, err := m.Reserve(1024, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Bytes() != 2048 {
+		t.Fatalf("elastic grant = %d, want 2048", g2.Bytes())
+	}
+	// Less than min free: ErrExhausted.
+	if _, err := m.Reserve(1024, 1024); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("reserve under min: %v", err)
+	}
+	g.Release()
+	g2.Release()
+	if m.Leaked() {
+		t.Fatal("leak")
+	}
+	// Invalid ranges.
+	if _, err := m.Reserve(0, 100); err == nil {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := m.Reserve(200, 100); err == nil {
+		t.Fatal("want < min accepted")
+	}
+}
+
+func TestReserveBuffers(t *testing.T) {
+	m := NewManager(8192, 2048)
+	g, err := m.ReserveBuffers(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Buffers() != 4 {
+		t.Fatalf("got %d buffers, want all 4", g.Buffers())
+	}
+	if _, err := m.ReserveBuffers(1, 1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-reserve: %v", err)
+	}
+	g.Release()
+}
+
+func TestPlanDistributesMinsThenWants(t *testing.T) {
+	m := NewManager(16384, 2048) // 8 buffers
+	r, err := m.Plan(
+		Claim{Name: "writers", Min: 3, Want: 3},
+		Claim{Name: "stage", Min: 1, Want: 10},
+		Claim{Name: "reader", Min: 1, Want: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Buffers("writers"); got != 3 {
+		t.Fatalf("writers = %d", got)
+	}
+	// stage gets its min plus all the spare (8 - 5 mins = 3 spare).
+	if got := r.Buffers("stage"); got != 4 {
+		t.Fatalf("stage = %d, want 4", got)
+	}
+	if got := r.Buffers("reader"); got != 1 {
+		t.Fatalf("reader = %d", got)
+	}
+	if r.Bytes("stage") != 4*2048 {
+		t.Fatalf("stage bytes = %d", r.Bytes("stage"))
+	}
+	if m.AvailableBuffers() != 0 {
+		t.Fatalf("available = %d, want 0", m.AvailableBuffers())
+	}
+	r.Release()
+	if m.Leaked() || m.InUse() != 0 {
+		t.Fatalf("leak after release: %d in use", m.InUse())
+	}
+}
+
+func TestPlanFailsAtomically(t *testing.T) {
+	m := NewManager(8192, 2048) // 4 buffers
+	held, err := m.AllocBuffers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mins total 3 but only 2 are free: whole plan refused, nothing kept.
+	if _, err := m.Plan(
+		Claim{Name: "a", Min: 2, Want: 2},
+		Claim{Name: "b", Min: 1, Want: 1},
+	); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("infeasible plan: %v", err)
+	}
+	if m.InUse() != 2*2048 {
+		t.Fatalf("failed plan kept memory: %d in use", m.InUse())
+	}
+	held.Release()
+	if m.Leaked() {
+		t.Fatal("leak")
+	}
+	// Duplicate names are a caller bug, and must not leak either.
+	if _, err := m.Plan(Claim{Name: "x", Min: 1, Want: 1}, Claim{Name: "x", Min: 1, Want: 1}); err == nil {
+		t.Fatal("duplicate claim accepted")
+	}
+	if m.Leaked() {
+		t.Fatal("duplicate-claim failure leaked")
+	}
+}
+
+func TestPlanZeroMinClaim(t *testing.T) {
+	m := NewManager(4096, 2048) // 2 buffers
+	r, err := m.Plan(
+		Claim{Name: "must", Min: 2, Want: 2},
+		Claim{Name: "nice", Min: 0, Want: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Buffers("nice") != 0 {
+		t.Fatalf("nice = %d, want 0", r.Buffers("nice"))
+	}
+	if r.Buffers("nosuch") != 0 {
+		t.Fatal("unknown claim should read as 0")
+	}
+	r.Release()
+	if m.Leaked() {
+		t.Fatal("leak")
+	}
+}
+
 func TestInvalidAlloc(t *testing.T) {
 	m := NewManager(4096, 2048)
 	if _, err := m.Alloc(0); err == nil {
