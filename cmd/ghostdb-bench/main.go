@@ -7,6 +7,7 @@
 //	ghostdb-bench -exp all                 # every table and figure
 //	ghostdb-bench -exp fig8 -scale 0.02    # one figure, larger scale
 //	ghostdb-bench -exp ablations           # the DESIGN.md ablations
+//	ghostdb-bench -exp concurrency         # scheduler sweep -> BENCH_concurrency.json
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,16 +27,52 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	queries := flag.Int("queries", 60, "queries per level in the concurrency sweep")
+	out := flag.String("out", "BENCH_concurrency.json", "output path for the concurrency sweep report")
 	flag.Parse()
 
 	lab := experiments.NewLab(*scale, *seed)
-	if err := run(lab, strings.ToLower(*exp)); err != nil {
+	name := strings.ToLower(*exp)
+	if name == "concurrency" {
+		if err := runConcurrency(lab, *queries, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(lab, name); err != nil {
 		fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runConcurrency sweeps the admission scheduler at 1/4/16 concurrent
+// sessions and writes the machine-readable report.
+func runConcurrency(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.ConcurrencySweep([]int{1, 4, 16}, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== concurrency: %d-query mixed workload per level (scale %g, %dB secure RAM) ==\n",
+		queries, rep.Scale, rep.RAMBudgetBytes)
+	fmt.Printf("  %-12s %8s %12s %12s %12s %12s\n",
+		"sessions", "grant", "wall-qps", "sim-p50", "sim-p95", "max-running")
+	for _, p := range rep.Levels {
+		fmt.Printf("  %-12d %7db %12.1f %10.2fms %10.2fms %12d\n",
+			p.Concurrency, p.GrantBuffers, p.WallQPS, p.SimP50Ms, p.SimP95Ms, p.MaxRunning)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	return nil
 }
 
 func run(lab *experiments.Lab, exp string) error {

@@ -23,8 +23,10 @@
 package ghostdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ghostdb/internal/exec"
 	"ghostdb/internal/flash"
@@ -64,6 +66,7 @@ const (
 	StrategyPostFilter      = exec.StratPost
 	StrategyCrossPostFilter = exec.StratCrossPost
 	StrategyPostSelect      = exec.StratPostSelect
+	StrategyCrossPostSelect = exec.StratCrossPostSelect
 	StrategyNoFilter        = exec.StratNoFilter
 )
 
@@ -90,12 +93,18 @@ type Options struct {
 	// FlashBlocks sets the device capacity in 64-page erase blocks
 	// (default 32768 ≈ 4GB).
 	FlashBlocks int
+	// MaxConcurrentQueries bounds the query sessions admitted at once:
+	// each admitted session holds its RAM grant until its query
+	// completes, while execution on the simulated token stays serial
+	// (default 4; values below 1 mean 1).
+	MaxConcurrentQueries int
 }
 
 func (o Options) toExec() exec.Options {
 	var eo exec.Options
 	eo.RAMBudget = o.RAMBytes
 	eo.ThroughputMBps = o.ThroughputMBps
+	eo.MaxConcurrentQueries = o.MaxConcurrentQueries
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -111,9 +120,12 @@ func (o Options) toExec() exec.Options {
 // DB is a GhostDB instance: an untrusted visible store plus a simulated
 // secure USB key holding the hidden partition and all index structures.
 type DB struct {
-	sch    *schema.Schema
-	inner  *exec.DB
-	loaded bool
+	sch   *schema.Schema
+	inner *exec.DB
+	// loaded flips once at Loader.Commit; atomic so queries started on
+	// other goroutines observe the commit (and everything the load wrote
+	// before it) with a proper happens-before edge.
+	loaded atomic.Bool
 }
 
 // Create parses the CREATE TABLE statements (with HIDDEN annotations and
@@ -155,32 +167,82 @@ func (db *DB) Rows(table string) (int, error) {
 	return db.inner.Rows(t.Index), nil
 }
 
+// QueryOption customizes one QueryCtx call without touching the
+// database-wide defaults, so concurrent callers cannot trample each
+// other's knobs.
+type QueryOption func(*exec.QueryConfig)
+
+// WithStrategy forces the visible/hidden combination strategy for this
+// query only (StrategyAuto restores planner choice).
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *exec.QueryConfig) { c.Strategy = s }
+}
+
+// WithProjector selects the projection algorithm for this query only.
+func WithProjector(p Projector) QueryOption {
+	return func(c *exec.QueryConfig) { c.Projector = p }
+}
+
+// WithRAMBuffers sets this query session's RAM admission request in
+// whole buffers (flash pages): the session waits until at least min
+// buffers of secure RAM are free, then owns up to want of them for the
+// whole query. Smaller grants mean more operator passes, never wrong
+// answers; capping want below the full budget lets several sessions
+// hold RAM at once. Zero values keep the defaults (a conservative
+// minimum, and the whole budget as the target).
+func WithRAMBuffers(min, want int) QueryOption {
+	return func(c *exec.QueryConfig) { c.MinBuffers, c.WantBuffers = min, want }
+}
+
 // Query executes a SELECT statement and returns rows plus cost stats.
+// It is safe to call from multiple goroutines; each call becomes one
+// scheduled session (see QueryCtx).
 func (db *DB) Query(sql string) (*Result, error) {
-	if !db.loaded {
+	return db.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx executes a SELECT statement as one admitted query session.
+// The call waits in a FIFO queue until the secure chip can grant the
+// session's RAM minimum and a concurrency slot (Options.
+// MaxConcurrentQueries); cancelling ctx while queued abandons the
+// request without it ever having held memory. Once running, the query
+// executes to completion with exclusive use of the simulated token, so
+// its Stats are deterministic regardless of concurrency.
+func (db *DB) QueryCtx(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	if !db.loaded.Load() {
 		return nil, errors.New("ghostdb: load data first (Loader / Commit)")
 	}
-	return db.inner.Run(sql)
+	cfg := db.inner.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return db.inner.RunCtx(ctx, sql, cfg)
 }
 
 // Exec executes a non-SELECT statement (INSERT).
 func (db *DB) Exec(sql string) error {
-	if !db.loaded {
+	if !db.loaded.Load() {
 		return errors.New("ghostdb: load data first (Loader / Commit)")
 	}
 	_, err := db.inner.Run(sql)
 	return err
 }
 
-// ForceStrategy overrides the planner for experiments; pass StrategyAuto
-// to restore normal planning.
+// ForceStrategy overrides the planner default for experiments; pass
+// StrategyAuto to restore normal planning. It only affects queries
+// submitted afterwards — running queries keep the config they
+// snapshotted. Prefer WithStrategy for per-query control.
 func (db *DB) ForceStrategy(s Strategy) { db.inner.SetForceStrategy(s) }
 
-// SetProjector selects the projection algorithm.
+// SetProjector selects the default projection algorithm. Prefer
+// WithProjector for per-query control.
 func (db *DB) SetProjector(p Projector) { db.inner.SetProjector(p) }
 
 // SetThroughput changes the modeled USB link speed in MB/s.
 func (db *DB) SetThroughput(mbps float64) { db.inner.SetThroughput(mbps) }
+
+// Totals reports the cumulative simulated cost of all completed queries.
+func (db *DB) Totals() exec.Totals { return db.inner.Totals() }
 
 // Internal returns the underlying engine, for the benchmark harness and
 // tools living inside this module.

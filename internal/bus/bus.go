@@ -7,7 +7,10 @@
 // the auditor lets tests prove that invariant for every execution strategy.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Direction of a transfer across the link.
 type Direction int
@@ -38,8 +41,12 @@ type Record struct {
 	Payload string // kept only for Up records (they must be tiny)
 }
 
-// Channel is the simulated link. Not safe for concurrent use.
+// Channel is the simulated link. Counter and throughput accesses are
+// mutex-protected so sessions and control knobs may touch the channel
+// concurrently; transfers themselves are still serialized by the
+// scheduler's secure-token lock (the link is a serial resource).
 type Channel struct {
+	mu             sync.Mutex
 	throughputMBps float64
 	downBytes      uint64
 	upBytes        uint64
@@ -57,13 +64,19 @@ func NewChannel(throughputMBps float64) *Channel {
 
 // SetThroughput changes the modeled link speed (MB/s).
 func (c *Channel) SetThroughput(mbps float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if mbps > 0 {
 		c.throughputMBps = mbps
 	}
 }
 
 // ThroughputMBps returns the modeled link speed.
-func (c *Channel) ThroughputMBps() float64 { return c.throughputMBps }
+func (c *Channel) ThroughputMBps() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.throughputMBps
+}
 
 // Transfer accounts for n bytes moving in direction dir. kind labels the
 // message for the audit trail. For Up transfers, payload should be the
@@ -72,6 +85,8 @@ func (c *Channel) Transfer(dir Direction, kind string, n int, payload string) er
 	if n < 0 {
 		return fmt.Errorf("bus: negative transfer %d", n)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	switch dir {
 	case Down:
 		c.downBytes += uint64(n)
@@ -88,16 +103,24 @@ func (c *Channel) Transfer(dir Direction, kind string, n int, payload string) er
 }
 
 // Counters reports cumulative bytes in each direction.
-func (c *Channel) Counters() (down, up uint64) { return c.downBytes, c.upBytes }
+func (c *Channel) Counters() (down, up uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downBytes, c.upBytes
+}
 
 // ResetCounters zeroes the byte counters and the audit trail.
 func (c *Channel) ResetCounters() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.downBytes, c.upBytes = 0, 0
 	c.records = c.records[:0]
 }
 
 // Records returns the audit trail (a copy).
 func (c *Channel) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]Record, len(c.records))
 	copy(out, c.records)
 	return out
@@ -106,6 +129,8 @@ func (c *Channel) Records() []Record {
 // UplinkRecords returns only Secure->Untrusted transfers. A leak-free
 // execution has exactly the query-text records here and nothing else.
 func (c *Channel) UplinkRecords() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []Record
 	for _, r := range c.records {
 		if r.Dir == Up {

@@ -20,13 +20,13 @@ import (
 // costs flash I/O without buying anything. Fails wrapping
 // ram.ErrExhausted when not even a 2-way union fits.
 func (r *queryRun) unionFanIn(nRuns, deficit int) (int, error) {
-	k := r.db.RAM.AvailableBuffers() - 1
+	k := r.ram.AvailableBuffers() - 1
 	if k > nRuns {
 		k = nRuns
 	}
 	if k < 2 {
 		return 0, fmt.Errorf("exec: cannot union %d sublists with %d buffers free: %w",
-			nRuns, r.db.RAM.AvailableBuffers(), ram.ErrExhausted)
+			nRuns, r.ram.AvailableBuffers(), ram.ErrExhausted)
 	}
 	if need := deficit + 1; k > need {
 		k = need
@@ -50,7 +50,7 @@ func (r *queryRun) unionSmallest(segs []*store.ListSegment, runs []store.Run, k 
 	pick := order[:k]
 	sort.Ints(pick)
 
-	wg, err := r.db.RAM.ReserveBuffers(1, 1) // spill writer
+	wg, err := r.ram.ReserveBuffers(1, 1) // spill writer
 	if err != nil {
 		return nil, nil, err
 	}
@@ -58,7 +58,7 @@ func (r *queryRun) unionSmallest(segs []*store.ListSegment, runs []store.Run, k 
 
 	srcs := make([]idStream, 0, k)
 	for _, i := range pick {
-		s, err := newRunStream(segs[i], runs[i], r.db.RAM)
+		s, err := newRunStream(segs[i], runs[i], r.ram)
 		if err != nil {
 			for _, s2 := range srcs {
 				s2.close()
@@ -72,7 +72,7 @@ func (r *queryRun) unionSmallest(segs []*store.ListSegment, runs []store.Run, k 
 		return nil, nil, err
 	}
 	out := r.newTemp()
-	err = r.db.Col.Span(span, func() error {
+	err = r.col.Span(span, func() error {
 		if err := out.BeginRun(); err != nil {
 			return err
 		}
@@ -157,7 +157,7 @@ func (r *queryRun) consolidateTupleRuns(tp *tableProj, maxRuns int) error {
 		maxRuns = 1
 	}
 	for len(tp.outRuns) > maxRuns {
-		g, err := r.db.RAM.ReserveBuffers(3, len(tp.outRuns)+1)
+		g, err := r.ram.ReserveBuffers(3, len(tp.outRuns)+1)
 		if err != nil {
 			return fmt.Errorf("exec: final join consolidation: %w", err)
 		}
@@ -199,7 +199,7 @@ func (r *queryRun) mergeTupleRuns(tp *tableProj, k int) error {
 		return err
 	}
 	count := 0
-	err = r.db.Col.Span(spanProject, func() error {
+	err = r.col.Span(spanProject, func() error {
 		for {
 			t, ok, err := cur.takeMin()
 			if err != nil {

@@ -38,7 +38,7 @@ func (r *queryRun) bruteForce(res *Result) error {
 	}
 	sort.Ints(order)
 
-	resv, err := db.RAM.Plan(ram.Claim{Name: "column-readers", Min: 1 + len(order), Want: 1 + len(order)})
+	resv, err := r.ram.Plan(ram.Claim{Name: "column-readers", Min: 1 + len(order), Want: 1 + len(order)})
 	if err != nil {
 		return fmt.Errorf("exec: brute-force projection: %w", err)
 	}

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ghostdb/internal/bus"
@@ -11,6 +13,7 @@ import (
 	"ghostdb/internal/metrics"
 	"ghostdb/internal/query"
 	"ghostdb/internal/ram"
+	"ghostdb/internal/sched"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 	"ghostdb/internal/store"
@@ -95,6 +98,20 @@ func (p Projector) String() string {
 	return "?"
 }
 
+// DefaultMaxConcurrentQueries bounds in-flight query sessions when
+// Options.MaxConcurrentQueries is unset.
+const DefaultMaxConcurrentQueries = 4
+
+// DefaultSessionMinBuffers is the admission floor requested for a query
+// session when QueryConfig.MinBuffers is unset: enough for the widest
+// fixed operator footprint of the representative query mix (the QEPSJ
+// pipeline's writers + SKT reader + one merge buffer, see the ramsweep
+// tests) with one buffer of headroom. It is a conservative heuristic —
+// a grant-aware planner deriving the true per-plan minimum is the
+// ROADMAP follow-on — and it is clamped to the total budget so tiny
+// configured budgets still admit queries.
+const DefaultSessionMinBuffers = 8
+
 // Options configures a DB.
 type Options struct {
 	FlashParams    flash.Params
@@ -102,8 +119,11 @@ type Options struct {
 	ThroughputMBps float64 // USB link speed (default 1.5)
 	Model          metrics.Model
 	Variant        index.Variant
-	ForceStrategy  Strategy  // forced for every non-anchor visible table
-	Projector      Projector // projection algorithm
+	ForceStrategy  Strategy  // default forced strategy for queries that do not override it
+	Projector      Projector // default projection algorithm
+	// MaxConcurrentQueries bounds the query sessions admitted at once
+	// (default DefaultMaxConcurrentQueries; values below 1 mean 1).
+	MaxConcurrentQueries int
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -120,7 +140,36 @@ func (o Options) withDefaults() Options {
 	if o.Model == (metrics.Model{}) {
 		o.Model = metrics.DefaultModel()
 	}
+	if o.MaxConcurrentQueries == 0 {
+		o.MaxConcurrentQueries = DefaultMaxConcurrentQueries
+	}
+	if o.MaxConcurrentQueries < 1 {
+		o.MaxConcurrentQueries = 1
+	}
 	return o
+}
+
+// QueryConfig is one query's immutable execution configuration. These
+// used to be mutable DB-level knobs read mid-query; threading them per
+// query is what makes concurrent sessions safe. The zero value lets the
+// planner decide the strategy, uses the Bloom projector and the default
+// RAM admission request.
+type QueryConfig struct {
+	// Strategy forces the visible/hidden combination strategy for every
+	// non-anchor visible table (StratAuto = planner decides).
+	Strategy Strategy
+	// Projector selects the projection algorithm.
+	Projector Projector
+	// MinBuffers is the session's admission floor in whole buffers: the
+	// query waits (FIFO) until at least this much of the secure RAM is
+	// free, then owns its grant for the whole query. 0 means
+	// DefaultSessionMinBuffers, clamped to the budget.
+	MinBuffers int
+	// WantBuffers is the elastic admission target: the session takes up
+	// to this many buffers when free. 0 means the whole budget (a lone
+	// query behaves exactly like the mono-user engine); cap it to let
+	// several sessions hold RAM simultaneously.
+	WantBuffers int
 }
 
 // HiddenImage is the flash-resident image of a table's hidden non-key
@@ -138,13 +187,22 @@ type DB struct {
 	Dev  *flash.Device
 	RAM  *ram.Manager
 	Bus  *bus.Channel
-	Col  *metrics.Collector
 	Cat  *index.Catalog
 	Untr *untrusted.Engine
 
 	Hidden map[int]*HiddenImage
 	rows   map[int]int
 	opts   Options
+
+	sched *sched.Scheduler
+
+	// mu guards the mutable engine state that outlives a single query:
+	// the default QueryConfig, the cumulative totals and the row counts
+	// (the latter only against the public Rows accessor; in-query reads
+	// are already serialized by the scheduler's token slot).
+	mu     sync.Mutex
+	defCfg QueryConfig
+	totals Totals
 }
 
 // ColData is one encoded column for loading (Width bytes per row).
@@ -173,29 +231,56 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 		Dev:    dev,
 		RAM:    ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
 		Bus:    ch,
-		Col:    metrics.NewCollector(dev, ch, opts.Model),
 		Untr:   untrusted.NewEngine(sch, ch),
 		Hidden: make(map[int]*HiddenImage),
 		rows:   make(map[int]int),
 		opts:   opts,
+		defCfg: QueryConfig{Strategy: opts.ForceStrategy, Projector: opts.Projector},
 	}
+	db.sched = sched.New(db.RAM, opts.MaxConcurrentQueries)
 	return db, nil
 }
 
 // Options returns the effective options.
 func (db *DB) Options() Options { return db.opts }
 
-// SetForceStrategy overrides the planner for subsequent queries.
-func (db *DB) SetForceStrategy(s Strategy) { db.opts.ForceStrategy = s }
+// DefaultConfig returns the configuration applied to queries that do not
+// carry their own (a snapshot; later Set* calls do not affect it).
+func (db *DB) DefaultConfig() QueryConfig {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.defCfg
+}
 
-// SetProjector selects the projection algorithm for subsequent queries.
-func (db *DB) SetProjector(p Projector) { db.opts.Projector = p }
+// SetForceStrategy overrides the planner for subsequent queries that use
+// the default configuration. Queries already running are unaffected:
+// they snapshotted their config at submission.
+func (db *DB) SetForceStrategy(s Strategy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.defCfg.Strategy = s
+}
+
+// SetProjector selects the projection algorithm for subsequent queries
+// that use the default configuration.
+func (db *DB) SetProjector(p Projector) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.defCfg.Projector = p
+}
 
 // SetThroughput adjusts the modeled link speed (Figure 14).
 func (db *DB) SetThroughput(mbps float64) { db.Bus.SetThroughput(mbps) }
 
+// Sched exposes the admission scheduler (diagnostics and tests).
+func (db *DB) Sched() *sched.Scheduler { return db.sched }
+
 // Rows returns the cardinality of a table.
-func (db *DB) Rows(table int) int { return db.rows[table] }
+func (db *DB) Rows(table int) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rows[table]
+}
 
 // Load bulk-loads every table: visible columns go to Untrusted, hidden
 // columns to the hidden images on flash, and the index catalog (SKTs +
@@ -214,7 +299,9 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 			return fmt.Errorf("exec: table %q: %d columns loaded, schema has %d",
 				t.Name, len(ld.Cols), len(t.Columns))
 		}
+		db.mu.Lock()
 		db.rows[t.Index] = ld.Rows
+		db.mu.Unlock()
 		in := &index.TableInput{Rows: ld.Rows, FKs: ld.FKs}
 
 		// Visible columns -> untrusted store (zero copy).
@@ -281,7 +368,9 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 		return err
 	}
 	db.Cat = cat
-	db.Col.Reset() // exclude load/build I/O from query measurements
+	// Exclude load/build I/O from query measurements.
+	db.Dev.ResetCounters()
+	db.Bus.ResetCounters()
 	return nil
 }
 
@@ -294,7 +383,7 @@ type Stats struct {
 	Flash     flash.Counters
 	BusDown   uint64
 	BusUp     uint64
-	RAMHigh   int
+	RAMHigh   int                 // high water of the query session's private RAM budget
 	Strategy  map[string]Strategy // per visible table
 	Projector Projector
 }
@@ -306,8 +395,51 @@ type Result struct {
 	Stats   Stats
 }
 
-// Run parses and executes one SQL statement.
+// Totals accumulates the simulated cost of every completed query; one
+// query's Stats are merged in when it finishes, so the aggregate view
+// stays consistent under concurrency.
+type Totals struct {
+	Queries  uint64
+	SimTime  time.Duration
+	IOTime   time.Duration
+	CommTime time.Duration
+	Flash    flash.Counters
+	BusDown  uint64
+	BusUp    uint64
+}
+
+// Totals returns a snapshot of the cumulative query costs.
+func (db *DB) Totals() Totals {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.totals
+}
+
+func (db *DB) mergeTotals(st Stats) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.totals.Queries++
+	db.totals.SimTime += st.SimTime
+	db.totals.IOTime += st.IOTime
+	db.totals.CommTime += st.CommTime
+	db.totals.Flash = db.totals.Flash.Add(st.Flash)
+	db.totals.BusDown += st.BusDown
+	db.totals.BusUp += st.BusUp
+}
+
+// Run parses and executes one SQL statement under the default
+// configuration (the mono-user entry point; safe to call concurrently).
 func (db *DB) Run(sql string) (*Result, error) {
+	return db.RunCtx(context.Background(), sql, db.DefaultConfig())
+}
+
+// RunCtx parses and executes one SQL statement with a per-query
+// configuration. The call blocks in the FIFO admission queue until the
+// session's RAM minimum and a concurrency slot are free; cancelling ctx
+// while queued abandons the request without having reserved anything.
+// Once execution has started it runs to completion (the simulated
+// hardware is synchronous).
+func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
 	if db.Cat == nil {
 		return nil, errors.New("exec: database not loaded")
 	}
@@ -321,9 +453,16 @@ func (db *DB) Run(sql string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.Select(q)
+		return db.SelectCtx(ctx, q, cfg)
 	case sqlparse.Insert:
-		if err := db.Insert(st); err != nil {
+		// Updates mutate shared structures (hidden images, indexes, row
+		// counts); they take a minimal session and the token slot.
+		sess, err := db.sched.Acquire(ctx, sched.Request{MinBuffers: 1, WantBuffers: 1})
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Release()
+		if err := sess.Exclusive(ctx, func() error { return db.Insert(st) }); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -333,49 +472,99 @@ func (db *DB) Run(sql string) (*Result, error) {
 	return nil, fmt.Errorf("exec: unsupported statement %T", stmt)
 }
 
-// Select executes a resolved query.
-func (db *DB) Select(q *query.Query) (*Result, error) {
-	db.Col.Reset()
-	// The query text is the only thing that ever leaves the secure
-	// perimeter (§1: "the only information revealed to a potential spy is
-	// which queries you pose").
-	if err := db.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
-		return nil, err
+// sessionRequest derives the admission request from a query config.
+func (db *DB) sessionRequest(cfg QueryConfig) sched.Request {
+	total := db.RAM.Buffers()
+	min := cfg.MinBuffers
+	if min <= 0 {
+		min = DefaultSessionMinBuffers
 	}
-	r := &queryRun{db: db, q: q}
-	res, err := r.execute()
+	if min > total {
+		min = total
+	}
+	want := cfg.WantBuffers
+	if want <= 0 {
+		want = total
+	}
+	if want < min {
+		want = min
+	}
+	return sched.Request{MinBuffers: min, WantBuffers: want}
+}
+
+// Select executes a resolved query under the default configuration.
+func (db *DB) Select(q *query.Query) (*Result, error) {
+	return db.SelectCtx(context.Background(), q, db.DefaultConfig())
+}
+
+// SelectCtx executes a resolved query as one scheduled session: FIFO RAM
+// admission, then exclusive use of the simulated token while the query
+// runs, so per-query counters and simulated timings are deterministic.
+func (db *DB) SelectCtx(ctx context.Context, q *query.Query, cfg QueryConfig) (*Result, error) {
+	sess, err := db.sched.Acquire(ctx, db.sessionRequest(cfg))
 	if err != nil {
 		return nil, err
 	}
-	if q.CountOnly {
-		res = &Result{
-			Columns: []string{"count(*)"},
-			Rows:    []schema.Row{{schema.IntVal(int64(len(res.Rows)))}},
+	defer sess.Release()
+	var res *Result
+	err = sess.Exclusive(ctx, func() error {
+		r := &queryRun{
+			db:  db,
+			q:   q,
+			cfg: cfg,
+			ram: sess.RAM(),
+			col: metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
 		}
+		// The token is exclusively ours: zero the device/bus counters so
+		// the collector's spans see only this query's I/O.
+		r.col.Reset()
+		// The query text is the only thing that ever leaves the secure
+		// perimeter (§1: "the only information revealed to a potential
+		// spy is which queries you pose").
+		if err := db.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
+			return err
+		}
+		out, err := r.execute()
+		if err != nil {
+			return err
+		}
+		if q.CountOnly {
+			out = &Result{
+				Columns: []string{"count(*)"},
+				Rows:    []schema.Row{{schema.IntVal(int64(len(out.Rows)))}},
+			}
+		}
+		out.Stats = r.collectStats()
+		res = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.Stats = db.collectStats(r)
+	db.mergeTotals(res.Stats)
 	return res, nil
 }
 
-func (db *DB) collectStats(r *queryRun) Stats {
+// collectStats summarizes this query's cost from the counters the run
+// observed while it held the token.
+func (r *queryRun) collectStats() Stats {
+	db := r.db
 	down, up := db.Bus.Counters()
 	total := metrics.Sample{Flash: db.Dev.Counters(), BusDown: down, BusUp: up}
 	st := Stats{
 		IOTime:    db.opts.Model.IOTime(total),
 		CommTime:  db.opts.Model.CommTime(total, db.Bus.ThroughputMBps()),
-		Breakdown: db.Col.Breakdown(),
+		Breakdown: r.col.Breakdown(),
 		Flash:     db.Dev.Counters(),
 		BusDown:   down,
 		BusUp:     up,
-		RAMHigh:   db.RAM.HighWater(),
+		RAMHigh:   r.ram.HighWater(),
 		Strategy:  map[string]Strategy{},
-		Projector: db.opts.Projector,
+		Projector: r.cfg.Projector,
 	}
 	st.SimTime = st.IOTime + st.CommTime
-	if r != nil {
-		for ti, s := range r.strategies {
-			st.Strategy[db.Sch.Tables[ti].Name] = s
-		}
+	for ti, s := range r.strategies {
+		st.Strategy[db.Sch.Tables[ti].Name] = s
 	}
 	return st
 }

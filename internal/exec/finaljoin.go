@@ -207,11 +207,11 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 		// Fail before consolidating when even one cursor per table cannot
 		// fit next to the fixed readers: the plan below would refuse
 		// anyway, and the consolidation rewrites are not free.
-		if fixed+liveTables > db.RAM.AvailableBuffers() {
+		if fixed+liveTables > r.ram.AvailableBuffers() {
 			return fmt.Errorf("exec: final join needs %d buffers, %d free: %w",
-				fixed+liveTables, db.RAM.AvailableBuffers(), ram.ErrExhausted)
+				fixed+liveTables, r.ram.AvailableBuffers(), ram.ErrExhausted)
 		}
-		budget := db.RAM.AvailableBuffers() - fixed
+		budget := r.ram.AvailableBuffers() - fixed
 		// Waterfill: satisfy run-light tables first so run-heavy ones get
 		// the leftovers instead of consolidating against a flat share.
 		order := make([]*tableProj, 0, liveTables)
@@ -245,7 +245,7 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 				Name: fmt.Sprintf("cursors:%s", db.Sch.Tables[tp.table].Name), Min: n, Want: n})
 		}
 	}
-	resv, err := db.RAM.Plan(claims...)
+	resv, err := r.ram.Plan(claims...)
 	if err != nil {
 		return fmt.Errorf("exec: final join: %w", err)
 	}

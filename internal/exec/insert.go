@@ -181,7 +181,9 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 		}
 	}
 
+	db.mu.Lock()
 	db.rows[t.Index]++
+	db.mu.Unlock()
 	return nil
 }
 

@@ -21,7 +21,7 @@ func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
 	for _, g := range groups {
 		totalRuns += len(g.runs)
 	}
-	for totalRuns > r.db.RAM.AvailableBuffers() {
+	for totalRuns > r.ram.AvailableBuffers() {
 		// Largest group first.
 		g := groups[0]
 		for _, cand := range groups[1:] {
@@ -35,7 +35,7 @@ func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
 		}
 		// Union the k smallest sublists ("the smallest sublists of each
 		// list are the best candidates for reduction").
-		k, err := r.unionFanIn(len(g.runs), totalRuns-r.db.RAM.AvailableBuffers())
+		k, err := r.unionFanIn(len(g.runs), totalRuns-r.ram.AvailableBuffers())
 		if err != nil {
 			return err
 		}
@@ -53,7 +53,7 @@ func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
 func (r *queryRun) openGroup(g *mergeGroup) (idStream, error) {
 	srcs := make([]idStream, 0, len(g.runs)+len(g.streams))
 	for i := range g.runs {
-		s, err := newRunStream(g.runSegs[i], g.runs[i], r.db.RAM)
+		s, err := newRunStream(g.runSegs[i], g.runs[i], r.ram)
 		if err != nil {
 			for _, s2 := range srcs {
 				s2.close()
@@ -145,7 +145,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 	for {
 		// Merge: fill a batch of anchor ids.
 		ids = ids[:0]
-		err := db.Col.Span(spanMerge, func() error {
+		err := r.col.Span(spanMerge, func() error {
 			for len(ids) < batchSize {
 				v, ok, err := merged.next()
 				if err != nil {
@@ -167,7 +167,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 		for _, id := range ids {
 			// SJoin: fetch the descendant ids from the SKT.
 			if skt != nil {
-				err := db.Col.Span(spanSJoin, func() error {
+				err := r.col.Span(spanSJoin, func() error {
 					return skt.read(id, tuple)
 				})
 				if err != nil {
@@ -177,7 +177,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 			// ProbeBF: approximate visible filtering.
 			if len(bfs) > 0 {
 				drop := false
-				err := db.Col.Span(spanBF, func() error {
+				err := r.col.Span(spanBF, func() error {
 					for _, f := range bfs {
 						v := tupleValue(anchor, id, needed, tuple, f.table)
 						if !f.filter.MayContain(v) {
@@ -195,7 +195,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 				}
 			}
 			// Store: materialize the survivor.
-			err = db.Col.Span(spanStore, func() error {
+			err = r.col.Span(spanStore, func() error {
 				if err := anchorSeg.Add(id); err != nil {
 					return err
 				}
@@ -216,7 +216,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 	r.resN = n
 	r.resCols = map[int]resCol{}
 	finish := func(ti int, seg *store.ListSegment) error {
-		return db.Col.Span(spanStore, func() error {
+		return r.col.Span(spanStore, func() error {
 			run, err := seg.EndRun()
 			if err != nil {
 				return err

@@ -17,19 +17,19 @@ import (
 // writer) is free: a smaller staging grant only means more re-scans.
 func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 	db := r.db
-	return db.Col.Span(spanPostSelect, func() error {
+	return r.col.Span(spanPostSelect, func() error {
 		col, ok := r.resCols[tv]
 		if !ok {
 			return fmt.Errorf("exec: post-select table %s has no result column", db.Sch.Tables[tv].Name)
 		}
 		// Stage the id list in chunks sized by the grant actually
 		// received, re-scanning the result column once per chunk.
-		bufSize := db.RAM.BufferSize()
+		bufSize := r.ram.BufferSize()
 		wantStage := (len(visIDs)*store.IDBytes + bufSize - 1) / bufSize
 		if wantStage < 1 {
 			wantStage = 1
 		}
-		resv, err := db.RAM.Plan(
+		resv, err := r.ram.Plan(
 			ram.Claim{Name: "stage", Min: 1, Want: wantStage},
 			ram.Claim{Name: "scan", Min: 1, Want: 1},
 			ram.Claim{Name: "out", Min: 1, Want: 1},
@@ -86,11 +86,11 @@ func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 		// the per-column reader and writer.
 		posSegs := sameSegs(posSeg, len(posRuns))
 		posSegs, posRuns, err = r.consolidateRuns(posSegs, posRuns,
-			db.RAM.AvailableBuffers()-2, spanPostSelect)
+			r.ram.AvailableBuffers()-2, spanPostSelect)
 		if err != nil {
 			return err
 		}
-		rw, err := db.RAM.Plan(
+		rw, err := r.ram.Plan(
 			ram.Claim{Name: "scan", Min: 1, Want: 1},
 			ram.Claim{Name: "out", Min: 1, Want: 1},
 		)
@@ -104,7 +104,7 @@ func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 		for ti, c := range r.resCols {
 			srcs := make([]idStream, 0, len(posRuns))
 			for i, run := range posRuns {
-				s, err := newRunStream(posSegs[i], run, db.RAM)
+				s, err := newRunStream(posSegs[i], run, r.ram)
 				if err != nil {
 					for _, s2 := range srcs {
 						s2.close()

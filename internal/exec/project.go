@@ -49,8 +49,8 @@ func (r *queryRun) project() (*Result, error) {
 		res.Rows = []schema.Row{}
 		return res, nil
 	}
-	if db.opts.Projector == ProjectBruteForce {
-		err := db.Col.Span(spanProject, func() error { return r.bruteForce(res) })
+	if r.cfg.Projector == ProjectBruteForce {
+		err := r.col.Span(spanProject, func() error { return r.bruteForce(res) })
 		return res, err
 	}
 
@@ -102,7 +102,7 @@ func (r *queryRun) project() (*Result, error) {
 		tps = append(tps, tp)
 	}
 
-	err := db.Col.Span(spanProject, func() error {
+	err := r.col.Span(spanProject, func() error {
 		for _, tp := range tps {
 			if err := r.mjoinTable(tp); err != nil {
 				return err
@@ -117,7 +117,6 @@ func (r *queryRun) project() (*Result, error) {
 // the result, per §4 — a Bloom filter over the QEPSJ.Ti.id column probed
 // with the ids sent by Untrusted. Returns a temp run of sorted ids.
 func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error) {
-	db := r.db
 	col := r.resCols[tp.table]
 	sp := r.spool[tp.table]
 	out := r.newTemp()
@@ -139,14 +138,14 @@ func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error)
 				grant.Release()
 			}
 		}()
-		if db.opts.Projector == ProjectBloom {
+		if r.cfg.Projector == ProjectBloom {
 			// "The Bloom filter is calibrated by default to occupy the
 			// entire RAM" (§5), minus working buffers. The filter is a pure
 			// optimization: when RAM is too tight for a useful one, σVH
 			// proceeds unfiltered instead of failing.
-			budget := db.RAM.Available() - 4*db.RAM.BufferSize()
+			budget := r.ram.Available() - 4*r.ram.BufferSize()
 			if bp, err := bloom.PlanFor(r.resN, budget); err == nil {
-				if g, err := db.RAM.Alloc(bp.Bytes); err == nil {
+				if g, err := r.ram.Alloc(bp.Bytes); err == nil {
 					grant = g
 					f = bloom.New(bp, r.resN)
 					rd := col.seg.NewRunReader(col.run)
@@ -196,13 +195,12 @@ func (r *queryRun) sigmaVH(tp *tableProj) (*store.ListSegment, store.Run, error)
 // only means more chunks, consolidated by multi-pass unions; the minimum
 // is 3 free buffers (chunk + reader + writer).
 func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
-	db := r.db
-	bufSize := db.RAM.BufferSize()
+	bufSize := r.ram.BufferSize()
 	want := (col.run.Count*store.IDBytes + bufSize - 1) / bufSize
 	if want < 1 {
 		want = 1
 	}
-	resv, err := db.RAM.Plan(
+	resv, err := r.ram.Plan(
 		ram.Claim{Name: "chunk", Min: 1, Want: want},
 		ram.Claim{Name: "scan", Min: 1, Want: 1},
 		ram.Claim{Name: "write", Min: 1, Want: 1},
@@ -262,18 +260,18 @@ func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
 	// first when more chunks exist than stream buffers (one is kept back
 	// for the output writer).
 	segs := sameSegs(chunks, len(runs))
-	segs, runs, err = r.consolidateRuns(segs, runs, db.RAM.AvailableBuffers()-1, spanProject)
+	segs, runs, err = r.consolidateRuns(segs, runs, r.ram.AvailableBuffers()-1, spanProject)
 	if err != nil {
 		return err
 	}
-	wg, err := db.RAM.ReserveBuffers(1, 1) // output writer
+	wg, err := r.ram.ReserveBuffers(1, 1) // output writer
 	if err != nil {
 		return fmt.Errorf("exec: column sort: %w", err)
 	}
 	defer wg.Release()
 	srcs := make([]idStream, 0, len(runs))
 	for i, run := range runs {
-		s, err := newRunStream(segs[i], run, db.RAM)
+		s, err := newRunStream(segs[i], run, r.ram)
 		if err != nil {
 			for _, s2 := range srcs {
 				s2.close()
@@ -318,7 +316,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 	// the paper). A minimal batch grant only means more passes over the
 	// QEPSJ column.
 	memTuple := 4 + tp.visW + tp.hidW
-	bufSize := db.RAM.BufferSize()
+	bufSize := r.ram.BufferSize()
 	minBatch := (memTuple + bufSize - 1) / bufSize
 	wantBatch := (sigRun.Count*memTuple + bufSize - 1) / bufSize
 	if wantBatch < minBatch {
@@ -336,7 +334,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 	if tp.hidW > 0 {
 		claims = append(claims, ram.Claim{Name: "hidden", Min: 1, Want: 1})
 	}
-	resv, err := db.RAM.Plan(claims...)
+	resv, err := r.ram.Plan(claims...)
 	if err != nil {
 		return fmt.Errorf("exec: MJoin: %w", err)
 	}

@@ -7,7 +7,9 @@ import (
 
 	"ghostdb/internal/bloom"
 	"ghostdb/internal/index"
+	"ghostdb/internal/metrics"
 	"ghostdb/internal/query"
+	"ghostdb/internal/ram"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 	"ghostdb/internal/store"
@@ -46,10 +48,17 @@ type resCol struct {
 	run store.Run
 }
 
-// queryRun is the per-query execution state.
+// queryRun is the per-query execution state. Everything a query needs
+// that used to be mutable DB-level state is threaded here instead: the
+// immutable QueryConfig snapshot, the session's private RAM budget and a
+// per-query metrics collector, so concurrent sessions never read each
+// other's knobs or counters.
 type queryRun struct {
-	db *DB
-	q  *query.Query
+	db  *DB
+	q   *query.Query
+	cfg QueryConfig
+	ram *ram.Manager       // session-private budget, sized at admission
+	col *metrics.Collector // per-query span collector
 
 	vis        map[int]*untrusted.VisResult
 	spool      map[int]*visSpool
@@ -108,7 +117,7 @@ func (r *queryRun) execute() (*Result, error) {
 			continue
 		}
 		var vr *untrusted.VisResult
-		err := db.Col.Span(spanVis, func() error {
+		err := r.col.Span(spanVis, func() error {
 			var err error
 			vr, err = db.Untr.Vis(ti, preds, cols)
 			return err
@@ -194,7 +203,7 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 	preds = append(preds, q.Preds...)
 	cols := r.projectedVisibleCols()[ti]
 	var vr *untrusted.VisResult
-	err := db.Col.Span(spanVis, func() error {
+	err := r.col.Span(spanVis, func() error {
 		var err error
 		vr, err = db.Untr.Vis(ti, preds, cols)
 		return err
@@ -237,7 +246,7 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	res.Stats = db.collectStats(r)
+	// Stats are attached once by SelectCtx after execute returns.
 	return res, true, nil
 }
 
@@ -259,7 +268,7 @@ func (r *queryRun) plan() error {
 			sV = float64(len(vr.IDs)) / float64(rows)
 		}
 		cross := r.crossAvailable(ti)
-		s := db.opts.ForceStrategy
+		s := r.cfg.Strategy
 		if s == StratAuto {
 			switch {
 			case cross && sV <= 0.1:
@@ -342,7 +351,7 @@ func (r *queryRun) spoolVis() error {
 			return err
 		}
 		r.files = append(r.files, f)
-		err = r.db.Col.Span(spanVis, func() error {
+		err = r.col.Span(spanVis, func() error {
 			if needValues {
 				for i := range vr.IDs {
 					if err := f.Append(vr.Rows[i*vr.RowWidth : (i+1)*vr.RowWidth]); err != nil {

@@ -133,7 +133,7 @@ func (r *queryRun) qepsj() error {
 			continue
 		}
 		var runs []store.Run
-		err := db.Col.Span(spanCI, func() error {
+		err := r.col.Span(spanCI, func() error {
 			var err error
 			runs, err = r.runsForHiddenPred(p, ci, slot)
 			return err
@@ -185,7 +185,7 @@ func (r *queryRun) qepsj() error {
 	if len(needed) > 0 {
 		claims = append(claims, ram.Claim{Name: "skt-reader", Min: 1, Want: 1})
 	}
-	pipe, err := db.RAM.Plan(claims...)
+	pipe, err := r.ram.Plan(claims...)
 	if err != nil {
 		return fmt.Errorf("exec: QEPSJ pipeline: %w", err)
 	}
@@ -208,41 +208,41 @@ func (r *queryRun) qepsj() error {
 		n := len(plan.ids)
 		rows := db.rows[plan.table]
 		if rows > 0 && float64(n)/float64(rows) > 0.5 {
-			if db.opts.ForceStrategy != StratAuto {
+			if r.cfg.Strategy != StratAuto {
 				return fmt.Errorf("%w: table %s selects %d of %d rows",
 					ErrBloomInfeasible, db.Sch.Tables[plan.table].Name, n, rows)
 			}
 			r.strategies[plan.table] = StratNoFilter
 			continue
 		}
-		budget := db.RAM.Budget() / 2
+		budget := r.ram.Budget() / 2
 		if len(bfPlans) > 1 {
 			budget /= len(bfPlans)
 		}
 		// The filter must also leave the Merge reduction room to run.
-		if free := db.RAM.Available() - 3*db.RAM.BufferSize(); budget > free {
+		if free := r.ram.Available() - 3*r.ram.BufferSize(); budget > free {
 			budget = free
 		}
 		bp, err := bloom.PlanFor(n, budget)
 		if err != nil {
-			if db.opts.ForceStrategy != StratAuto {
+			if r.cfg.Strategy != StratAuto {
 				return fmt.Errorf("%w: %v", ErrBloomInfeasible, err)
 			}
 			r.strategies[plan.table] = StratNoFilter
 			continue
 		}
-		grant, err := db.RAM.Alloc(bp.Bytes)
+		grant, err := r.ram.Alloc(bp.Bytes)
 		if err != nil {
 			// The filter is an optimization: under RAM pressure fall back
 			// to exact verification at projection time.
-			if db.opts.ForceStrategy != StratAuto {
+			if r.cfg.Strategy != StratAuto {
 				return fmt.Errorf("%w: %v", ErrBloomInfeasible, err)
 			}
 			r.strategies[plan.table] = StratNoFilter
 			continue
 		}
 		f := bloom.New(bp, n)
-		err = db.Col.Span(spanBF, func() error {
+		err = r.col.Span(spanBF, func() error {
 			for _, id := range plan.ids {
 				f.Add(id)
 			}
@@ -355,7 +355,7 @@ func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
 		ci := r.indexFor(p)
 		slot, _ := ci.LevelOf(tv)
 		var runs []store.Run
-		err := r.db.Col.Span(spanCI, func() error {
+		err := r.col.Span(spanCI, func() error {
 			var err error
 			runs, err = r.runsForHiddenPred(p, ci, slot)
 			return err
@@ -383,7 +383,7 @@ func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
 		srcs = append(srcs, u)
 	}
 	var out []uint32
-	err := r.db.Col.Span(spanMerge, func() error {
+	err := r.col.Span(spanMerge, func() error {
 		var err error
 		out, err = drain(newIntersectStream(srcs))
 		return err
@@ -409,7 +409,7 @@ func (r *queryRun) preFilterGroup(tv int, ids []uint32) (*mergeGroup, error) {
 		return nil, fmt.Errorf("exec: id index on %s lacks level %s",
 			r.db.Sch.Tables[tv].Name, r.db.Sch.Tables[r.q.Anchor].Name)
 	}
-	err := r.db.Col.Span(spanCI, func() error {
+	err := r.col.Span(spanCI, func() error {
 		for _, id := range ids {
 			runs, err := ci.RunsForID(id, slot)
 			if err != nil {
@@ -441,7 +441,7 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 		return fmt.Errorf("exec: column %d of %s is not hidden", p.ColIdx, db.Sch.Tables[p.Table].Name)
 	}
 	matches := r.newTemp()
-	err := db.Col.Span(spanScan, func() error {
+	err := r.col.Span(spanScan, func() error {
 		rd := img.File.NewSeqReader()
 		if err := matches.BeginRun(); err != nil {
 			return err
@@ -493,7 +493,7 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 	if err != nil {
 		return err
 	}
-	return db.Col.Span(spanCI, func() error {
+	return r.col.Span(spanCI, func() error {
 		for _, id := range ids {
 			runs, err := ci.RunsForID(id, slot)
 			if err != nil {

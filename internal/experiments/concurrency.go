@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ghostdb/internal/exec"
+)
+
+// ConcurrencyPoint is one measured level of the concurrency sweep: a
+// mixed query workload pushed through one DB by `Concurrency` client
+// goroutines. Latencies are *simulated* (flash I/O + link transfer under
+// the Table 1 cost model), so they are machine-independent; WallQPS is
+// host throughput of the engine itself (admission, scheduling and
+// simulation overhead included) and does vary by machine.
+type ConcurrencyPoint struct {
+	Concurrency   int     `json:"concurrency"`
+	Queries       int     `json:"queries"`
+	GrantBuffers  int     `json:"grant_buffers"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	WallQPS       float64 `json:"wall_qps"`
+	SimP50Ms      float64 `json:"sim_p50_ms"`
+	SimP95Ms      float64 `json:"sim_p95_ms"`
+	SimTotalMs    float64 `json:"sim_total_ms"`
+	MaxRunning    int     `json:"max_running_observed"`
+	LeakedGrants  bool    `json:"leaked_grants"`
+	PrivateLeaks  int     `json:"private_leaks"`
+	AnswerErrors  int     `json:"answer_errors"`
+	EngineQueries uint64  `json:"engine_total_queries"`
+}
+
+// ConcurrencyReport is the machine-readable output of the sweep
+// (cmd/ghostdb-bench writes it as BENCH_concurrency.json so the perf
+// trajectory of the scheduler is recorded PR over PR).
+type ConcurrencyReport struct {
+	Scale          float64            `json:"scale"`
+	Seed           int64              `json:"seed"`
+	RAMBudgetBytes int                `json:"ram_budget_bytes"`
+	Levels         []ConcurrencyPoint `json:"levels"`
+}
+
+// concurrencyWorkload renders the mixed query set for the sweep: query Q
+// across the lower visible-selectivity grid, with and without a hidden
+// projection — shapes the RAM sweep proves viable at 8-buffer session
+// grants.
+func concurrencyWorkload(n int) []string {
+	var base []string
+	for _, sv := range SVGrid[:6] {
+		base = append(base, SynthQ(sv, 1, false))
+		base = append(base, SynthQ(sv, 2, true))
+	}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		out = append(out, base[len(out)%len(base)])
+	}
+	return out
+}
+
+// ConcurrencySweep runs the mixed workload at each concurrency level on
+// a fresh synthetic DB and reports throughput and simulated latency
+// percentiles. Sessions cap their RAM want at budget/level (floored at
+// the 8-buffer default minimum), so higher levels genuinely hold
+// several grants on the one Manager at once.
+func (l *Lab) ConcurrencySweep(levels []int, queriesPerLevel int) (*ConcurrencyReport, error) {
+	ds, err := l.SynthDataset()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ConcurrencyReport{Scale: l.SF, Seed: l.Seed}
+	queries := concurrencyWorkload(queriesPerLevel)
+
+	for _, level := range levels {
+		db, err := ds.NewDB(exec.Options{
+			FlashParams:          flashFor(l.SF),
+			MaxConcurrentQueries: level,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.RAMBudgetBytes = db.RAM.Budget()
+
+		grant := db.RAM.Buffers() / level
+		if grant < exec.DefaultSessionMinBuffers {
+			grant = exec.DefaultSessionMinBuffers
+		}
+		cfg := exec.QueryConfig{MinBuffers: grant, WantBuffers: grant}
+
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			simTotal  time.Duration
+			errs      int
+		)
+		// A sampler observes how many sessions genuinely overlap.
+		maxRunning := 0
+		stopSampler := make(chan struct{})
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			for {
+				select {
+				case <-stopSampler:
+					return
+				default:
+					if running := db.Sched().Running(); running > maxRunning {
+						maxRunning = running
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}()
+		next := make(chan string)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < level; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sql := range next {
+					res, err := db.RunCtx(context.Background(), sql, cfg)
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						latencies = append(latencies, res.Stats.SimTime)
+						simTotal += res.Stats.SimTime
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, sql := range queries {
+			next <- sql
+		}
+		close(next)
+		wg.Wait()
+		wall := time.Since(start)
+		close(stopSampler)
+		<-samplerDone
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pt := ConcurrencyPoint{
+			Concurrency:   level,
+			Queries:       len(queries),
+			GrantBuffers:  grant,
+			WallSeconds:   wall.Seconds(),
+			WallQPS:       float64(len(queries)) / wall.Seconds(),
+			SimTotalMs:    float64(simTotal.Microseconds()) / 1000,
+			MaxRunning:    maxRunning,
+			LeakedGrants:  db.RAM.Leaked(),
+			PrivateLeaks:  db.Sched().Leaks(),
+			AnswerErrors:  errs,
+			EngineQueries: db.Totals().Queries,
+		}
+		if n := len(latencies); n > 0 {
+			pt.SimP50Ms = float64(latencies[n/2].Microseconds()) / 1000
+			pt.SimP95Ms = float64(latencies[n*95/100].Microseconds()) / 1000
+		}
+		if errs > 0 {
+			return nil, fmt.Errorf("concurrency sweep: %d queries failed at level %d", errs, level)
+		}
+		rep.Levels = append(rep.Levels, pt)
+	}
+	return rep, nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestConcurrencySweepShape runs the scheduler sweep at a tiny scale and
+// asserts the report's invariants: every query answered, nothing leaked,
+// simulated latencies present, and real session overlap at level > 1.
+func TestConcurrencySweepShape(t *testing.T) {
+	l := testLab(t)
+	rep, err := l.ConcurrencySweep([]int{1, 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("levels = %d", len(rep.Levels))
+	}
+	for _, p := range rep.Levels {
+		if p.AnswerErrors != 0 || p.LeakedGrants || p.PrivateLeaks != 0 {
+			t.Fatalf("level %d unhealthy: %+v", p.Concurrency, p)
+		}
+		if p.Queries != 16 || p.EngineQueries != 16 {
+			t.Fatalf("level %d: %d/%d queries recorded", p.Concurrency, p.Queries, p.EngineQueries)
+		}
+		if p.SimP50Ms <= 0 || p.SimP95Ms < p.SimP50Ms {
+			t.Fatalf("level %d: implausible latencies %+v", p.Concurrency, p)
+		}
+		if p.WallQPS <= 0 {
+			t.Fatalf("level %d: no throughput", p.Concurrency)
+		}
+	}
+	// Level 1 sessions get the whole budget; level 4 splits it.
+	if rep.Levels[0].GrantBuffers <= rep.Levels[1].GrantBuffers {
+		t.Fatalf("grants not split: %d vs %d", rep.Levels[0].GrantBuffers, rep.Levels[1].GrantBuffers)
+	}
+	// The smaller grant can only cost more simulated passes, never
+	// (meaningfully) fewer; allow 2% for FTL state differing with the
+	// completion order of concurrent sessions.
+	if rep.Levels[1].SimTotalMs < rep.Levels[0].SimTotalMs*0.98 {
+		t.Fatalf("smaller grants got cheaper: %v vs %v", rep.Levels[1].SimTotalMs, rep.Levels[0].SimTotalMs)
+	}
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -188,11 +189,11 @@ func MedicalQ(sv float64) string {
 		datagen.MedicalZipSelValue(sv), datagen.SelValue(SH))
 }
 
-// runPoint executes sql under a forced strategy and projector.
+// runPoint executes sql under a forced strategy and projector, passed as
+// an immutable per-query config rather than by mutating DB-wide knobs.
 func runPoint(db *exec.DB, sql string, strat exec.Strategy, proj exec.Projector, series string, x float64) Point {
-	db.SetForceStrategy(strat)
-	db.SetProjector(proj)
-	res, err := db.Run(sql)
+	res, err := db.RunCtx(context.Background(), sql,
+		exec.QueryConfig{Strategy: strat, Projector: proj})
 	if err != nil {
 		return Point{Series: series, X: x, Skipped: true, Note: err.Error()}
 	}

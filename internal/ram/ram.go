@@ -26,6 +26,16 @@
 //     actual allotment with Reservation.Buffers(name) and the operator
 //     releases the whole pipeline with one Reservation.Release().
 //
+// # Concurrency
+//
+// A Manager is safe for concurrent use: reservation and release from
+// multiple query sessions are serialized by an internal mutex, and every
+// Reserve/Plan decision is atomic (no interleaving between the "what is
+// free" check and the allocation). This is what lets internal/sched run
+// several admitted sessions against one budget. Grants and Reservations
+// themselves still belong to a single query: only their Release may be
+// called from another goroutine.
+//
 // # Per-operator minimums
 //
 // With the reservation protocol the executor's operators degrade to
@@ -62,6 +72,7 @@ package ram
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // DefaultBudget is the paper's secure-chip RAM size (Table 1).
@@ -72,10 +83,12 @@ const DefaultBudget = 65536
 var ErrExhausted = errors.New("ram: budget exhausted")
 
 // Manager tracks the secure RAM budget. The zero value is unusable; use
-// NewManager.
+// NewManager. All methods are safe for concurrent use.
 type Manager struct {
-	budget    int
-	bufSize   int
+	budget  int
+	bufSize int
+
+	mu        sync.Mutex
 	inUse     int
 	highWater int
 	grants    int
@@ -100,16 +113,28 @@ func (m *Manager) BufferSize() int { return m.bufSize }
 func (m *Manager) Buffers() int { return m.budget / m.bufSize }
 
 // Available returns the bytes currently free.
-func (m *Manager) Available() int { return m.budget - m.inUse }
+func (m *Manager) Available() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget - m.inUse
+}
 
 // AvailableBuffers returns the number of whole buffers currently free.
 func (m *Manager) AvailableBuffers() int { return m.Available() / m.bufSize }
 
 // InUse returns the bytes currently allocated.
-func (m *Manager) InUse() int { return m.inUse }
+func (m *Manager) InUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
 
 // HighWater returns the maximum bytes ever simultaneously allocated.
-func (m *Manager) HighWater() int { return m.highWater }
+func (m *Manager) HighWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.highWater
+}
 
 // Grant is a live RAM reservation. Release it exactly once.
 type Grant struct {
@@ -118,13 +143,13 @@ type Grant struct {
 	released bool
 }
 
-// Alloc reserves n bytes, or fails with ErrExhausted.
-func (m *Manager) Alloc(n int) (*Grant, error) {
+// allocLocked reserves n bytes; the caller holds m.mu.
+func (m *Manager) allocLocked(n int) (*Grant, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ram: non-positive allocation %d", n)
 	}
 	if m.inUse+n > m.budget {
-		return nil, fmt.Errorf("%w: want %d, free %d of %d", ErrExhausted, n, m.Available(), m.budget)
+		return nil, fmt.Errorf("%w: want %d, free %d of %d", ErrExhausted, n, m.budget-m.inUse, m.budget)
 	}
 	m.inUse += n
 	m.grants++
@@ -132,6 +157,13 @@ func (m *Manager) Alloc(n int) (*Grant, error) {
 		m.highWater = m.inUse
 	}
 	return &Grant{m: m, bytes: n}, nil
+}
+
+// Alloc reserves n bytes, or fails with ErrExhausted.
+func (m *Manager) Alloc(n int) (*Grant, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocLocked(n)
 }
 
 // AllocBuffers reserves n whole buffers.
@@ -143,20 +175,23 @@ func (m *Manager) AllocBuffers(n int) (*Grant, error) {
 // want when it fits, whatever is free otherwise, and an ErrExhausted
 // failure only when even min does not fit. Operators size their chunking
 // from the grant they actually received and fall back to more passes
-// when min is all they get.
+// when min is all they get. The clamp-and-allocate step is atomic with
+// respect to concurrent reservations.
 func (m *Manager) Reserve(min, want int) (*Grant, error) {
 	if min <= 0 || want < min {
 		return nil, fmt.Errorf("ram: invalid reservation [%d, %d]", min, want)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := want
-	if free := m.Available(); n > free {
+	if free := m.budget - m.inUse; n > free {
 		n = free
 	}
 	if n < min {
 		return nil, fmt.Errorf("%w: need at least %d, free %d of %d",
-			ErrExhausted, min, m.Available(), m.budget)
+			ErrExhausted, min, m.budget-m.inUse, m.budget)
 	}
-	return m.Alloc(n)
+	return m.allocLocked(n)
 }
 
 // ReserveBuffers grants between min and want whole buffers, preferring
@@ -165,15 +200,17 @@ func (m *Manager) ReserveBuffers(min, want int) (*Grant, error) {
 	if min <= 0 || want < min {
 		return nil, fmt.Errorf("ram: invalid reservation [%d, %d] buffers", min, want)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := want
-	if free := m.AvailableBuffers(); n > free {
+	if free := (m.budget - m.inUse) / m.bufSize; n > free {
 		n = free
 	}
 	if n < min {
 		return nil, fmt.Errorf("%w: need at least %d buffers, %d free of %d",
-			ErrExhausted, min, m.AvailableBuffers(), m.Buffers())
+			ErrExhausted, min, (m.budget-m.inUse)/m.bufSize, m.Buffers())
 	}
-	return m.AllocBuffers(n)
+	return m.allocLocked(n * m.bufSize)
 }
 
 // Bytes returns the size of the reservation.
@@ -188,6 +225,8 @@ func (g *Grant) Release() {
 	if g == nil {
 		return
 	}
+	g.m.mu.Lock()
+	defer g.m.mu.Unlock()
 	if g.released {
 		panic("ram: double release")
 	}
@@ -199,6 +238,8 @@ func (g *Grant) Release() {
 // Resize grows or shrinks the reservation in place, failing with
 // ErrExhausted when growth does not fit.
 func (g *Grant) Resize(n int) error {
+	g.m.mu.Lock()
+	defer g.m.mu.Unlock()
 	if g.released {
 		panic("ram: resize after release")
 	}
@@ -207,7 +248,7 @@ func (g *Grant) Resize(n int) error {
 	}
 	delta := n - g.bytes
 	if delta > 0 && g.m.inUse+delta > g.m.budget {
-		return fmt.Errorf("%w: grow by %d, free %d", ErrExhausted, delta, g.m.Available())
+		return fmt.Errorf("%w: grow by %d, free %d", ErrExhausted, delta, g.m.budget-g.m.inUse)
 	}
 	g.m.inUse += delta
 	g.bytes = n
@@ -228,6 +269,8 @@ type Claim struct {
 
 // Reservation is the live result of a Plan: one sub-grant per named
 // claim. Release it exactly once to return the whole pipeline's memory.
+// A Reservation belongs to the query that planned it; unlike the Manager
+// it is not safe for concurrent use.
 type Reservation struct {
 	m     *Manager
 	parts map[string]*Grant
@@ -239,16 +282,24 @@ type Reservation struct {
 // (nothing is allocated on failure); leftover budget then tops claims up
 // toward Want in declaration order. This lets the stages of one pipeline
 // declare their needs up front instead of racing each other for
-// leftovers.
+// leftovers. The whole plan is admitted under one lock, so concurrent
+// sessions can never observe a half-allocated plan.
 func (m *Manager) Plan(claims ...Claim) (*Reservation, error) {
 	need := 0
+	seen := make(map[string]bool, len(claims))
 	for _, c := range claims {
 		if c.Name == "" || c.Min < 0 || c.Want < c.Min {
 			return nil, fmt.Errorf("ram: invalid claim %+v", c)
 		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("ram: duplicate claim %q", c.Name)
+		}
+		seen[c.Name] = true
 		need += c.Min
 	}
-	free := m.AvailableBuffers()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	free := (m.budget - m.inUse) / m.bufSize
 	if need > free {
 		return nil, fmt.Errorf("%w: plan needs %d buffers, %d free of %d",
 			ErrExhausted, need, free, m.Buffers())
@@ -268,18 +319,22 @@ func (m *Manager) Plan(claims ...Claim) (*Reservation, error) {
 	}
 	r := &Reservation{m: m, parts: make(map[string]*Grant, len(claims))}
 	for i, c := range claims {
-		if _, dup := r.parts[c.Name]; dup {
-			r.Release()
-			return nil, fmt.Errorf("ram: duplicate claim %q", c.Name)
-		}
 		if give[i] == 0 {
 			r.parts[c.Name] = nil
 			r.order = append(r.order, c.Name)
 			continue
 		}
-		g, err := m.AllocBuffers(give[i])
+		g, err := m.allocLocked(give[i] * m.bufSize)
 		if err != nil {
-			r.Release()
+			// Unreachable: the mins were checked against free above and
+			// the lock is held; unwind defensively all the same.
+			for _, name := range r.order {
+				if pg := r.parts[name]; pg != nil {
+					pg.released = true
+					m.inUse -= pg.bytes
+					m.grants--
+				}
+			}
 			return nil, err
 		}
 		r.parts[c.Name] = g
@@ -325,4 +380,8 @@ func (r *Reservation) Release() {
 
 // Leaked reports whether any grants are outstanding; tests use this to
 // catch operators that forget to release buffers.
-func (m *Manager) Leaked() bool { return m.grants != 0 }
+func (m *Manager) Leaked() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.grants != 0
+}

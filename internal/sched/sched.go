@@ -1,0 +1,245 @@
+// Package sched turns GhostDB into a multi-client engine over one
+// simulated secure token. The paper's platform is mono-user (§2.3): the
+// key has a single tiny RAM budget and a serial flash/bus pipeline, so
+// concurrency cannot mean "run two queries' I/O at once" — it means
+// admitting several query sessions against the one budget and
+// multiplexing the token between them without livelock, starvation or
+// partial holds.
+//
+// The design follows the up-front-grant pattern of enclave query engines
+// (ObliDB sizes every operator from a per-query memory grant): admission
+// gives a session its whole RAM allotment atomically, as one elastic
+// reservation in [MinBuffers, WantBuffers] on the shared ram.Manager, and
+// the session then runs its operators against a private sub-budget of
+// exactly that size. Two consequences:
+//
+//   - No mid-query RAM starvation: once admitted, a query's behaviour
+//     (operator pass counts, and therefore its simulated cost) depends
+//     only on its own grant, never on what other sessions do.
+//   - No partial holds: a query either receives all its minimums or
+//     remains queued; it can never camp on half its memory and deadlock
+//     against another half-holder.
+//
+// Admission is strictly FIFO (head-of-line): a request that cannot be
+// admitted blocks every request behind it. That is deliberate — it is
+// the no-starvation guarantee. Because every session eventually releases
+// its grant, the head's minimum (validated against the total budget at
+// enqueue time) is eventually satisfiable, so the queue always drains.
+//
+// Execution on the simulated hardware stays serial: a session wraps its
+// flash/bus work in Exclusive, which holds the token's single execution
+// slot. Per-query counters therefore see only their own I/O and the
+// simulated timings stay deterministic per query.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ghostdb/internal/ram"
+)
+
+// Request declares a session's RAM needs in whole buffers: at least Min
+// (admission blocks until Min is free), up to Want (the elastic top-up
+// taken when the budget allows).
+type Request struct {
+	MinBuffers  int
+	WantBuffers int
+}
+
+// Scheduler admits query sessions against one ram.Manager with a bounded
+// number in flight, and owns the secure token's serial execution slot.
+type Scheduler struct {
+	ram *ram.Manager
+	max int
+
+	// token is the secure key's single execution slot (capacity 1). A
+	// channel rather than a mutex so waiting for it can be abandoned on
+	// context cancellation.
+	token chan struct{}
+
+	mu       sync.Mutex
+	queue    []*waiter
+	running  int
+	admitted uint64 // admission sequence, for fairness assertions
+	leaks    int    // sessions released with outstanding sub-grants
+}
+
+type waiter struct {
+	req   Request
+	ready chan *Session // buffered(1); receives the admitted session
+}
+
+// New creates a scheduler over the shared budget admitting at most
+// maxConcurrent sessions at a time (values below 1 are clamped to 1).
+func New(m *ram.Manager, maxConcurrent int) *Scheduler {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	s := &Scheduler{ram: m, max: maxConcurrent, token: make(chan struct{}, 1)}
+	s.token <- struct{}{}
+	return s
+}
+
+// MaxConcurrent returns the in-flight session bound.
+func (s *Scheduler) MaxConcurrent() int { return s.max }
+
+// Running returns the number of admitted, unreleased sessions.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// QueueLen returns the number of requests waiting for admission.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Leaks counts sessions that were released while their private budget
+// still held grants — operator bookkeeping bugs surfaced for tests.
+func (s *Scheduler) Leaks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaks
+}
+
+// Acquire blocks until the request is admitted (FIFO order) or the
+// context is cancelled. A cancelled request leaves the scheduler exactly
+// as it found it: nothing reserved, nothing held, and the queue pumped so
+// later requests are not blocked by the vacancy.
+func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Session, error) {
+	if req.MinBuffers < 1 {
+		req.MinBuffers = 1
+	}
+	if req.WantBuffers < req.MinBuffers {
+		req.WantBuffers = req.MinBuffers
+	}
+	if total := s.ram.Buffers(); req.MinBuffers > total {
+		return nil, fmt.Errorf("sched: session minimum %d buffers exceeds the %d-buffer budget: %w",
+			req.MinBuffers, total, ram.ErrExhausted)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := &waiter{req: req, ready: make(chan *Session, 1)}
+	s.mu.Lock()
+	s.queue = append(s.queue, w)
+	s.pumpLocked()
+	s.mu.Unlock()
+
+	select {
+	case sess := <-w.ready:
+		return sess, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				// Removing a waiter can unblock the ones behind it when
+				// it was the head whose minimum did not fit.
+				s.pumpLocked()
+				s.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		s.mu.Unlock()
+		// Not queued anymore: admission raced the cancellation. The
+		// session is (or is about to be) in the ready channel; take it
+		// and hand it straight back.
+		sess := <-w.ready
+		sess.Release()
+		return nil, ctx.Err()
+	}
+}
+
+// pumpLocked admits from the head of the queue while slots and minimums
+// allow. Strictly head-of-line: the first request that does not fit
+// stops admission, so no later request can starve an earlier one.
+func (s *Scheduler) pumpLocked() {
+	for len(s.queue) > 0 && s.running < s.max {
+		w := s.queue[0]
+		g, err := s.ram.ReserveBuffers(w.req.MinBuffers, w.req.WantBuffers)
+		if err != nil {
+			return // head waits for a release; everyone behind waits too
+		}
+		s.queue = s.queue[1:]
+		s.running++
+		s.admitted++
+		sess := &Session{
+			s:     s,
+			grant: g,
+			seq:   s.admitted,
+			priv:  ram.NewManager(g.Bytes(), s.ram.BufferSize()),
+		}
+		w.ready <- sess
+	}
+}
+
+// Session is one admitted query's handle: a private RAM budget carved out
+// of the shared manager, a fairness sequence number, and access to the
+// token's serial execution slot.
+type Session struct {
+	s     *Scheduler
+	grant *ram.Grant
+	priv  *ram.Manager
+	seq   uint64
+
+	mu       sync.Mutex
+	released bool
+}
+
+// RAM returns the session's private budget. Operators reserve from it
+// exactly as they would from the global manager; its size is fixed at
+// admission, so the query's RAM behaviour is isolated from other
+// sessions.
+func (sess *Session) RAM() *ram.Manager { return sess.priv }
+
+// Buffers returns the session's granted budget in whole buffers.
+func (sess *Session) Buffers() int { return sess.grant.Buffers() }
+
+// Seq returns the admission sequence number (1, 2, ... in admission
+// order); tests use it to assert FIFO fairness.
+func (sess *Session) Seq() uint64 { return sess.seq }
+
+// Exclusive runs fn holding the secure token's single execution slot,
+// serializing all simulated flash/bus access across sessions. The wait
+// for the slot can be abandoned via ctx; once fn starts it runs to
+// completion (the simulation is synchronous).
+func (sess *Session) Exclusive(ctx context.Context, fn func() error) error {
+	select {
+	case <-sess.s.token:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { sess.s.token <- struct{}{} }()
+	return fn()
+}
+
+// Release returns the session's grant to the shared budget and admits
+// queued requests. Idempotent. A release with outstanding sub-grants in
+// the private budget is counted as a leak (the shared budget is still
+// made whole — the private manager is only bookkeeping).
+func (sess *Session) Release() {
+	sess.mu.Lock()
+	if sess.released {
+		sess.mu.Unlock()
+		return
+	}
+	sess.released = true
+	sess.mu.Unlock()
+
+	leaked := sess.priv.Leaked()
+	sess.grant.Release()
+	s := sess.s
+	s.mu.Lock()
+	if leaked {
+		s.leaks++
+	}
+	s.running--
+	s.pumpLocked()
+	s.mu.Unlock()
+}

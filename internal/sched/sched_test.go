@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ghostdb/internal/ram"
+)
+
+const bufSize = 2048
+
+func newSched(t *testing.T, buffers, maxConcurrent int) (*Scheduler, *ram.Manager) {
+	t.Helper()
+	m := ram.NewManager(buffers*bufSize, bufSize)
+	return New(m, maxConcurrent), m
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionIsElastic(t *testing.T) {
+	s, m := newSched(t, 10, 4)
+	a, err := s.Acquire(context.Background(), Request{MinBuffers: 2, WantBuffers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Buffers() != 6 {
+		t.Fatalf("first grant = %d buffers, want 6", a.Buffers())
+	}
+	b, err := s.Acquire(context.Background(), Request{MinBuffers: 2, WantBuffers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Buffers() != 4 {
+		t.Fatalf("second grant = %d buffers, want the 4 left", b.Buffers())
+	}
+	// The private budgets mirror the grants exactly.
+	if b.RAM().Buffers() != 4 || b.RAM().BufferSize() != bufSize {
+		t.Fatalf("private manager = %d x %d", b.RAM().Buffers(), b.RAM().BufferSize())
+	}
+	a.Release()
+	b.Release()
+	if m.InUse() != 0 || m.Leaked() {
+		t.Fatalf("budget not restored: inuse=%d", m.InUse())
+	}
+}
+
+func TestImpossibleMinimumFailsFast(t *testing.T) {
+	s, _ := newSched(t, 4, 2)
+	_, err := s.Acquire(context.Background(), Request{MinBuffers: 5, WantBuffers: 5})
+	if !errors.Is(err, ram.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestFIFOAdmissionOrder(t *testing.T) {
+	const waiters = 10
+	s, m := newSched(t, 32, waiters)
+	hog, err := s.Acquire(context.Background(), Request{MinBuffers: 32, WantBuffers: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enqueue waiters one at a time so their queue order is known.
+	seqs := make([]uint64, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := s.Acquire(context.Background(), Request{MinBuffers: 2, WantBuffers: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seqs[i] = sess.Seq()
+			sess.Release()
+		}()
+		waitFor(t, "waiter enqueued", func() bool { return s.QueueLen() == i+1 })
+	}
+
+	hog.Release()
+	wg.Wait()
+	for i := 1; i < waiters; i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("admission order violates FIFO: seqs = %v", seqs)
+		}
+	}
+	if m.InUse() != 0 || s.Leaks() != 0 {
+		t.Fatalf("inuse=%d leaks=%d after drain", m.InUse(), s.Leaks())
+	}
+}
+
+func TestConcurrencyLimitBoundsInFlight(t *testing.T) {
+	s, _ := newSched(t, 32, 2)
+	a, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *Session, 1)
+	go func() {
+		sess, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- sess
+	}()
+	waitFor(t, "third request queued", func() bool { return s.QueueLen() == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("third session admitted beyond the concurrency limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release()
+	sess := <-admitted
+	sess.Release()
+	b.Release()
+	if got := s.Running(); got != 0 {
+		t.Fatalf("running = %d after drain", got)
+	}
+}
+
+func TestCancelledQueuedRequestReleasesNothing(t *testing.T) {
+	s, m := newSched(t, 8, 4)
+	hog, err := s.Acquire(context.Background(), Request{MinBuffers: 8, WantBuffers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inUseBefore := m.InUse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, Request{MinBuffers: 2, WantBuffers: 2})
+		errc <- err
+	}()
+	waitFor(t, "request queued", func() bool { return s.QueueLen() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatal("cancelled request still queued")
+	}
+	if m.InUse() != inUseBefore {
+		t.Fatalf("cancelled request changed the budget: %d -> %d", inUseBefore, m.InUse())
+	}
+
+	// The vacancy must not wedge the queue: a later request still admits.
+	hog.Release()
+	sess, err := s.Acquire(context.Background(), Request{MinBuffers: 2, WantBuffers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Release()
+	if m.InUse() != 0 || m.Leaked() {
+		t.Fatalf("inuse=%d after drain", m.InUse())
+	}
+}
+
+func TestCancelBehindBlockedHeadUnblocksQueue(t *testing.T) {
+	s, m := newSched(t, 8, 4)
+	hog, err := s.Acquire(context.Background(), Request{MinBuffers: 6, WantBuffers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head needs more than is free; the request behind it would fit but
+	// must wait (strict FIFO).
+	ctx, cancel := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, Request{MinBuffers: 4, WantBuffers: 4})
+		headErr <- err
+	}()
+	waitFor(t, "head queued", func() bool { return s.QueueLen() == 1 })
+	admitted := make(chan *Session, 1)
+	go func() {
+		sess, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- sess
+	}()
+	waitFor(t, "second queued", func() bool { return s.QueueLen() == 2 })
+	select {
+	case <-admitted:
+		t.Fatal("request overtook a blocked head (FIFO violated)")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Cancelling the blocked head must let the fitting request through.
+	cancel()
+	if err := <-headErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("head err = %v", err)
+	}
+	sess := <-admitted
+	sess.Release()
+	hog.Release()
+	if m.InUse() != 0 {
+		t.Fatalf("inuse=%d after drain", m.InUse())
+	}
+}
+
+func TestExclusiveSerializesExecution(t *testing.T) {
+	s, _ := newSched(t, 32, 8)
+	var inside, overlaps atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Release()
+			for j := 0; j < 50; j++ {
+				err := sess.Exclusive(context.Background(), func() error {
+					if inside.Add(1) != 1 {
+						overlaps.Add(1)
+					}
+					inside.Add(-1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := overlaps.Load(); n != 0 {
+		t.Fatalf("%d overlapping Exclusive sections", n)
+	}
+}
+
+func TestExclusiveWaitIsCancellable(t *testing.T) {
+	s, _ := newSched(t, 32, 4)
+	holder, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Release()
+	other, err := s.Acquire(context.Background(), Request{MinBuffers: 1, WantBuffers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Release()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = holder.Exclusive(context.Background(), func() error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := other.Exclusive(ctx, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestReleaseCountsPrivateLeaks(t *testing.T) {
+	s, m := newSched(t, 8, 2)
+	sess, err := s.Acquire(context.Background(), Request{MinBuffers: 4, WantBuffers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RAM().ReserveBuffers(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sess.Release()
+	sess.Release() // idempotent
+	if s.Leaks() != 1 {
+		t.Fatalf("leaks = %d, want 1", s.Leaks())
+	}
+	// The shared budget is still made whole.
+	if m.InUse() != 0 || m.Leaked() {
+		t.Fatalf("shared budget not restored: inuse=%d", m.InUse())
+	}
+}

@@ -112,7 +112,7 @@ func (l *Loader) Commit() error {
 	if err := l.db.inner.Load(load); err != nil {
 		return err
 	}
-	l.db.loaded = true
+	l.db.loaded.Store(true)
 	return nil
 }
 
