@@ -8,6 +8,7 @@
 //	ghostdb-bench -exp fig8 -scale 0.02    # one figure, larger scale
 //	ghostdb-bench -exp ablations           # the DESIGN.md ablations
 //	ghostdb-bench -exp concurrency         # scheduler sweep -> BENCH_concurrency.json
+//	ghostdb-bench -exp planner             # plan-sized vs fixed-floor admission -> BENCH_planner.json
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -27,17 +28,32 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
-	queries := flag.Int("queries", 60, "queries per level in the concurrency sweep")
-	out := flag.String("out", "BENCH_concurrency.json", "output path for the concurrency sweep report")
+	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
+	out := flag.String("out", "", "output path for sweep reports (default BENCH_<exp>.json)")
 	flag.Parse()
 
 	lab := experiments.NewLab(*scale, *seed)
 	name := strings.ToLower(*exp)
-	if name == "concurrency" {
-		if err := runConcurrency(lab, *queries, *out); err != nil {
+	switch name {
+	case "concurrency":
+		path := *out
+		if path == "" {
+			path = "BENCH_concurrency.json"
+		}
+		if err := runConcurrency(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "planner":
+		path := *out
+		if path == "" {
+			path = "BENCH_planner.json"
+		}
+		if err := runPlanner(lab, *queries, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -47,6 +63,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runPlanner compares plan-sized admission against the pre-planner fixed
+// 8-buffer floor at 1/4/16 sessions and writes the machine-readable
+// report.
+func runPlanner(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.PlannerSweep([]int{1, 4, 16}, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== planner: plan-sized vs fixed-floor admission, %d queries per cell (scale %g, %dB secure RAM) ==\n",
+		queries, rep.Scale, rep.RAMBudgetBytes)
+	fmt.Printf("  %-12s %-12s %10s %12s %12s %12s %14s\n",
+		"sessions", "mode", "wall-qps", "sim-p50", "sim-p95", "max-running", "floors-seen")
+	for _, p := range rep.Levels {
+		fmt.Printf("  %-12d %-12s %10.1f %10.2fms %10.2fms %12d %7d..%d\n",
+			p.Concurrency, p.Mode, p.WallQPS, p.SimP50Ms, p.SimP95Ms, p.MaxRunning, p.MinFloorSeen, p.MaxFloorSeen)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	return nil
 }
 
 // runConcurrency sweeps the admission scheduler at 1/4/16 concurrent

@@ -9,6 +9,10 @@
 //	ghostdb -db synthetic -scale 0.01
 //	echo "SELECT ..." | ghostdb -stats
 //
+// `EXPLAIN SELECT ...` prints the statement's plan — per-table
+// strategies, derived RAM footprint and estimated cost — without
+// executing it.
+//
 // Shell commands: \schema  \stats  \audit  \quit
 package main
 
@@ -41,7 +45,7 @@ func main() {
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
-	fmt.Println(`Type SQL (single line), or \schema, \stats, \audit, \quit.`)
+	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \audit, \quit.`)
 
 	showStats := *stats
 	in := bufio.NewScanner(os.Stdin)
@@ -74,6 +78,17 @@ func main() {
 			continue
 		case strings.HasPrefix(line, `\`):
 			fmt.Println("unknown command:", line)
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) > 1 && strings.EqualFold(fields[0], "EXPLAIN") {
+			// EXPLAIN SELECT ... : print the plan (strategies, footprint,
+			// estimated cost) without executing anything.
+			stmt, err := db.Prepare(strings.TrimSpace(line[len(fields[0]):]), db.DefaultConfig())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(stmt.Plan().Explain())
 			continue
 		}
 		res, err := db.Run(line)

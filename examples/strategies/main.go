@@ -3,9 +3,15 @@
 // forced filtering strategy and both Bloom projection variants, so you
 // can watch Pre-Filtering degrade as the visible selection widens while
 // Post-Filtering stays flat — and see the planner's automatic choice.
+//
+// Strategies are forced per query with WithStrategy (the DB-wide
+// ForceStrategy knob is deprecated: it cannot be reasoned about under
+// concurrent sessions). The planner's own pick is inspected *before*
+// running anything via Prepare / Plan / Explain.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -28,6 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	load(db)
+	ctx := context.Background()
 
 	strategies := []struct {
 		name string
@@ -49,11 +56,17 @@ func main() {
 		  FROM Readings, Sensors
 		  WHERE Readings.sensor_id = Sensors.id
 		  AND Sensors.%s AND Sensors.calibration < 0.2`, pred)
+
+		// One prepared statement serves every run; forcing a strategy is
+		// a per-run option, so nothing mutates the DB.
+		stmt, err := db.Prepare(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("visible predicate: %s\n", pred)
 		var rows int
 		for _, st := range strategies {
-			db.ForceStrategy(st.s)
-			res, err := db.Query(sql)
+			res, err := stmt.Run(ctx, ghostdb.WithStrategy(st.s))
 			if err != nil {
 				if errors.Is(err, ghostdb.ErrBloomInfeasible) {
 					fmt.Printf("  %-18s infeasible (the paper stops this curve at sV=0.5 too)\n", st.name)
@@ -62,20 +75,30 @@ func main() {
 				log.Fatal(err)
 			}
 			rows = len(res.Rows)
-			fmt.Printf("  %-18s %10v  (flash reads %5d, writes %4d)\n",
-				st.name, res.Stats.SimTime, res.Stats.Flash.PageReads, res.Stats.Flash.PageWrites)
+			fmt.Printf("  %-18s %10v  (flash reads %5d, writes %4d, grant %2d buffers)\n",
+				st.name, res.Stats.SimTime, res.Stats.Flash.PageReads, res.Stats.Flash.PageWrites,
+				res.Stats.GrantBuffers)
 		}
-		db.ForceStrategy(ghostdb.StrategyAuto)
-		res, err := db.Query(sql)
+		// The planner's automatic choice is visible before execution.
+		plan := stmt.Plan()
+		res, err := stmt.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if len(res.Rows) != rows {
 			log.Fatalf("strategy changed the answer: %d vs %d rows", len(res.Rows), rows)
 		}
-		fmt.Printf("  planner's choice: %v -> %v, %d rows\n\n",
-			res.Stats.Strategy, res.Stats.SimTime, len(res.Rows))
+		fmt.Printf("  planner's choice (min %d buffers, est %v): %v -> %v, %d rows\n\n",
+			plan.MinBuffers, plan.EstCost, res.Stats.Strategy, res.Stats.SimTime, len(res.Rows))
 	}
+
+	// EXPLAIN without executing: the same text the shell prints.
+	out, err := db.Explain(`SELECT Readings.id, Sensors.site FROM Readings, Sensors
+	  WHERE Readings.sensor_id = Sensors.id AND Sensors.model = 'M-00' AND Sensors.calibration < 0.2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
 }
 
 func load(db *ghostdb.DB) {

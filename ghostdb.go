@@ -50,6 +50,12 @@ type (
 	Strategy = exec.Strategy
 	// Projector selects the projection algorithm (§4).
 	Projector = exec.Projector
+	// Plan is the inspectable product of Prepare: per-table strategies,
+	// the projector, the derived minimum RAM footprint that admission
+	// will request, and an estimated cost.
+	Plan = exec.Plan
+	// TablePlan is one table's entry in a Plan.
+	TablePlan = exec.TablePlan
 )
 
 // IntVal, FloatVal and CharVal construct Values.
@@ -80,6 +86,11 @@ const (
 // ErrBloomInfeasible mirrors exec.ErrBloomInfeasible for callers forcing
 // Post-Filter strategies.
 var ErrBloomInfeasible = exec.ErrBloomInfeasible
+
+// ErrBudgetTooSmall mirrors exec.ErrBudgetTooSmall: the statement's
+// planned minimum RAM footprint exceeds the configured budget, so it was
+// rejected cleanly at admission time (inspect Stmt.Plan().MinBuffers).
+var ErrBudgetTooSmall = exec.ErrBudgetTooSmall
 
 // Options configures the simulated secure platform. The zero value uses
 // the paper's Table 1 parameters: 2KB pages, 64KB RAM, 1.5 MB/s link.
@@ -183,15 +194,78 @@ func WithProjector(p Projector) QueryOption {
 	return func(c *exec.QueryConfig) { c.Projector = p }
 }
 
-// WithRAMBuffers sets this query session's RAM admission request in
-// whole buffers (flash pages): the session waits until at least min
-// buffers of secure RAM are free, then owns up to want of them for the
-// whole query. Smaller grants mean more operator passes, never wrong
-// answers; capping want below the full budget lets several sessions
-// hold RAM at once. Zero values keep the defaults (a conservative
-// minimum, and the whole budget as the target).
+// WithRAMBuffers adjusts this query session's RAM admission request in
+// whole buffers (flash pages): the session waits until at least
+// max(min, the plan's derived floor) buffers of secure RAM are free,
+// then owns up to want of them for the whole query. Smaller grants mean
+// more operator passes, never wrong answers or mid-run failures — the
+// floor the planner derived is always honored. Capping want below the
+// full budget lets several sessions hold RAM at once. Zero values keep
+// the plan's own request (its floor, and the whole budget as the
+// elastic target).
 func WithRAMBuffers(min, want int) QueryOption {
 	return func(c *exec.QueryConfig) { c.MinBuffers, c.WantBuffers = min, want }
+}
+
+// Stmt is a prepared statement: the parsed, resolved and planned form of
+// one SQL statement, carrying an inspectable Plan. Prepare once, inspect
+// or Run many times; a Stmt is safe for concurrent Run calls.
+//
+// The plan is bound at Prepare time: per-table strategies come from the
+// visible selectivities observed then, and the Plan's MinBuffers is the
+// admission floor Run will request. Later inserts can drift the
+// selectivities — answers stay exact under every strategy, only costs
+// shift — so long-lived statements over fast-changing tables are worth
+// re-preparing occasionally.
+type Stmt struct {
+	cfg   exec.QueryConfig
+	inner *exec.Stmt
+}
+
+// Prepare parses, resolves and plans a statement without admitting or
+// executing anything. It is the single planning path: Query and QueryCtx
+// are prepare-then-run wrappers, so the plan you inspect here is exactly
+// the plan they execute.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	if !db.loaded.Load() {
+		return nil, errors.New("ghostdb: load data first (Loader / Commit)")
+	}
+	cfg := db.inner.DefaultConfig()
+	inner, err := db.inner.Prepare(sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{cfg: cfg, inner: inner}, nil
+}
+
+// Plan returns the statement's execution plan: per-table strategies,
+// projector, the derived RAM footprint and an estimated cost.
+func (s *Stmt) Plan() *Plan { return s.inner.Plan() }
+
+// Explain renders the plan as text (what the shell prints for
+// `EXPLAIN SELECT ...`).
+func (s *Stmt) Explain() string { return s.inner.Plan().Explain() }
+
+// Run executes the prepared statement as one admitted query session.
+// Options that change the plan itself (WithStrategy, WithProjector)
+// trigger a replan for that run only; WithRAMBuffers can raise the
+// admission floor or cap the elastic want, but never push the grant
+// below the plan's derived minimum.
+func (s *Stmt) Run(ctx context.Context, opts ...QueryOption) (*Result, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.inner.RunCtx(ctx, cfg)
+}
+
+// Explain plans a statement and renders the plan without executing it.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	return stmt.Explain(), nil
 }
 
 // Query executes a SELECT statement and returns rows plus cost stats.
@@ -201,13 +275,15 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return db.QueryCtx(context.Background(), sql)
 }
 
-// QueryCtx executes a SELECT statement as one admitted query session.
-// The call waits in a FIFO queue until the secure chip can grant the
-// session's RAM minimum and a concurrency slot (Options.
-// MaxConcurrentQueries); cancelling ctx while queued abandons the
-// request without it ever having held memory. Once running, the query
-// executes to completion with exclusive use of the simulated token, so
-// its Stats are deterministic regardless of concurrency.
+// QueryCtx executes a SELECT statement as one admitted query session
+// (prepare-then-run: the statement is planned first, and admission
+// requests the plan's true minimum RAM footprint). The call waits in a
+// FIFO queue until the secure chip can grant that floor and a
+// concurrency slot (Options.MaxConcurrentQueries); cancelling ctx while
+// queued abandons the request without it ever having held memory. Once
+// running, the query executes to completion with exclusive use of the
+// simulated token, so its Stats are deterministic regardless of
+// concurrency.
 func (db *DB) QueryCtx(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
 	if !db.loaded.Load() {
 		return nil, errors.New("ghostdb: load data first (Loader / Commit)")
@@ -231,11 +307,17 @@ func (db *DB) Exec(sql string) error {
 // ForceStrategy overrides the planner default for experiments; pass
 // StrategyAuto to restore normal planning. It only affects queries
 // submitted afterwards — running queries keep the config they
-// snapshotted. Prefer WithStrategy for per-query control.
+// snapshotted.
+//
+// Deprecated: a DB-wide mutable knob cannot be reasoned about under
+// concurrent sessions and bypasses the inspectable plan. Use the
+// per-query WithStrategy option, or Prepare a Stmt and check its Plan.
 func (db *DB) ForceStrategy(s Strategy) { db.inner.SetForceStrategy(s) }
 
-// SetProjector selects the default projection algorithm. Prefer
-// WithProjector for per-query control.
+// SetProjector selects the default projection algorithm.
+//
+// Deprecated: same reasoning as ForceStrategy — use the per-query
+// WithProjector option, or Prepare a Stmt and check its Plan.
 func (db *DB) SetProjector(p Projector) { db.inner.SetProjector(p) }
 
 // SetThroughput changes the modeled USB link speed in MB/s.

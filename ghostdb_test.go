@@ -1,6 +1,7 @@
 package ghostdb
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -227,6 +228,106 @@ func TestFKLoaderValidation(t *testing.T) {
 	}
 	if err := ld.Commit(); err == nil {
 		t.Fatal("dangling fk survived commit")
+	}
+}
+
+func TestPrepareStmtAndExplain(t *testing.T) {
+	db := patientsDB(t)
+	sql := `SELECT name FROM Patients WHERE age = 50 AND bodymassindex = 23.0`
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stmt.Plan()
+	if plan.MinBuffers < 1 || plan.MinBuffers >= 8 {
+		t.Fatalf("single-table floor should be small, got %d", plan.MinBuffers)
+	}
+	if plan.Anchor != "Patients" {
+		t.Fatalf("anchor = %q", plan.Anchor)
+	}
+	out := stmt.Explain()
+	if !strings.Contains(out, "admission: min") || !strings.Contains(out, "estimated cost:") {
+		t.Fatalf("explain output incomplete:\n%s", out)
+	}
+	// db.Explain is the prepare-and-render shorthand.
+	out2, err := db.Explain(sql)
+	if err != nil || out2 != out {
+		t.Fatalf("db.Explain diverges: %v\n%s", err, out2)
+	}
+	// The statement runs repeatedly and matches the one-shot path, with
+	// the admission floor exactly the plan's.
+	want, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := stmt.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(want.Rows) {
+			t.Fatalf("prepared run %d: %d rows, want %d", i, len(res.Rows), len(want.Rows))
+		}
+		if res.Stats.PlanMinBuffers != plan.MinBuffers {
+			t.Fatalf("admission floor %d != plan floor %d", res.Stats.PlanMinBuffers, plan.MinBuffers)
+		}
+	}
+	// Per-run options that change the plan replan for that run only.
+	res, err := stmt.Run(context.Background(), WithStrategy(StrategyPreFilter), WithProjector(ProjectorBruteForce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatal("forced-strategy run changed the answer")
+	}
+	if res.Stats.Projector != ProjectorBruteForce {
+		t.Fatalf("projector option ignored: %v", res.Stats.Projector)
+	}
+	// Preparing before load fails cleanly.
+	empty, _ := Create([]string{`CREATE TABLE T (id int, a int)`}, Options{})
+	if _, err := empty.Prepare(`SELECT a FROM T`); err == nil {
+		t.Fatal("prepare before load accepted")
+	}
+}
+
+func TestPreparedInsertFootprint(t *testing.T) {
+	// An insert stages the encoded hidden record plus the table's SKT
+	// row; here the two together exceed one 2KB flash buffer, so the
+	// INSERT's admission floor must be 2 instead of the old hardcoded 1.
+	db, err := Create([]string{
+		`CREATE TABLE Blobs (id int, tag_id int REFERENCES Tags HIDDEN,
+		   a char(1000) HIDDEN, b char(1000) HIDDEN, c char(45) HIDDEN)`,
+		`CREATE TABLE Tags (id int, name char(10))`,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := db.Loader()
+	if err := ld.Append("Tags", R{"name": "seed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Append("Blobs", R{"tag_id": 0, "a": "x", "b": "y", "c": "z"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`INSERT INTO Blobs (tag_id, a, b, c) VALUES (0, 'h', 'i', 'hello')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.Plan().MinBuffers; got != 2 {
+		t.Fatalf("insert floor = %d, want 2 (2045B hidden record + 4B SKT row over 2048B buffers)", got)
+	}
+	if _, err := stmt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Rows("Blobs"); n != 2 {
+		t.Fatalf("rows = %d", n)
+	}
+	res, err := db.Query(`SELECT id, c FROM Blobs WHERE c = 'hello'`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("res = %v err = %v", res, err)
 	}
 }
 

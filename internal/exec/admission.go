@@ -14,13 +14,20 @@ import (
 // reduction of §3.4) until they fit, instead of failing the query.
 
 // unionFanIn sizes one reduction pass over nRuns sublists: as many
-// streams as the free buffers allow (one is kept back for the spill
-// writer inside unionSmallest), but no more than the deficit requires —
-// merging k runs reduces the count by k-1, and rewriting extra sublists
-// costs flash I/O without buying anything. Fails wrapping
-// ram.ErrExhausted when not even a 2-way union fits.
-func (r *queryRun) unionFanIn(nRuns, deficit int) (int, error) {
+// streams as the session's bound fan-in cap and the free buffers allow
+// (one is kept back for the spill writer inside unionSmallest), but no
+// more than the deficit requires — merging k runs reduces the count by
+// k-1, and rewriting extra sublists costs flash I/O without buying
+// anything. The cap comes from the admission-time Binding (MergeFanIn
+// inside the QEPSJ pipeline, CrossFanIn when the whole grant is free),
+// so the pass structure is fixed by the grant, not by what happens to be
+// momentarily unallocated. Fails wrapping ram.ErrExhausted when not even
+// a 2-way union fits.
+func (r *queryRun) unionFanIn(nRuns, deficit, fanCap int) (int, error) {
 	k := r.ram.AvailableBuffers() - 1
+	if k > fanCap {
+		k = fanCap
+	}
 	if k > nRuns {
 		k = nRuns
 	}
@@ -118,14 +125,16 @@ func (r *queryRun) unionSmallest(segs []*store.ListSegment, runs []store.Run, k 
 
 // consolidateRuns unions sorted id runs in as many passes as needed until
 // at most maxRuns remain, so a downstream stage can open them with the
-// stream buffers it actually has. Needs 3 free buffers (2 streams + 1
-// writer) to make progress; fails wrapping ram.ErrExhausted below that.
+// stream buffers it actually has. It runs outside the QEPSJ pipeline
+// (nothing else held), so passes use the full-grant CrossFanIn binding.
+// Needs 3 free buffers (2 streams + 1 writer) to make progress; fails
+// wrapping ram.ErrExhausted below that.
 func (r *queryRun) consolidateRuns(segs []*store.ListSegment, runs []store.Run, maxRuns int, span string) ([]*store.ListSegment, []store.Run, error) {
 	if maxRuns < 1 {
 		maxRuns = 1
 	}
 	for len(runs) > maxRuns {
-		k, err := r.unionFanIn(len(runs), len(runs)-maxRuns)
+		k, err := r.unionFanIn(len(runs), len(runs)-maxRuns, r.bind.CrossFanIn)
 		if err != nil {
 			return nil, nil, err
 		}

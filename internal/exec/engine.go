@@ -102,14 +102,15 @@ func (p Projector) String() string {
 // Options.MaxConcurrentQueries is unset.
 const DefaultMaxConcurrentQueries = 4
 
-// DefaultSessionMinBuffers is the admission floor requested for a query
-// session when QueryConfig.MinBuffers is unset: enough for the widest
-// fixed operator footprint of the representative query mix (the QEPSJ
-// pipeline's writers + SKT reader + one merge buffer, see the ramsweep
-// tests) with one buffer of headroom. It is a conservative heuristic —
-// a grant-aware planner deriving the true per-plan minimum is the
-// ROADMAP follow-on — and it is clamped to the total budget so tiny
-// configured budgets still admit queries.
+// DefaultSessionMinBuffers was the blind admission floor used before the
+// grant-aware planner: every session requested 8 buffers regardless of
+// its real footprint, so wide queries could still die mid-run and narrow
+// ones were denied overlap they could safely have had.
+//
+// Deprecated: admission is now sized from Plan.MinBuffers, the true
+// per-plan minimum derived by PlanQuery before admission. The constant
+// remains only as a reference point for experiments comparing the two
+// admission policies.
 const DefaultSessionMinBuffers = 8
 
 // Options configures a DB.
@@ -160,15 +161,16 @@ type QueryConfig struct {
 	Strategy Strategy
 	// Projector selects the projection algorithm.
 	Projector Projector
-	// MinBuffers is the session's admission floor in whole buffers: the
-	// query waits (FIFO) until at least this much of the secure RAM is
-	// free, then owns its grant for the whole query. 0 means
-	// DefaultSessionMinBuffers, clamped to the budget.
+	// MinBuffers raises the session's admission floor in whole buffers
+	// above the plan's derived minimum (it can never lower it: a grant
+	// below the plan floor could die mid-run). 0 means the plan floor
+	// alone decides.
 	MinBuffers int
 	// WantBuffers is the elastic admission target: the session takes up
-	// to this many buffers when free. 0 means the whole budget (a lone
-	// query behaves exactly like the mono-user engine); cap it to let
-	// several sessions hold RAM simultaneously.
+	// to this many buffers when free. 0 means the plan's want (the whole
+	// budget for regular queries, so a lone query behaves exactly like
+	// the mono-user engine); cap it to let several sessions hold RAM
+	// simultaneously. Values below the plan floor are raised to it.
 	WantBuffers int
 }
 
@@ -383,9 +385,14 @@ type Stats struct {
 	Flash     flash.Counters
 	BusDown   uint64
 	BusUp     uint64
-	RAMHigh   int                 // high water of the query session's private RAM budget
-	Strategy  map[string]Strategy // per visible table
-	Projector Projector
+	RAMHigh   int // high water of the query session's private RAM budget
+	// PlanMinBuffers / GrantBuffers record the admission request's floor
+	// (the plan-derived minimum, possibly raised by the caller) and the
+	// elastic grant the session actually held.
+	PlanMinBuffers int
+	GrantBuffers   int
+	Strategy       map[string]Strategy // per visible table
+	Projector      Projector
 }
 
 // Result is a query answer plus its cost statistics.
@@ -433,13 +440,24 @@ func (db *DB) Run(sql string) (*Result, error) {
 	return db.RunCtx(context.Background(), sql, db.DefaultConfig())
 }
 
-// RunCtx parses and executes one SQL statement with a per-query
-// configuration. The call blocks in the FIFO admission queue until the
-// session's RAM minimum and a concurrency slot are free; cancelling ctx
-// while queued abandons the request without having reserved anything.
-// Once execution has started it runs to completion (the simulated
-// hardware is synchronous).
-func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
+// Stmt is a prepared statement: the parsed, resolved and planned form of
+// one SQL statement. Prepare is the single planning path — Run, RunCtx
+// and SelectCtx all go through it — so the plan a caller inspects is
+// exactly the plan admission will use. A Stmt is safe for concurrent
+// RunCtx calls with the configuration it was prepared under.
+type Stmt struct {
+	db   *DB
+	sel  *query.Query // nil for INSERT
+	ins  *sqlparse.Insert
+	cfg  QueryConfig
+	plan *Plan
+}
+
+// Prepare parses, resolves and plans one SQL statement without admitting
+// or executing anything: per-table strategies are chosen from plan-time
+// selectivity counts, and the plan's true minimum RAM footprint is
+// derived so admission can be sized from it.
+func (db *DB) Prepare(sql string, cfg QueryConfig) (*Stmt, error) {
 	if db.Cat == nil {
 		return nil, errors.New("exec: database not loaded")
 	}
@@ -453,38 +471,97 @@ func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result,
 		if err != nil {
 			return nil, err
 		}
-		return db.SelectCtx(ctx, q, cfg)
-	case sqlparse.Insert:
-		// Updates mutate shared structures (hidden images, indexes, row
-		// counts); they take a minimal session and the token slot.
-		sess, err := db.sched.Acquire(ctx, sched.Request{MinBuffers: 1, WantBuffers: 1})
+		p, err := db.PlanQuery(q, cfg)
 		if err != nil {
 			return nil, err
 		}
-		defer sess.Release()
-		if err := sess.Exclusive(ctx, func() error { return db.Insert(st) }); err != nil {
+		return &Stmt{db: db, sel: q, cfg: cfg, plan: p}, nil
+	case sqlparse.Insert:
+		p, err := db.planInsert(st)
+		if err != nil {
 			return nil, err
 		}
-		return &Result{}, nil
+		ins := st
+		return &Stmt{db: db, ins: &ins, cfg: cfg, plan: p}, nil
 	case sqlparse.CreateTable:
 		return nil, errors.New("exec: schema is fixed at load time; CREATE TABLE goes through ghostdb.Create")
 	}
 	return nil, fmt.Errorf("exec: unsupported statement %T", stmt)
 }
 
-// sessionRequest derives the admission request from a query config.
-func (db *DB) sessionRequest(cfg QueryConfig) sched.Request {
-	total := db.RAM.Buffers()
-	min := cfg.MinBuffers
-	if min <= 0 {
-		min = DefaultSessionMinBuffers
+// Plan returns the statement's execution plan.
+func (s *Stmt) Plan() *Plan { return s.plan }
+
+// RunCtx executes the prepared statement. Admission is sized from the
+// plan's derived floor (raised, never lowered, by cfg.MinBuffers); a
+// configuration whose strategy or projector differs from the prepared
+// one replans first, since those knobs change the plan itself.
+func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
+	if s.ins != nil {
+		return s.db.runInsert(ctx, *s.ins, s.plan)
 	}
-	if min > total {
-		min = total
+	plan := s.plan
+	if cfg.Strategy != s.cfg.Strategy || cfg.Projector != s.cfg.Projector {
+		p, err := s.db.PlanQuery(s.sel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	return s.db.runSelect(ctx, s.sel, plan, cfg)
+}
+
+// RunCtx parses, plans and executes one SQL statement with a per-query
+// configuration (prepare-then-run). The call blocks in the FIFO
+// admission queue until the plan's RAM floor and a concurrency slot are
+// free; cancelling ctx while queued abandons the request without having
+// reserved anything. Once execution has started it runs to completion
+// (the simulated hardware is synchronous).
+func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
+	stmt, err := db.Prepare(sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.RunCtx(ctx, cfg)
+}
+
+// runInsert executes an INSERT as a minimal session sized from the
+// insert's planned footprint. Updates mutate shared structures (hidden
+// images, indexes, row counts), so they hold the token slot.
+func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*Result, error) {
+	sess, err := db.sched.Acquire(ctx, sched.Request{
+		MinBuffers: plan.MinBuffers, WantBuffers: plan.WantBuffers})
+	if err != nil {
+		return nil, wrapAdmission(err)
+	}
+	defer sess.Release()
+	err = sess.Exclusive(ctx, func() error {
+		// Stage the insert's working set (hidden record + SKT row) in the
+		// session's private budget, so the accounting matches the plan.
+		g, err := sess.RAM().AllocBuffers(plan.MinBuffers)
+		if err != nil {
+			return err
+		}
+		defer g.Release()
+		return db.Insert(ins)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// sessionRequest derives the admission request from the plan floor and
+// the per-query configuration. cfg can raise the floor or cap the want,
+// but never push the grant below what the plan needs to finish.
+func (db *DB) sessionRequest(plan *Plan, cfg QueryConfig) sched.Request {
+	min := plan.MinBuffers
+	if cfg.MinBuffers > min {
+		min = cfg.MinBuffers
 	}
 	want := cfg.WantBuffers
 	if want <= 0 {
-		want = total
+		want = plan.WantBuffers
 	}
 	if want < min {
 		want = min
@@ -492,28 +569,55 @@ func (db *DB) sessionRequest(cfg QueryConfig) sched.Request {
 	return sched.Request{MinBuffers: min, WantBuffers: want}
 }
 
+// wrapAdmission tags never-admissible scheduler rejections with
+// ErrBudgetTooSmall so callers can tell a clean up-front denial from a
+// mid-run exhaustion.
+func wrapAdmission(err error) error {
+	if errors.Is(err, sched.ErrNeverAdmissible) {
+		return fmt.Errorf("%w: %w", ErrBudgetTooSmall, err)
+	}
+	return err
+}
+
 // Select executes a resolved query under the default configuration.
 func (db *DB) Select(q *query.Query) (*Result, error) {
 	return db.SelectCtx(context.Background(), q, db.DefaultConfig())
 }
 
-// SelectCtx executes a resolved query as one scheduled session: FIFO RAM
-// admission, then exclusive use of the simulated token while the query
-// runs, so per-query counters and simulated timings are deterministic.
+// SelectCtx plans and executes a resolved query (prepare-then-run for
+// callers that resolved the SQL themselves).
 func (db *DB) SelectCtx(ctx context.Context, q *query.Query, cfg QueryConfig) (*Result, error) {
-	sess, err := db.sched.Acquire(ctx, db.sessionRequest(cfg))
+	plan, err := db.PlanQuery(q, cfg)
 	if err != nil {
 		return nil, err
+	}
+	return db.runSelect(ctx, q, plan, cfg)
+}
+
+// runSelect executes a planned query as one scheduled session: FIFO RAM
+// admission sized from the plan's floor, operator variants bound from
+// the actual grant, then exclusive use of the simulated token while the
+// query runs, so per-query counters and simulated timings are
+// deterministic.
+func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig) (*Result, error) {
+	req := db.sessionRequest(plan, cfg)
+	sess, err := db.sched.Acquire(ctx, req)
+	if err != nil {
+		return nil, wrapAdmission(err)
 	}
 	defer sess.Release()
 	var res *Result
 	err = sess.Exclusive(ctx, func() error {
 		r := &queryRun{
-			db:  db,
-			q:   q,
-			cfg: cfg,
-			ram: sess.RAM(),
-			col: metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
+			db:         db,
+			q:          q,
+			cfg:        cfg,
+			plan:       plan,
+			bind:       plan.Bind(sess.Buffers()),
+			planMin:    req.MinBuffers,
+			strategies: plan.Strategies(),
+			ram:        sess.RAM(),
+			col:        metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
 		}
 		// The token is exclusively ours: zero the device/bus counters so
 		// the collector's spans see only this query's I/O.
@@ -552,15 +656,17 @@ func (r *queryRun) collectStats() Stats {
 	down, up := db.Bus.Counters()
 	total := metrics.Sample{Flash: db.Dev.Counters(), BusDown: down, BusUp: up}
 	st := Stats{
-		IOTime:    db.opts.Model.IOTime(total),
-		CommTime:  db.opts.Model.CommTime(total, db.Bus.ThroughputMBps()),
-		Breakdown: r.col.Breakdown(),
-		Flash:     db.Dev.Counters(),
-		BusDown:   down,
-		BusUp:     up,
-		RAMHigh:   r.ram.HighWater(),
-		Strategy:  map[string]Strategy{},
-		Projector: r.cfg.Projector,
+		IOTime:         db.opts.Model.IOTime(total),
+		CommTime:       db.opts.Model.CommTime(total, db.Bus.ThroughputMBps()),
+		Breakdown:      r.col.Breakdown(),
+		Flash:          db.Dev.Counters(),
+		BusDown:        down,
+		BusUp:          up,
+		RAMHigh:        r.ram.HighWater(),
+		PlanMinBuffers: r.planMin,
+		GrantBuffers:   r.bind.GrantBuffers,
+		Strategy:       map[string]Strategy{},
+		Projector:      r.cfg.Projector,
 	}
 	st.SimTime = st.IOTime + st.CommTime
 	for ti, s := range r.strategies {

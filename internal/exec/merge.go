@@ -14,9 +14,10 @@ import (
 // a single sublist spilled to flash, repeatedly, until everything fits.
 // Downstream pipeline stages (SKT reader, column writers) hold their own
 // reservations, so whatever AvailableBuffers reports really is the
-// Merge's to spend. Needs 3 free buffers (2 streams + 1 spill writer) to
-// make progress when reduction is required.
-func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
+// Merge's to spend; fanCap is the admission-time fan-in binding for this
+// context. Needs 3 free buffers (2 streams + 1 spill writer) to make
+// progress when reduction is required.
+func (r *queryRun) reduceGroups(groups []*mergeGroup, fanCap int) error {
 	totalRuns := 0
 	for _, g := range groups {
 		totalRuns += len(g.runs)
@@ -35,7 +36,7 @@ func (r *queryRun) reduceGroups(groups []*mergeGroup) error {
 		}
 		// Union the k smallest sublists ("the smallest sublists of each
 		// list are the best candidates for reduction").
-		k, err := r.unionFanIn(len(g.runs), totalRuns-r.ram.AvailableBuffers())
+		k, err := r.unionFanIn(len(g.runs), totalRuns-r.ram.AvailableBuffers(), fanCap)
 		if err != nil {
 			return err
 		}

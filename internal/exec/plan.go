@@ -1,0 +1,706 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/index"
+	"ghostdb/internal/metrics"
+	"ghostdb/internal/query"
+	"ghostdb/internal/schema"
+	"ghostdb/internal/sqlparse"
+	"ghostdb/internal/store"
+)
+
+// This file is the plan phase of the executor: everything that can be
+// decided *before* a query session is admitted. GhostDB's security model
+// makes plan time the only safe place to commit to a memory footprint —
+// once a session holds its grant, degrading mid-run would either fail the
+// query (the old `DefaultSessionMinBuffers` floor could die with
+// ram.ErrExhausted) or leak timing back into admission. So, ObliDB-style,
+// the planner selects every operator variant and derives the plan's true
+// minimum RAM footprint up front; admission then requests exactly that
+// floor and the session binds its chunk sizes from the grant it actually
+// received.
+
+// ErrBudgetTooSmall marks a plan whose derived minimum footprint exceeds
+// the configured secure-RAM budget: the query is rejected cleanly at
+// admission time, before anything has run. It wraps the scheduler's
+// sentinel, which in turn wraps ram.ErrExhausted.
+var ErrBudgetTooSmall = errors.New("exec: plan footprint exceeds the RAM budget")
+
+// TablePlan is the planned treatment of one table carrying a visible
+// selection.
+type TablePlan struct {
+	Table    string
+	TableIdx int
+	// Strategy is the chosen visible/hidden combination strategy. For the
+	// anchor table Direct is set instead: its id list joins the Merge
+	// directly and needs no strategy.
+	Strategy Strategy
+	Direct   bool
+	// VisCount / Rows / SV are the visible selection's cardinality,
+	// the table cardinality and their ratio (the selectivity that drove
+	// the strategy choice), counted on Untrusted at plan time.
+	VisCount int
+	Rows     int
+	SV       float64
+	// Cross reports whether the Cross optimization (§3.3) applies.
+	Cross bool
+}
+
+// Footprint is the plan's RAM needs in whole buffers, broken down by
+// pipeline phase. Phases run one after the other, so the plan's floor is
+// the maximum phase footprint, not the sum.
+type Footprint struct {
+	// QEPSJ phase: one writer per stored column + one anchor writer,
+	// one SKT reader when descendant columns are stored, and the Merge's
+	// stream/reduction buffers, all held simultaneously.
+	StoreWriters int
+	SKTReader    int
+	Merge        int
+	QEPSJ        int // StoreWriters + SKTReader + Merge
+	// Cross phase: stream buffers for intersecting a visible id list
+	// with same-level hidden sublists (runs before the QEPSJ pipeline is
+	// reserved).
+	Cross int
+	// PostSelect phase: staging chunk + column reader + position writer
+	// (runs after the QEPSJ pipeline is released).
+	PostSelect int
+	// MJoin / FinalJoin are the projection phase peaks; Projection is
+	// their maximum (or the brute-force reader plan when forced).
+	MJoin      int
+	FinalJoin  int
+	Projection int
+}
+
+// Plan is the inspectable product of Prepare: per-table strategies, the
+// projector, the derived admission floor and a coarse cost estimate. A
+// Plan is immutable once built.
+type Plan struct {
+	SQL    string
+	Anchor string
+	// FastPath marks single-table all-visible queries, which execute
+	// entirely on Untrusted and touch no secure RAM beyond the session
+	// minimum of one buffer.
+	FastPath  bool
+	CountOnly bool
+	Insert    bool // non-SELECT plan (INSERT admission sizing)
+	Tables    []TablePlan
+	Projector Projector
+	Footprint Footprint
+	// MinBuffers is the derived admission floor: the smallest grant under
+	// which every operator of this plan can run to completion (with more
+	// passes, never with a mid-run ram.ErrExhausted). WantBuffers is the
+	// elastic admission target the plan can profitably use.
+	MinBuffers   int
+	WantBuffers  int
+	TotalBuffers int // the configured budget, for context
+	BufferBytes  int
+	// EstPageReads/EstPageWrites/EstCost form a coarse, plan-time cost
+	// estimate (simulated time under the Table 1 model). It exists to
+	// rank plans and feed EXPLAIN; measured Stats are the ground truth.
+	EstPageReads  int
+	EstPageWrites int
+	EstCost       time.Duration
+
+	// Execution-side bindings (not part of the public surface).
+	strategies  map[int]Strategy
+	mjoinFixed  map[int]int // per-table fixed reader buffers in MJoin
+	mjoinMinVal map[int]int // per-table minimum batch buffers
+}
+
+// Strategies returns a fresh copy of the planned per-table strategies,
+// keyed by table index; the executor mutates its copy when operators
+// degrade (e.g. an infeasible Bloom filter falling back to No-Filter).
+func (p *Plan) Strategies() map[int]Strategy {
+	out := make(map[int]Strategy, len(p.strategies))
+	for ti, s := range p.strategies {
+		out[ti] = s
+	}
+	return out
+}
+
+// Binding fixes one admitted session's operator variants from the grant
+// it actually received: staging chunk counts, batch sizes and fan-ins are
+// picked here, once, instead of being discovered through mid-run
+// reservation outcomes. All values are whole buffers.
+type Binding struct {
+	GrantBuffers int
+	// MergeFanIn caps the streams one QEPSJ sublist-reduction pass opens
+	// (the pipeline's writers and SKT reader are already spoken for).
+	MergeFanIn int
+	// CrossFanIn caps reduction passes that run before the pipeline is
+	// reserved (cross intersections), when the whole grant is free.
+	CrossFanIn int
+	// MergeReserve is kept free of Bloom filters so the Merge always has
+	// its reduction workspace: max(planned run groups, 3).
+	MergeReserve int
+	// PostSelectStage / SortChunk are the staging areas of Post-Select
+	// and the column sort: the grant minus their fixed reader/writer.
+	PostSelectStage int
+	SortChunk       int
+	// MJoinBatch is the per-table batch staging cap: the grant minus the
+	// table's fixed readers ("RAM capacity minus two buffers" in §4,
+	// generalized to the table's true reader set).
+	MJoinBatch map[int]int
+}
+
+// Bind derives the session's operator binding from its actual grant.
+func (p *Plan) Bind(grant int) *Binding {
+	b := &Binding{GrantBuffers: grant, MJoinBatch: map[int]int{}}
+	pipe := p.Footprint.StoreWriters + p.Footprint.SKTReader
+	b.MergeFanIn = maxInt(grant-pipe-1, 2)
+	b.CrossFanIn = maxInt(grant-1, 2)
+	b.MergeReserve = p.Footprint.Merge
+	b.PostSelectStage = maxInt(grant-2, 1)
+	b.SortChunk = maxInt(grant-2, 1)
+	for ti, fixed := range p.mjoinFixed {
+		b.MJoinBatch[ti] = maxInt(grant-fixed, p.mjoinMinVal[ti])
+	}
+	return b
+}
+
+// visibleOnly reports whether a query touches no hidden data at all: a
+// single-table query whose predicates and projections are all visible
+// executes entirely on Untrusted (Secure only relays).
+func visibleOnly(sch *schema.Schema, q *query.Query) bool {
+	if len(q.Tables) != 1 {
+		return false
+	}
+	t := sch.Tables[q.Tables[0]]
+	for _, p := range q.Preds {
+		if p.ColIdx == query.IDCol {
+			continue
+		}
+		if t.Columns[p.ColIdx].Hidden {
+			return false
+		}
+	}
+	for _, p := range q.Projections {
+		if p.ColIdx != query.IDCol && t.Columns[p.ColIdx].Hidden {
+			return false
+		}
+	}
+	return true
+}
+
+// projectedVisibleColsOf returns, per table, the visible column positions
+// in the projection list (sorted, deduplicated).
+func projectedVisibleColsOf(sch *schema.Schema, q *query.Query) map[int][]int {
+	out := map[int][]int{}
+	seen := map[[2]int]bool{}
+	for _, p := range q.Projections {
+		if p.ColIdx == query.IDCol {
+			continue
+		}
+		col := sch.Tables[p.Table].Columns[p.ColIdx]
+		if col.Hidden || seen[[2]int{p.Table, p.ColIdx}] {
+			continue
+		}
+		seen[[2]int{p.Table, p.ColIdx}] = true
+		// Keep declaration order (stable within a table).
+		lst := out[p.Table]
+		pos := len(lst)
+		for i, c := range lst {
+			if c > p.ColIdx {
+				pos = i
+				break
+			}
+		}
+		lst = append(lst[:pos:pos], append([]int{p.ColIdx}, lst[pos:]...)...)
+		out[p.Table] = lst
+	}
+	return out
+}
+
+// projectedHiddenColsOf returns, per non-anchor table, the hidden column
+// positions the projection needs (declaration order, deduplicated).
+func projectedHiddenColsOf(sch *schema.Schema, q *query.Query) map[int][]int {
+	out := map[int][]int{}
+	for _, p := range q.Projections {
+		if p.ColIdx == query.IDCol || p.Table == q.Anchor {
+			continue
+		}
+		col := sch.Tables[p.Table].Columns[p.ColIdx]
+		if col.Hidden && !containsInt(out[p.Table], p.ColIdx) {
+			out[p.Table] = append(out[p.Table], p.ColIdx)
+		}
+	}
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// indexForPred returns the climbing index evaluating a hidden predicate.
+func (db *DB) indexForPred(p query.Pred) *index.Climbing {
+	if p.ColIdx == query.IDCol {
+		ci, _ := db.Cat.IDIndex(p.Table)
+		return ci
+	}
+	ci, _ := db.Cat.AttrIndex(p.Table, p.ColIdx)
+	return ci
+}
+
+// crossAvailableFor reports whether the Cross optimization applies to a
+// table: a hidden selection on the same table or on one of its
+// descendants (whose climbing index carries this table's level), §3.3.
+func (db *DB) crossAvailableFor(q *query.Query, ti int) bool {
+	return db.crossCandidates(q, ti) > 0
+}
+
+// crossCandidates counts the hidden predicates that could participate in
+// the Cross optimization at table ti (an upper bound on the sublist
+// groups the cross intersection opens at once).
+func (db *DB) crossCandidates(q *query.Query, ti int) int {
+	n := 0
+	for _, p := range q.HiddenPreds() {
+		if p.Table == ti {
+			if p.ColIdx == query.IDCol {
+				continue // id predicate on ti itself: cheap at anchor level
+			}
+			n++
+			continue
+		}
+		if db.Sch.IsAncestorOf(ti, p.Table) {
+			if ci := db.indexForPred(p); ci != nil {
+				if _, ok := ci.LevelOf(ti); ok {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// strategyNeedsExact reports whether a strategy defers exact visible
+// verification to projection time.
+func strategyNeedsExact(s Strategy) bool {
+	switch s {
+	case StratPost, StratCrossPost, StratNoFilter:
+		return true
+	}
+	return false
+}
+
+// PlanQuery builds the execution plan for a resolved query under a
+// per-query configuration: it chooses per-table strategies from
+// plan-time selectivity counts, derives the plan's true minimum RAM
+// footprint (the admission floor) and estimates its cost. Nothing is
+// admitted, metered or transferred; counts come from Untrusted's own
+// data, which the query text already exposes.
+func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
+	if db.Cat == nil {
+		return nil, errors.New("exec: database not loaded")
+	}
+	bufSize := db.RAM.BufferSize()
+	p := &Plan{
+		SQL:          q.SQL,
+		Anchor:       db.Sch.Tables[q.Anchor].Name,
+		CountOnly:    q.CountOnly,
+		Projector:    cfg.Projector,
+		TotalBuffers: db.RAM.Buffers(),
+		BufferBytes:  bufSize,
+		strategies:   map[int]Strategy{},
+		mjoinFixed:   map[int]int{},
+		mjoinMinVal:  map[int]int{},
+	}
+	if visibleOnly(db.Sch, q) {
+		// Untrusted answers alone; the session needs only the nominal
+		// one-buffer minimum and holds no RAM worth speaking of.
+		p.FastPath = true
+		p.MinBuffers = 1
+		p.WantBuffers = 1
+		p.estimate(db, q)
+		return p, nil
+	}
+	p.WantBuffers = p.TotalBuffers // Bloom filters calibrate to spare RAM (§5)
+
+	// ---- Per-table strategies from plan-time selectivity counts.
+	visPreds := q.VisiblePreds()
+	var visTables []int
+	for ti := range visPreds {
+		visTables = append(visTables, ti)
+	}
+	sort.Ints(visTables)
+	for _, ti := range visTables {
+		n, err := db.Untr.CountVis(ti, visPreds[ti])
+		if err != nil {
+			return nil, err
+		}
+		rows := db.Rows(ti)
+		sV := 1.0
+		if rows > 0 {
+			sV = float64(n) / float64(rows)
+		}
+		tp := TablePlan{
+			Table:    db.Sch.Tables[ti].Name,
+			TableIdx: ti,
+			VisCount: n,
+			Rows:     rows,
+			SV:       sV,
+		}
+		if ti == q.Anchor {
+			tp.Direct = true // anchor id lists merge directly: always exact
+			p.Tables = append(p.Tables, tp)
+			continue
+		}
+		cross := db.crossAvailableFor(q, ti)
+		s := cfg.Strategy
+		if s == StratAuto {
+			// The selectivity thresholds observed in §6.
+			switch {
+			case cross && sV <= 0.1:
+				s = StratCrossPre
+			case cross:
+				s = StratCrossPost
+			case sV <= 0.05:
+				s = StratPre
+			case sV <= 0.5:
+				s = StratPost
+			default:
+				s = StratNoFilter
+			}
+		}
+		// Forced cross strategies degrade gracefully when no same-level
+		// hidden selection exists.
+		if !cross {
+			switch s {
+			case StratCrossPre:
+				s = StratPre
+			case StratCrossPost:
+				s = StratPost
+			case StratCrossPostSelect:
+				s = StratPostSelect
+			}
+		}
+		tp.Strategy, tp.Cross = s, cross
+		p.strategies[ti] = s
+		p.Tables = append(p.Tables, tp)
+	}
+
+	// ---- Derived sets: which tables need a QEPSJ result column, which
+	// are verified exactly at projection time, which get a Post-Select
+	// pass. These mirror the executor, so the floor below is the memory
+	// the run will actually claim.
+	needed := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != q.Anchor {
+			needed[ti] = true
+		}
+	}
+	exact := map[int]bool{}
+	postSel := map[int]bool{}
+	for ti, s := range p.strategies {
+		if strategyNeedsExact(s) {
+			exact[ti] = true
+			needed[ti] = true
+		}
+		if s == StratPostSelect || s == StratCrossPostSelect {
+			postSel[ti] = true
+			needed[ti] = true
+		}
+	}
+
+	// ---- QEPSJ phase footprint: writers + SKT reader + Merge.
+	//
+	// Merge run groups (upper bound — cross absorption only removes
+	// groups): one per Pre/Cross-Pre table, one per hidden predicate that
+	// is not a free anchor-id filter. Each group can be reduced to a
+	// single sublist but never below it, so the Merge needs one stream
+	// buffer per group and, when any reduction may be required, the
+	// 3-buffer reduction workspace (2 streams + 1 spill writer).
+	nGroups := 0
+	for _, s := range p.strategies {
+		if s == StratPre || s == StratCrossPre {
+			nGroups++
+		}
+	}
+	for _, hp := range q.HiddenPreds() {
+		if hp.Table == q.Anchor && hp.ColIdx == query.IDCol {
+			continue // free filter on the ids flowing by
+		}
+		nGroups++
+	}
+	fp := &p.Footprint
+	fp.StoreWriters = len(needed) + 1
+	if len(needed) > 0 {
+		fp.SKTReader = 1
+	}
+	if nGroups > 0 {
+		fp.Merge = maxInt(nGroups, 3)
+	}
+	fp.QEPSJ = fp.StoreWriters + fp.SKTReader + fp.Merge
+
+	// ---- Cross phase (runs before the pipeline is reserved): one stream
+	// per crossing sublist group plus the reduction workspace.
+	for ti, s := range p.strategies {
+		switch s {
+		case StratCrossPre, StratCrossPost, StratCrossPostSelect:
+			if f := maxInt(db.crossCandidates(q, ti), 3); f > fp.Cross {
+				fp.Cross = f
+			}
+		}
+	}
+
+	// ---- Post-Select phase (runs after the pipeline is released):
+	// staging chunk + column reader + position writer; smaller staging
+	// only means more re-scans (Figure 11).
+	if len(postSel) > 0 {
+		fp.PostSelect = 3
+	}
+
+	// ---- Projection phase.
+	projVis := projectedVisibleColsOf(db.Sch, q)
+	hidProj := projectedHiddenColsOf(db.Sch, q)
+	projTables := map[int]bool{}
+	for _, ti := range q.ProjTables() {
+		if ti != q.Anchor {
+			projTables[ti] = true
+		}
+	}
+	for ti := range exact {
+		projTables[ti] = true
+	}
+	if cfg.Projector == ProjectBruteForce {
+		// One buffer per open column reader: the anchor plus every table
+		// that must be looked at.
+		fp.Projection = 1 + len(projTables)
+	} else {
+		anchorHidden := false
+		for _, pr := range q.Projections {
+			if pr.Table == q.Anchor && pr.ColIdx != query.IDCol &&
+				db.Sch.Tables[q.Anchor].Columns[pr.ColIdx].Hidden {
+				anchorHidden = true
+			}
+		}
+		idTables := map[int]bool{}
+		for _, pr := range q.Projections {
+			if pr.Table != q.Anchor && pr.ColIdx == query.IDCol {
+				idTables[pr.Table] = true
+			}
+		}
+		nTps := 0
+		for ti := range projTables {
+			visW, hidW := 0, 0
+			for _, c := range projVis[ti] {
+				visW += db.Sch.Tables[ti].Columns[c].EncodedWidth()
+			}
+			for _, c := range hidProj[ti] {
+				hidW += db.Sch.Tables[ti].Columns[c].EncodedWidth()
+			}
+			if visW+hidW == 0 && !exact[ti] {
+				continue // id-only projection: the QEPSJ column is enough
+			}
+			nTps++
+			// MJoin fixed readers: σVH run + QEPSJ column + output writer,
+			// plus the spool cursor and hidden-image reader the widths
+			// require; the batch staging area takes what is left.
+			fixed := 3
+			if visW > 0 {
+				fixed++
+			}
+			if hidW > 0 {
+				fixed++
+			}
+			minBatch := (4 + visW + hidW + bufSize - 1) / bufSize
+			p.mjoinFixed[ti] = fixed
+			p.mjoinMinVal[ti] = minBatch
+			if f := fixed + minBatch; f > fp.MJoin {
+				fp.MJoin = f
+			}
+		}
+		// Final join fixed readers: anchor column, anchor spool, anchor
+		// hidden image, one per projected id column — plus one tuple
+		// cursor per joined table (batch runs are consolidated first, a
+		// pass that needs the 3-buffer reduction workspace).
+		fixed := 1
+		if len(projVis[q.Anchor]) > 0 {
+			fixed++
+		}
+		if anchorHidden {
+			fixed++
+		}
+		fixed += len(idTables)
+		fp.FinalJoin = fixed + nTps
+		if nTps > 0 {
+			fp.FinalJoin = maxInt(fp.FinalJoin, 3)
+		}
+		fp.Projection = maxInt(fp.MJoin, fp.FinalJoin)
+	}
+
+	p.MinBuffers = 1
+	for _, f := range []int{fp.QEPSJ, fp.Cross, fp.PostSelect, fp.Projection} {
+		if f > p.MinBuffers {
+			p.MinBuffers = f
+		}
+	}
+	p.estimate(db, q)
+	return p, nil
+}
+
+// planInsert sizes the admission request of an INSERT from its actual
+// footprint: the encoded hidden record plus the SKT row it stages while
+// maintaining the partitions and indexes (instead of the old hardcoded
+// 1-buffer request, which under-declared wide hidden codecs).
+func (db *DB) planInsert(ins sqlparse.Insert) (*Plan, error) {
+	if db.Cat == nil {
+		return nil, errors.New("exec: database not loaded")
+	}
+	t, ok := db.Sch.Lookup(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", ins.Table)
+	}
+	bytes := 0
+	if img := db.Hidden[t.Index]; img != nil {
+		bytes += img.Codec.Width()
+	}
+	if skt, ok := db.Cat.SKTOf(t.Index); ok {
+		bytes += len(skt.Descendants()) * store.IDBytes
+	}
+	bufSize := db.RAM.BufferSize()
+	min := (bytes + bufSize - 1) / bufSize
+	if min < 1 {
+		min = 1
+	}
+	return &Plan{
+		SQL:          ins.Table, // no SELECT text; table name for display
+		Insert:       true,
+		MinBuffers:   min,
+		WantBuffers:  min,
+		TotalBuffers: db.RAM.Buffers(),
+		BufferBytes:  bufSize,
+	}, nil
+}
+
+// estimate fills the plan's coarse cost model: expected page traffic
+// under the Table 1 parameters. It exists to rank plans in EXPLAIN
+// output; measured Stats remain the ground truth. Hidden selectivities
+// are unknowable before touching the secure index (doing so would cost
+// unmetered I/O), so each hidden predicate is assumed to keep 10% — the
+// paper's own fixed sH.
+func (p *Plan) estimate(db *DB, q *query.Query) {
+	const assumedHiddenSel = 0.1
+	idsPerPage := p.BufferBytes / store.IDBytes
+	if idsPerPage < 1 {
+		idsPerPage = 1
+	}
+	anchorRows := float64(db.Rows(q.Anchor))
+	sel := 1.0
+	reads, writes := 0.0, 0.0
+	for _, tp := range p.Tables {
+		sel *= tp.SV
+		switch tp.Strategy {
+		case StratPre, StratCrossPre:
+			// One id-index climb per visible id (≈ the tree height).
+			reads += float64(tp.VisCount) * 3
+		}
+	}
+	for _, hp := range q.HiddenPreds() {
+		rows := float64(db.Rows(hp.Table))
+		sel *= assumedHiddenSel
+		// Index descent plus the matching sublist pages.
+		reads += 3 + rows*assumedHiddenSel/float64(idsPerPage)
+	}
+	est := anchorRows * sel
+	if p.FastPath {
+		p.EstCost = 0
+		return
+	}
+	cols := float64(p.Footprint.StoreWriters)
+	// SJoin reads one SKT row per surviving anchor id (random access);
+	// Store writes the materialized columns; Project re-reads them.
+	if p.Footprint.SKTReader > 0 {
+		reads += est
+	}
+	writes += est * cols / float64(idsPerPage)
+	reads += 2 * est * cols / float64(idsPerPage)
+	p.EstPageReads = int(reads)
+	p.EstPageWrites = int(writes)
+	model := db.opts.Model
+	if model == (metrics.Model{}) {
+		model = metrics.DefaultModel()
+	}
+	p.EstCost = model.IOTime(metrics.Sample{Flash: flash.Counters{
+		PageReads:  uint64(p.EstPageReads),
+		PageWrites: uint64(p.EstPageWrites),
+	}})
+}
+
+// Explain renders the plan for humans: per-table strategies, the
+// footprint derivation, the admission request and the cost estimate.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	if p.Insert {
+		fmt.Fprintf(&b, "plan: INSERT INTO %s\n", p.SQL)
+		fmt.Fprintf(&b, "  admission: min %d of %d buffers (%d B each) — hidden record + SKT row staging\n",
+			p.MinBuffers, p.TotalBuffers, p.BufferBytes)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "plan: %s\n", p.SQL)
+	fmt.Fprintf(&b, "  anchor: %s", p.Anchor)
+	if p.FastPath {
+		b.WriteString("  (visible-only fast path: Untrusted answers, Secure relays)\n")
+	} else {
+		b.WriteString("\n")
+	}
+	if len(p.Tables) > 0 {
+		b.WriteString("  visible selections:\n")
+		for _, tp := range p.Tables {
+			if tp.Direct {
+				fmt.Fprintf(&b, "    %-12s direct anchor merge  sV=%.3f (%d of %d rows)\n",
+					tp.Table, tp.SV, tp.VisCount, tp.Rows)
+				continue
+			}
+			cross := ""
+			if tp.Cross {
+				cross = "  [cross available]"
+			}
+			fmt.Fprintf(&b, "    %-12s %-18v sV=%.3f (%d of %d rows)%s\n",
+				tp.Table, tp.Strategy, tp.SV, tp.VisCount, tp.Rows, cross)
+		}
+	}
+	if !p.FastPath {
+		fmt.Fprintf(&b, "  projector: %v\n", p.Projector)
+		fp := p.Footprint
+		fmt.Fprintf(&b, "  footprint (buffers): QEPSJ %d (%d writers + %d SKT + %d merge)",
+			fp.QEPSJ, fp.StoreWriters, fp.SKTReader, fp.Merge)
+		if fp.Cross > 0 {
+			fmt.Fprintf(&b, " · cross %d", fp.Cross)
+		}
+		if fp.PostSelect > 0 {
+			fmt.Fprintf(&b, " · post-select %d", fp.PostSelect)
+		}
+		fmt.Fprintf(&b, " · projection %d", fp.Projection)
+		if fp.MJoin > 0 || fp.FinalJoin > 0 {
+			fmt.Fprintf(&b, " (mjoin %d, final join %d)", fp.MJoin, fp.FinalJoin)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  admission: min %d of %d buffers (%d B each), want %d\n",
+		p.MinBuffers, p.TotalBuffers, p.BufferBytes, p.WantBuffers)
+	if p.MinBuffers > p.TotalBuffers {
+		b.WriteString("  !! floor exceeds the configured budget: the query will be rejected at admission\n")
+	}
+	fmt.Fprintf(&b, "  estimated cost: ~%v simulated I/O (≈%d page reads, %d writes)\n",
+		p.EstCost.Round(10*time.Microsecond), p.EstPageReads, p.EstPageWrites)
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/ram"
+)
+
+// These tests pin the planner's central contract: the plan derived
+// before admission is *sufficient*. An admitted query — one whose floor
+// fits the budget — must never hit ram.ErrExhausted mid-run, and must
+// never allocate beyond its grant. Queries whose floor exceeds the
+// budget are rejected cleanly, up front, with ErrBudgetTooSmall.
+
+// TestPlanMatchesAdmissionRequest asserts the acceptance criterion that
+// Prepare is the single planning path: the admission request a query
+// session makes is exactly the plan's derived floor.
+func TestPlanMatchesAdmissionRequest(t *testing.T) {
+	f := newFixture(t, 42, defaultCards())
+	for qi, sql := range testQueries {
+		stmt, err := f.db.Prepare(sql, QueryConfig{})
+		if err != nil {
+			t.Fatalf("q%d prepare: %v", qi, err)
+		}
+		plan := stmt.Plan()
+		if plan.MinBuffers < 1 || plan.MinBuffers > f.db.RAM.Buffers() {
+			t.Fatalf("q%d: implausible floor %d", qi, plan.MinBuffers)
+		}
+		req := f.db.sessionRequest(plan, QueryConfig{})
+		if req.MinBuffers != plan.MinBuffers {
+			t.Fatalf("q%d: admission min %d != plan floor %d", qi, req.MinBuffers, plan.MinBuffers)
+		}
+		res, err := stmt.RunCtx(context.Background(), QueryConfig{})
+		if err != nil {
+			t.Fatalf("q%d run: %v", qi, err)
+		}
+		if res.Stats.PlanMinBuffers != plan.MinBuffers {
+			t.Fatalf("q%d: session floor %d != plan floor %d", qi, res.Stats.PlanMinBuffers, plan.MinBuffers)
+		}
+		if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
+			t.Fatalf("q%d: prepared run diverges from reference", qi)
+		}
+		// A caller-raised floor is honored; a caller-lowered one is not.
+		if req := f.db.sessionRequest(plan, QueryConfig{MinBuffers: plan.MinBuffers + 3}); req.MinBuffers != plan.MinBuffers+3 {
+			t.Fatalf("q%d: raised floor ignored", qi)
+		}
+		if req := f.db.sessionRequest(plan, QueryConfig{MinBuffers: 1}); req.MinBuffers != plan.MinBuffers {
+			t.Fatalf("q%d: floor lowered below the plan minimum", qi)
+		}
+	}
+}
+
+// TestPlanFloorsSufficientProperty drives the random query corpus with
+// random forced strategies and projectors at the default budget: every
+// plan's floor must be honored by the run (no mid-run exhaustion, high
+// water within the grant, floor == admission request).
+func TestPlanFloorsSufficientProperty(t *testing.T) {
+	f := newFixture(t, 77, map[string]int{"T0": 1200, "T1": 150, "T2": 120, "T11": 40, "T12": 40})
+	strategies := []Strategy{StratAuto, StratPre, StratCrossPre, StratPost,
+		StratCrossPost, StratPostSelect, StratCrossPostSelect, StratNoFilter}
+	projectors := []Projector{ProjectBloom, ProjectNoBF, ProjectBruteForce}
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 150; i++ {
+		sql := randomQuery(rng)
+		cfg := QueryConfig{
+			Strategy:  strategies[rng.Intn(len(strategies))],
+			Projector: projectors[rng.Intn(len(projectors))],
+		}
+		stmt, err := f.db.Prepare(sql, cfg)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", sql, err)
+		}
+		plan := stmt.Plan()
+		res, err := stmt.RunCtx(context.Background(), cfg)
+		if err != nil {
+			if errors.Is(err, ErrBloomInfeasible) {
+				continue // forced Post beyond sV=0.5, as in the paper
+			}
+			t.Fatalf("[%v/%v] %s: floor %d at %d-buffer budget, but run failed: %v",
+				cfg.Strategy, cfg.Projector, sql, plan.MinBuffers, f.db.RAM.Buffers(), err)
+		}
+		if res.Stats.PlanMinBuffers != plan.MinBuffers {
+			t.Fatalf("%s: admission floor %d != plan floor %d", sql, res.Stats.PlanMinBuffers, plan.MinBuffers)
+		}
+		if res.Stats.RAMHigh > res.Stats.GrantBuffers*f.db.RAM.BufferSize() {
+			t.Fatalf("%s: high water %d exceeds the %d-buffer grant", sql, res.Stats.RAMHigh, res.Stats.GrantBuffers)
+		}
+		if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
+			t.Fatalf("[%v/%v] %s: wrong answer", cfg.Strategy, cfg.Projector, sql)
+		}
+		if f.db.RAM.Leaked() {
+			t.Fatalf("%s: grants leaked", sql)
+		}
+	}
+}
+
+// TestPlanFloorSweepNoMidRunExhaustion is the satellite property test:
+// across the RAM-budget sweep (the paper's 64KB down to the 7-buffer
+// minimum and beyond, to 2), an admitted query may never hit
+// ram.ErrExhausted mid-run — a floor above the budget must be rejected
+// *before* admission with ErrBudgetTooSmall, and a floor within it must
+// run to the exact answer with Stats.RAMHigh inside the grant.
+func TestPlanFloorSweepNoMidRunExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	var randoms []string
+	for i := 0; i < 15; i++ {
+		randoms = append(randoms, randomQuery(rng))
+	}
+	for buffers := ram.DefaultBudget / 2048; buffers >= 2; buffers-- {
+		f := sweepFixture(t, buffers)
+		for _, sql := range append(append([]string{}, testQueries...), randoms...) {
+			stmt, err := f.db.Prepare(sql, QueryConfig{})
+			if err != nil {
+				t.Fatalf("%d buffers: %s: prepare: %v", buffers, sql, err)
+			}
+			plan := stmt.Plan()
+			res, err := stmt.RunCtx(context.Background(), QueryConfig{})
+			if plan.MinBuffers > buffers {
+				if err == nil {
+					t.Fatalf("%d buffers: %s: floor %d admitted anyway", buffers, sql, plan.MinBuffers)
+				}
+				if !errors.Is(err, ErrBudgetTooSmall) {
+					t.Fatalf("%d buffers: %s: want clean admission denial, got: %v", buffers, sql, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("%d buffers: %s: floor %d fits but run failed mid-run: %v",
+						buffers, sql, plan.MinBuffers, err)
+				}
+				if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
+					t.Fatalf("%d buffers: %s: wrong answer", buffers, sql)
+				}
+				if res.Stats.RAMHigh > res.Stats.GrantBuffers*f.db.RAM.BufferSize() {
+					t.Fatalf("%d buffers: %s: high water %d exceeds grant", buffers, sql, res.Stats.RAMHigh)
+				}
+			}
+			if f.db.RAM.Leaked() {
+				t.Fatalf("%d buffers: %s: grants leaked", buffers, sql)
+			}
+			if f.db.RAM.HighWater() > f.db.RAM.Budget() {
+				t.Fatalf("%d buffers: %s: budget exceeded", buffers, sql)
+			}
+		}
+	}
+}
+
+// TestNarrowFloorsOverlapUnderCrowdedBudget pins the scheduling win the
+// planner unlocks: queries with floors below the old 8-buffer default
+// are admitted concurrently into a budget the fixed floor would have
+// serialized.
+func TestNarrowFloorsOverlapUnderCrowdedBudget(t *testing.T) {
+	// 8-buffer budget: the old DefaultSessionMinBuffers equals the whole
+	// budget, so at most one fixed-floor session could ever hold RAM.
+	f := newFixtureOpts(t, 42, defaultCards(), Options{
+		RAMBudget:            8 * 2048,
+		FlashParams:          flash.Params{PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4},
+		MaxConcurrentQueries: 4,
+	})
+	sql := `SELECT id, v1, h1 FROM T11 WHERE v1 < '0000000500' AND h2 >= '0000000800'`
+	stmt, err := f.db.Prepare(sql, QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stmt.Plan()
+	if plan.MinBuffers >= DefaultSessionMinBuffers {
+		t.Fatalf("narrow query floor %d is not below the old %d-buffer default",
+			plan.MinBuffers, DefaultSessionMinBuffers)
+	}
+	// With want clamped to the floor, two floor-sized sessions fit the
+	// 8-buffer budget side by side — admission must grant both without
+	// blocking.
+	req := f.db.sessionRequest(plan, QueryConfig{WantBuffers: 1})
+	acquire := func() chan error {
+		done := make(chan error, 1)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			sess, err := f.db.Sched().Acquire(ctx, req)
+			if err != nil {
+				done <- err
+				return
+			}
+			done <- nil
+			<-time.After(50 * time.Millisecond)
+			sess.Release()
+		}()
+		return done
+	}
+	a, b := acquire(), acquire()
+	if err := <-a; err != nil {
+		t.Fatalf("first narrow session not admitted: %v", err)
+	}
+	if err := <-b; err != nil {
+		t.Fatalf("second narrow session not admitted concurrently: %v", err)
+	}
+	// And the query itself still answers correctly at its tight grant.
+	res, err := stmt.RunCtx(context.Background(), QueryConfig{WantBuffers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
+		t.Fatal("narrow query wrong at floor-sized grant")
+	}
+	if res.Stats.GrantBuffers != plan.MinBuffers {
+		t.Fatalf("grant %d != floor %d despite want=1", res.Stats.GrantBuffers, plan.MinBuffers)
+	}
+}
+
+// TestExplainRendersPlan sanity-checks the EXPLAIN text: strategies,
+// footprint and admission lines must all be present without executing.
+func TestExplainRendersPlan(t *testing.T) {
+	f := newFixture(t, 42, defaultCards())
+	stmt, err := f.db.Prepare(testQueries[0], QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stmt.Plan().Explain()
+	for _, frag := range []string{"plan:", "anchor: T0", "visible selections:", "T1",
+		"footprint (buffers):", "admission: min", "estimated cost:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("EXPLAIN output missing %q:\n%s", frag, out)
+		}
+	}
+	// Nothing ran: preparing and explaining must leave no trace on the
+	// uplink audit trail or the RAM budget.
+	if got := f.db.RAM.InUse(); got != 0 {
+		t.Fatalf("explain reserved RAM: %d", got)
+	}
+	if ups := f.db.Bus.UplinkRecords(); len(ups) != 0 {
+		t.Fatalf("explain leaked onto the bus: %+v", ups)
+	}
+	// INSERT plans are derived from the hidden codec width, not
+	// hardcoded to one buffer.
+	ins, err := f.db.Prepare(`INSERT INTO T12 VALUES ('a','b','c','d','e','f')`, QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Plan().Insert || ins.Plan().MinBuffers < 1 {
+		t.Fatalf("insert plan = %+v", ins.Plan())
+	}
+}

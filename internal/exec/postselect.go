@@ -22,12 +22,16 @@ func (r *queryRun) applyPostSelect(tv int, visIDs []uint32) error {
 		if !ok {
 			return fmt.Errorf("exec: post-select table %s has no result column", db.Sch.Tables[tv].Name)
 		}
-		// Stage the id list in chunks sized by the grant actually
-		// received, re-scanning the result column once per chunk.
+		// Stage the id list in chunks. The staging cap was bound from the
+		// session's grant at admission time (grant minus the fixed reader
+		// and writer); the data's own size can only shrink it.
 		bufSize := r.ram.BufferSize()
 		wantStage := (len(visIDs)*store.IDBytes + bufSize - 1) / bufSize
 		if wantStage < 1 {
 			wantStage = 1
+		}
+		if wantStage > r.bind.PostSelectStage {
+			wantStage = r.bind.PostSelectStage
 		}
 		resv, err := r.ram.Plan(
 			ram.Claim{Name: "stage", Min: 1, Want: wantStage},

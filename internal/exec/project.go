@@ -200,6 +200,9 @@ func (r *queryRun) sortColumn(col resCol, out *store.ListSegment) error {
 	if want < 1 {
 		want = 1
 	}
+	if want > r.bind.SortChunk {
+		want = r.bind.SortChunk // chunk cap bound from the grant at admission
+	}
 	resv, err := r.ram.Plan(
 		ram.Claim{Name: "chunk", Min: 1, Want: want},
 		ram.Claim{Name: "scan", Min: 1, Want: 1},
@@ -312,15 +315,19 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 
 	// Declare the pipeline's buffer needs up front: one buffer per open
 	// reader/writer the table shape requires, and a batch staging area
-	// that takes whatever is left ("RAM capacity minus two buffers" in
-	// the paper). A minimal batch grant only means more passes over the
-	// QEPSJ column.
+	// capped by the binding derived from the session's grant at admission
+	// ("RAM capacity minus two buffers" in the paper, generalized to the
+	// table's true reader set). A minimal batch grant only means more
+	// passes over the QEPSJ column.
 	memTuple := 4 + tp.visW + tp.hidW
 	bufSize := r.ram.BufferSize()
 	minBatch := (memTuple + bufSize - 1) / bufSize
 	wantBatch := (sigRun.Count*memTuple + bufSize - 1) / bufSize
 	if wantBatch < minBatch {
 		wantBatch = minBatch
+	}
+	if bound, ok := r.bind.MJoinBatch[tp.table]; ok && wantBatch > bound {
+		wantBatch = bound
 	}
 	claims := []ram.Claim{
 		{Name: "sig", Min: 1, Want: 1}, // σVH run reader

@@ -50,18 +50,24 @@ type resCol struct {
 
 // queryRun is the per-query execution state. Everything a query needs
 // that used to be mutable DB-level state is threaded here instead: the
-// immutable QueryConfig snapshot, the session's private RAM budget and a
-// per-query metrics collector, so concurrent sessions never read each
-// other's knobs or counters.
+// immutable QueryConfig snapshot, the bound plan, the session's private
+// RAM budget and a per-query metrics collector, so concurrent sessions
+// never read each other's knobs or counters.
 type queryRun struct {
-	db  *DB
-	q   *query.Query
-	cfg QueryConfig
-	ram *ram.Manager       // session-private budget, sized at admission
-	col *metrics.Collector // per-query span collector
+	db      *DB
+	q       *query.Query
+	cfg     QueryConfig
+	plan    *Plan              // the prepared plan driving this run
+	bind    *Binding           // operator variants bound from the actual grant
+	planMin int                // the admission request's floor, for Stats
+	ram     *ram.Manager       // session-private budget, sized at admission
+	col     *metrics.Collector // per-query span collector
 
-	vis        map[int]*untrusted.VisResult
-	spool      map[int]*visSpool
+	vis   map[int]*untrusted.VisResult
+	spool map[int]*visSpool
+	// strategies starts as the plan's per-table choice and is mutated
+	// only when an operator degrades (e.g. an infeasible Bloom filter
+	// falling back to No-Filter).
 	strategies map[int]Strategy
 	// exact verification needed at projection time (Post / Cross-Post /
 	// NoFilter tables).
@@ -97,7 +103,9 @@ func (r *queryRun) cleanup() {
 	}
 }
 
-// execute runs the full pipeline: Vis, planning, QEPSJ, projection.
+// execute runs the execute phase of a prepared plan: Vis, QEPSJ,
+// projection. Strategies were chosen at plan time; this side only binds
+// them to data.
 func (r *queryRun) execute() (*Result, error) {
 	defer r.cleanup()
 	q, db := r.q, r.db
@@ -128,10 +136,9 @@ func (r *queryRun) execute() (*Result, error) {
 		r.vis[ti] = vr
 	}
 
-	// ---- Plan strategies per visible-selection table.
-	if err := r.plan(); err != nil {
-		return nil, err
-	}
+	// ---- Per-query working sets for the planned strategies.
+	r.exactAtProject = map[int]bool{}
+	r.postSelect = map[int][]uint32{}
 
 	// ---- Spool visible rows needed at projection time.
 	if err := r.spoolVis(); err != nil {
@@ -148,32 +155,10 @@ func (r *queryRun) execute() (*Result, error) {
 }
 
 // projectedVisibleCols returns, per table, the visible column positions in
-// the projection list (sorted, deduplicated).
+// the projection list (sorted, deduplicated). Shared with the planner so
+// the footprint derivation and the executor can never disagree.
 func (r *queryRun) projectedVisibleCols() map[int][]int {
-	out := map[int][]int{}
-	seen := map[[2]int]bool{}
-	for _, p := range r.q.Projections {
-		if p.ColIdx == query.IDCol {
-			continue
-		}
-		col := r.db.Sch.Tables[p.Table].Columns[p.ColIdx]
-		if col.Hidden || seen[[2]int{p.Table, p.ColIdx}] {
-			continue
-		}
-		seen[[2]int{p.Table, p.ColIdx}] = true
-		// Keep declaration order (stable within a table).
-		lst := out[p.Table]
-		pos := len(lst)
-		for i, c := range lst {
-			if c > p.ColIdx {
-				pos = i
-				break
-			}
-		}
-		lst = append(lst[:pos:pos], append([]int{p.ColIdx}, lst[pos:]...)...)
-		out[p.Table] = lst
-	}
-	return out
+	return projectedVisibleColsOf(r.db.Sch, r.q)
 }
 
 // visibleOnlyFastPath executes single-table all-visible queries entirely
@@ -250,87 +235,9 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 	return res, true, nil
 }
 
-// plan assigns a strategy to every non-anchor table carrying visible
-// predicates, following the selectivity thresholds observed in §6.
-func (r *queryRun) plan() error {
-	q, db := r.q, r.db
-	r.strategies = map[int]Strategy{}
-	r.exactAtProject = map[int]bool{}
-	r.postSelect = map[int][]uint32{}
-	for ti := range q.VisiblePreds() {
-		if ti == q.Anchor {
-			continue // anchor visible lists merge directly: always exact
-		}
-		vr := r.vis[ti]
-		rows := db.rows[ti]
-		sV := 1.0
-		if rows > 0 {
-			sV = float64(len(vr.IDs)) / float64(rows)
-		}
-		cross := r.crossAvailable(ti)
-		s := r.cfg.Strategy
-		if s == StratAuto {
-			switch {
-			case cross && sV <= 0.1:
-				s = StratCrossPre
-			case cross:
-				s = StratCrossPost
-			case sV <= 0.05:
-				s = StratPre
-			case sV <= 0.5:
-				s = StratPost
-			default:
-				s = StratNoFilter
-			}
-		}
-		// Forced cross strategies degrade gracefully when no same-level
-		// hidden selection exists.
-		if !cross {
-			switch s {
-			case StratCrossPre:
-				s = StratPre
-			case StratCrossPost:
-				s = StratPost
-			case StratCrossPostSelect:
-				s = StratPostSelect
-			}
-		}
-		r.strategies[ti] = s
-	}
-	return nil
-}
-
-// crossAvailable reports whether the Cross optimization applies to a
-// table: a hidden selection on the same table or on one of its
-// descendants (whose climbing index carries this table's level), §3.3.
-func (r *queryRun) crossAvailable(ti int) bool {
-	for _, p := range r.q.HiddenPreds() {
-		if p.Table == ti && p.ColIdx == query.IDCol && ti == r.q.Anchor {
-			continue
-		}
-		if p.Table == ti || r.db.Sch.IsAncestorOf(ti, p.Table) {
-			if p.Table == ti {
-				return true
-			}
-			// The descendant's index must carry level ti (FullIndex does).
-			if ci := r.indexFor(p); ci != nil {
-				if _, ok := ci.LevelOf(ti); ok {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
 // indexFor returns the climbing index evaluating a hidden predicate.
 func (r *queryRun) indexFor(p query.Pred) *index.Climbing {
-	if p.ColIdx == query.IDCol {
-		ci, _ := r.db.Cat.IDIndex(p.Table)
-		return ci
-	}
-	ci, _ := r.db.Cat.AttrIndex(p.Table, p.ColIdx)
-	return ci
+	return r.db.indexForPred(p)
 }
 
 // spoolVis writes the Vis rows needed at projection time to flash.

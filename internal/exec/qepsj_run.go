@@ -219,8 +219,12 @@ func (r *queryRun) qepsj() error {
 		if len(bfPlans) > 1 {
 			budget /= len(bfPlans)
 		}
-		// The filter must also leave the Merge reduction room to run.
-		if free := r.ram.Available() - 3*r.ram.BufferSize(); budget > free {
+		// The filter must leave the Merge its bound reserve: one stream
+		// buffer per planned sublist group plus the reduction workspace,
+		// fixed at admission time. The old hardcoded 3-buffer slack could
+		// starve a Merge with more groups than that under a floor-sized
+		// grant.
+		if free := r.ram.Available() - r.bind.MergeReserve*r.ram.BufferSize(); budget > free {
 			budget = free
 		}
 		bp, err := bloom.PlanFor(n, budget)
@@ -256,8 +260,9 @@ func (r *queryRun) qepsj() error {
 	}
 
 	// ---- Reduce sublists to fit the Merge's stream buffers, then open
-	// the merged stream.
-	if err := r.reduceGroups(groups); err != nil {
+	// the merged stream (fan-in bound at admission: the grant minus the
+	// pipeline's fixed claims).
+	if err := r.reduceGroups(groups, r.bind.MergeFanIn); err != nil {
 		return err
 	}
 	merged, err := r.openMerged(groups)
@@ -370,7 +375,9 @@ func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
 		}
 		groups = append(groups, g)
 	}
-	if err := r.reduceGroups(groups); err != nil {
+	// The cross intersection runs before the QEPSJ pipeline is reserved,
+	// so its reduction passes use the full-grant fan-in binding.
+	if err := r.reduceGroups(groups, r.bind.CrossFanIn); err != nil {
 		cleanup()
 		return nil, err
 	}

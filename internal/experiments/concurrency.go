@@ -95,23 +95,7 @@ func (l *Lab) ConcurrencySweep(levels []int, queriesPerLevel int) (*ConcurrencyR
 			errs      int
 		)
 		// A sampler observes how many sessions genuinely overlap.
-		maxRunning := 0
-		stopSampler := make(chan struct{})
-		samplerDone := make(chan struct{})
-		go func() {
-			defer close(samplerDone)
-			for {
-				select {
-				case <-stopSampler:
-					return
-				default:
-					if running := db.Sched().Running(); running > maxRunning {
-						maxRunning = running
-					}
-					time.Sleep(50 * time.Microsecond)
-				}
-			}
-		}()
+		stopSampler := sampleMaxRunning(db)
 		next := make(chan string)
 		var wg sync.WaitGroup
 		start := time.Now()
@@ -138,8 +122,7 @@ func (l *Lab) ConcurrencySweep(levels []int, queriesPerLevel int) (*ConcurrencyR
 		close(next)
 		wg.Wait()
 		wall := time.Since(start)
-		close(stopSampler)
-		<-samplerDone
+		maxRunning := stopSampler()
 
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pt := ConcurrencyPoint{

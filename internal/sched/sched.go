@@ -34,11 +34,19 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"ghostdb/internal/ram"
 )
+
+// ErrNeverAdmissible marks a request whose minimum exceeds the total
+// budget: it is rejected at admission time, before the query has run at
+// all. The error also wraps ram.ErrExhausted, so callers treating every
+// RAM shortage alike keep working; callers that care can distinguish a
+// clean up-front denial from a mid-run exhaustion.
+var ErrNeverAdmissible = errors.New("sched: session minimum exceeds the budget")
 
 // Request declares a session's RAM needs in whole buffers: at least Min
 // (admission blocks until Min is free), up to Want (the elastic top-up
@@ -119,8 +127,8 @@ func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Session, error) 
 		req.WantBuffers = req.MinBuffers
 	}
 	if total := s.ram.Buffers(); req.MinBuffers > total {
-		return nil, fmt.Errorf("sched: session minimum %d buffers exceeds the %d-buffer budget: %w",
-			req.MinBuffers, total, ram.ErrExhausted)
+		return nil, fmt.Errorf("sched: session minimum %d buffers exceeds the %d-buffer budget: %w (%w)",
+			req.MinBuffers, total, ErrNeverAdmissible, ram.ErrExhausted)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ghostdb/internal/bus"
 	"ghostdb/internal/query"
@@ -24,10 +25,13 @@ import (
 	"ghostdb/internal/store"
 )
 
-// Engine is the untrusted visible-data processor.
+// Engine is the untrusted visible-data processor. It is safe for
+// concurrent use: the query planner reads selectivity counts outside the
+// secure token's serial execution slot, so reads and inserts may overlap.
 type Engine struct {
 	sch    *schema.Schema
 	ch     *bus.Channel
+	mu     sync.RWMutex
 	tables []*tableStore
 }
 
@@ -68,6 +72,8 @@ func (e *Engine) LoadColumn(table, colIdx int, width int, data []byte) error {
 	if len(data)%width != 0 {
 		return fmt.Errorf("untrusted: ragged column data for %s.%s", t.Name, col.Name)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ts := e.tables[table]
 	n := len(data) / width
 	if ts.rows == 0 {
@@ -81,6 +87,8 @@ func (e *Engine) LoadColumn(table, colIdx int, width int, data []byte) error {
 
 // SetRows fixes the row count for tables with no visible columns.
 func (e *Engine) SetRows(table, rows int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ts := e.tables[table]
 	if ts.rows != 0 && ts.rows != rows {
 		return fmt.Errorf("untrusted: row count mismatch: %d vs %d", ts.rows, rows)
@@ -90,12 +98,18 @@ func (e *Engine) SetRows(table, rows int) error {
 }
 
 // Rows returns the visible row count of a table.
-func (e *Engine) Rows(table int) int { return e.tables[table].rows }
+func (e *Engine) Rows(table int) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[table].rows
+}
 
 // InsertRow appends the visible values of a new tuple (aligned with the
 // table's visible columns, in declaration order).
 func (e *Engine) InsertRow(table int, visible []schema.Value) error {
 	t := e.sch.Tables[table]
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	ts := e.tables[table]
 	vi := 0
 	for ci, col := range t.Columns {
@@ -179,15 +193,14 @@ type VisResult struct {
 	Bytes    int      // bytes that crossed the link
 }
 
-// Vis evaluates the visible conjunction for one table and transfers the
-// result down to Secure, accounting every byte on the channel. projCols
-// lists the visible columns whose values the projection will need.
-func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
+// encodePredBounds validates the visible predicates of one table and
+// pre-encodes their comparison bounds. The caller holds at least a read
+// lock.
+func (e *Engine) encodePredBounds(table int, preds []query.Pred) (los, his [][]byte, err error) {
 	t := e.sch.Tables[table]
 	ts := e.tables[table]
-	// Pre-encode predicate bounds.
-	los := make([][]byte, len(preds))
-	his := make([][]byte, len(preds))
+	los = make([][]byte, len(preds))
+	his = make([][]byte, len(preds))
 	for i, p := range preds {
 		// Identifier predicates are acceptable even though the resolver
 		// routes them to Secure by default: ids are replicated on both
@@ -196,26 +209,69 @@ func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult,
 			continue
 		}
 		if p.Hidden {
-			return nil, fmt.Errorf("untrusted: refusing hidden predicate on %s", t.Name)
+			return nil, nil, fmt.Errorf("untrusted: refusing hidden predicate on %s", t.Name)
 		}
 		col := t.Columns[p.ColIdx]
 		if col.Hidden {
-			return nil, fmt.Errorf("untrusted: refusing hidden column %s.%s", t.Name, col.Name)
+			return nil, nil, fmt.Errorf("untrusted: refusing hidden column %s.%s", t.Name, col.Name)
 		}
 		if !ts.cols[p.ColIdx].present {
-			return nil, fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, col.Name)
+			return nil, nil, fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, col.Name)
 		}
 		w := col.EncodedWidth()
 		los[i] = make([]byte, w)
 		if err := schema.EncodeValue(los[i], p.Lo); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if p.Op == sqlparse.OpBetween {
 			his[i] = make([]byte, w)
 			if err := schema.EncodeValue(his[i], p.Hi); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
+	}
+	return los, his, nil
+}
+
+// CountVis counts the rows of one table satisfying the visible
+// conjunction without shipping anything: the planner's selectivity
+// source. Untrusted compute is free in the paper's cost model and the
+// count travels alongside the query exchange, so nothing is metered.
+func (e *Engine) CountVis(table int, preds []query.Pred) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ts := e.tables[table]
+	los, his, err := e.encodePredBounds(table, preds)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for row := 0; row < ts.rows; row++ {
+		ok := true
+		for i, p := range preds {
+			if !ts.matches(p, row, los[i], his[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Vis evaluates the visible conjunction for one table and transfers the
+// result down to Secure, accounting every byte on the channel. projCols
+// lists the visible columns whose values the projection will need.
+func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t := e.sch.Tables[table]
+	ts := e.tables[table]
+	los, his, err := e.encodePredBounds(table, preds)
+	if err != nil {
+		return nil, err
 	}
 	res := &VisResult{Table: table, ProjCols: projCols, RowWidth: store.IDBytes}
 	for _, ci := range projCols {
@@ -268,6 +324,8 @@ func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult,
 // Value decodes one stored visible value (final result assembly of
 // visible-only queries, and tests).
 func (e *Engine) Value(table, colIdx int, id uint32) (schema.Value, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t := e.sch.Tables[table]
 	ts := e.tables[table]
 	c := ts.cols[colIdx]
