@@ -9,6 +9,7 @@
 //	ghostdb-bench -exp ablations           # the DESIGN.md ablations
 //	ghostdb-bench -exp concurrency         # scheduler sweep -> BENCH_concurrency.json
 //	ghostdb-bench -exp planner             # plan-sized vs fixed-floor admission -> BENCH_planner.json
+//	ghostdb-bench -exp cache               # result cache: cold vs Zipf -> BENCH_cache.json
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
@@ -54,6 +55,16 @@ func main() {
 			path = "BENCH_planner.json"
 		}
 		if err := runPlanner(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "cache":
+		path := *out
+		if path == "" {
+			path = "BENCH_cache.json"
+		}
+		if err := runCache(lab, *queries, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -89,6 +100,44 @@ func runPlanner(lab *experiments.Lab, queries int, out string) error {
 		return err
 	}
 	fmt.Printf("  report written to %s\n", out)
+	return nil
+}
+
+// runCache compares the cold (all-distinct) and Zipf (repeated)
+// workloads through the result cache at 1/4/16 sessions and writes the
+// machine-readable report. It fails loudly if the Zipf workload is not
+// strictly faster than cold, or if any cache hit performed secure-token
+// traffic — those are the cache's two contract points.
+func runCache(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.CacheSweep([]int{1, 4, 16}, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== cache: cold vs Zipf-repeated workload, %d queries per cell (scale %g, %dB secure RAM, %dB cache) ==\n",
+		queries, rep.Scale, rep.RAMBudgetBytes, rep.CacheCapacityBytes)
+	fmt.Printf("  %-10s %-6s %9s %10s %10s %10s %8s %8s %9s\n",
+		"sessions", "mode", "distinct", "wall-qps", "sim-p50", "sim-p95", "hits", "shared", "executed")
+	for _, p := range rep.Levels {
+		fmt.Printf("  %-10d %-6s %9d %10.1f %8.2fms %8.2fms %8d %8d %9d\n",
+			p.Concurrency, p.Mode, p.DistinctQueries, p.WallQPS, p.SimP50Ms, p.SimP95Ms,
+			p.CacheHits, p.CacheShared, p.Executed)
+	}
+	fmt.Printf("  zipf strictly faster than cold at every level: %v\n", rep.ZipfSpeedupOK)
+	fmt.Printf("  cache hits performed zero token bus/flash traffic: %v\n", rep.HitTrafficZero)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	if !rep.HitTrafficZero {
+		return fmt.Errorf("cache contract violated: hits performed secure-token traffic")
+	}
+	if !rep.ZipfSpeedupOK {
+		return fmt.Errorf("cache contract violated: zipf workload not faster than cold")
+	}
 	return nil
 }
 

@@ -13,7 +13,7 @@
 // strategies, derived RAM footprint and estimated cost — without
 // executing it.
 //
-// Shell commands: \schema  \stats  \audit  \quit
+// Shell commands: \schema  \stats  \cache  \audit  \quit
 package main
 
 import (
@@ -34,9 +34,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	stats := flag.Bool("stats", false, "print cost statistics after every query")
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
+	cacheBytes := flag.Int("cache", 4<<20, "untrusted-side result cache bound in bytes (0 disables)")
 	flag.Parse()
 
-	db, err := buildDemo(*which, *scale, *seed, *ramBytes)
+	db, err := buildDemo(*which, *scale, *seed, *ramBytes, *cacheBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostdb:", err)
 		os.Exit(1)
@@ -45,7 +46,7 @@ func main() {
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
-	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \audit, \quit.`)
+	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \cache, \audit, \quit.`)
 
 	showStats := *stats
 	in := bufio.NewScanner(os.Stdin)
@@ -68,6 +69,20 @@ func main() {
 		case line == `\stats`:
 			showStats = !showStats
 			fmt.Printf("stats: %v\n", showStats)
+			continue
+		case line == `\cache`:
+			cs := db.CacheStats()
+			if cs.CapacityBytes == 0 {
+				fmt.Println("result cache disabled (run with -cache <bytes>)")
+				continue
+			}
+			tot := db.Totals()
+			fmt.Printf("result cache: %d entries, %d of %d bytes (untrusted RAM — not charged to the secure budget)\n",
+				cs.Entries, cs.Bytes, cs.CapacityBytes)
+			fmt.Printf("  hits %d · singleflight-shared %d · misses %d · evictions %d · invalidations %d\n",
+				cs.Hits, cs.SharedHits, cs.Misses, cs.Evictions, cs.Invalidations)
+			fmt.Printf("  queries answered without token traffic: %d of %d\n",
+				tot.CacheHits+tot.CacheShared, tot.Queries)
 			continue
 		case line == `\audit`:
 			ups := db.Bus.UplinkRecords()
@@ -103,7 +118,7 @@ func main() {
 	}
 }
 
-func buildDemo(which string, scale float64, seed int64, ramBytes int) (*exec.DB, error) {
+func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes int) (*exec.DB, error) {
 	var ds *datagen.Dataset
 	var err error
 	switch which {
@@ -122,7 +137,7 @@ func buildDemo(which string, scale float64, seed int64, ramBytes int) (*exec.DB,
 	if ramBytes != 0 && ramBytes < p.PageSize {
 		return nil, fmt.Errorf("-ram %d is smaller than one %d-byte flash buffer", ramBytes, p.PageSize)
 	}
-	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes})
+	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes, ResultCacheBytes: cacheBytes})
 }
 
 func printResult(res *exec.Result) {
@@ -173,6 +188,14 @@ func printResult(res *exec.Result) {
 
 func printStats(res *exec.Result) {
 	s := res.Stats
+	if s.CacheHit || s.CacheShared {
+		label := "hit"
+		if s.CacheShared {
+			label = "singleflight-shared"
+		}
+		fmt.Printf("result cache %s: zero secure-token traffic (no flash I/O, no bus bytes)\n", label)
+		return
+	}
 	fmt.Printf("simulated time: %v (flash %v + link %v)\n", s.SimTime, s.IOTime, s.CommTime)
 	fmt.Printf("flash: %d reads, %d writes, %d bytes to RAM; link: %d B down / %d B up; RAM high water: %d B\n",
 		s.Flash.PageReads, s.Flash.PageWrites, s.Flash.BytesToRAM, s.BusDown, s.BusUp, s.RAMHigh)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"ghostdb/internal/cache"
 	"ghostdb/internal/exec"
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
@@ -56,6 +57,8 @@ type (
 	Plan = exec.Plan
 	// TablePlan is one table's entry in a Plan.
 	TablePlan = exec.TablePlan
+	// CacheStats reports the result cache's counters (db.CacheStats).
+	CacheStats = cache.Stats
 )
 
 // IntVal, FloatVal and CharVal construct Values.
@@ -109,6 +112,14 @@ type Options struct {
 	// completes, while execution on the simulated token stays serial
 	// (default 4; values below 1 mean 1).
 	MaxConcurrentQueries int
+	// ResultCacheBytes bounds the untrusted-side result cache (0
+	// disables caching). The cache is keyed on normalized query text —
+	// the one thing GhostDB's security model already reveals — and holds
+	// materialized results in *untrusted host RAM*, so it is not charged
+	// against the secure RAMBytes budget. A cache hit answers without
+	// admitting a session: zero flash I/O and zero bytes on the token
+	// bus. Every successful Exec (INSERT) invalidates the whole cache.
+	ResultCacheBytes int
 }
 
 func (o Options) toExec() exec.Options {
@@ -116,6 +127,7 @@ func (o Options) toExec() exec.Options {
 	eo.RAMBudget = o.RAMBytes
 	eo.ThroughputMBps = o.ThroughputMBps
 	eo.MaxConcurrentQueries = o.MaxConcurrentQueries
+	eo.ResultCacheBytes = o.ResultCacheBytes
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -295,12 +307,20 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts ...QueryOption) (*R
 	return db.inner.RunCtx(ctx, sql, cfg)
 }
 
-// Exec executes a non-SELECT statement (INSERT).
+// Exec executes a non-SELECT statement (INSERT). A committed insert
+// invalidates the result cache, so no later query can observe a
+// pre-insert cached answer.
 func (db *DB) Exec(sql string) error {
+	return db.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx is Exec with cancellation: cancelling ctx while the insert is
+// queued for admission abandons it without it having run.
+func (db *DB) ExecCtx(ctx context.Context, sql string) error {
 	if !db.loaded.Load() {
 		return errors.New("ghostdb: load data first (Loader / Commit)")
 	}
-	_, err := db.inner.Run(sql)
+	_, err := db.inner.RunCtx(ctx, sql, db.inner.DefaultConfig())
 	return err
 }
 
@@ -320,11 +340,21 @@ func (db *DB) ForceStrategy(s Strategy) { db.inner.SetForceStrategy(s) }
 // WithProjector option, or Prepare a Stmt and check its Plan.
 func (db *DB) SetProjector(p Projector) { db.inner.SetProjector(p) }
 
-// SetThroughput changes the modeled USB link speed in MB/s.
+// SetThroughput changes the modeled USB link speed in MB/s. Safe under
+// concurrent sessions: each query session snapshots the speed when it
+// starts executing, so the change applies to sessions started after the
+// call and never skews a running query's reported CommTime. When the
+// speed is fixed for the whole run, prefer Options.ThroughputMBps.
 func (db *DB) SetThroughput(mbps float64) { db.inner.SetThroughput(mbps) }
 
 // Totals reports the cumulative simulated cost of all completed queries.
 func (db *DB) Totals() exec.Totals { return db.inner.Totals() }
+
+// CacheStats snapshots the result cache's counters: entries, bytes,
+// hits, singleflight-shared answers, evictions and invalidations. The
+// zero value is returned when Options.ResultCacheBytes left the cache
+// disabled.
+func (db *DB) CacheStats() CacheStats { return db.inner.CacheStats() }
 
 // Internal returns the underlying engine, for the benchmark harness and
 // tools living inside this module.

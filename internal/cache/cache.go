@@ -1,0 +1,283 @@
+// Package cache is the untrusted-side result cache: materialized query
+// answers keyed on the *normalized query text*, bounded in bytes by an
+// LRU policy, invalidated wholesale by a global data-version stamp that
+// every committed update bumps, and fronted by a singleflight layer that
+// collapses concurrent identical lookups into one computation.
+//
+// Security invariant (why this cache is leak-free by construction):
+// GhostDB's guarantee is that the only information that ever leaves the
+// secure perimeter is the query text itself (§1 of the paper). The cache
+// key is a normalization of exactly that text, and the cached values are
+// query results — data the untrusted side has, by definition, already
+// seen once. A cache hit therefore reveals nothing an observer of the
+// query stream did not already know; it only *removes* secure-token
+// round-trips. In the volume-leakage sense of Poddar et al., hits repeat
+// a (query, result-volume) pair the adversary has already observed —
+// the cache never creates a new observable pair.
+//
+// RAM invariant: cache memory is untrusted host RAM. It is *not* charged
+// against the secure chip's 64KB budget (ram.Manager) — the whole point
+// is to spend plentiful untrusted memory to save the scarce secure
+// resources (token RAM, flash I/O and the USB link).
+//
+// The cache is value-agnostic: it stores opaque values with a caller-
+// provided byte size, so it does not depend on the executor's types.
+// Cached values are shared between all readers and MUST be treated as
+// immutable by every holder.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Outcome classifies how a Do call was answered.
+type Outcome int
+
+const (
+	// Miss: this call computed the value itself (it was the singleflight
+	// leader, or it fell back to computing after a leader failed).
+	Miss Outcome = iota
+	// Hit: the value was served from the cache; nothing was computed.
+	Hit
+	// Shared: the value was computed once by a concurrent identical call
+	// and shared with this one (singleflight collapse).
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	}
+	return "?"
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Version       uint64 `json:"version"`
+	Hits          uint64 `json:"hits"`
+	SharedHits    uint64 `json:"shared_hits"`
+	Misses        uint64 `json:"misses"`
+	Stores        uint64 `json:"stores"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+type entry struct {
+	key     string
+	val     any
+	size    int64
+	version uint64
+}
+
+// flight is one in-progress computation that concurrent identical calls
+// can attach to.
+type flight struct {
+	version uint64
+	done    chan struct{} // closed when val/err are set
+	val     any
+	err     error
+}
+
+// Cache is a byte-bounded LRU with version invalidation and singleflight
+// collapsing. All methods are safe for concurrent use; computations
+// passed to Do run outside the cache lock.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	ll      *list.List // front = most recently used; values are *entry
+	entries map[string]*list.Element
+	flights map[string]*flight
+	version uint64
+
+	hits, shared, misses, stores, evictions, invalidations uint64
+}
+
+// New creates a cache bounded to capBytes of cached values (sizes are
+// caller-reported). capBytes <= 0 yields a cache that never stores — Do
+// still collapses concurrent identical calls.
+func New(capBytes int64) *Cache {
+	return &Cache{
+		cap:     capBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Version returns the current data-version stamp.
+func (c *Cache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Bump invalidates every cached entry: committed updates call it after
+// their mutations are visible. In-progress computations that started
+// before the bump are prevented from storing their (possibly stale)
+// results, and later Do calls will not join their flights.
+func (c *Cache) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	c.invalidations++
+	c.ll.Init()
+	clear(c.entries)
+	c.bytes = 0
+}
+
+// Get returns the cached value for key, if fresh.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.getLocked(key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *Cache) getLocked(key string) (any, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.version != c.version {
+		// Stale under a racing Bump; Bump clears the map, so this is
+		// only a belt-and-suspenders check.
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// Put stores val under key, stamped with the version the caller observed
+// *before* computing it: if updates committed since, the value may be
+// stale and is dropped. Returns whether the value was stored.
+func (c *Cache) Put(key string, val any, size int64, version uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.putLocked(key, val, size, version)
+}
+
+func (c *Cache) putLocked(key string, val any, size int64, version uint64) bool {
+	if version != c.version || size > c.cap || size < 0 {
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el) // replacement, not counted as an eviction
+	}
+	for c.bytes+size > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+	el := c.ll.PushFront(&entry{key: key, val: val, size: size, version: version})
+	c.entries[key] = el
+	c.bytes += size
+	c.stores++
+	return true
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}
+
+// Do answers key from the cache, or computes it — collapsing concurrent
+// identical calls so only one compute runs and the rest share its value.
+// compute returns the value and its byte size; it runs outside the cache
+// lock. The returned Outcome says how the call was answered. A follower
+// whose leader failed computes independently (errors are never cached or
+// shared); a follower whose ctx is cancelled while waiting returns the
+// ctx error without having computed anything.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	v := c.version
+	if val, ok := c.getLocked(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok && f.version == v {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				c.mu.Lock()
+				c.shared++
+				c.mu.Unlock()
+				return f.val, Shared, nil
+			}
+			// The leader failed; compute independently rather than
+			// propagating its (possibly context-specific) error.
+			return c.lead(key, v, nil, compute)
+		case <-ctx.Done():
+			return nil, Miss, ctx.Err()
+		}
+	}
+	f := &flight{version: v, done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	return c.lead(key, v, f, compute)
+}
+
+// lead runs compute as the flight's leader (f may be nil for a follower
+// retrying after a failed leader) and publishes the result.
+func (c *Cache) lead(key string, version uint64, f *flight, compute func() (any, int64, error)) (any, Outcome, error) {
+	val, size, err := compute()
+	c.mu.Lock()
+	c.misses++
+	if f != nil && c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	if err == nil {
+		c.putLocked(key, val, size, version)
+	}
+	c.mu.Unlock()
+	if f != nil {
+		f.val, f.err = val, err
+		close(f.done)
+	}
+	if err != nil {
+		return nil, Miss, err
+	}
+	return val, Miss, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:       len(c.entries),
+		Bytes:         c.bytes,
+		CapacityBytes: c.cap,
+		Version:       c.version,
+		Hits:          c.hits,
+		SharedHits:    c.shared,
+		Misses:        c.misses,
+		Stores:        c.stores,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

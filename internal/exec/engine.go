@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ghostdb/internal/bus"
+	"ghostdb/internal/cache"
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
@@ -125,6 +126,11 @@ type Options struct {
 	// MaxConcurrentQueries bounds the query sessions admitted at once
 	// (default DefaultMaxConcurrentQueries; values below 1 mean 1).
 	MaxConcurrentQueries int
+	// ResultCacheBytes bounds the untrusted-side result cache (0 disables
+	// it). Cache memory is host RAM: it is NOT charged against the secure
+	// RAMBudget — the cache trades plentiful untrusted memory for scarce
+	// secure-token round-trips, and a hit performs zero token work.
+	ResultCacheBytes int
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -197,6 +203,12 @@ type DB struct {
 	opts   Options
 
 	sched *sched.Scheduler
+	// cache is the untrusted-side result cache (nil when disabled). It
+	// lives outside the secure perimeter: its memory is host RAM, its
+	// keys are normalized query text and its values are results the
+	// untrusted side has already seen — see internal/cache for the
+	// leak-freedom argument.
+	cache *cache.Cache
 
 	// mu guards the mutable engine state that outlives a single query:
 	// the default QueryConfig, the cumulative totals and the row counts
@@ -240,6 +252,9 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 		defCfg: QueryConfig{Strategy: opts.ForceStrategy, Projector: opts.Projector},
 	}
 	db.sched = sched.New(db.RAM, opts.MaxConcurrentQueries)
+	if opts.ResultCacheBytes > 0 {
+		db.cache = cache.New(int64(opts.ResultCacheBytes))
+	}
 	return db, nil
 }
 
@@ -271,7 +286,12 @@ func (db *DB) SetProjector(p Projector) {
 	db.defCfg.Projector = p
 }
 
-// SetThroughput adjusts the modeled link speed (Figure 14).
+// SetThroughput adjusts the modeled link speed (Figure 14). Safe under
+// concurrent sessions: the channel knob is synchronized, and every query
+// session snapshots the link speed when it starts executing, so a
+// running query's reported CommTime never mixes two speeds — the new
+// speed applies to sessions that start after the call. Prefer setting
+// Options.ThroughputMBps up front when the speed is fixed for the run.
 func (db *DB) SetThroughput(mbps float64) { db.Bus.SetThroughput(mbps) }
 
 // Sched exposes the admission scheduler (diagnostics and tests).
@@ -393,9 +413,20 @@ type Stats struct {
 	GrantBuffers   int
 	Strategy       map[string]Strategy // per visible table
 	Projector      Projector
+	// CacheHit marks an answer served from the untrusted result cache,
+	// CacheShared one shared from a concurrent identical query's single
+	// admitted session (singleflight). Either way no session ran for this
+	// call: every cost field above is zero — a hit performs no flash I/O
+	// and moves zero bytes across the secure-token bus.
+	CacheHit    bool
+	CacheShared bool
 }
 
-// Result is a query answer plus its cost statistics.
+// Result is a query answer plus its cost statistics. A Result is
+// immutable once returned: the engine never touches it again, and
+// callers must not modify Columns or Rows in place — the result cache
+// shares one materialized Result (shallow copies via Shared) among every
+// caller that hits on it.
 type Result struct {
 	Columns []string
 	Rows    []schema.Row
@@ -413,6 +444,13 @@ type Totals struct {
 	Flash    flash.Counters
 	BusDown  uint64
 	BusUp    uint64
+	// CacheHits / CacheShared count queries answered without any secure
+	// execution (result-cache hit, or a result shared by singleflight
+	// from a concurrent identical query). They are included in Queries
+	// but contribute zero to every cost counter — the difference is the
+	// saving the cache benchmarks attribute.
+	CacheHits   uint64
+	CacheShared uint64
 }
 
 // Totals returns a snapshot of the cumulative query costs.
@@ -451,6 +489,7 @@ type Stmt struct {
 	ins  *sqlparse.Insert
 	cfg  QueryConfig
 	plan *Plan
+	key  string // result-cache key ("" when the cache is disabled)
 }
 
 // Prepare parses, resolves and plans one SQL statement without admitting
@@ -465,6 +504,12 @@ func (db *DB) Prepare(sql string, cfg QueryConfig) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.prepareParsed(stmt, sql, cfg)
+}
+
+// prepareParsed is Prepare after parsing, so callers that already hold
+// the AST (RunCtx) do not parse twice.
+func (db *DB) prepareParsed(stmt sqlparse.Statement, sql string, cfg QueryConfig) (*Stmt, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.Select:
 		q, err := query.Resolve(db.Sch, st, sql)
@@ -475,7 +520,11 @@ func (db *DB) Prepare(sql string, cfg QueryConfig) (*Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Stmt{db: db, sel: q, cfg: cfg, plan: p}, nil
+		ps := &Stmt{db: db, sel: q, cfg: cfg, plan: p}
+		if db.cache != nil {
+			ps.key = cacheKey(q, cfg)
+		}
+		return ps, nil
 	case sqlparse.Insert:
 		p, err := db.planInsert(st)
 		if err != nil {
@@ -500,13 +549,19 @@ func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
 	if s.ins != nil {
 		return s.db.runInsert(ctx, *s.ins, s.plan)
 	}
-	plan := s.plan
+	plan, key := s.plan, s.key
 	if cfg.Strategy != s.cfg.Strategy || cfg.Projector != s.cfg.Projector {
 		p, err := s.db.PlanQuery(s.sel, cfg)
 		if err != nil {
 			return nil, err
 		}
 		plan = p
+		if s.db.cache != nil {
+			key = cacheKey(s.sel, cfg)
+		}
+	}
+	if s.db.cache != nil {
+		return s.db.runSelectCached(ctx, s.sel, plan, cfg, key)
 	}
 	return s.db.runSelect(ctx, s.sel, plan, cfg)
 }
@@ -517,12 +572,26 @@ func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
 // free; cancelling ctx while queued abandons the request without having
 // reserved anything. Once execution has started it runs to completion
 // (the simulated hardware is synchronous).
+//
+// With the result cache enabled, SELECTs consult it before planning:
+// a hit pays only parse+resolve (the key derivation) — no plan-time
+// selectivity scans and no token work.
 func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
-	stmt, err := db.Prepare(sql, cfg)
+	if db.Cat == nil {
+		return nil, errors.New("exec: database not loaded")
+	}
+	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.RunCtx(ctx, cfg)
+	if sel, ok := stmt.(*sqlparse.Select); ok && db.cache != nil {
+		return db.runCachedSelect(ctx, sel, sql, cfg)
+	}
+	ps, err := db.prepareParsed(stmt, sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ps.RunCtx(ctx, cfg)
 }
 
 // runInsert executes an INSERT as a minimal session sized from the
@@ -617,7 +686,11 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 			planMin:    req.MinBuffers,
 			strategies: plan.Strategies(),
 			ram:        sess.RAM(),
-			col:        metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
+			// The collector snapshots the link speed at construction:
+			// SetThroughput calls during the run apply to later sessions
+			// only, so this query's CommTime is computed against one
+			// consistent speed.
+			col: metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
 		}
 		// The token is exclusively ours: zero the device/bus counters so
 		// the collector's spans see only this query's I/O.
@@ -657,7 +730,7 @@ func (r *queryRun) collectStats() Stats {
 	total := metrics.Sample{Flash: db.Dev.Counters(), BusDown: down, BusUp: up}
 	st := Stats{
 		IOTime:         db.opts.Model.IOTime(total),
-		CommTime:       db.opts.Model.CommTime(total, db.Bus.ThroughputMBps()),
+		CommTime:       db.opts.Model.CommTime(total, r.col.ThroughputMBps()),
 		Breakdown:      r.col.Breakdown(),
 		Flash:          db.Dev.Counters(),
 		BusDown:        down,

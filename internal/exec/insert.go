@@ -184,6 +184,13 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 	db.mu.Lock()
 	db.rows[t.Index]++
 	db.mu.Unlock()
+	// The update is committed: bump the result cache's data version so no
+	// later query can be answered from a pre-insert entry. (Queries whose
+	// execution is already in flight are prevented from *storing* their
+	// results by the same version stamp.)
+	if db.cache != nil {
+		db.cache.Bump()
+	}
 	return nil
 }
 

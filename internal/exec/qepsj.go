@@ -61,7 +61,7 @@ type queryRun struct {
 	bind    *Binding           // operator variants bound from the actual grant
 	planMin int                // the admission request's floor, for Stats
 	ram     *ram.Manager       // session-private budget, sized at admission
-	col     *metrics.Collector // per-query span collector
+	col     *metrics.Collector // per-query span collector (snapshots link speed)
 
 	vis   map[int]*untrusted.VisResult
 	spool map[int]*visSpool

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/schema"
+)
+
+// newCachedFixture builds the synthetic fixture with the result cache
+// enabled (everything else identical to newFixture).
+func newCachedFixture(t testing.TB, seed uint64, cards map[string]int, cacheBytes int) *fixture {
+	t.Helper()
+	return newFixtureOpts(t, seed, cards, Options{
+		FlashParams:      flash.Params{PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4},
+		ResultCacheBytes: cacheBytes,
+	})
+}
+
+// TestCacheHitZeroTokenTraffic: the second identical query is served
+// from the cache with byte-identical rows and zero secure-token work.
+func TestCacheHitZeroTokenTraffic(t *testing.T) {
+	f := newCachedFixture(t, 7, map[string]int{"T0": 600, "T1": 80, "T2": 60, "T11": 20, "T12": 20}, 1<<20)
+	sql := `SELECT T0.id, T1.v1, T1.h1 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.v1 < '0000000500' AND T1.h2 < '0000000100'`
+
+	first, err := f.db.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CacheHit || first.Stats.CacheShared {
+		t.Fatal("first run must execute, not hit")
+	}
+	if first.Stats.BusUp == 0 {
+		t.Fatal("executed query should have shipped its text on the bus")
+	}
+
+	// Whitespace/case/alias variant of the same query: must hit. The
+	// zero-traffic claim is checked against the engine's own counters —
+	// the hit's Stats are zero by construction, so they prove nothing;
+	// the device and bus counters move (or reset) on *any* token
+	// activity, so their perfect stillness is the real evidence.
+	devBefore := f.db.Dev.Counters()
+	downBefore, upBefore := f.db.Bus.Counters()
+	variant := `select   t0.ID, X.v1, X.h1 from T0, T1 X where T0.FK1 = x.id and X.v1 < '0000000500' AND x.h2<'0000000100'`
+	second, err := f.db.Run(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.CacheHit {
+		t.Fatalf("variant did not hit: %+v", second.Stats)
+	}
+	devAfter := f.db.Dev.Counters()
+	downAfter, upAfter := f.db.Bus.Counters()
+	if devBefore != devAfter || downBefore != downAfter || upBefore != upAfter {
+		t.Fatalf("cache hit moved the secure token's counters: flash %+v -> %+v, bus %d/%d -> %d/%d",
+			devBefore, devAfter, downBefore, upBefore, downAfter, upAfter)
+	}
+	if s := second.Stats; s.SimTime != 0 || s.BusUp != 0 || s.BusDown != 0 {
+		t.Fatalf("hit Stats should report zero cost: %+v", s)
+	}
+	if len(second.Rows) != len(first.Rows) || len(second.Columns) != len(first.Columns) {
+		t.Fatalf("hit shape differs: %dx%d vs %dx%d",
+			len(second.Rows), len(second.Columns), len(first.Rows), len(first.Columns))
+	}
+	for ri := range second.Rows {
+		for ci := range second.Rows[ri] {
+			if !second.Rows[ri][ci].Equal(first.Rows[ri][ci]) {
+				t.Fatalf("row %d col %d differs on hit", ri, ci)
+			}
+		}
+	}
+
+	tot := f.db.Totals()
+	if tot.CacheHits != 1 || tot.Queries != 2 {
+		t.Fatalf("totals: %+v, want 2 queries / 1 hit", tot)
+	}
+}
+
+// TestCacheInsertInvalidates: INSERT-then-query never serves a stale
+// result.
+func TestCacheInsertInvalidates(t *testing.T) {
+	f := newCachedFixture(t, 11, map[string]int{"T0": 300, "T1": 50, "T2": 40, "T11": 15, "T12": 15}, 1<<20)
+	sql := `SELECT T2.id, T2.h1 FROM T2 WHERE T2.v1 >= '0000000000'` // all rows
+	before, err := f.db.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := f.db.Run(sql); res == nil || !res.Stats.CacheHit {
+		t.Fatal("warm query should hit before the insert")
+	}
+	ins := `INSERT INTO T2 (v1, v2, v3, h1, h2, h3) VALUES ('0000000001','0000000002','0000000003','0000000004','0000000005','0000000006')`
+	if _, err := f.db.Run(ins); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.db.Run(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.CacheHit || after.Stats.CacheShared {
+		t.Fatal("post-insert query served from the stale cache")
+	}
+	if len(after.Rows) != len(before.Rows)+1 {
+		t.Fatalf("post-insert rows = %d, want %d", len(after.Rows), len(before.Rows)+1)
+	}
+	// And the fresh answer is cached again.
+	if res, _ := f.db.Run(sql); res == nil || !res.Stats.CacheHit {
+		t.Fatal("fresh answer was not re-cached")
+	}
+}
+
+// TestCacheKeySeparatesForcedStrategies: a forced-strategy run must not
+// alias with the planner's default entry (their Stats mean different
+// things in experiments).
+func TestCacheKeySeparatesForcedStrategies(t *testing.T) {
+	f := newCachedFixture(t, 13, map[string]int{"T0": 400, "T1": 60, "T2": 50, "T11": 15, "T12": 15}, 1<<20)
+	sql := `SELECT T0.id, T1.v1 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.v1 < '0000000200'`
+	if _, err := f.db.Run(sql); err != nil { // planner default, cached
+		t.Fatal(err)
+	}
+	forced, err := f.db.RunCtx(context.Background(), sql, QueryConfig{Strategy: StratPostSelect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Stats.CacheHit || forced.Stats.CacheShared {
+		t.Fatal("forced-strategy run aliased with the default-strategy entry")
+	}
+	again, err := f.db.RunCtx(context.Background(), sql, QueryConfig{Strategy: StratPostSelect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Stats.CacheHit {
+		t.Fatal("repeated forced-strategy run should hit its own entry")
+	}
+}
+
+// TestCacheConcurrentIdenticalQueries: N concurrent identical queries
+// resolve to exactly one executed session; the rest are hits or
+// singleflight-shared, all with identical answers.
+func TestCacheConcurrentIdenticalQueries(t *testing.T) {
+	f := newCachedFixture(t, 17, map[string]int{"T0": 900, "T1": 120, "T2": 90, "T11": 25, "T12": 25}, 1<<20)
+	sql := `SELECT T0.id, T1.v1, T1.h1 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.v1 < '0000000400' AND T1.h2 < '0000000100'`
+
+	const n = 12
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := f.db.RunCtx(context.Background(), sql, QueryConfig{})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+
+	var want []schema.Row
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("worker %d got no result", i)
+		}
+		if want == nil {
+			want = res.Rows
+			continue
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("worker %d: %d rows, want %d", i, len(res.Rows), len(want))
+		}
+	}
+	tot := f.db.Totals()
+	executed := tot.Queries - tot.CacheHits - tot.CacheShared
+	if tot.Queries != n {
+		t.Fatalf("totals.Queries = %d, want %d", tot.Queries, n)
+	}
+	if executed != 1 {
+		t.Fatalf("%d sessions executed, want exactly 1 (hits=%d shared=%d)",
+			executed, tot.CacheHits, tot.CacheShared)
+	}
+	for i, res := range results {
+		if s := res.Stats; (s.CacheHit || s.CacheShared) && (s.BusUp != 0 || s.BusDown != 0 || s.Flash.PageReads != 0) {
+			t.Fatalf("worker %d: cached answer with token traffic: %+v", i, s)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestCacheSweepContract runs a small sweep and checks the cache's two
+// contract points: repeated (Zipf) traffic beats the all-distinct cold
+// workload, and no hit anywhere performed secure-token traffic. Answers
+// are verified against the uncached baseline row counts inside the
+// sweep itself.
+func TestCacheSweepContract(t *testing.T) {
+	lab := NewLab(0.002, 7)
+	rep, err := lab.CacheSweep([]int{1, 4}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 4 {
+		t.Fatalf("%d cells, want 4", len(rep.Levels))
+	}
+	if !rep.HitTrafficZero {
+		t.Fatal("some cache hit performed secure-token bus/flash traffic")
+	}
+	if !rep.ZipfSpeedupOK {
+		t.Fatal("zipf workload was not strictly faster than cold")
+	}
+	for _, p := range rep.Levels {
+		if p.AnswerErrors != 0 {
+			t.Fatalf("%s/%d: %d answers diverged from the uncached baseline", p.Mode, p.Concurrency, p.AnswerErrors)
+		}
+		if p.LeakedGrants {
+			t.Fatalf("%s/%d: leaked RAM grants", p.Mode, p.Concurrency)
+		}
+		switch p.Mode {
+		case "cold":
+			if p.CacheHits != 0 {
+				t.Fatalf("cold/%d: %d hits on an all-distinct workload", p.Concurrency, p.CacheHits)
+			}
+			if p.DistinctQueries != p.Queries {
+				t.Fatalf("cold/%d: workload not all-distinct (%d of %d)", p.Concurrency, p.DistinctQueries, p.Queries)
+			}
+		case "zipf":
+			if p.CacheHits+p.CacheShared == 0 {
+				t.Fatalf("zipf/%d: no hits at all", p.Concurrency)
+			}
+			if p.Executed == 0 || p.Executed > uint64(p.DistinctQueries) {
+				t.Fatalf("zipf/%d: executed %d with %d distinct queries", p.Concurrency, p.Executed, p.DistinctQueries)
+			}
+		}
+	}
+}

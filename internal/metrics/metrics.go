@@ -91,6 +91,10 @@ type Collector struct {
 	dev   *flash.Device
 	ch    *bus.Channel
 	model Model
+	// mbps is the link speed snapshotted at construction, so a
+	// collector's communication timings are computed against one
+	// consistent speed even if the knob changes mid-collection.
+	mbps float64
 
 	spans map[string]Sample
 	order []string
@@ -105,11 +109,16 @@ type frame struct {
 
 // NewCollector creates a collector over the given device and channel.
 func NewCollector(dev *flash.Device, ch *bus.Channel, model Model) *Collector {
-	return &Collector{dev: dev, ch: ch, model: model, spans: make(map[string]Sample)}
+	return &Collector{dev: dev, ch: ch, model: model, mbps: ch.ThroughputMBps(), spans: make(map[string]Sample)}
 }
 
 // Model returns the collector's cost model.
 func (c *Collector) Model() Model { return c.model }
+
+// ThroughputMBps returns the link speed snapshotted at construction —
+// the single source of truth for this collection's communication
+// timings.
+func (c *Collector) ThroughputMBps() float64 { return c.mbps }
 
 func (c *Collector) now() Sample {
 	s := Sample{Flash: c.dev.Counters()}
@@ -166,9 +175,10 @@ func (c *Collector) TimeOf(name string) time.Duration {
 	return c.model.IOTime(c.spans[name])
 }
 
-// CommTimeOf returns the simulated communication time of a span.
+// CommTimeOf returns the simulated communication time of a span, at the
+// link speed snapshotted when the collector was created.
 func (c *Collector) CommTimeOf(name string) time.Duration {
-	return c.model.CommTime(c.spans[name], c.ch.ThroughputMBps())
+	return c.model.CommTime(c.spans[name], c.mbps)
 }
 
 // Names returns the span names in first-seen order.

@@ -10,6 +10,8 @@ package query
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"ghostdb/internal/schema"
@@ -316,6 +318,85 @@ func Resolve(sch *schema.Schema, sel *sqlparse.Select, sql string) (*Query, erro
 		}
 	}
 	return q, nil
+}
+
+// Canonical renders the resolved query as a normalized text, the result
+// cache's key. Because it is derived from the *resolved* form, every
+// surface variant of the same query — whitespace, keyword and identifier
+// case, table aliases, qualified vs. unqualified columns, `SELECT *` vs.
+// the spelled-out column list, conjunct order, equivalent literal
+// spellings (`1.50` vs `1.5`) — collapses onto one key. Join predicates
+// need no rendering: in GhostDB's tree schemas the FROM set fixes them
+// (Resolve enforces exactly the subtree's fk edges). FROM order is
+// preserved deliberately: projections and row production are resolved
+// against it, so reordered FROM lists stay distinct keys.
+//
+// The canonical text is itself "query text" in the security model's
+// sense: it contains nothing beyond what the submitted SQL already
+// revealed to the untrusted side.
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if q.CountOnly {
+		b.WriteString("count(*)")
+	} else {
+		for i, p := range q.Projections {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeCanonCol(&b, p.Table, p.ColIdx)
+		}
+	}
+	b.WriteString(" from ")
+	for i, ti := range q.Tables {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "t%d", ti)
+	}
+	if len(q.Preds) > 0 {
+		conj := make([]string, len(q.Preds))
+		for i, p := range q.Preds {
+			conj[i] = canonPred(p)
+		}
+		sort.Strings(conj)
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(conj, " and "))
+	}
+	return b.String()
+}
+
+func writeCanonCol(b *strings.Builder, table, col int) {
+	if col == IDCol {
+		fmt.Fprintf(b, "t%d.id", table)
+	} else {
+		fmt.Fprintf(b, "t%d.c%d", table, col)
+	}
+}
+
+// canonPred renders one conjunct with kind-tagged literals so values of
+// different types can never alias.
+func canonPred(p Pred) string {
+	var b strings.Builder
+	writeCanonCol(&b, p.Table, p.ColIdx)
+	if p.Op == sqlparse.OpBetween {
+		fmt.Fprintf(&b, " between %s and %s", canonValue(p.Lo), canonValue(p.Hi))
+		return b.String()
+	}
+	fmt.Fprintf(&b, " %s %s", p.Op, canonValue(p.Lo))
+	return b.String()
+}
+
+func canonValue(v schema.Value) string {
+	switch v.Kind {
+	case schema.KindInt:
+		return "i:" + v.String()
+	case schema.KindFloat:
+		return "f:" + v.String()
+	case schema.KindChar:
+		return "c:" + strconv.Quote(v.S)
+	}
+	return "?:" + v.String()
 }
 
 func expandStar(t *schema.Table) []Proj {

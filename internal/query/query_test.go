@@ -207,3 +207,52 @@ func TestBetweenResolution(t *testing.T) {
 		t.Fatalf("id between = %+v", q.Preds[0])
 	}
 }
+
+// TestCanonicalNormalization: surface variants of one query must share a
+// canonical key; genuinely different queries must not.
+func TestCanonicalNormalization(t *testing.T) {
+	sch := testSchema(t)
+	base := mustResolve(t, sch, `SELECT T1.v1, T1.id FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.num = 5 AND T0.v1 < 'mmm'`).Canonical()
+	same := []string{
+		"select   t1.V1 ,T1.ID  from T0 , T1 where t0.FK1=T1.id AND T1.num=5 AND T0.v1<'mmm'",
+		`SELECT P.v1, P.id FROM T0 Q, T1 P WHERE Q.fk1 = P.id AND P.num = 5 AND Q.v1 < 'mmm'`,
+		`SELECT T1.v1, T1.id FROM T0, T1 WHERE T0.v1 < 'mmm' AND T1.num = 5 AND T0.fk1 = T1.id`,
+	}
+	for _, sql := range same {
+		if got := mustResolve(t, sch, sql).Canonical(); got != base {
+			t.Errorf("%q canonicalizes to\n  %q\nwant\n  %q", sql, got, base)
+		}
+	}
+	different := []string{
+		`SELECT T1.v1, T1.id FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.num = 6 AND T0.v1 < 'mmm'`,
+		`SELECT T1.id, T1.v1 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.num = 5 AND T0.v1 < 'mmm'`,
+		`SELECT T1.v1, T1.id FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.num <= 5 AND T0.v1 < 'mmm'`,
+		`SELECT COUNT(*) FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.num = 5 AND T0.v1 < 'mmm'`,
+	}
+	seen := map[string]string{base: "base"}
+	for _, sql := range different {
+		key := mustResolve(t, sch, sql).Canonical()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%q collides with %q on key %q", sql, prev, key)
+		}
+		seen[key] = sql
+	}
+	// Typed literals must not alias across kinds, and equivalent float
+	// spellings must normalize.
+	f1 := mustResolve(t, sch, `SELECT T2.id FROM T2 WHERE T2.ratio = 1.5`).Canonical()
+	f2 := mustResolve(t, sch, `SELECT T2.id FROM T2 WHERE T2.ratio = 1.50`).Canonical()
+	if f1 != f2 {
+		t.Errorf("float literal spellings diverge: %q vs %q", f1, f2)
+	}
+	s1 := mustResolve(t, sch, `SELECT T2.id FROM T2 WHERE T2.v1 = '5'`).Canonical()
+	i1 := mustResolve(t, sch, `SELECT T2.id FROM T2 WHERE T2.num = 5`).Canonical()
+	if s1 == i1 {
+		t.Error("char and int literals alias in the canonical form")
+	}
+	// Star expansion shares the spelled-out key.
+	st := mustResolve(t, sch, `SELECT * FROM T2 WHERE T2.num = 5`).Canonical()
+	sp := mustResolve(t, sch, `SELECT T2.id, T2.v1, T2.num, T2.ratio, T2.h1 FROM T2 WHERE T2.num = 5`).Canonical()
+	if st != sp {
+		t.Errorf("star vs spelled-out diverge: %q vs %q", st, sp)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"ghostdb"
+	"ghostdb/internal/schema"
+)
+
+// HTTPHandler returns a JSON facade over the same DB, for clients that
+// prefer HTTP to the line protocol:
+//
+//	GET/POST /query?q=SELECT...   -> {columns, rows, stats}
+//	POST     /exec?q=INSERT...    -> {ok}
+//	GET      /explain?q=SELECT... -> {plan}
+//	GET      /stats               -> {totals & cache counters}
+//
+// Each request's context flows into QueryCtx/ExecCtx, so a client that
+// disconnects mid-request abandons its queued admission slot — the same
+// per-client cancellation contract as the TCP protocol.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		sql := r.FormValue("q")
+		if sql == "" {
+			httpErr(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		res, err := s.db.QueryCtx(r.Context(), sql)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rows := make([][]any, len(res.Rows))
+		for ri, row := range res.Rows {
+			out := make([]any, len(row))
+			for ci, v := range row {
+				out[ci] = jsonValue(v)
+			}
+			rows[ri] = out
+		}
+		writeJSON(w, map[string]any{
+			"columns": res.Columns,
+			"rows":    rows,
+			"stats": map[string]any{
+				"sim_us":   res.Stats.SimTime.Microseconds(),
+				"bus_down": res.Stats.BusDown,
+				"bus_up":   res.Stats.BusUp,
+				"cache":    cacheLabel(res.Stats),
+			},
+		})
+	})
+	mux.HandleFunc("/exec", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "EXEC requires POST")
+			return
+		}
+		sql := r.FormValue("q")
+		if sql == "" {
+			httpErr(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		if err := s.db.ExecCtx(r.Context(), sql); err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		sql := r.FormValue("q")
+		if sql == "" {
+			httpErr(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		plan, err := s.db.Explain(sql)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"plan": plan})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]any)
+		for _, p := range statsPairs(s.db) {
+			out[p.k] = p.v
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+func jsonValue(v ghostdb.Value) any {
+	switch v.Kind {
+	case schema.KindInt:
+		return v.I
+	case schema.KindFloat:
+		return v.F
+	default:
+		return v.S
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg})
+}

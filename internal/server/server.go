@@ -1,0 +1,373 @@
+// Package server is the multi-client frontend over one GhostDB instance:
+// many clients, one secure token. It speaks a line protocol over TCP
+// (and JSON over HTTP, see http.go), multiplexing every client onto the
+// one *ghostdb.DB — whose admission scheduler FIFO-fairly interleaves
+// their query sessions on the single simulated secure key, and whose
+// result cache lets repeated queries from *any* client skip the token
+// entirely.
+//
+// This is the deployment shape the paper implies but never builds: the
+// secure USB key is plugged into one machine, and that machine serves a
+// crowd. Nothing in the security model changes — each client's SQL text
+// was already the one thing the untrusted side sees, and the server is
+// untrusted-side code.
+//
+// # Wire protocol
+//
+// Requests are single lines, terminated by '\n' (CRLF tolerated):
+//
+//	QUERY <sql>     execute a SELECT
+//	EXEC <sql>      execute an INSERT
+//	EXPLAIN <sql>   plan a statement without executing it
+//	STATS           engine totals + result-cache counters
+//	PING            liveness check
+//	QUIT            close the connection
+//
+// Responses are one or more lines, always terminated by exactly one
+// "OK ..." or "ERR <message>" line:
+//
+//	COLS <n>\t<label>...     result header (QUERY)
+//	ROW <field>\t<field>...  one result row (QUERY); char fields are
+//	                         Go-quoted, numeric fields are plain
+//	INFO <text>              EXPLAIN plan lines and STATS key=value lines
+//	OK [key=value ...]       success; QUERY reports rows=, sim_us=, cache=
+//	ERR <message>            failure (the connection stays usable)
+//
+// Each connection runs its commands sequentially under a per-client
+// context that is cancelled when the client disconnects or the server
+// shuts down, and that context flows into QueryCtx/ExecCtx — a queued
+// query whose client went away abandons its admission slot without ever
+// having held secure RAM. Shutdown drains gracefully: new connections
+// are refused, idle clients are closed, in-flight commands finish (until
+// the caller's deadline forces cancellation).
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ghostdb"
+	"ghostdb/internal/schema"
+)
+
+// maxLine bounds one request line (SQL statements are small).
+const maxLine = 1 << 20
+
+// Server multiplexes line-protocol clients onto one DB.
+type Server struct {
+	db   *ghostdb.DB
+	logf func(format string, args ...any)
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]*connState
+	closed    bool
+
+	wg sync.WaitGroup // live connection handlers
+}
+
+type connState struct {
+	busy bool // a command is executing; don't hard-close mid-response
+}
+
+// New creates a server over db. logf may be nil (silent).
+func New(db *ghostdb.DB, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:        db,
+		logf:      logf,
+		baseCtx:   ctx,
+		cancel:    cancel,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]*connState),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (returns nil) or an
+// accept error (returned). It may be called on several listeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		st := &connState{}
+		s.conns[conn] = st
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn, st)
+	}
+}
+
+// Shutdown stops accepting, closes idle clients, and waits for in-flight
+// commands to finish. If ctx expires first, the per-client contexts are
+// cancelled (aborting queued and running queries) and every connection
+// is closed; Shutdown then returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	// Idle clients would block the drain forever; close them now. Busy
+	// ones get to finish their current command (the handler notices
+	// closed and exits after responding).
+	for conn, st := range s.conns {
+		if !st.busy {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel() // aborts in-flight QueryCtx/ExecCtx calls
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle runs one client's command loop.
+func (s *Server) handle(conn net.Conn, st *connState) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 64<<10), maxLine)
+	out := bufio.NewWriter(conn)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		// Claiming busy and checking closed must be one atomic step:
+		// otherwise Shutdown could observe this connection as idle and
+		// close it between Scan returning and the command executing —
+		// and an EXEC would then commit with its response lost.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = true
+		s.mu.Unlock()
+		quit := s.dispatch(ctx, out, line)
+		err := out.Flush()
+		s.mu.Lock()
+		st.busy = false
+		closed := s.closed
+		s.mu.Unlock()
+		if quit || err != nil || closed {
+			return
+		}
+	}
+	// A scanner failure (oversized line, read error) is not a clean EOF:
+	// tell the client why before closing, so a bare disconnect always
+	// means the client's own hangup or a server shutdown. A conn closed
+	// by Shutdown's idle drain is exactly that shutdown case — skip it.
+	if err := in.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			fmt.Fprintf(out, "ERR read: %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			out.Flush()
+			s.logf("server: %v: %v", conn.RemoteAddr(), err)
+		}
+	}
+}
+
+// dispatch executes one command line, writing the response to out. It
+// returns true when the connection should close (QUIT).
+func (s *Server) dispatch(ctx context.Context, out *bufio.Writer, line string) bool {
+	cmd, rest := line, ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		fmt.Fprintf(out, "OK pong\n")
+	case "QUIT":
+		fmt.Fprintf(out, "OK bye\n")
+		return true
+	case "QUERY":
+		s.doQuery(ctx, out, rest)
+	case "EXEC":
+		s.doExec(ctx, out, rest)
+	case "EXPLAIN":
+		s.doExplain(out, rest)
+	case "STATS":
+		s.doStats(out)
+	default:
+		fmt.Fprintf(out, "ERR unknown command %q (QUERY, EXEC, EXPLAIN, STATS, PING, QUIT)\n", cmd)
+	}
+	return false
+}
+
+func (s *Server) doQuery(ctx context.Context, out *bufio.Writer, sql string) {
+	if sql == "" {
+		fmt.Fprintf(out, "ERR QUERY needs a statement\n")
+		return
+	}
+	res, err := s.db.QueryCtx(ctx, sql)
+	if err != nil {
+		writeErr(out, err)
+		return
+	}
+	fmt.Fprintf(out, "COLS %d", len(res.Columns))
+	for _, c := range res.Columns {
+		fmt.Fprintf(out, "\t%s", c)
+	}
+	fmt.Fprintln(out)
+	for _, row := range res.Rows {
+		out.WriteString("ROW")
+		for _, v := range row {
+			out.WriteByte('\t')
+			out.WriteString(renderValue(v))
+		}
+		out.WriteByte('\n')
+	}
+	fmt.Fprintf(out, "OK rows=%d sim_us=%d cache=%s\n",
+		len(res.Rows), res.Stats.SimTime.Microseconds(), cacheLabel(res.Stats))
+}
+
+func (s *Server) doExec(ctx context.Context, out *bufio.Writer, sql string) {
+	if sql == "" {
+		fmt.Fprintf(out, "ERR EXEC needs a statement\n")
+		return
+	}
+	if err := s.db.ExecCtx(ctx, sql); err != nil {
+		writeErr(out, err)
+		return
+	}
+	fmt.Fprintf(out, "OK\n")
+}
+
+func (s *Server) doExplain(out *bufio.Writer, sql string) {
+	if sql == "" {
+		fmt.Fprintf(out, "ERR EXPLAIN needs a statement\n")
+		return
+	}
+	plan, err := s.db.Explain(sql)
+	if err != nil {
+		writeErr(out, err)
+		return
+	}
+	for _, l := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+		fmt.Fprintf(out, "INFO %s\n", l)
+	}
+	fmt.Fprintf(out, "OK\n")
+}
+
+func (s *Server) doStats(out *bufio.Writer) {
+	for _, kv := range statsPairs(s.db) {
+		fmt.Fprintf(out, "INFO %s=%v\n", kv.k, kv.v)
+	}
+	fmt.Fprintf(out, "OK\n")
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// statsPairs renders engine totals and cache counters; shared between
+// the line protocol and the HTTP endpoint so both report identically.
+func statsPairs(db *ghostdb.DB) []kv {
+	tot := db.Totals()
+	cs := db.CacheStats()
+	return []kv{
+		{"queries", tot.Queries},
+		{"sim_us", tot.SimTime.Microseconds()},
+		{"io_us", tot.IOTime.Microseconds()},
+		{"comm_us", tot.CommTime.Microseconds()},
+		{"flash_reads", tot.Flash.PageReads},
+		{"flash_writes", tot.Flash.PageWrites},
+		{"bus_down_bytes", tot.BusDown},
+		{"bus_up_bytes", tot.BusUp},
+		{"cache_hits", tot.CacheHits},
+		{"cache_shared", tot.CacheShared},
+		{"cache_entries", cs.Entries},
+		{"cache_bytes", cs.Bytes},
+		{"cache_capacity_bytes", cs.CapacityBytes},
+		{"cache_evictions", cs.Evictions},
+		{"cache_invalidations", cs.Invalidations},
+	}
+}
+
+func cacheLabel(st ghostdb.Stats) string {
+	switch {
+	case st.CacheHit:
+		return "hit"
+	case st.CacheShared:
+		return "shared"
+	}
+	return "miss"
+}
+
+// renderValue encodes one result field: numeric values print plainly,
+// char values are Go-quoted so tabs and newlines cannot corrupt framing.
+func renderValue(v ghostdb.Value) string {
+	if v.Kind == schema.KindChar {
+		return strconv.Quote(v.S)
+	}
+	return v.String()
+}
+
+func writeErr(out *bufio.Writer, err error) {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	fmt.Fprintf(out, "ERR %s\n", msg)
+}
