@@ -10,6 +10,7 @@
 //	ghostdb-bench -exp concurrency         # scheduler sweep -> BENCH_concurrency.json
 //	ghostdb-bench -exp planner             # plan-sized vs fixed-floor admission -> BENCH_planner.json
 //	ghostdb-bench -exp cache               # result cache: cold vs Zipf -> BENCH_cache.json
+//	ghostdb-bench -exp sharding            # 1/2/4 secure tokens -> BENCH_sharding.json
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
@@ -65,6 +66,16 @@ func main() {
 			path = "BENCH_cache.json"
 		}
 		if err := runCache(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "sharding":
+		path := *out
+		if path == "" {
+			path = "BENCH_sharding.json"
+		}
+		if err := runSharding(lab, *queries, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -137,6 +148,44 @@ func runCache(lab *experiments.Lab, queries int, out string) error {
 	}
 	if !rep.ZipfSpeedupOK {
 		return fmt.Errorf("cache contract violated: zipf workload not faster than cold")
+	}
+	return nil
+}
+
+// runSharding sweeps the shard-local workload at 1/2/4 secure tokens ×
+// 1/4/16 sessions and writes the machine-readable report. It fails
+// loudly if 4 tokens are not strictly faster than 1 at 16 sessions, or
+// if the per-shard Totals do not sum to the unsharded engine's byte
+// counts — those are sharding's two contract points.
+func runSharding(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.ShardingSweep([]int{1, 2, 4}, []int{1, 4, 16}, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== sharding: shard-local workload over %d trees, %d queries per cell (scale %g, %dB secure RAM per token) ==\n",
+		rep.Trees, queries, rep.Scale, rep.RAMBudgetBytes)
+	fmt.Printf("  %-8s %-10s %10s %10s %10s %16s\n",
+		"tokens", "sessions", "wall-qps", "sim-p50", "sim-p95", "per-shard-queries")
+	for _, p := range rep.Levels {
+		fmt.Printf("  %-8d %-10d %10.1f %8.2fms %8.2fms %16v\n",
+			p.Tokens, p.Concurrency, p.WallQPS, p.SimP50Ms, p.SimP95Ms, p.PerShardQueries)
+	}
+	fmt.Printf("  4 tokens strictly faster than 1 at 16 sessions: %v\n", rep.ScalingOK)
+	fmt.Printf("  per-shard totals sum to the unsharded byte counts: %v (flash ops %v, bus bytes %v)\n",
+		rep.ParityOK, rep.ParityFlashOps, rep.ParityBusBytes)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	if !rep.ParityOK {
+		return fmt.Errorf("sharding contract violated: per-shard totals diverge from the unsharded run")
+	}
+	if !rep.ScalingOK {
+		return fmt.Errorf("sharding contract violated: 4 tokens not faster than 1 on the shard-local workload")
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
-// Command ghostdb-server serves one GhostDB instance — one simulated
-// secure token — to many clients over a TCP line protocol (and,
-// optionally, HTTP/JSON). It is the deployment shape the paper implies:
-// the secure USB key sits in one machine, the machine serves a crowd,
-// and the only information any observer learns is the query stream.
+// Command ghostdb-server serves one GhostDB instance — one or more
+// simulated secure tokens — to many clients over a TCP line protocol
+// (and, optionally, HTTP/JSON). It is the deployment shape the paper
+// implies, scaled: the secure USB keys sit in one machine, the machine
+// serves a crowd, and the only information any observer learns is the
+// query stream. With -shards > 1 the demo schema's independent trees
+// are placed across several tokens (STATS reports per-shard totals).
 //
 // The untrusted-side result cache (enabled by default) answers repeated
 // queries without touching the token at all: cache hits perform zero
@@ -45,9 +47,10 @@ func main() {
 	cacheBytes := flag.Int("cache", 8<<20, "result cache bound in bytes (0 disables caching)")
 	sessions := flag.Int("sessions", 8, "max concurrently admitted query sessions")
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
+	shards := flag.Int("shards", 1, "simulated secure tokens to place the demo's trees across")
 	flag.Parse()
 
-	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes)
+	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes, *shards)
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
 	}
@@ -57,8 +60,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
 	}
-	log.Printf("serving medical demo (scale %g) on %s — one secure token, %d sessions, %dB result cache",
-		*scale, ln.Addr(), *sessions, *cacheBytes)
+	log.Printf("serving medical demo (scale %g) on %s — %d secure token(s), %d sessions, %dB result cache",
+		*scale, ln.Addr(), db.Shards(), *sessions, *cacheBytes)
 	log.Printf(`try: printf 'QUERY SELECT COUNT(*) FROM Patients WHERE zipcode < '\''0000000100'\''\nSTATS\nQUIT\n' | nc %s`, hostPort(ln.Addr().String()))
 
 	var httpSrv *http.Server
@@ -117,10 +120,12 @@ func hostPort(addr string) string {
 // buildDemo constructs the medical-style demo database through the
 // public API: Doctors (hidden name), Patients (hidden diagnosis, visible
 // zipcode) and Measurements (hidden value), with the paper's §6.2
-// cardinality ratios scaled by sf. Values are zero-padded decimals over
-// a domain of 1000 so range predicates can target any selectivity, the
-// same convention as internal/datagen.
-func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes int) (*ghostdb.DB, error) {
+// cardinality ratios scaled by sf — plus an independent AuditLog tree,
+// so multi-shard servers have a second tree to place on its own token.
+// Values are zero-padded decimals over a domain of 1000 so range
+// predicates can target any selectivity, the same convention as
+// internal/datagen.
+func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int) (*ghostdb.DB, error) {
 	if sf <= 0 {
 		sf = 0.01
 	}
@@ -130,11 +135,13 @@ func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes int) (*gho
 		   zipcode char(10), diagnosis char(10) HIDDEN)`,
 		`CREATE TABLE Measurements (id int, patient_id int REFERENCES Patients HIDDEN,
 		   week char(10), value float HIDDEN)`,
+		`CREATE TABLE AuditLog (id int, day char(10), event char(10) HIDDEN)`,
 	}, ghostdb.Options{
 		RAMBytes:             ramBytes,
 		FlashBlocks:          1 << 14,
 		MaxConcurrentQueries: sessions,
 		ResultCacheBytes:     cacheBytes,
+		Shards:               shards,
 	})
 	if err != nil {
 		return nil, err
@@ -176,6 +183,14 @@ func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes int) (*gho
 			"patient_id": rng.Intn(nPat),
 			"week":       pad(rng.Intn(1000)),
 			"value":      float64(rng.Intn(1000)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < scaled(40_000, 60); i++ {
+		if err := ld.Append("AuditLog", ghostdb.R{
+			"day":   pad(rng.Intn(1000)),
+			"event": pad(rng.Intn(1000)),
 		}); err != nil {
 			return nil, err
 		}

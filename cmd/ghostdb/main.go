@@ -13,7 +13,7 @@
 // strategies, derived RAM footprint and estimated cost — without
 // executing it.
 //
-// Shell commands: \schema  \stats  \cache  \audit  \quit
+// Shell commands: \schema  \stats  \cache  \shards  \audit  \quit
 package main
 
 import (
@@ -35,9 +35,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print cost statistics after every query")
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
 	cacheBytes := flag.Int("cache", 4<<20, "untrusted-side result cache bound in bytes (0 disables)")
+	shards := flag.Int("shards", 1, "simulated secure tokens to place the schema's trees across")
 	flag.Parse()
 
-	db, err := buildDemo(*which, *scale, *seed, *ramBytes, *cacheBytes)
+	db, err := buildDemo(*which, *scale, *seed, *ramBytes, *cacheBytes, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostdb:", err)
 		os.Exit(1)
@@ -46,7 +47,7 @@ func main() {
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
-	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \cache, \audit, \quit.`)
+	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \cache, \shards, \audit, \quit.`)
 
 	showStats := *stats
 	in := bufio.NewScanner(os.Stdin)
@@ -84,6 +85,13 @@ func main() {
 			fmt.Printf("  queries answered without token traffic: %d of %d\n",
 				tot.CacheHits+tot.CacheShared, tot.Queries)
 			continue
+		case line == `\shards`:
+			fmt.Printf("placement over %d secure token(s):\n%s", len(db.Tokens()), db.Placement().Describe(db.Sch))
+			for i, tot := range db.TokenTotals() {
+				fmt.Printf("  token %d totals: %d sessions, %v simulated, %d flash reads / %d writes, %d B down / %d B up\n",
+					i, tot.Queries, tot.SimTime, tot.Flash.PageReads, tot.Flash.PageWrites, tot.BusDown, tot.BusUp)
+			}
+			continue
 		case line == `\audit`:
 			ups := db.Bus.UplinkRecords()
 			fmt.Printf("Secure -> Untrusted transfers since the last query: %d\n", len(ups))
@@ -118,7 +126,7 @@ func main() {
 	}
 }
 
-func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes int) (*exec.DB, error) {
+func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes, shards int) (*exec.DB, error) {
 	var ds *datagen.Dataset
 	var err error
 	switch which {
@@ -137,7 +145,7 @@ func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes int
 	if ramBytes != 0 && ramBytes < p.PageSize {
 		return nil, fmt.Errorf("-ram %d is smaller than one %d-byte flash buffer", ramBytes, p.PageSize)
 	}
-	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes, ResultCacheBytes: cacheBytes})
+	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes, ResultCacheBytes: cacheBytes, Shards: shards})
 }
 
 func printResult(res *exec.Result) {

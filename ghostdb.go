@@ -118,8 +118,18 @@ type Options struct {
 	// materialized results in *untrusted host RAM*, so it is not charged
 	// against the secure RAMBytes budget. A cache hit answers without
 	// admitting a session: zero flash I/O and zero bytes on the token
-	// bus. Every successful Exec (INSERT) invalidates the whole cache.
+	// bus. A successful Exec (INSERT) invalidates exactly the cached
+	// results whose queries touch the inserted table's shard (per-shard
+	// version vector).
 	ResultCacheBytes int
+	// Shards is the number of simulated secure tokens to place the
+	// schema's trees across (default 1). Each token is a complete secure
+	// unit — its own flash, RAM budget, bus and admission queue — so
+	// shard-local workloads scale near-linearly with the token count.
+	// Placement is at schema-tree granularity (joins never cross trees);
+	// queries over several trees fan out per-shard sub-plans and merge
+	// their cross product on the untrusted side.
+	Shards int
 }
 
 func (o Options) toExec() exec.Options {
@@ -128,6 +138,7 @@ func (o Options) toExec() exec.Options {
 	eo.ThroughputMBps = o.ThroughputMBps
 	eo.MaxConcurrentQueries = o.MaxConcurrentQueries
 	eo.ResultCacheBytes = o.ResultCacheBytes
+	eo.Shards = o.Shards
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -349,6 +360,29 @@ func (db *DB) SetThroughput(mbps float64) { db.inner.SetThroughput(mbps) }
 
 // Totals reports the cumulative simulated cost of all completed queries.
 func (db *DB) Totals() exec.Totals { return db.inner.Totals() }
+
+// Shards returns the number of secure tokens the database runs on.
+func (db *DB) Shards() int { return db.inner.Placement().Shards() }
+
+// ShardOf returns the shard ordinal holding a table.
+func (db *DB) ShardOf(table string) (int, error) {
+	t, ok := db.sch.Lookup(table)
+	if !ok {
+		return 0, fmt.Errorf("ghostdb: unknown table %q", table)
+	}
+	return db.inner.Placement().Of(t.Index), nil
+}
+
+// ShardTotals reports each secure token's cumulative session costs, in
+// shard order. Summed across shards, the flash and bus counters equal
+// what an unsharded engine reports for the same executed work — sharding
+// spreads secure-side work, it never adds any.
+func (db *DB) ShardTotals() []exec.Totals { return db.inner.TokenTotals() }
+
+// DescribePlacement renders the table→shard placement for humans.
+func (db *DB) DescribePlacement() string {
+	return db.inner.Placement().Describe(db.sch)
+}
 
 // CacheStats snapshots the result cache's counters: entries, bytes,
 // hits, singleflight-shared answers, evictions and invalidations. The

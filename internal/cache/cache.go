@@ -1,8 +1,9 @@
 // Package cache is the untrusted-side result cache: materialized query
 // answers keyed on the *normalized query text*, bounded in bytes by an
-// LRU policy, invalidated wholesale by a global data-version stamp that
-// every committed update bumps, and fronted by a singleflight layer that
-// collapses concurrent identical lookups into one computation.
+// LRU policy, invalidated by a per-shard data-version vector that every
+// committed update bumps for the one shard it touched, and fronted by a
+// singleflight layer that collapses concurrent identical lookups into
+// one computation.
 //
 // Security invariant (why this cache is leak-free by construction):
 // GhostDB's guarantee is that the only information that ever leaves the
@@ -14,6 +15,14 @@
 // round-trips. In the volume-leakage sense of Poddar et al., hits repeat
 // a (query, result-volume) pair the adversary has already observed —
 // the cache never creates a new observable pair.
+//
+// The same argument covers the per-shard version vector: an entry is
+// stamped with the versions of exactly the shards its query touches,
+// and the shard set is a pure function of the query text and the schema
+// (which tables the query names, and which token each table was placed
+// on). Versions advance on committed INSERTs — statements the untrusted
+// side itself submitted — so neither the stamps nor the invalidations
+// depend on hidden data.
 //
 // RAM invariant: cache memory is untrusted host RAM. It is *not* charged
 // against the secure chip's 64KB budget (ram.Manager) — the whole point
@@ -60,45 +69,54 @@ func (o Outcome) String() string {
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
-	Entries       int    `json:"entries"`
-	Bytes         int64  `json:"bytes"`
-	CapacityBytes int64  `json:"capacity_bytes"`
-	Version       uint64 `json:"version"`
-	Hits          uint64 `json:"hits"`
-	SharedHits    uint64 `json:"shared_hits"`
-	Misses        uint64 `json:"misses"`
-	Stores        uint64 `json:"stores"`
-	Evictions     uint64 `json:"evictions"`
-	Invalidations uint64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// Version is a monotone global stamp: the sum of every shard's
+	// version plus the wholesale-invalidation epoch.
+	Version uint64 `json:"version"`
+	// ShardVersions is the per-shard data-version vector (index = shard).
+	ShardVersions []uint64 `json:"shard_versions,omitempty"`
+	Hits          uint64   `json:"hits"`
+	SharedHits    uint64   `json:"shared_hits"`
+	Misses        uint64   `json:"misses"`
+	Stores        uint64   `json:"stores"`
+	Evictions     uint64   `json:"evictions"`
+	Invalidations uint64   `json:"invalidations"`
 }
 
+// entry is one cached value, stamped with the versions of the shards its
+// query touches (parallel slices shards/stamp) plus the global epoch.
 type entry struct {
-	key     string
-	val     any
-	size    int64
-	version uint64
+	key    string
+	val    any
+	size   int64
+	shards []int
+	stamp  []uint64 // stamp[0] = epoch, stamp[i+1] = version of shards[i]
 }
 
 // flight is one in-progress computation that concurrent identical calls
 // can attach to.
 type flight struct {
-	version uint64
-	done    chan struct{} // closed when val/err are set
-	val     any
-	err     error
+	shards []int
+	stamp  []uint64      // as in entry: epoch first, then per-shard versions
+	done   chan struct{} // closed when val/err are set
+	val    any
+	err    error
 }
 
-// Cache is a byte-bounded LRU with version invalidation and singleflight
-// collapsing. All methods are safe for concurrent use; computations
-// passed to Do run outside the cache lock.
+// Cache is a byte-bounded LRU with per-shard version invalidation and
+// singleflight collapsing. All methods are safe for concurrent use;
+// computations passed to Do run outside the cache lock.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int64
-	bytes   int64
-	ll      *list.List // front = most recently used; values are *entry
-	entries map[string]*list.Element
-	flights map[string]*flight
-	version uint64
+	mu       sync.Mutex
+	cap      int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	flights  map[string]*flight
+	versions []uint64 // per-shard data versions, grown on demand
+	epoch    uint64   // wholesale-invalidation epoch (Bump)
 
 	hits, shared, misses, stores, evictions, invalidations uint64
 }
@@ -115,28 +133,119 @@ func New(capBytes int64) *Cache {
 	}
 }
 
-// Version returns the current data-version stamp.
+// normShards defaults a nil/empty shard set to shard 0 (the unsharded
+// engine's single token).
+func normShards(shards []int) []int {
+	if len(shards) == 0 {
+		return []int{0}
+	}
+	return shards
+}
+
+func (c *Cache) verLocked(shard int) uint64 {
+	if shard < len(c.versions) {
+		return c.versions[shard]
+	}
+	return 0
+}
+
+// stampLocked snapshots the invalidation epoch followed by the current
+// versions of the given shards.
+func (c *Cache) stampLocked(shards []int) []uint64 {
+	out := make([]uint64, len(shards)+1)
+	out[0] = c.epoch
+	for i, s := range shards {
+		out[i+1] = c.verLocked(s)
+	}
+	return out
+}
+
+// Stamp snapshots the version vector restricted to the given shards;
+// pass the result to Put so a value computed before a racing update can
+// never be stored.
+func (c *Cache) Stamp(shards []int) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stampLocked(normShards(shards))
+}
+
+func (c *Cache) freshLocked(shards []int, stamp []uint64) bool {
+	if len(stamp) != len(shards)+1 || stamp[0] != c.epoch {
+		return false
+	}
+	for i, s := range shards {
+		if stamp[i+1] != c.verLocked(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// versionLocked is the monotone global stamp: the sum of the per-shard
+// versions plus the wholesale-invalidation epoch.
+func (c *Cache) versionLocked() uint64 {
+	v := c.epoch
+	for _, s := range c.versions {
+		v += s
+	}
+	return v
+}
+
+// Version returns the monotone global stamp.
 func (c *Cache) Version() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.version
+	return c.versionLocked()
 }
 
-// Bump invalidates every cached entry: committed updates call it after
-// their mutations are visible. In-progress computations that started
-// before the bump are prevented from storing their (possibly stale)
-// results, and later Do calls will not join their flights.
+// Bump invalidates every cached entry regardless of shard (wholesale).
+// In-progress computations that started before the bump are prevented
+// from storing their (possibly stale) results, and later Do calls will
+// not join their flights.
 func (c *Cache) Bump() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.version++
+	c.epoch++
 	c.invalidations++
 	c.ll.Init()
 	clear(c.entries)
 	c.bytes = 0
 }
 
-// Get returns the cached value for key, if fresh.
+// BumpShard advances one shard's data version: committed updates call it
+// for the shard that owns the inserted table, after their mutations are
+// visible. Only entries whose query touches that shard are dropped —
+// cached results over other shards survive, which is what makes INSERT
+// fan-out cheap in a sharded deployment. In-flight computations touching
+// the shard are prevented from storing their results.
+func (c *Cache) BumpShard(shard int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 {
+		shard = 0
+	}
+	for shard >= len(c.versions) {
+		c.versions = append(c.versions, 0)
+	}
+	c.versions[shard]++
+	c.invalidations++
+	// Eager sweep: entries touching the shard are dead now; dropping them
+	// immediately keeps the byte accounting and the LRU capacity honest.
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		for _, s := range e.shards {
+			if s == shard {
+				c.removeLocked(el)
+				break
+			}
+		}
+	}
+}
+
+// Get returns the cached value for key, if still fresh (each entry
+// carries the shard set and version stamp it was computed under).
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -155,9 +264,9 @@ func (c *Cache) getLocked(key string) (any, bool) {
 		return nil, false
 	}
 	e := el.Value.(*entry)
-	if e.version != c.version {
-		// Stale under a racing Bump; Bump clears the map, so this is
-		// only a belt-and-suspenders check.
+	if !c.freshLocked(e.shards, e.stamp) {
+		// Stale under a racing bump; bumps drop affected entries eagerly,
+		// so this is only a belt-and-suspenders check.
 		c.removeLocked(el)
 		return nil, false
 	}
@@ -165,17 +274,18 @@ func (c *Cache) getLocked(key string) (any, bool) {
 	return e.val, true
 }
 
-// Put stores val under key, stamped with the version the caller observed
-// *before* computing it: if updates committed since, the value may be
-// stale and is dropped. Returns whether the value was stored.
-func (c *Cache) Put(key string, val any, size int64, version uint64) bool {
+// Put stores val under key, stamped with the version vector the caller
+// observed (via Stamp) *before* computing it: if updates committed on
+// any touched shard since, the value may be stale and is dropped.
+// Returns whether the value was stored.
+func (c *Cache) Put(key string, val any, size int64, shards []int, stamp []uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.putLocked(key, val, size, version)
+	return c.putLocked(key, val, size, normShards(shards), stamp)
 }
 
-func (c *Cache) putLocked(key string, val any, size int64, version uint64) bool {
-	if version != c.version || size > c.cap || size < 0 {
+func (c *Cache) putLocked(key string, val any, size int64, shards []int, stamp []uint64) bool {
+	if !c.freshLocked(shards, stamp) || size > c.cap || size < 0 {
 		return false
 	}
 	if el, ok := c.entries[key]; ok {
@@ -189,7 +299,8 @@ func (c *Cache) putLocked(key string, val any, size int64, version uint64) bool 
 		c.removeLocked(back)
 		c.evictions++
 	}
-	el := c.ll.PushFront(&entry{key: key, val: val, size: size, version: version})
+	el := c.ll.PushFront(&entry{key: key, val: val, size: size,
+		shards: append([]int(nil), shards...), stamp: append([]uint64(nil), stamp...)})
 	c.entries[key] = el
 	c.bytes += size
 	c.stores++
@@ -205,20 +316,24 @@ func (c *Cache) removeLocked(el *list.Element) {
 
 // Do answers key from the cache, or computes it — collapsing concurrent
 // identical calls so only one compute runs and the rest share its value.
-// compute returns the value and its byte size; it runs outside the cache
-// lock. The returned Outcome says how the call was answered. A follower
-// whose leader failed computes independently (errors are never cached or
-// shared); a follower whose ctx is cancelled while waiting returns the
-// ctx error without having computed anything.
-func (c *Cache) Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, Outcome, error) {
+// shards is the set of shards the keyed query touches (nil means shard
+// 0); the computed value is stamped with their versions as observed
+// before the computation started. compute returns the value and its byte
+// size; it runs outside the cache lock. The returned Outcome says how
+// the call was answered. A follower whose leader failed computes
+// independently (errors are never cached or shared); a follower whose
+// ctx is cancelled while waiting returns the ctx error without having
+// computed anything.
+func (c *Cache) Do(ctx context.Context, key string, shards []int, compute func() (any, int64, error)) (any, Outcome, error) {
+	shards = normShards(shards)
 	c.mu.Lock()
-	v := c.version
+	stamp := c.stampLocked(shards)
 	if val, ok := c.getLocked(key); ok {
 		c.hits++
 		c.mu.Unlock()
 		return val, Hit, nil
 	}
-	if f, ok := c.flights[key]; ok && f.version == v {
+	if f, ok := c.flights[key]; ok && c.freshLocked(f.shards, f.stamp) {
 		c.mu.Unlock()
 		select {
 		case <-f.done:
@@ -230,20 +345,20 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, int64, 
 			}
 			// The leader failed; compute independently rather than
 			// propagating its (possibly context-specific) error.
-			return c.lead(key, v, nil, compute)
+			return c.lead(key, shards, stamp, nil, compute)
 		case <-ctx.Done():
 			return nil, Miss, ctx.Err()
 		}
 	}
-	f := &flight{version: v, done: make(chan struct{})}
+	f := &flight{shards: shards, stamp: stamp, done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
-	return c.lead(key, v, f, compute)
+	return c.lead(key, shards, stamp, f, compute)
 }
 
 // lead runs compute as the flight's leader (f may be nil for a follower
 // retrying after a failed leader) and publishes the result.
-func (c *Cache) lead(key string, version uint64, f *flight, compute func() (any, int64, error)) (any, Outcome, error) {
+func (c *Cache) lead(key string, shards []int, stamp []uint64, f *flight, compute func() (any, int64, error)) (any, Outcome, error) {
 	val, size, err := compute()
 	c.mu.Lock()
 	c.misses++
@@ -251,7 +366,7 @@ func (c *Cache) lead(key string, version uint64, f *flight, compute func() (any,
 		delete(c.flights, key)
 	}
 	if err == nil {
-		c.putLocked(key, val, size, version)
+		c.putLocked(key, val, size, shards, stamp)
 	}
 	c.mu.Unlock()
 	if f != nil {
@@ -272,7 +387,8 @@ func (c *Cache) Stats() Stats {
 		Entries:       len(c.entries),
 		Bytes:         c.bytes,
 		CapacityBytes: c.cap,
-		Version:       c.version,
+		Version:       c.versionLocked(),
+		ShardVersions: append([]uint64(nil), c.versions...),
 		Hits:          c.hits,
 		SharedHits:    c.shared,
 		Misses:        c.misses,

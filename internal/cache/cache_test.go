@@ -11,7 +11,7 @@ import (
 
 func mustDo(t *testing.T, c *Cache, key string, val any, size int64) Outcome {
 	t.Helper()
-	got, out, err := c.Do(context.Background(), key, func() (any, int64, error) {
+	got, out, err := c.Do(context.Background(), key, nil, func() (any, int64, error) {
 		return val, size, nil
 	})
 	if err != nil {
@@ -85,13 +85,77 @@ func TestBumpInvalidatesEverything(t *testing.T) {
 
 func TestStaleVersionNotStored(t *testing.T) {
 	c := New(1000)
-	v0 := c.Version()
+	s0 := c.Stamp(nil)
 	c.Bump()
-	if c.Put("k", "V", 10, v0) {
-		t.Fatal("Put with a pre-Bump version must be rejected")
+	if c.Put("k", "V", 10, nil, s0) {
+		t.Fatal("Put with a pre-Bump stamp must be rejected")
 	}
-	if !c.Put("k", "V", 10, c.Version()) {
-		t.Fatal("Put with the current version must succeed")
+	if !c.Put("k", "V", 10, nil, c.Stamp(nil)) {
+		t.Fatal("Put with the current stamp must succeed")
+	}
+}
+
+// TestBumpShardIsSelective: advancing one shard's version drops exactly
+// the entries whose queries touch that shard; results over other shards
+// survive — the property sharded INSERT fan-out depends on.
+func TestBumpShardIsSelective(t *testing.T) {
+	c := New(1000)
+	do := func(key string, shards []int, val string) {
+		t.Helper()
+		if _, out, err := c.Do(context.Background(), key, shards, func() (any, int64, error) {
+			return val, 10, nil
+		}); err != nil || out != Miss {
+			t.Fatalf("Do(%q): out=%v err=%v", key, out, err)
+		}
+	}
+	do("q0", []int{0}, "A")
+	do("q1", []int{1}, "B")
+	do("q01", []int{0, 1}, "C")
+	c.BumpShard(1)
+	if _, ok := c.Get("q0"); !ok {
+		t.Fatal("shard-0 entry dropped by a shard-1 bump")
+	}
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("shard-1 entry survived its shard's bump")
+	}
+	if _, ok := c.Get("q01"); ok {
+		t.Fatal("cross-shard entry survived a touched shard's bump")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("post-bump accounting: %+v", st)
+	}
+}
+
+// TestBumpShardDuringFlightDropsResult: a flight touching the bumped
+// shard must not store; a flight on another shard is untouched.
+func TestBumpShardDuringFlightDropsResult(t *testing.T) {
+	c := New(1000)
+	inCompute := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(context.Background(), "q1", []int{1}, func() (any, int64, error) {
+			close(inCompute)
+			<-gate
+			return "stale", 8, nil
+		})
+	}()
+	<-inCompute
+	c.BumpShard(1)
+	close(gate)
+	<-done
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("stale flight result cached across its shard's bump")
+	}
+	// An unrelated shard's value stores normally afterwards.
+	if _, out, _ := c.Do(context.Background(), "q0", []int{0}, func() (any, int64, error) {
+		return "ok", 8, nil
+	}); out != Miss {
+		t.Fatalf("q0 outcome %v", out)
+	}
+	if _, ok := c.Get("q0"); !ok {
+		t.Fatal("shard-0 value should be cached")
 	}
 }
 
@@ -111,7 +175,7 @@ func TestSingleflightCollapse(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, out, err := c.Do(context.Background(), "q", func() (any, int64, error) {
+			v, out, err := c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 				computes.Add(1)
 				close(started) // exactly one compute may run, or this panics
 				<-gate
@@ -162,7 +226,7 @@ func TestBumpDuringFlightDropsResult(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, out, err := c.Do(context.Background(), "q", func() (any, int64, error) {
+		_, out, err := c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 			close(inCompute)
 			<-gate
 			return "stale", 8, nil
@@ -186,7 +250,7 @@ func TestFollowerAfterBumpDoesNotJoinStaleFlight(t *testing.T) {
 	c := New(1000)
 	inCompute := make(chan struct{})
 	gate := make(chan struct{})
-	go c.Do(context.Background(), "q", func() (any, int64, error) {
+	go c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 		close(inCompute)
 		<-gate
 		return "stale", 8, nil
@@ -198,7 +262,7 @@ func TestFollowerAfterBumpDoesNotJoinStaleFlight(t *testing.T) {
 	// not wait on (or share) the stale flight.
 	fresh := make(chan Outcome, 1)
 	go func() {
-		_, out, err := c.Do(context.Background(), "q", func() (any, int64, error) {
+		_, out, err := c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 			return "fresh", 8, nil
 		})
 		if err != nil {
@@ -222,7 +286,7 @@ func TestFollowerFallbackOnLeaderError(t *testing.T) {
 	boom := errors.New("boom")
 	inCompute := make(chan struct{})
 	gate := make(chan struct{})
-	go c.Do(context.Background(), "q", func() (any, int64, error) {
+	go c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 		close(inCompute)
 		<-gate
 		return nil, 0, boom
@@ -232,7 +296,7 @@ func TestFollowerFallbackOnLeaderError(t *testing.T) {
 	follower := make(chan error, 1)
 	var followerComputed atomic.Bool
 	go func() {
-		v, _, err := c.Do(context.Background(), "q", func() (any, int64, error) {
+		v, _, err := c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 			followerComputed.Store(true)
 			return "ok", 2, nil
 		})
@@ -259,7 +323,7 @@ func TestFollowerCancellation(t *testing.T) {
 	inCompute := make(chan struct{})
 	gate := make(chan struct{})
 	defer close(gate)
-	go c.Do(context.Background(), "q", func() (any, int64, error) {
+	go c.Do(context.Background(), "q", nil, func() (any, int64, error) {
 		close(inCompute)
 		<-gate
 		return "R", 2, nil
@@ -267,7 +331,7 @@ func TestFollowerCancellation(t *testing.T) {
 	<-inCompute
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.Do(ctx, "q", func() (any, int64, error) {
+	if _, _, err := c.Do(ctx, "q", nil, func() (any, int64, error) {
 		t.Error("cancelled follower must not compute")
 		return nil, 0, nil
 	}); !errors.Is(err, context.Canceled) {
@@ -290,10 +354,12 @@ func TestConcurrentChurn(t *testing.T) {
 				switch i % 13 {
 				case 5:
 					c.Bump()
+				case 7:
+					c.BumpShard(i % 3)
 				case 9:
 					c.Get(key)
 				default:
-					c.Do(context.Background(), key, func() (any, int64, error) {
+					c.Do(context.Background(), key, []int{i % 3}, func() (any, int64, error) {
 						return i, 64, nil
 					})
 				}

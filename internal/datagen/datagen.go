@@ -195,3 +195,57 @@ func (d *Dataset) NewDB(opts exec.Options) (*exec.DB, error) {
 	}
 	return db, nil
 }
+
+// ForestDefs returns nTrees independent two-table trees S<k> -> C<k>,
+// each with the synthetic attribute set (five visible + five hidden
+// char(10) columns, hidden foreign key). Independent trees are the unit
+// cross-token sharding places: a k-tree forest spread over k tokens
+// gives every token its own private workload.
+func ForestDefs(nTrees int) []schema.TableDef {
+	attrs := func() []schema.Column {
+		var cols []schema.Column
+		for i := 1; i <= 5; i++ {
+			cols = append(cols, schema.Column{Name: fmt.Sprintf("v%d", i), Kind: schema.KindChar, Width: PadWidth})
+		}
+		for i := 1; i <= 5; i++ {
+			cols = append(cols, schema.Column{Name: fmt.Sprintf("h%d", i), Kind: schema.KindChar, Width: PadWidth, Hidden: true})
+		}
+		return cols
+	}
+	var defs []schema.TableDef
+	for k := 0; k < nTrees; k++ {
+		defs = append(defs,
+			schema.TableDef{Name: fmt.Sprintf("S%d", k), Columns: attrs(), Refs: []schema.Ref{
+				{FKColumn: fmt.Sprintf("fkc%d", k), Child: fmt.Sprintf("C%d", k), Hidden: true}}},
+			schema.TableDef{Name: fmt.Sprintf("C%d", k), Columns: attrs()},
+		)
+	}
+	return defs
+}
+
+// ForestCardinalities scales each tree's sizes by sf (roots 200K, leaves
+// 20K at sf = 1, floored for tiny test scales).
+func ForestCardinalities(sf float64, nTrees int) map[string]int {
+	out := make(map[string]int, 2*nTrees)
+	scale := func(base int) int {
+		n := int(float64(base) * sf)
+		if n < 20 {
+			n = 20
+		}
+		return n
+	}
+	for k := 0; k < nTrees; k++ {
+		out[fmt.Sprintf("S%d", k)] = scale(200_000)
+		out[fmt.Sprintf("C%d", k)] = scale(20_000)
+	}
+	return out
+}
+
+// Forest generates the nTrees-tree dataset at scale sf.
+func Forest(sf float64, seed int64, nTrees int) (*Dataset, error) {
+	sch, err := schema.New(ForestDefs(nTrees))
+	if err != nil {
+		return nil, err
+	}
+	return generate(sch, ForestCardinalities(sf, nTrees), seed)
+}

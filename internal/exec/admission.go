@@ -197,7 +197,7 @@ func (r *queryRun) mergeTupleRuns(tp *tableProj, k int) error {
 	pick := order[:k]
 	sort.Ints(pick)
 
-	out := store.NewSegment(r.db.Dev)
+	out := store.NewSegment(r.tok.Dev)
 	r.tempSegs = append(r.tempSegs, out)
 	sub := &tableProj{table: tp.table, tupleW: tp.tupleW}
 	for _, i := range pick {

@@ -143,7 +143,7 @@ func (r *queryRun) bruteForce(res *Result) error {
 				row = append(row, v)
 				continue
 			}
-			img := db.Hidden[p.Table]
+			img := r.tok.Hidden[p.Table]
 			if img == nil {
 				return fmt.Errorf("exec: no hidden image for %s", db.Sch.Tables[p.Table].Name)
 			}

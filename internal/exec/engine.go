@@ -16,6 +16,7 @@ import (
 	"ghostdb/internal/ram"
 	"ghostdb/internal/sched"
 	"ghostdb/internal/schema"
+	"ghostdb/internal/shard"
 	"ghostdb/internal/sqlparse"
 	"ghostdb/internal/store"
 	"ghostdb/internal/untrusted"
@@ -131,6 +132,22 @@ type Options struct {
 	// RAMBudget — the cache trades plentiful untrusted memory for scarce
 	// secure-token round-trips, and a hit performs zero token work.
 	ResultCacheBytes int
+	// Shards is the number of simulated secure tokens (default 1). Each
+	// token gets its own flash device, RAM budget, bus and admission
+	// scheduler; tables are placed across tokens at schema-tree
+	// granularity by internal/shard, so joins never cross tokens and only
+	// forest queries (cross products of independent trees) fan out.
+	Shards int
+	// PaceSimulation > 0 makes every query session sleep
+	// SimTime/PaceSimulation of real time while it holds its token's
+	// execution slot. The simulation itself is pure host CPU, so an
+	// unpaced engine's wall-clock throughput measures the host, not the
+	// modeled hardware; pacing restores the defining property of the
+	// real deployment — each token is a physical device whose I/O takes
+	// real time, and independent tokens genuinely overlap it. The
+	// sharding benchmark uses this; answers and all simulated counters
+	// are unaffected. 0 disables pacing (the default).
+	PaceSimulation float64
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -152,6 +169,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxConcurrentQueries < 1 {
 		o.MaxConcurrentQueries = 1
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -188,8 +208,16 @@ type HiddenImage struct {
 	ColPos map[int]int // table column index -> position within the image
 }
 
-// DB wires together the secure device, the untrusted engine, the index
-// catalog and the hidden images: a complete GhostDB instance.
+// DB is a complete GhostDB instance: one or more secure tokens (each a
+// flash device + RAM budget + bus + index catalog + hidden images + an
+// admission scheduler), the table→token placement, and the untrusted-
+// side layers (result cache, aggregate totals) that sit above sharding.
+//
+// The exported Dev/RAM/Bus/Cat/Untr/Hidden fields alias token 0's
+// components: for the default single-token configuration they ARE the
+// token, which keeps the mono-token call sites (tests, experiments, the
+// shell's audit view) unchanged. Multi-token callers go through Tokens /
+// TokenOf instead.
 type DB struct {
 	Sch  *schema.Schema
 	Dev  *flash.Device
@@ -199,21 +227,23 @@ type DB struct {
 	Untr *untrusted.Engine
 
 	Hidden map[int]*HiddenImage
-	rows   map[int]int
 	opts   Options
 
-	sched *sched.Scheduler
+	tokens []*Token
+	place  *shard.Map
+	loaded bool
+
 	// cache is the untrusted-side result cache (nil when disabled). It
 	// lives outside the secure perimeter: its memory is host RAM, its
 	// keys are normalized query text and its values are results the
 	// untrusted side has already seen — see internal/cache for the
-	// leak-freedom argument.
+	// leak-freedom argument. It sits above sharding: invalidation is the
+	// per-shard version vector fed by each token's committed updates.
 	cache *cache.Cache
 
 	// mu guards the mutable engine state that outlives a single query:
-	// the default QueryConfig, the cumulative totals and the row counts
-	// (the latter only against the public Rows accessor; in-query reads
-	// are already serialized by the scheduler's token slot).
+	// the default QueryConfig and the client-level cumulative totals
+	// (per-token totals live on each Token).
 	mu     sync.Mutex
 	defCfg QueryConfig
 	totals Totals
@@ -232,30 +262,108 @@ type TableLoad struct {
 	FKs  map[int][]uint32 // child table index -> referenced id per row
 }
 
-// NewDB creates a DB for the schema with the given options.
+// NewDB creates a DB for the schema with the given options: Shards
+// simulated secure tokens, with the schema's trees placed across them by
+// the planner-floor-weighted policy of internal/shard.
 func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
-	dev, err := flash.NewDevice(opts.FlashParams)
-	if err != nil {
-		return nil, err
-	}
-	ch := bus.NewChannel(opts.ThroughputMBps)
 	db := &DB{
 		Sch:    sch,
-		Dev:    dev,
-		RAM:    ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
-		Bus:    ch,
-		Untr:   untrusted.NewEngine(sch, ch),
-		Hidden: make(map[int]*HiddenImage),
-		rows:   make(map[int]int),
 		opts:   opts,
 		defCfg: QueryConfig{Strategy: opts.ForceStrategy, Projector: opts.Projector},
 	}
-	db.sched = sched.New(db.RAM, opts.MaxConcurrentQueries)
+	var trees []shard.Tree
+	for _, r := range sch.Roots() {
+		trees = append(trees, shard.Tree{
+			Root:   r,
+			Tables: sch.TreeTables(r),
+			Weight: treeFloorWeight(sch, r),
+		})
+	}
+	place, err := shard.Place(sch, opts.Shards, trees)
+	if err != nil {
+		return nil, err
+	}
+	db.place = place
+	for i := 0; i < opts.Shards; i++ {
+		dev, err := flash.NewDevice(opts.FlashParams)
+		if err != nil {
+			return nil, err
+		}
+		ch := bus.NewChannel(opts.ThroughputMBps)
+		tok := &Token{
+			id:     i,
+			Dev:    dev,
+			RAM:    ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
+			Bus:    ch,
+			Untr:   untrusted.NewEngine(sch, ch),
+			Hidden: make(map[int]*HiddenImage),
+			rows:   make(map[int]int),
+		}
+		tok.sched = sched.New(tok.RAM, opts.MaxConcurrentQueries)
+		db.tokens = append(db.tokens, tok)
+	}
+	// Token 0 aliases (see the DB doc comment).
+	t0 := db.tokens[0]
+	db.Dev, db.RAM, db.Bus, db.Untr, db.Hidden = t0.Dev, t0.RAM, t0.Bus, t0.Untr, t0.Hidden
 	if opts.ResultCacheBytes > 0 {
 		db.cache = cache.New(int64(opts.ResultCacheBytes))
 	}
 	return db, nil
+}
+
+// treeFloorWeight is the placement weight of one schema tree: the
+// planner's QEPSJ footprint formula applied to the tree's widest plan
+// shape (every table projected, every hidden attribute selected). It is
+// a pure function of the schema — placement must never depend on data.
+func treeFloorWeight(sch *schema.Schema, root int) int {
+	tables := sch.TreeTables(root)
+	writers := len(tables) // (len-1) column writers + 1 anchor writer
+	skt := 0
+	if len(tables) > 1 {
+		skt = 1
+	}
+	hidden := 0
+	for _, ti := range tables {
+		hidden += len(sch.Tables[ti].HiddenColumns())
+	}
+	return writers + skt + maxInt(hidden, 3)
+}
+
+// Tokens returns every secure token as a read-only Unit, shard order.
+func (db *DB) Tokens() []Unit {
+	out := make([]Unit, len(db.tokens))
+	for i, t := range db.tokens {
+		out[i] = t
+	}
+	return out
+}
+
+// TokenOf returns the token holding a table.
+func (db *DB) TokenOf(table int) *Token { return db.tokens[db.place.Of(table)] }
+
+// Placement exposes the table→token map.
+func (db *DB) Placement() *shard.Map { return db.place }
+
+// TokenTotals snapshots every token's cumulative session costs, shard
+// order. Summed across tokens, the flash and bus counters equal what an
+// unsharded engine reports for the same executed work.
+func (db *DB) TokenTotals() []Totals {
+	out := make([]Totals, len(db.tokens))
+	for i, t := range db.tokens {
+		out[i] = t.Totals()
+	}
+	return out
+}
+
+// tokenForTables returns the single token holding every listed table, or
+// an error naming the split (callers decide whether to fan out instead).
+func (db *DB) tokenForTables(tables []int) (*Token, error) {
+	tok, ok := db.place.TokenOfAll(tables)
+	if !ok {
+		return nil, fmt.Errorf("exec: tables span several tokens")
+	}
+	return db.tokens[tok], nil
 }
 
 // Options returns the effective options.
@@ -286,32 +394,38 @@ func (db *DB) SetProjector(p Projector) {
 	db.defCfg.Projector = p
 }
 
-// SetThroughput adjusts the modeled link speed (Figure 14). Safe under
-// concurrent sessions: the channel knob is synchronized, and every query
-// session snapshots the link speed when it starts executing, so a
-// running query's reported CommTime never mixes two speeds — the new
-// speed applies to sessions that start after the call. Prefer setting
-// Options.ThroughputMBps up front when the speed is fixed for the run.
-func (db *DB) SetThroughput(mbps float64) { db.Bus.SetThroughput(mbps) }
-
-// Sched exposes the admission scheduler (diagnostics and tests).
-func (db *DB) Sched() *sched.Scheduler { return db.sched }
-
-// Rows returns the cardinality of a table.
-func (db *DB) Rows(table int) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.rows[table]
+// SetThroughput adjusts the modeled link speed of every token's bus
+// (Figure 14). Safe under concurrent sessions: the channel knob is
+// synchronized, and every query session snapshots the link speed when it
+// starts executing, so a running query's reported CommTime never mixes
+// two speeds — the new speed applies to sessions that start after the
+// call. Prefer setting Options.ThroughputMBps up front when the speed is
+// fixed for the run.
+func (db *DB) SetThroughput(mbps float64) {
+	for _, t := range db.tokens {
+		t.Bus.SetThroughput(mbps)
+	}
 }
 
-// Load bulk-loads every table: visible columns go to Untrusted, hidden
-// columns to the hidden images on flash, and the index catalog (SKTs +
-// climbing indexes) is built for the configured variant.
+// Sched exposes token 0's admission scheduler (diagnostics and tests;
+// multi-token callers reach each token's scheduler via TokenOf/Tokens).
+func (db *DB) Sched() *sched.Scheduler { return db.tokens[0].sched }
+
+// Rows returns the cardinality of a table (routed to its token).
+func (db *DB) Rows(table int) int { return db.TokenOf(table).Rows(table) }
+
+// Load bulk-loads every table onto its placed token: visible columns go
+// to the token's untrusted store, hidden columns to hidden images on the
+// token's flash, and each token builds the index catalog (SKTs +
+// climbing indexes) for the trees it owns.
 func (db *DB) Load(data map[int]*TableLoad) error {
-	if db.Cat != nil {
+	if db.loaded {
 		return errors.New("exec: database already loaded")
 	}
-	inputs := make(map[int]*index.TableInput, len(db.Sch.Tables))
+	perTok := make([]map[int]*index.TableInput, len(db.tokens))
+	for i := range perTok {
+		perTok[i] = make(map[int]*index.TableInput)
+	}
 	for _, t := range db.Sch.Tables {
 		ld := data[t.Index]
 		if ld == nil {
@@ -321,12 +435,11 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 			return fmt.Errorf("exec: table %q: %d columns loaded, schema has %d",
 				t.Name, len(ld.Cols), len(t.Columns))
 		}
-		db.mu.Lock()
-		db.rows[t.Index] = ld.Rows
-		db.mu.Unlock()
+		tok := db.TokenOf(t.Index)
+		tok.setRows(t.Index, ld.Rows)
 		in := &index.TableInput{Rows: ld.Rows, FKs: ld.FKs}
 
-		// Visible columns -> untrusted store (zero copy).
+		// Visible columns -> the token's untrusted store (zero copy).
 		for ci, col := range t.Columns {
 			c := ld.Cols[ci]
 			if col.EncodedWidth() != c.Width {
@@ -339,15 +452,15 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 				in.Attrs = append(in.Attrs, index.AttrData{ColIdx: ci, Width: c.Width, Data: c.Data})
 				continue
 			}
-			if err := db.Untr.LoadColumn(t.Index, ci, c.Width, c.Data); err != nil {
+			if err := tok.Untr.LoadColumn(t.Index, ci, c.Width, c.Data); err != nil {
 				return err
 			}
 		}
-		if err := db.Untr.SetRows(t.Index, ld.Rows); err != nil {
+		if err := tok.Untr.SetRows(t.Index, ld.Rows); err != nil {
 			return err
 		}
 
-		// Hidden image.
+		// Hidden image on the token's flash.
 		hidden := t.HiddenColumns()
 		if len(hidden) > 0 {
 			img := &HiddenImage{Codec: store.NewCodec(hidden), ColPos: map[int]int{}}
@@ -358,7 +471,7 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 					pos++
 				}
 			}
-			f, err := store.NewRowFile(db.Dev, img.Codec.Width())
+			f, err := store.NewRowFile(tok.Dev, img.Codec.Width())
 			if err != nil {
 				return err
 			}
@@ -381,18 +494,25 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 				return err
 			}
 			img.File = f
-			db.Hidden[t.Index] = img
+			tok.Hidden[t.Index] = img
 		}
-		inputs[t.Index] = in
+		perTok[tok.id][t.Index] = in
 	}
-	cat, err := index.Build(db.Dev, db.Sch, inputs, db.opts.Variant)
-	if err != nil {
-		return err
+	for _, tok := range db.tokens {
+		if len(perTok[tok.id]) == 0 {
+			continue // token with no trees placed on it
+		}
+		cat, err := index.Build(tok.Dev, db.Sch, perTok[tok.id], db.opts.Variant)
+		if err != nil {
+			return err
+		}
+		tok.Cat = cat
+		// Exclude load/build I/O from query measurements.
+		tok.Dev.ResetCounters()
+		tok.Bus.ResetCounters()
 	}
-	db.Cat = cat
-	// Exclude load/build I/O from query measurements.
-	db.Dev.ResetCounters()
-	db.Bus.ResetCounters()
+	db.Cat = db.tokens[0].Cat
+	db.loaded = true
 	return nil
 }
 
@@ -411,8 +531,13 @@ type Stats struct {
 	// elastic grant the session actually held.
 	PlanMinBuffers int
 	GrantBuffers   int
-	Strategy       map[string]Strategy // per visible table
-	Projector      Projector
+	// Shard is the token the session ran on. For a fan-out query the
+	// top-level Stats report Shard -1 and Scatter counts the per-token
+	// sub-sessions (each of which merged into its own token's totals).
+	Shard     int
+	Scatter   int
+	Strategy  map[string]Strategy // per visible table
+	Projector Projector
 	// CacheHit marks an answer served from the untrusted result cache,
 	// CacheShared one shared from a concurrent identical query's single
 	// admitted session (singleflight). Either way no session ran for this
@@ -497,7 +622,7 @@ type Stmt struct {
 // selectivity counts, and the plan's true minimum RAM footprint is
 // derived so admission can be sized from it.
 func (db *DB) Prepare(sql string, cfg QueryConfig) (*Stmt, error) {
-	if db.Cat == nil {
+	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
 	stmt, err := sqlparse.Parse(sql)
@@ -577,7 +702,7 @@ func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
 // a hit pays only parse+resolve (the key derivation) — no plan-time
 // selectivity scans and no token work.
 func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
-	if db.Cat == nil {
+	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
 	stmt, err := sqlparse.Parse(sql)
@@ -594,11 +719,14 @@ func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result,
 	return ps.RunCtx(ctx, cfg)
 }
 
-// runInsert executes an INSERT as a minimal session sized from the
-// insert's planned footprint. Updates mutate shared structures (hidden
-// images, indexes, row counts), so they hold the token slot.
+// runInsert executes an INSERT as a minimal session on the token owning
+// the target table, sized from the insert's planned footprint. Updates
+// mutate shared structures (hidden images, indexes, row counts), so they
+// hold that token's slot — inserts into tables on *different* tokens
+// proceed in parallel (the write-through fan-out of a sharded load).
 func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*Result, error) {
-	sess, err := db.sched.Acquire(ctx, sched.Request{
+	tok := plan.tok
+	sess, err := tok.sched.Acquire(ctx, sched.Request{
 		MinBuffers: plan.MinBuffers, WantBuffers: plan.WantBuffers})
 	if err != nil {
 		return nil, wrapAdmission(err)
@@ -612,7 +740,7 @@ func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*
 			return err
 		}
 		defer g.Release()
-		return db.Insert(ins)
+		return db.insertOn(tok, ins)
 	})
 	if err != nil {
 		return nil, err
@@ -663,14 +791,31 @@ func (db *DB) SelectCtx(ctx context.Context, q *query.Query, cfg QueryConfig) (*
 	return db.runSelect(ctx, q, plan, cfg)
 }
 
-// runSelect executes a planned query as one scheduled session: FIFO RAM
-// admission sized from the plan's floor, operator variants bound from
-// the actual grant, then exclusive use of the simulated token while the
-// query runs, so per-query counters and simulated timings are
-// deterministic.
+// runSelect executes a planned query. Single-token plans run as one
+// scheduled session on their token: FIFO RAM admission sized from the
+// plan's floor, operator variants bound from the actual grant, then
+// exclusive use of that token while the query runs, so per-query
+// counters and simulated timings are deterministic. Cross-token plans
+// fan out (runScatter).
 func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig) (*Result, error) {
+	if len(plan.Parts) > 0 {
+		return db.runScatter(ctx, q, plan, cfg)
+	}
+	res, err := db.runSelectOn(ctx, q, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.mergeTotals(res.Stats)
+	return res, nil
+}
+
+// runSelectOn runs one single-token plan as a session on its token and
+// merges the session's cost into that token's totals (but not into the
+// DB-level client totals — the caller does that once per client query).
+func (db *DB) runSelectOn(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig) (*Result, error) {
+	tok := plan.tok
 	req := db.sessionRequest(plan, cfg)
-	sess, err := db.sched.Acquire(ctx, req)
+	sess, err := tok.sched.Acquire(ctx, req)
 	if err != nil {
 		return nil, wrapAdmission(err)
 	}
@@ -679,6 +824,7 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 	err = sess.Exclusive(ctx, func() error {
 		r := &queryRun{
 			db:         db,
+			tok:        tok,
 			q:          q,
 			cfg:        cfg,
 			plan:       plan,
@@ -690,7 +836,7 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 			// SetThroughput calls during the run apply to later sessions
 			// only, so this query's CommTime is computed against one
 			// consistent speed.
-			col: metrics.NewCollector(db.Dev, db.Bus, db.opts.Model),
+			col: metrics.NewCollector(tok.Dev, tok.Bus, db.opts.Model),
 		}
 		// The token is exclusively ours: zero the device/bus counters so
 		// the collector's spans see only this query's I/O.
@@ -698,7 +844,7 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 		// The query text is the only thing that ever leaves the secure
 		// perimeter (§1: "the only information revealed to a potential
 		// spy is which queries you pose").
-		if err := db.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
+		if err := tok.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
 			return err
 		}
 		out, err := r.execute()
@@ -713,31 +859,38 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 		}
 		out.Stats = r.collectStats()
 		res = out
+		// Paced mode: hold the token slot for a real-time shadow of the
+		// simulated cost, so wall-clock measurements see device-bound
+		// (not host-CPU-bound) behavior. See Options.PaceSimulation.
+		if pace := db.opts.PaceSimulation; pace > 0 {
+			time.Sleep(time.Duration(float64(out.Stats.SimTime) / pace))
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	db.mergeTotals(res.Stats)
+	tok.mergeTotals(res.Stats)
 	return res, nil
 }
 
 // collectStats summarizes this query's cost from the counters the run
-// observed while it held the token.
+// observed while it held its token.
 func (r *queryRun) collectStats() Stats {
-	db := r.db
-	down, up := db.Bus.Counters()
-	total := metrics.Sample{Flash: db.Dev.Counters(), BusDown: down, BusUp: up}
+	db, tok := r.db, r.tok
+	down, up := tok.Bus.Counters()
+	total := metrics.Sample{Flash: tok.Dev.Counters(), BusDown: down, BusUp: up}
 	st := Stats{
 		IOTime:         db.opts.Model.IOTime(total),
 		CommTime:       db.opts.Model.CommTime(total, r.col.ThroughputMBps()),
 		Breakdown:      r.col.Breakdown(),
-		Flash:          db.Dev.Counters(),
+		Flash:          tok.Dev.Counters(),
 		BusDown:        down,
 		BusUp:          up,
 		RAMHigh:        r.ram.HighWater(),
 		PlanMinBuffers: r.planMin,
 		GrantBuffers:   r.bind.GrantBuffers,
+		Shard:          tok.id,
 		Strategy:       map[string]Strategy{},
 		Projector:      r.cfg.Projector,
 	}

@@ -155,7 +155,7 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 	anchor := q.Anchor
 
 	projVis := r.projectedVisibleCols()
-	aImg := db.Hidden[anchor]
+	aImg := r.tok.Hidden[anchor]
 	anchorHidden := false
 	for _, p := range q.Projections {
 		if p.Table == anchor && p.ColIdx != query.IDCol && db.Sch.Tables[anchor].Columns[p.ColIdx].Hidden {

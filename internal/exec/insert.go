@@ -20,7 +20,11 @@ import (
 // Without an explicit column list, values are expected as the foreign
 // keys (in declaration order) followed by the data columns (in
 // declaration order).
-func (db *DB) Insert(ins sqlparse.Insert) error {
+//
+// insertOn runs against the token owning the table (the caller routed
+// it); every structure it maintains — untrusted store, hidden image,
+// SKT, climbing indexes, row counts, the data version — is that token's.
+func (db *DB) insertOn(tok *Token, ins sqlparse.Insert) error {
 	t, ok := db.Sch.Lookup(ins.Table)
 	if !ok {
 		return fmt.Errorf("exec: unknown table %q", ins.Table)
@@ -29,7 +33,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 	if err != nil {
 		return err
 	}
-	id := uint32(db.rows[t.Index])
+	id := uint32(tok.rows[t.Index])
 
 	// Referential integrity.
 	for _, ref := range t.Refs {
@@ -38,7 +42,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 		if !ok {
 			return fmt.Errorf("exec: missing foreign key %s", ref.FKColumn)
 		}
-		if int(cid) >= db.rows[child.Index] {
+		if int(cid) >= tok.rows[child.Index] {
 			return fmt.Errorf("exec: %s=%d references missing %s row", ref.FKColumn, cid, ref.Child)
 		}
 	}
@@ -50,12 +54,12 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 			visible = append(visible, vals[ci])
 		}
 	}
-	if err := db.Untr.InsertRow(t.Index, visible); err != nil {
+	if err := tok.Untr.InsertRow(t.Index, visible); err != nil {
 		return err
 	}
 
 	// Hidden image.
-	img := db.Hidden[t.Index]
+	img := tok.Hidden[t.Index]
 	var hidRec []byte
 	if img != nil {
 		var hidden schema.Row
@@ -79,7 +83,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 		for _, c := range t.Children() {
 			cid := fks[c]
 			descIDs[c] = cid
-			if cskt, ok := db.Cat.SKTOf(c); ok {
+			if cskt, ok := tok.Cat.SKTOf(c); ok {
 				row := make([]uint32, len(cskt.Descendants()))
 				if err := cskt.ReadRow(cid, row); err != nil {
 					return err
@@ -89,7 +93,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 				}
 			}
 		}
-		if skt, ok := db.Cat.SKTOf(t.Index); ok {
+		if skt, ok := tok.Cat.SKTOf(t.Index); ok {
 			row := make([]uint32, len(skt.Descendants()))
 			for i, d := range skt.Descendants() {
 				row[i] = descIDs[d]
@@ -105,7 +109,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 		if !col.Hidden {
 			continue
 		}
-		cidx, ok := db.Cat.AttrIndex(t.Index, ci)
+		cidx, ok := tok.Cat.AttrIndex(t.Index, ci)
 		if !ok {
 			continue
 		}
@@ -129,13 +133,13 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 	// Descendant indexes gain the new tuple's id at this table's level.
 	for d, did := range descIDs {
 		dt := db.Sch.Tables[d]
-		dimg := db.Hidden[d]
+		dimg := tok.Hidden[d]
 		var drec []byte
 		for ci, col := range dt.Columns {
 			if !col.Hidden {
 				continue
 			}
-			cidx, ok := db.Cat.AttrIndex(d, ci)
+			cidx, ok := tok.Cat.AttrIndex(d, ci)
 			if !ok {
 				continue
 			}
@@ -165,7 +169,7 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 			}
 			_ = col
 		}
-		if idIdx, ok := db.Cat.IDIndex(d); ok {
+		if idIdx, ok := tok.Cat.IDIndex(d); ok {
 			if slot, ok := idIdx.LevelOf(t.Index); ok {
 				var key [4]byte
 				binary.BigEndian.PutUint32(key[:], did)
@@ -181,15 +185,18 @@ func (db *DB) Insert(ins sqlparse.Insert) error {
 		}
 	}
 
-	db.mu.Lock()
-	db.rows[t.Index]++
-	db.mu.Unlock()
-	// The update is committed: bump the result cache's data version so no
-	// later query can be answered from a pre-insert entry. (Queries whose
-	// execution is already in flight are prevented from *storing* their
-	// results by the same version stamp.)
+	tok.mu.Lock()
+	tok.rows[t.Index]++
+	tok.mu.Unlock()
+	// The update is committed: bump this shard's data version so no later
+	// query touching the shard can be answered from a pre-insert entry.
+	// (Queries whose execution is already in flight are prevented from
+	// *storing* their results by the same version stamp.) Entries whose
+	// queries touch only other shards are untouched — that is the point
+	// of the per-shard vector.
+	tok.bumpVersion()
 	if db.cache != nil {
-		db.cache.Bump()
+		db.cache.BumpShard(tok.id)
 	}
 	return nil
 }

@@ -78,7 +78,7 @@ func (r *queryRun) openGroup(g *mergeGroup) (idStream, error) {
 // stream over the anchor table).
 func (r *queryRun) openMerged(groups []*mergeGroup) (idStream, error) {
 	if len(groups) == 0 {
-		return &seqStream{n: uint32(r.db.rows[r.q.Anchor])}, nil
+		return &seqStream{n: uint32(r.tok.rows[r.q.Anchor])}, nil
 	}
 	srcs := make([]idStream, 0, len(groups))
 	for _, g := range groups {
@@ -97,32 +97,54 @@ func (r *queryRun) openMerged(groups []*mergeGroup) (idStream, error) {
 	return newIntersectStream(srcs), nil
 }
 
+// storeSpill is the shared-stage store output: survivor tuples written
+// row-major (anchor id, then one id per needed table) into one segment
+// through a single staged buffer, awaiting the distribution pass.
+type storeSpill struct {
+	seg    *store.Segment
+	needed []int
+	n      int
+}
+
 // joinAndStore drives the pipelined batch loop: pull anchor ids from the
 // Merge, semi-join them with the anchor's SKT to recover the descendant
 // ids the projection needs, probe the Bloom filters, and materialize the
-// survivors column by column (the Store cost of Figure 15). The RAM for
-// the column writers and the SKT reader is reserved up front by the
-// caller's pipeline plan (qepsj), so this stage never races the Merge
-// for buffers.
+// survivors (the Store cost of Figure 15). The RAM for the writers and
+// the SKT reader is reserved up front by the caller's pipeline plan
+// (qepsj), so this stage never races the Merge for buffers. The writer
+// variant was bound at admission: direct per-column writers when the
+// grant holds them, otherwise one shared staged spill buffer whose
+// contents distributeSpill rewrites column by column afterwards.
 func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) error {
 	db := r.db
 	anchor := r.q.Anchor
+	direct := r.bind.StoreDirect || len(needed) == 0
 
-	anchorSeg := r.newTemp()
-	if err := anchorSeg.BeginRun(); err != nil {
-		return err
-	}
-	colSegs := make(map[int]*store.ListSegment, len(needed))
-	for _, ti := range needed {
-		colSegs[ti] = r.newTemp()
-		if err := colSegs[ti].BeginRun(); err != nil {
+	var anchorSeg *store.ListSegment
+	var colSegs map[int]*store.ListSegment
+	var spillSeg *store.Segment
+	var spillRec []byte
+	if direct {
+		anchorSeg = r.newTemp()
+		if err := anchorSeg.BeginRun(); err != nil {
 			return err
 		}
+		colSegs = make(map[int]*store.ListSegment, len(needed))
+		for _, ti := range needed {
+			colSegs[ti] = r.newTemp()
+			if err := colSegs[ti].BeginRun(); err != nil {
+				return err
+			}
+		}
+	} else {
+		spillSeg = store.NewSegment(r.tok.Dev)
+		r.tempSegs = append(r.tempSegs, spillSeg)
+		spillRec = make([]byte, (1+len(needed))*store.IDBytes)
 	}
 
 	var skt *sktAccess
 	if len(needed) > 0 {
-		s, ok := db.Cat.SKTOf(anchor)
+		s, ok := r.tok.Cat.SKTOf(anchor)
 		if !ok {
 			return fmt.Errorf("exec: no SKT on anchor %s", db.Sch.Tables[anchor].Name)
 		}
@@ -197,15 +219,22 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 			}
 			// Store: materialize the survivor.
 			err = r.col.Span(spanStore, func() error {
-				if err := anchorSeg.Add(id); err != nil {
-					return err
-				}
-				for i, ti := range needed {
-					if err := colSegs[ti].Add(tuple[i]); err != nil {
+				if direct {
+					if err := anchorSeg.Add(id); err != nil {
 						return err
 					}
+					for i, ti := range needed {
+						if err := colSegs[ti].Add(tuple[i]); err != nil {
+							return err
+						}
+					}
+					return nil
 				}
-				return nil
+				binary.BigEndian.PutUint32(spillRec, id)
+				for i := range needed {
+					binary.BigEndian.PutUint32(spillRec[(i+1)*store.IDBytes:], tuple[i])
+				}
+				return spillSeg.Append(spillRec)
 			})
 			if err != nil {
 				return err
@@ -216,6 +245,14 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 
 	r.resN = n
 	r.resCols = map[int]resCol{}
+	if !direct {
+		err := r.col.Span(spanStore, func() error { return spillSeg.Seal() })
+		if err != nil {
+			return err
+		}
+		r.spill = &storeSpill{seg: spillSeg, needed: needed, n: n}
+		return nil
+	}
 	finish := func(ti int, seg *store.ListSegment) error {
 		return r.col.Span(spanStore, func() error {
 			run, err := seg.EndRun()
@@ -238,6 +275,59 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 		}
 	}
 	return nil
+}
+
+// distributeSpill is the shared-stage mode's second half: re-read the
+// spilled row-major survivor tuples once per column (a sequential scan
+// each) and write that column's ids into its own list segment — exactly
+// the layout the projection operators expect from the direct writers.
+// Holds 3 buffers: a 2-buffer spill reader (tuples may straddle a page
+// boundary) plus the one open column writer. The extra flash traffic
+// (one spill write + k+1 sequential re-reads) is the price of the lower
+// floor; the simulated counters record it under Store.
+func (r *queryRun) distributeSpill() error {
+	sp := r.spill
+	r.spill = nil
+	tupleW := (1 + len(sp.needed)) * store.IDBytes
+	resv, err := r.ram.Plan(
+		ram.Claim{Name: "spill-reader", Min: 2, Want: 2},
+		ram.Claim{Name: "column-writer", Min: 1, Want: 1},
+	)
+	if err != nil {
+		return fmt.Errorf("exec: store distribution: %w", err)
+	}
+	defer resv.Release()
+	return r.col.Span(spanStore, func() error {
+		order := append([]int{r.q.Anchor}, sp.needed...)
+		for pos, ti := range order {
+			seg := r.newTemp()
+			if err := seg.BeginRun(); err != nil {
+				return err
+			}
+			rd := newSegReader(sp.seg, segRun{seg: sp.seg, off: 0, count: sp.n}, tupleW)
+			for {
+				rec, ok, err := rd.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := seg.Add(binary.BigEndian.Uint32(rec[pos*store.IDBytes:])); err != nil {
+					return err
+				}
+			}
+			run, err := seg.EndRun()
+			if err != nil {
+				return err
+			}
+			if err := seg.Seal(); err != nil {
+				return err
+			}
+			r.resCols[ti] = resCol{seg: seg, run: run}
+		}
+		return sp.seg.Free()
+	})
 }
 
 // sktAccess wraps sorted SKT row access with column projection.

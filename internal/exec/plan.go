@@ -57,13 +57,23 @@ type TablePlan struct {
 // pipeline phase. Phases run one after the other, so the plan's floor is
 // the maximum phase footprint, not the sum.
 type Footprint struct {
-	// QEPSJ phase: one writer per stored column + one anchor writer,
-	// one SKT reader when descendant columns are stored, and the Merge's
-	// stream/reduction buffers, all held simultaneously.
+	// QEPSJ phase, direct mode: one writer per stored column + one anchor
+	// writer, one SKT reader when descendant columns are stored, and the
+	// Merge's stream/reduction buffers, all held simultaneously.
 	StoreWriters int
 	SKTReader    int
 	Merge        int
-	QEPSJ        int // StoreWriters + SKTReader + Merge
+	QEPSJ        int // StoreWriters + SKTReader + Merge (direct mode)
+	// Shared-stage mode: under a tight grant the column writers collapse
+	// into ONE staged spill buffer (survivor tuples written row-major),
+	// and a post-pipeline distribution pass rewrites them column by
+	// column. QEPSJShared = 1 + SKTReader + Merge is the pipeline's
+	// shared-mode footprint; Distribute (3: spill reader spanning a page
+	// boundary + one column writer) is the pass that follows. The floor
+	// uses these; a session granted the direct footprint binds direct
+	// writers and skips the extra pass.
+	QEPSJShared int
+	Distribute  int
 	// Cross phase: stream buffers for intersecting a visible id list
 	// with same-level hidden sublists (runs before the QEPSJ pipeline is
 	// reserved).
@@ -107,11 +117,36 @@ type Plan struct {
 	EstPageReads  int
 	EstPageWrites int
 	EstCost       time.Duration
+	// HiddenSel lists the per-hidden-predicate selectivity estimates the
+	// cost model used, from the secure-side index statistics kept on the
+	// token (never shipped; only this derived scalar appears here and in
+	// EXPLAIN). Falls back to the paper's fixed 10% when no index covers
+	// a predicate.
+	HiddenSel []HiddenSelEst
+
+	// Shard is the token ordinal this plan runs on (-1 for a cross-token
+	// scatter plan). Parts holds the per-token sub-plans of a scatter
+	// plan, in sub-query order; it is nil for single-token plans.
+	Shard int
+	Parts []*Plan
 
 	// Execution-side bindings (not part of the public surface).
+	tok         *Token
 	strategies  map[int]Strategy
 	mjoinFixed  map[int]int // per-table fixed reader buffers in MJoin
 	mjoinMinVal map[int]int // per-table minimum batch buffers
+}
+
+// HiddenSelEst is one hidden predicate's estimated selectivity in the
+// plan's cost model.
+type HiddenSelEst struct {
+	Table string
+	Col   string
+	// Sel is the estimated fraction of the table the predicate keeps.
+	Sel float64
+	// FromIndex reports whether the estimate came from the secure-side
+	// index statistics (false = the fixed 10% fallback).
+	FromIndex bool
 }
 
 // Strategies returns a fresh copy of the planned per-table strategies,
@@ -131,6 +166,11 @@ func (p *Plan) Strategies() map[int]Strategy {
 // reservation outcomes. All values are whole buffers.
 type Binding struct {
 	GrantBuffers int
+	// StoreDirect selects the store pipeline variant: true binds one
+	// writer per result column (no extra pass); false binds the shared
+	// staged spill buffer plus the distribution pass — chosen when the
+	// grant cannot hold the direct writer set.
+	StoreDirect bool
 	// MergeFanIn caps the streams one QEPSJ sublist-reduction pass opens
 	// (the pipeline's writers and SKT reader are already spoken for).
 	MergeFanIn int
@@ -153,7 +193,14 @@ type Binding struct {
 // Bind derives the session's operator binding from its actual grant.
 func (p *Plan) Bind(grant int) *Binding {
 	b := &Binding{GrantBuffers: grant, MJoinBatch: map[int]int{}}
+	// Direct column writers when the grant can hold them alongside the
+	// Merge; otherwise the shared staged spill buffer (whose existence is
+	// what pushed the floor below the direct footprint).
+	b.StoreDirect = p.Footprint.Distribute == 0 || grant >= p.Footprint.QEPSJ
 	pipe := p.Footprint.StoreWriters + p.Footprint.SKTReader
+	if !b.StoreDirect {
+		pipe = 1 + p.Footprint.SKTReader
+	}
 	b.MergeFanIn = maxInt(grant-pipe-1, 2)
 	b.CrossFanIn = maxInt(grant-1, 2)
 	b.MergeReserve = p.Footprint.Merge
@@ -250,27 +297,28 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// indexForPred returns the climbing index evaluating a hidden predicate.
-func (db *DB) indexForPred(p query.Pred) *index.Climbing {
+// indexForPred returns the climbing index evaluating a hidden predicate
+// (the token's: index structures live on the token owning the table).
+func (tok *Token) indexForPred(p query.Pred) *index.Climbing {
 	if p.ColIdx == query.IDCol {
-		ci, _ := db.Cat.IDIndex(p.Table)
+		ci, _ := tok.Cat.IDIndex(p.Table)
 		return ci
 	}
-	ci, _ := db.Cat.AttrIndex(p.Table, p.ColIdx)
+	ci, _ := tok.Cat.AttrIndex(p.Table, p.ColIdx)
 	return ci
 }
 
 // crossAvailableFor reports whether the Cross optimization applies to a
 // table: a hidden selection on the same table or on one of its
 // descendants (whose climbing index carries this table's level), §3.3.
-func (db *DB) crossAvailableFor(q *query.Query, ti int) bool {
-	return db.crossCandidates(q, ti) > 0
+func (db *DB) crossAvailableFor(tok *Token, q *query.Query, ti int) bool {
+	return db.crossCandidates(tok, q, ti) > 0
 }
 
 // crossCandidates counts the hidden predicates that could participate in
 // the Cross optimization at table ti (an upper bound on the sublist
 // groups the cross intersection opens at once).
-func (db *DB) crossCandidates(q *query.Query, ti int) int {
+func (db *DB) crossCandidates(tok *Token, q *query.Query, ti int) int {
 	n := 0
 	for _, p := range q.HiddenPreds() {
 		if p.Table == ti {
@@ -281,7 +329,7 @@ func (db *DB) crossCandidates(q *query.Query, ti int) int {
 			continue
 		}
 		if db.Sch.IsAncestorOf(ti, p.Table) {
-			if ci := db.indexForPred(p); ci != nil {
+			if ci := tok.indexForPred(p); ci != nil {
 				if _, ok := ci.LevelOf(ti); ok {
 					n++
 				}
@@ -308,17 +356,26 @@ func strategyNeedsExact(s Strategy) bool {
 // admitted, metered or transferred; counts come from Untrusted's own
 // data, which the query text already exposes.
 func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
-	if db.Cat == nil {
+	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
-	bufSize := db.RAM.BufferSize()
+	if len(q.Parts) > 0 {
+		return db.planScatter(q, cfg)
+	}
+	tok, err := db.tokenForTables(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	bufSize := tok.RAM.BufferSize()
 	p := &Plan{
 		SQL:          q.SQL,
 		Anchor:       db.Sch.Tables[q.Anchor].Name,
 		CountOnly:    q.CountOnly,
 		Projector:    cfg.Projector,
-		TotalBuffers: db.RAM.Buffers(),
+		TotalBuffers: tok.RAM.Buffers(),
 		BufferBytes:  bufSize,
+		Shard:        tok.id,
+		tok:          tok,
 		strategies:   map[int]Strategy{},
 		mjoinFixed:   map[int]int{},
 		mjoinMinVal:  map[int]int{},
@@ -342,11 +399,11 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 	}
 	sort.Ints(visTables)
 	for _, ti := range visTables {
-		n, err := db.Untr.CountVis(ti, visPreds[ti])
+		n, err := tok.Untr.CountVis(ti, visPreds[ti])
 		if err != nil {
 			return nil, err
 		}
-		rows := db.Rows(ti)
+		rows := tok.Rows(ti)
 		sV := 1.0
 		if rows > 0 {
 			sV = float64(n) / float64(rows)
@@ -363,7 +420,7 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 			p.Tables = append(p.Tables, tp)
 			continue
 		}
-		cross := db.crossAvailableFor(q, ti)
+		cross := db.crossAvailableFor(tok, q, ti)
 		s := cfg.Strategy
 		if s == StratAuto {
 			// The selectivity thresholds observed in §6.
@@ -449,13 +506,22 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 		fp.Merge = maxInt(nGroups, 3)
 	}
 	fp.QEPSJ = fp.StoreWriters + fp.SKTReader + fp.Merge
+	// Shared-stage floor: with stored columns the writers can collapse
+	// into one staged spill buffer; the post-pipeline distribution pass
+	// needs a 2-buffer spill reader (tuples may span a page boundary)
+	// plus one column writer.
+	fp.QEPSJShared = fp.QEPSJ
+	if len(needed) > 0 {
+		fp.QEPSJShared = 1 + fp.SKTReader + fp.Merge
+		fp.Distribute = 3
+	}
 
 	// ---- Cross phase (runs before the pipeline is reserved): one stream
 	// per crossing sublist group plus the reduction workspace.
 	for ti, s := range p.strategies {
 		switch s {
 		case StratCrossPre, StratCrossPost, StratCrossPostSelect:
-			if f := maxInt(db.crossCandidates(q, ti), 3); f > fp.Cross {
+			if f := maxInt(db.crossCandidates(tok, q, ti), 3); f > fp.Cross {
 				fp.Cross = f
 			}
 		}
@@ -548,7 +614,7 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 	}
 
 	p.MinBuffers = 1
-	for _, f := range []int{fp.QEPSJ, fp.Cross, fp.PostSelect, fp.Projection} {
+	for _, f := range []int{fp.QEPSJShared, fp.Distribute, fp.Cross, fp.PostSelect, fp.Projection} {
 		if f > p.MinBuffers {
 			p.MinBuffers = f
 		}
@@ -562,21 +628,22 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 // maintaining the partitions and indexes (instead of the old hardcoded
 // 1-buffer request, which under-declared wide hidden codecs).
 func (db *DB) planInsert(ins sqlparse.Insert) (*Plan, error) {
-	if db.Cat == nil {
+	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
 	t, ok := db.Sch.Lookup(ins.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown table %q", ins.Table)
 	}
+	tok := db.TokenOf(t.Index)
 	bytes := 0
-	if img := db.Hidden[t.Index]; img != nil {
+	if img := tok.Hidden[t.Index]; img != nil {
 		bytes += img.Codec.Width()
 	}
-	if skt, ok := db.Cat.SKTOf(t.Index); ok {
+	if skt, ok := tok.Cat.SKTOf(t.Index); ok {
 		bytes += len(skt.Descendants()) * store.IDBytes
 	}
-	bufSize := db.RAM.BufferSize()
+	bufSize := tok.RAM.BufferSize()
 	min := (bytes + bufSize - 1) / bufSize
 	if min < 1 {
 		min = 1
@@ -586,19 +653,23 @@ func (db *DB) planInsert(ins sqlparse.Insert) (*Plan, error) {
 		Insert:       true,
 		MinBuffers:   min,
 		WantBuffers:  min,
-		TotalBuffers: db.RAM.Buffers(),
+		TotalBuffers: tok.RAM.Buffers(),
 		BufferBytes:  bufSize,
+		Shard:        tok.id,
+		tok:          tok,
 	}, nil
 }
 
 // estimate fills the plan's coarse cost model: expected page traffic
 // under the Table 1 parameters. It exists to rank plans in EXPLAIN
 // output; measured Stats remain the ground truth. Hidden selectivities
-// are unknowable before touching the secure index (doing so would cost
-// unmetered I/O), so each hidden predicate is assumed to keep 10% — the
-// paper's own fixed sH.
+// come from the per-index statistics each token keeps beside its
+// climbing indexes (equi-depth key boundaries, maintained at build and
+// insert time): the raw statistics never leave the token — the planner
+// receives only the derived scalar per predicate, which EXPLAIN then
+// shows. Predicates with no covering index fall back to the paper's
+// fixed 10% sH.
 func (p *Plan) estimate(db *DB, q *query.Query) {
-	const assumedHiddenSel = 0.1
 	idsPerPage := p.BufferBytes / store.IDBytes
 	if idsPerPage < 1 {
 		idsPerPage = 1
@@ -616,9 +687,10 @@ func (p *Plan) estimate(db *DB, q *query.Query) {
 	}
 	for _, hp := range q.HiddenPreds() {
 		rows := float64(db.Rows(hp.Table))
-		sel *= assumedHiddenSel
+		hs := p.hiddenSelOf(db, hp)
+		sel *= hs
 		// Index descent plus the matching sublist pages.
-		reads += 3 + rows*assumedHiddenSel/float64(idsPerPage)
+		reads += 3 + rows*hs/float64(idsPerPage)
 	}
 	est := anchorRows * sel
 	if p.FastPath {
@@ -645,6 +717,123 @@ func (p *Plan) estimate(db *DB, q *query.Query) {
 	}})
 }
 
+// hiddenSelOf estimates one hidden predicate's selectivity for the cost
+// model and records the estimate (and its provenance) on the plan. Id
+// predicates are computed exactly — identifiers are dense 0..rows-1, so
+// the literal fixes the fraction; attribute predicates consult the
+// token-side index statistics; anything uncovered falls back to the
+// paper's fixed 10%.
+func (p *Plan) hiddenSelOf(db *DB, hp query.Pred) float64 {
+	const fallback = 0.1
+	t := db.Sch.Tables[hp.Table]
+	est := HiddenSelEst{Table: t.Name, Sel: fallback}
+	if hp.ColIdx == query.IDCol {
+		est.Col = "id"
+		if rows := db.Rows(hp.Table); rows > 0 {
+			est.Sel, est.FromIndex = idPredSel(hp, rows), true
+		}
+	} else {
+		est.Col = t.Columns[hp.ColIdx].Name
+		if sel, ok := attrPredSel(p.tok, hp, t.Columns[hp.ColIdx]); ok {
+			est.Sel, est.FromIndex = sel, true
+		}
+	}
+	if est.Sel < 0 {
+		est.Sel = 0
+	}
+	if est.Sel > 1 {
+		est.Sel = 1
+	}
+	p.HiddenSel = append(p.HiddenSel, est)
+	return est.Sel
+}
+
+// idPredSel computes an id predicate's exact selectivity over the dense
+// identifier space 0..rows-1.
+func idPredSel(hp query.Pred, rows int) float64 {
+	n := float64(rows)
+	clamp := func(v int64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > int64(rows) {
+			return n
+		}
+		return float64(v)
+	}
+	switch hp.Op {
+	case sqlparse.OpLt:
+		return clamp(hp.Lo.I) / n
+	case sqlparse.OpLe:
+		return clamp(hp.Lo.I+1) / n
+	case sqlparse.OpGt:
+		return (n - clamp(hp.Lo.I+1)) / n
+	case sqlparse.OpGe:
+		return (n - clamp(hp.Lo.I)) / n
+	case sqlparse.OpEq:
+		if hp.Lo.I >= 0 && hp.Lo.I < int64(rows) {
+			return 1 / n
+		}
+		return 0
+	case sqlparse.OpNe:
+		if hp.Lo.I >= 0 && hp.Lo.I < int64(rows) {
+			return (n - 1) / n
+		}
+		return 1
+	case sqlparse.OpBetween:
+		lo, hi := clamp(hp.Lo.I), clamp(hp.Hi.I+1)
+		if hi < lo {
+			return 0
+		}
+		return (hi - lo) / n
+	}
+	return 0.1
+}
+
+// attrPredSel estimates an attribute predicate from the statistics the
+// token keeps beside the attribute's climbing index.
+func attrPredSel(tok *Token, hp query.Pred, col schema.Column) (float64, bool) {
+	ci, ok := tok.Cat.AttrIndex(hp.Table, hp.ColIdx)
+	if !ok {
+		return 0, false
+	}
+	w := col.EncodedWidth()
+	lo, err := encodePredKey(w, hp.Lo)
+	if err != nil {
+		return 0, false
+	}
+	below, ok := ci.EstimateFracBelow(lo)
+	if !ok {
+		return 0, false
+	}
+	eq, _ := ci.EstimateFracEq()
+	switch hp.Op {
+	case sqlparse.OpLt:
+		return below, true
+	case sqlparse.OpLe:
+		return below + eq, true
+	case sqlparse.OpGt:
+		return 1 - below - eq, true
+	case sqlparse.OpGe:
+		return 1 - below, true
+	case sqlparse.OpEq:
+		return eq, true
+	case sqlparse.OpNe:
+		return 1 - eq, true
+	case sqlparse.OpBetween:
+		hi, err := encodePredKey(w, hp.Hi)
+		if err != nil {
+			return 0, false
+		}
+		belowHi, ok := ci.EstimateFracBelow(hi)
+		if !ok {
+			return 0, false
+		}
+		return belowHi + eq - below, true
+	}
+	return 0, false
+}
+
 // Explain renders the plan for humans: per-table strategies, the
 // footprint derivation, the admission request and the cost estimate.
 func (p *Plan) Explain() string {
@@ -656,6 +845,20 @@ func (p *Plan) Explain() string {
 		return b.String()
 	}
 	fmt.Fprintf(&b, "plan: %s\n", p.SQL)
+	if len(p.Parts) > 0 {
+		fmt.Fprintf(&b, "  scatter: %d per-token sub-plans, cross-product merge on the untrusted side\n",
+			len(p.Parts))
+		for i, sub := range p.Parts {
+			fmt.Fprintf(&b, "  -- part %d (token %d) --\n", i, sub.Shard)
+			for _, line := range strings.Split(strings.TrimRight(sub.Explain(), "\n"), "\n") {
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+		}
+		fmt.Fprintf(&b, "  estimated cost: ~%v simulated I/O on the critical path (tokens run in parallel)\n",
+			p.EstCost.Round(10*time.Microsecond))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  token: %d\n", p.Shard)
 	fmt.Fprintf(&b, "  anchor: %s", p.Anchor)
 	if p.FastPath {
 		b.WriteString("  (visible-only fast path: Untrusted answers, Secure relays)\n")
@@ -678,11 +881,24 @@ func (p *Plan) Explain() string {
 				tp.Table, tp.Strategy, tp.SV, tp.VisCount, tp.Rows, cross)
 		}
 	}
+	if len(p.HiddenSel) > 0 {
+		b.WriteString("  hidden selectivity estimates (token-side index stats; raw stats never leave the token):\n")
+		for _, h := range p.HiddenSel {
+			src := "index stats"
+			if !h.FromIndex {
+				src = "fixed 10% fallback"
+			}
+			fmt.Fprintf(&b, "    %s.%-10s ~%.3f  [%s]\n", h.Table, h.Col, h.Sel, src)
+		}
+	}
 	if !p.FastPath {
 		fmt.Fprintf(&b, "  projector: %v\n", p.Projector)
 		fp := p.Footprint
 		fmt.Fprintf(&b, "  footprint (buffers): QEPSJ %d (%d writers + %d SKT + %d merge)",
 			fp.QEPSJ, fp.StoreWriters, fp.SKTReader, fp.Merge)
+		if fp.Distribute > 0 && fp.QEPSJShared < fp.QEPSJ {
+			fmt.Fprintf(&b, " [shared-stage floor %d + distribute %d]", fp.QEPSJShared, fp.Distribute)
+		}
 		if fp.Cross > 0 {
 			fmt.Fprintf(&b, " · cross %d", fp.Cross)
 		}

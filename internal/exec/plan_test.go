@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,6 +94,131 @@ func TestPlanFloorsSufficientProperty(t *testing.T) {
 		}
 		if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
 			t.Fatalf("[%v/%v] %s: wrong answer", cfg.Strategy, cfg.Projector, sql)
+		}
+		if f.db.RAM.Leaked() {
+			t.Fatalf("%s: grants leaked", sql)
+		}
+	}
+}
+
+// TestConcurrentInsertAndPlanNoRace pins the keyDist locking: planning
+// reads the token-side index statistics *outside* the token's execution
+// slot while concurrent INSERTs (holding the slot) mutate them — run
+// under -race in CI.
+func TestConcurrentInsertAndPlanNoRace(t *testing.T) {
+	f := newFixture(t, 77, map[string]int{"T0": 200, "T1": 60, "T2": 50, "T11": 20, "T12": 20})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			sql := fmt.Sprintf(`INSERT INTO T12 VALUES ('%010d','%010d','%010d','%010d','%010d','%010d')`,
+				i, i+1, i+2, i+3, i+4, i+5)
+			if _, err := f.db.Run(sql); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 60; i++ {
+		if _, err := f.db.Prepare(`SELECT id FROM T12 WHERE h1 < '0000000400'`, QueryConfig{}); err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+	}
+	<-done
+}
+
+// TestHiddenSelEstimateFromIndexStats pins the token-side statistics
+// satellite: the planner's hidden-selectivity estimates come from the
+// per-index key distribution instead of the fixed 10% guess, track the
+// true uniform selectivity, and surface in EXPLAIN.
+func TestHiddenSelEstimateFromIndexStats(t *testing.T) {
+	f := newFixture(t, 77, map[string]int{"T0": 1200, "T1": 150, "T2": 120, "T11": 40, "T12": 40})
+	cases := []struct {
+		sql  string
+		want float64 // true selectivity of the hidden predicate (uniform domain)
+	}{
+		{`SELECT T0.id FROM T0 WHERE T0.h1 < '0000000300'`, 0.3},
+		{`SELECT T0.id FROM T0 WHERE T0.h1 >= '0000000800'`, 0.2},
+		{`SELECT T0.id FROM T0 WHERE T0.h2 BETWEEN '0000000100' AND '0000000600'`, 0.5},
+	}
+	for _, tc := range cases {
+		stmt, err := f.db.Prepare(tc.sql, QueryConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		plan := stmt.Plan()
+		if len(plan.HiddenSel) != 1 {
+			t.Fatalf("%s: %d hidden estimates, want 1", tc.sql, len(plan.HiddenSel))
+		}
+		h := plan.HiddenSel[0]
+		if !h.FromIndex {
+			t.Fatalf("%s: estimate fell back to the fixed guess", tc.sql)
+		}
+		if h.Sel < tc.want-0.12 || h.Sel > tc.want+0.12 {
+			t.Fatalf("%s: estimated sel %.3f, true %.2f (off by more than the histogram resolution)",
+				tc.sql, h.Sel, tc.want)
+		}
+		if out := plan.Explain(); !strings.Contains(out, "hidden selectivity estimates") ||
+			!strings.Contains(out, "index stats") {
+			t.Fatalf("%s: EXPLAIN misses the estimate:\n%s", tc.sql, out)
+		}
+	}
+	// Id predicates are exact: dense identifiers make the fraction pure
+	// arithmetic on the literal.
+	stmt, err := f.db.Prepare(`SELECT T0.id FROM T0 WHERE T0.id < 300`, QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := stmt.Plan().HiddenSel[0]; !h.FromIndex || h.Sel != 0.25 {
+		t.Fatalf("id predicate estimate = %+v, want exact 0.25", h)
+	}
+}
+
+// TestSharedStageLowersWideFloors pins the shared-staged-buffer win: the
+// widest 3-table mix shapes used to floor at 7 buffers (QEPSJ writers
+// each holding one); with the column writers collapsed into one staged
+// spill buffer the floor drops below 7, and the query still runs to the
+// exact answer in a budget of exactly that floor (where the session
+// necessarily binds the spill variant, StoreDirect=false).
+func TestSharedStageLowersWideFloors(t *testing.T) {
+	wide := []string{
+		`SELECT T0.id, T1.id, T12.id, T1.v1 FROM T0, T1, T12 WHERE T0.fk1 = T1.id AND T1.fk12 = T12.id AND T1.v1 < '0000000300' AND T12.h2 < '0000000100'`,
+		`SELECT T0.id, T1.h1, T12.v2, T0.h3, T0.v1 FROM T0, T1, T12 WHERE T0.fk1 = T1.id AND T1.fk12 = T12.id AND T1.v1 < '0000000400' AND T12.h2 < '0000000200'`,
+		`SELECT T1.id, T11.id FROM T1, T11, T12 WHERE T1.fk11 = T11.id AND T1.fk12 = T12.id AND T11.h1 < '0000000300' AND T1.v1 < '0000000400'`,
+	}
+	probe := newFixture(t, 77, map[string]int{"T0": 1200, "T1": 150, "T2": 120, "T11": 40, "T12": 40})
+	for _, sql := range wide {
+		stmt, err := probe.db.Prepare(sql, QueryConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		plan := stmt.Plan()
+		if plan.MinBuffers >= 7 {
+			t.Fatalf("%s: floor %d, want < 7 (shared staged buffer)", sql, plan.MinBuffers)
+		}
+		if plan.Footprint.QEPSJShared >= plan.Footprint.QEPSJ {
+			t.Fatalf("%s: shared footprint %d not below direct %d",
+				sql, plan.Footprint.QEPSJShared, plan.Footprint.QEPSJ)
+		}
+		// Run in a budget of exactly the floor: the binding must choose
+		// the spill variant and the answer must stay exact.
+		f := sweepFixture(t, plan.MinBuffers)
+		stmt2, err := f.db.Prepare(sql, QueryConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if got := stmt2.Plan().MinBuffers; got != plan.MinBuffers {
+			t.Fatalf("%s: floor drifted across fixtures: %d vs %d", sql, got, plan.MinBuffers)
+		}
+		if b := stmt2.Plan().Bind(plan.MinBuffers); b.StoreDirect {
+			t.Fatalf("%s: floor-sized grant bound direct writers", sql)
+		}
+		res, err := stmt2.RunCtx(context.Background(), QueryConfig{})
+		if err != nil {
+			t.Fatalf("%s at %d buffers: %v", sql, plan.MinBuffers, err)
+		}
+		if !rowsEqual(res.Rows, f.refAnswer(t, sql)) {
+			t.Fatalf("%s at %d buffers: wrong answer via spill store", sql, plan.MinBuffers)
 		}
 		if f.db.RAM.Leaked() {
 			t.Fatalf("%s: grants leaked", sql)

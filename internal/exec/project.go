@@ -351,7 +351,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 		batchCap = 1
 	}
 
-	tp.outSeg = store.NewSegment(db.Dev)
+	tp.outSeg = store.NewSegment(r.tok.Dev)
 	defer func() { r.tempSegs = append(r.tempSegs, tp.outSeg) }()
 
 	sig := sigSeg.NewRunReader(sigRun)
@@ -365,7 +365,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 	var img *HiddenImage
 	var hidRec []byte
 	if tp.hidW > 0 {
-		img = db.Hidden[tp.table]
+		img = r.tok.Hidden[tp.table]
 		if img == nil {
 			return fmt.Errorf("exec: no hidden image for %s", db.Sch.Tables[tp.table].Name)
 		}

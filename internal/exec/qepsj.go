@@ -55,6 +55,7 @@ type resCol struct {
 // never read each other's knobs or counters.
 type queryRun struct {
 	db      *DB
+	tok     *Token // the secure token this session runs on
 	q       *query.Query
 	cfg     QueryConfig
 	plan    *Plan              // the prepared plan driving this run
@@ -79,6 +80,10 @@ type queryRun struct {
 	// QEPSJ output.
 	resN    int
 	resCols map[int]resCol
+	// spill is set when the store pipeline ran in shared-stage mode: the
+	// survivor tuples sit row-major in one spilled segment awaiting the
+	// distribution pass (distributeSpill).
+	spill *storeSpill
 
 	temps    []*store.ListSegment
 	tempSegs []*store.Segment
@@ -86,7 +91,7 @@ type queryRun struct {
 }
 
 func (r *queryRun) newTemp() *store.ListSegment {
-	t := store.NewListSegment(r.db.Dev)
+	t := store.NewListSegment(r.tok.Dev)
 	r.temps = append(r.temps, t)
 	return t
 }
@@ -108,7 +113,7 @@ func (r *queryRun) cleanup() {
 // them to data.
 func (r *queryRun) execute() (*Result, error) {
 	defer r.cleanup()
-	q, db := r.q, r.db
+	q := r.q
 
 	if res, done, err := r.visibleOnlyFastPath(); done {
 		return res, err
@@ -127,7 +132,7 @@ func (r *queryRun) execute() (*Result, error) {
 		var vr *untrusted.VisResult
 		err := r.col.Span(spanVis, func() error {
 			var err error
-			vr, err = db.Untr.Vis(ti, preds, cols)
+			vr, err = r.tok.Untr.Vis(ti, preds, cols)
 			return err
 		})
 		if err != nil {
@@ -190,7 +195,7 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 	var vr *untrusted.VisResult
 	err := r.col.Span(spanVis, func() error {
 		var err error
-		vr, err = db.Untr.Vis(ti, preds, cols)
+		vr, err = r.tok.Untr.Vis(ti, preds, cols)
 		return err
 	})
 	if err != nil {
@@ -237,7 +242,7 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 
 // indexFor returns the climbing index evaluating a hidden predicate.
 func (r *queryRun) indexFor(p query.Pred) *index.Climbing {
-	return r.db.indexForPred(p)
+	return r.tok.indexForPred(p)
 }
 
 // spoolVis writes the Vis rows needed at projection time to flash.
@@ -253,7 +258,7 @@ func (r *queryRun) spoolVis() error {
 		if !needValues {
 			sp.width = store.IDBytes
 		}
-		f, err := store.NewRowFile(r.db.Dev, sp.width)
+		f, err := store.NewRowFile(r.tok.Dev, sp.width)
 		if err != nil {
 			return err
 		}

@@ -180,8 +180,16 @@ func (r *queryRun) qepsj() error {
 	// ---- Reserve the store pipeline's buffers up front as named
 	// sub-reservations, so the Bloom filters and the Merge reduction can
 	// only spend what is genuinely left instead of racing the writers
-	// for it.
-	claims := []ram.Claim{{Name: "store-writers", Min: len(needed) + 1, Want: len(needed) + 1}}
+	// for it. Under a tight grant (Binding.StoreDirect false) the column
+	// writers share one staged spill buffer instead of holding one each;
+	// the survivors are distributed into per-column segments by an extra
+	// pass after the pipeline releases.
+	var claims []ram.Claim
+	if r.bind.StoreDirect || len(needed) == 0 {
+		claims = []ram.Claim{{Name: "store-writers", Min: len(needed) + 1, Want: len(needed) + 1}}
+	} else {
+		claims = []ram.Claim{{Name: "store-stage", Min: 1, Want: 1}}
+	}
 	if len(needed) > 0 {
 		claims = append(claims, ram.Claim{Name: "skt-reader", Min: 1, Want: 1})
 	}
@@ -206,7 +214,7 @@ func (r *queryRun) qepsj() error {
 	defer releaseBFs()
 	for _, plan := range bfPlans {
 		n := len(plan.ids)
-		rows := db.rows[plan.table]
+		rows := r.tok.rows[plan.table]
 		if rows > 0 && float64(n)/float64(rows) > 0.5 {
 			if r.cfg.Strategy != StratAuto {
 				return fmt.Errorf("%w: table %s selects %d of %d rows",
@@ -281,8 +289,17 @@ func (r *queryRun) qepsj() error {
 		return err
 	}
 	// The filters are dead once the pipeline has stored its columns;
-	// return their RAM before the exact Post-Select re-scans.
+	// return their RAM before the distribution pass and the exact
+	// Post-Select re-scans.
 	releaseBFs()
+
+	// ---- Shared-stage mode: distribute the spilled survivor tuples
+	// into the per-column segments the projection operators expect.
+	if r.spill != nil {
+		if err := r.distributeSpill(); err != nil {
+			return err
+		}
+	}
 
 	// ---- Exact Post-Select passes, if any (Figure 11).
 	for ti, ids := range r.postSelect {
@@ -407,7 +424,7 @@ func (r *queryRun) crossedList(tv int, preds []query.Pred) ([]uint32, error) {
 // selection").
 func (r *queryRun) preFilterGroup(tv int, ids []uint32) (*mergeGroup, error) {
 	g := &mergeGroup{label: "pre:" + r.db.Sch.Tables[tv].Name}
-	ci, ok := r.db.Cat.IDIndex(tv)
+	ci, ok := r.tok.Cat.IDIndex(tv)
 	if !ok {
 		return nil, fmt.Errorf("exec: no id index on %s", r.db.Sch.Tables[tv].Name)
 	}
@@ -438,7 +455,7 @@ func (r *queryRun) preFilterGroup(tv int, ids []uint32) (*mergeGroup, error) {
 // the hidden image (only reachable with reduced index variants).
 func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 	db := r.db
-	img := db.Hidden[p.Table]
+	img := r.tok.Hidden[p.Table]
 	if img == nil || p.ColIdx == query.IDCol {
 		return fmt.Errorf("exec: no index and no hidden image for predicate on %s",
 			db.Sch.Tables[p.Table].Name)
@@ -488,7 +505,7 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 		return nil
 	}
 	// Climb per id through the id index (expensive, like Pre-Filter).
-	ci, ok := r.db.Cat.IDIndex(p.Table)
+	ci, ok := r.tok.Cat.IDIndex(p.Table)
 	if !ok {
 		return fmt.Errorf("exec: no id index to climb from %s", db.Sch.Tables[p.Table].Name)
 	}

@@ -91,7 +91,7 @@ func (db *DB) runCachedSelect(ctx context.Context, sel *sqlparse.Select, sql str
 	if err != nil {
 		return nil, err
 	}
-	return db.cachedSelect(ctx, cacheKey(q, cfg), func() (*Result, error) {
+	return db.cachedSelect(ctx, cacheKey(q, cfg), db.shardsOf(q), func() (*Result, error) {
 		plan, err := db.PlanQuery(q, cfg)
 		if err != nil {
 			return nil, err
@@ -103,7 +103,7 @@ func (db *DB) runCachedSelect(ctx context.Context, sel *sqlparse.Select, sql str
 // runSelectCached answers an already-planned SELECT (a prepared Stmt)
 // through the result cache.
 func (db *DB) runSelectCached(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig, key string) (*Result, error) {
-	return db.cachedSelect(ctx, key, func() (*Result, error) {
+	return db.cachedSelect(ctx, key, db.shardsOf(q), func() (*Result, error) {
 		return db.runSelect(ctx, q, plan, cfg)
 	})
 }
@@ -112,10 +112,12 @@ func (db *DB) runSelectCached(ctx context.Context, q *query.Query, plan *Plan, c
 // materialized result is shared with zero secure-token work; concurrent
 // identical queries → one computation (singleflight), shared result;
 // miss → compute runs (plan and/or execute) and its result is stored,
-// stamped with the data version observed before it started so a racing
-// INSERT can never leave a stale entry behind.
-func (db *DB) cachedSelect(ctx context.Context, key string, compute func() (*Result, error)) (*Result, error) {
-	v, outcome, err := db.cache.Do(ctx, key, func() (any, int64, error) {
+// stamped with the versions of the shards the query touches (a pure
+// function of query text + schema placement) as observed before it
+// started, so a racing INSERT can never leave a stale entry behind —
+// and an INSERT to an untouched shard never evicts it at all.
+func (db *DB) cachedSelect(ctx context.Context, key string, shards []int, compute func() (*Result, error)) (*Result, error) {
+	v, outcome, err := db.cache.Do(ctx, key, shards, func() (any, int64, error) {
 		res, err := compute()
 		if err != nil {
 			return nil, 0, err

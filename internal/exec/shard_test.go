@@ -1,0 +1,266 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/ref"
+	"ghostdb/internal/schema"
+)
+
+// forestDefs is synthDefs plus a second, independent tree U0 -> U1: the
+// smallest schema on which placement can split tables across tokens and
+// queries can span them.
+func forestDefs() []schema.TableDef {
+	attrs := func() []schema.Column {
+		var cols []schema.Column
+		for i := 1; i <= 3; i++ {
+			cols = append(cols, schema.Column{Name: fmt.Sprintf("v%d", i), Kind: schema.KindChar, Width: 10})
+		}
+		for i := 1; i <= 3; i++ {
+			cols = append(cols, schema.Column{Name: fmt.Sprintf("h%d", i), Kind: schema.KindChar, Width: 10, Hidden: true})
+		}
+		return cols
+	}
+	defs := synthDefs()
+	defs = append(defs,
+		schema.TableDef{Name: "U0", Columns: attrs(), Refs: []schema.Ref{
+			{FKColumn: "fku1", Child: "U1", Hidden: true}}},
+		schema.TableDef{Name: "U1", Columns: attrs()},
+	)
+	return defs
+}
+
+// newForestFixture loads the two-tree dataset into a DB with the given
+// token count, plus a matching reference engine.
+func newForestFixture(t testing.TB, seed uint64, cards map[string]int, shards int) *fixture {
+	t.Helper()
+	sch, err := schema.New(forestDefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := &lcg{s: seed}
+	load := map[int]*TableLoad{}
+	re := ref.New(sch)
+	for _, tb := range sch.Tables {
+		n := cards[tb.Name]
+		ld := &TableLoad{Rows: n, FKs: map[int][]uint32{}}
+		rows := make([]schema.Row, n)
+		for ci, col := range tb.Columns {
+			w := col.EncodedWidth()
+			data := make([]byte, n*w)
+			for i := 0; i < n; i++ {
+				v := schema.CharVal(pad(rng.next(testDomain)))
+				if rows[i] == nil {
+					rows[i] = make(schema.Row, len(tb.Columns))
+				}
+				rows[i][ci] = v
+				if err := schema.EncodeValue(data[i*w:(i+1)*w], v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ld.Cols = append(ld.Cols, ColData{Width: w, Data: data})
+		}
+		for _, ci := range tb.Children() {
+			cn := cards[sch.Tables[ci].Name]
+			fk := make([]uint32, n)
+			for i := range fk {
+				fk[i] = uint32(rng.next(cn))
+			}
+			ld.FKs[ci] = fk
+		}
+		load[tb.Index] = ld
+		re.Load(tb.Index, rows, ld.FKs)
+	}
+	db, err := NewDB(sch, Options{
+		FlashParams: flash.Params{PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4},
+		Shards:      shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(load); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{db: db, ref: re, sch: sch}
+}
+
+func forestCards() map[string]int {
+	return map[string]int{
+		"T0": 600, "T1": 150, "T2": 120, "T11": 40, "T12": 40,
+		"U0": 300, "U1": 50,
+	}
+}
+
+// TestShardedPlacementSplitsTrees: with two tokens, the two trees land
+// on different tokens, whole.
+func TestShardedPlacementSplitsTrees(t *testing.T) {
+	f := newForestFixture(t, 7, forestCards(), 2)
+	place := f.db.Placement()
+	tTree, _ := f.sch.Lookup("T0")
+	uTree, _ := f.sch.Lookup("U0")
+	if place.Of(tTree.Index) == place.Of(uTree.Index) {
+		t.Fatalf("both trees on token %d", place.Of(tTree.Index))
+	}
+	for _, tb := range f.sch.Tables {
+		root := f.sch.RootOf(tb.Index)
+		if place.Of(tb.Index) != place.Of(root) {
+			t.Fatalf("table %s split from its root", tb.Name)
+		}
+	}
+}
+
+// TestShardedSingleTreeRouting: in-tree queries (including joins) run as
+// one session on the owning token and answer exactly like the reference.
+func TestShardedSingleTreeRouting(t *testing.T) {
+	f := newForestFixture(t, 7, forestCards(), 2)
+	queries := []string{
+		`SELECT T0.id, T0.v1 FROM T0 WHERE T0.h1 < '0000000300'`,
+		`SELECT T0.id, T1.v2 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.v1 < '0000000400' AND T1.h2 < '0000000500'`,
+		`SELECT U0.id, U1.v1 FROM U0, U1 WHERE U0.fku1 = U1.id AND U1.h1 < '0000000400'`,
+		`SELECT U1.id, U1.h2 FROM U1 WHERE U1.v2 < '0000000250'`,
+	}
+	for _, sql := range queries {
+		res, err := f.db.Run(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want := f.refAnswer(t, sql)
+		if !rowsEqual(res.Rows, want) {
+			t.Fatalf("%s: %d rows, want %d", sql, len(res.Rows), len(want))
+		}
+		if res.Stats.Scatter != 0 {
+			t.Fatalf("%s: single-tree query scattered", sql)
+		}
+		first, _ := f.sch.Lookup(sql[7:9]) // harmless when lookup fails
+		if first != nil {
+			if want := f.db.Placement().Of(first.Index); res.Stats.Shard != want {
+				t.Fatalf("%s: ran on token %d, placed on %d", sql, res.Stats.Shard, want)
+			}
+		}
+	}
+}
+
+// TestScatterCrossProduct: forest queries fan out per-token sub-plans
+// and the untrusted-side merge reproduces the reference cross product —
+// including filter-only multiplicity parts and COUNT(*).
+func TestScatterCrossProduct(t *testing.T) {
+	cards := map[string]int{
+		"T0": 120, "T1": 40, "T2": 30, "T11": 12, "T12": 12,
+		"U0": 60, "U1": 10,
+	}
+	f := newForestFixture(t, 11, cards, 2)
+	queries := []string{
+		// Straight cross product of two selective sub-queries.
+		`SELECT T12.id, U1.v1 FROM T12, U1 WHERE T12.h1 < '0000000200' AND U1.h2 < '0000000300'`,
+		// Projections interleave tables from both trees.
+		`SELECT U1.id, T12.v1, U1.h1, T12.id FROM T12, U1 WHERE T12.v2 < '0000000300' AND U1.v1 < '0000000500'`,
+		// A filter-only tree contributes its count as a multiplicity.
+		`SELECT U1.id FROM U1, T12 WHERE T12.h1 < '0000000150' AND U1.h1 < '0000000400'`,
+		// Joins inside each tree, crossed between trees.
+		`SELECT T0.id, U0.id, U1.v1 FROM T0, T1, U0, U1 ` +
+			`WHERE T0.fk1 = T1.id AND U0.fku1 = U1.id ` +
+			`AND T1.h1 < '0000000150' AND U1.h2 < '0000000200'`,
+		// COUNT(*) over the cross product is the product of counts.
+		`SELECT COUNT(*) FROM T12, U1 WHERE T12.h1 < '0000000200' AND U1.h2 < '0000000300'`,
+	}
+	for _, sql := range queries {
+		res, err := f.db.Run(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want := f.refAnswer(t, sql)
+		if !rowsEqual(res.Rows, want) {
+			t.Fatalf("%s: %d rows, want %d", sql, len(res.Rows), len(want))
+		}
+		if res.Stats.Scatter != 2 || res.Stats.Shard != -1 {
+			t.Fatalf("%s: Scatter=%d Shard=%d, want fan-out over 2 tokens",
+				sql, res.Stats.Scatter, res.Stats.Shard)
+		}
+	}
+	// No leaked grants anywhere.
+	for _, u := range f.db.Tokens() {
+		tok := f.db.tokens[u.TokenID()]
+		if tok.RAM.InUse() != 0 {
+			t.Fatalf("token %d holds %d bytes after queries", u.TokenID(), tok.RAM.InUse())
+		}
+	}
+	// Scatter plans explain themselves: per-token sub-plans and the
+	// untrusted-side merge.
+	stmt, err := f.db.Prepare(queries[0], QueryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stmt.Plan().Explain()
+	for _, frag := range []string{"scatter: 2 per-token sub-plans", "part 0 (token", "part 1 (token"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("scatter EXPLAIN misses %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestShardedInsertRouting: an INSERT bumps exactly the owning token's
+// data version and leaves the other token untouched.
+func TestShardedInsertRouting(t *testing.T) {
+	f := newForestFixture(t, 7, forestCards(), 2)
+	u1, _ := f.sch.Lookup("U1")
+	uTok := f.db.Placement().Of(u1.Index)
+	before := make([]uint64, 2)
+	for _, u := range f.db.Tokens() {
+		before[u.TokenID()] = u.DataVersion()
+	}
+	rows := f.db.Rows(u1.Index)
+	sql := `INSERT INTO U1 VALUES ('0000000001','0000000002','0000000003','0000000004','0000000005','0000000006')`
+	if _, err := f.db.Run(sql); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.db.Rows(u1.Index); got != rows+1 {
+		t.Fatalf("U1 rows = %d, want %d", got, rows+1)
+	}
+	for _, u := range f.db.Tokens() {
+		want := before[u.TokenID()]
+		if u.TokenID() == uTok {
+			want++
+		}
+		if got := u.DataVersion(); got != want {
+			t.Fatalf("token %d version = %d, want %d", u.TokenID(), got, want)
+		}
+	}
+}
+
+// TestShardedTotalsParity: the same serial query set on a 1-token and a
+// 2-token database moves exactly the same flash pages and bus bytes —
+// summed across tokens, sharding adds zero secure-side work.
+func TestShardedTotalsParity(t *testing.T) {
+	cards := forestCards()
+	queries := []string{
+		`SELECT T0.id, T1.v2 FROM T0, T1 WHERE T0.fk1 = T1.id AND T1.v1 < '0000000400' AND T1.h2 < '0000000500'`,
+		`SELECT U0.id, U1.v1 FROM U0, U1 WHERE U0.fku1 = U1.id AND U1.h1 < '0000000400'`,
+		`SELECT T11.id, T11.h1 FROM T11 WHERE T11.v1 < '0000000600'`,
+		`SELECT U1.id, U1.h2 FROM U1 WHERE U1.v2 < '0000000250'`,
+	}
+	sum := func(shards int) (flashOps, busBytes uint64, tokens int) {
+		f := newForestFixture(t, 7, cards, shards)
+		for _, sql := range queries {
+			if _, err := f.db.Run(sql); err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, sql, err)
+			}
+		}
+		for _, tot := range f.db.TokenTotals() {
+			flashOps += tot.Flash.PageReads + tot.Flash.PageWrites
+			busBytes += tot.BusDown + tot.BusUp
+			tokens++
+		}
+		return
+	}
+	f1, b1, _ := sum(1)
+	f2, b2, n2 := sum(2)
+	if n2 != 2 {
+		t.Fatalf("expected 2 token totals, got %d", n2)
+	}
+	if f1 != f2 || b1 != b2 {
+		t.Fatalf("sharded totals diverge: flash %d vs %d, bus %d vs %d", f1, f2, b1, b2)
+	}
+}

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"sync"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/flash"
+	"ghostdb/internal/index"
+	"ghostdb/internal/ram"
+	"ghostdb/internal/sched"
+	"ghostdb/internal/untrusted"
+)
+
+// Token is one simulated secure token: a NAND flash device with its FTL,
+// a tiny RAM budget, a throughput-limited USB link, the index catalog
+// and hidden images of the tables placed on it, and its own FIFO-fair
+// admission scheduler. It is the unit cross-token sharding multiplies:
+// everything that used to be "the token" inside DB is one of these, and
+// every query session runs against exactly one of them — so each token's
+// leak surface is precisely the mono-token engine's, composed per shard
+// (the ObliDB-style up-front session grant is what makes the composition
+// safe).
+//
+// The Untr engine is the untrusted-side mirror of the same placement:
+// visible columns travel over their own token's bus, so per-token byte
+// counters stay exact.
+type Token struct {
+	id   int
+	Dev  *flash.Device
+	RAM  *ram.Manager
+	Bus  *bus.Channel
+	Untr *untrusted.Engine
+	Cat  *index.Catalog
+	// Hidden maps table index -> the flash-resident image of its hidden
+	// non-key attributes (only tables placed on this token appear).
+	Hidden map[int]*HiddenImage
+
+	sched *sched.Scheduler
+
+	// mu guards rows (against the public Rows accessor; in-query reads
+	// are serialized by the token's execution slot), the per-token totals
+	// and the data version.
+	mu      sync.Mutex
+	rows    map[int]int
+	totals  Totals
+	version uint64
+}
+
+// Unit is the narrow, read-only view of a secure token that the
+// untrusted-side composition layers — placement diagnostics, per-shard
+// STATS aggregation, the server frontend — operate through. *Token is
+// the (only) simulated implementation; a hardware-backed token would
+// satisfy the same interface.
+type Unit interface {
+	// TokenID is the token's shard ordinal.
+	TokenID() int
+	// Totals is the cumulative simulated cost of the query sessions this
+	// token has completed.
+	Totals() Totals
+	// DataVersion counts the committed updates this token has applied
+	// (the per-shard entry of the result cache's version vector).
+	DataVersion() uint64
+	// Running and QueueLen expose the admission scheduler's state.
+	Running() int
+	QueueLen() int
+	// RAMBuffers is the token's secure RAM budget in whole buffers.
+	RAMBuffers() int
+}
+
+var _ Unit = (*Token)(nil)
+
+// TokenID returns the token's shard ordinal.
+func (t *Token) TokenID() int { return t.id }
+
+// Sched exposes the token's admission scheduler (diagnostics and tests).
+func (t *Token) Sched() *sched.Scheduler { return t.sched }
+
+// Running returns the token's admitted, unreleased session count.
+func (t *Token) Running() int { return t.sched.Running() }
+
+// QueueLen returns the token's admission queue length.
+func (t *Token) QueueLen() int { return t.sched.QueueLen() }
+
+// RAMBuffers returns the token's secure RAM budget in whole buffers.
+func (t *Token) RAMBuffers() int { return t.RAM.Buffers() }
+
+// Rows returns the cardinality of a table placed on this token.
+func (t *Token) Rows(table int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows[table]
+}
+
+func (t *Token) setRows(table, n int) {
+	t.mu.Lock()
+	t.rows[table] = n
+	t.mu.Unlock()
+}
+
+// Totals returns a snapshot of this token's cumulative session costs.
+func (t *Token) Totals() Totals {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totals
+}
+
+// mergeTotals folds one completed session's Stats into the token's
+// totals. Fan-out queries merge once per per-token sub-session, so the
+// per-shard byte counters always sum to exactly what an unsharded run
+// of the same work would report.
+func (t *Token) mergeTotals(st Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.totals.Queries++
+	t.totals.SimTime += st.SimTime
+	t.totals.IOTime += st.IOTime
+	t.totals.CommTime += st.CommTime
+	t.totals.Flash = t.totals.Flash.Add(st.Flash)
+	t.totals.BusDown += st.BusDown
+	t.totals.BusUp += st.BusUp
+}
+
+// DataVersion counts the committed updates applied to this token.
+func (t *Token) DataVersion() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+func (t *Token) bumpVersion() {
+	t.mu.Lock()
+	t.version++
+	t.mu.Unlock()
+}
+
+// Leaked reports whether any token's shared RAM budget was released
+// with outstanding grants (an operator bookkeeping bug, surfaced for
+// the benchmark sweeps and tests).
+func (db *DB) Leaked() bool {
+	for _, t := range db.tokens {
+		if t.RAM.Leaked() {
+			return true
+		}
+	}
+	return false
+}

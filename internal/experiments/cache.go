@@ -4,9 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
-	"sync"
-	"time"
 
 	"ghostdb/internal/exec"
 )
@@ -180,48 +177,14 @@ func (l *Lab) CacheSweep(levels []int, queriesPerLevel int) (*CacheReport, error
 					len(distinct), len(queries))
 			}
 
-			var (
-				mu         sync.Mutex
-				latencies  []time.Duration
-				simTotal   time.Duration
-				answerErrs int
-				runErr     error
-			)
-			next := make(chan string)
-			var wg sync.WaitGroup
-			start := time.Now()
-			for w := 0; w < level; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for sql := range next {
-						res, err := db.RunCtx(context.Background(), sql, exec.QueryConfig{})
-						mu.Lock()
-						if err != nil {
-							if runErr == nil {
-								runErr = err
-							}
-							mu.Unlock()
-							continue
-						}
-						st := res.Stats
-						latencies = append(latencies, st.SimTime)
-						simTotal += st.SimTime
-						if want, ok := baseline[sql]; ok && len(res.Rows) != want {
-							answerErrs++
-						}
-						mu.Unlock()
-					}
-				}()
-			}
-			for _, sql := range queries {
-				next <- sql
-			}
-			close(next)
-			wg.Wait()
-			wall := time.Since(start)
-			if runErr != nil {
-				return nil, fmt.Errorf("cache sweep %s/%d: %w", mode, level, runErr)
+			answerErrs := 0
+			rs := runWorkload(db, level, queries, exec.QueryConfig{}, func(sql string, res *exec.Result) {
+				if want, ok := baseline[sql]; ok && len(res.Rows) != want {
+					answerErrs++
+				}
+			})
+			if rs.firstErr != nil {
+				return nil, fmt.Errorf("cache sweep %s/%d: %w", mode, level, rs.firstErr)
 			}
 
 			// Quiesced zero-traffic probe (zipf only): re-run the very
@@ -257,15 +220,16 @@ func (l *Lab) CacheSweep(levels []int, queriesPerLevel int) (*CacheReport, error
 			}
 
 			tot := db.Totals()
-			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 			pt := CachePoint{
 				Concurrency:     level,
 				Mode:            mode,
 				Queries:         len(queries),
 				DistinctQueries: len(distinct),
-				WallSeconds:     wall.Seconds(),
-				WallQPS:         float64(len(queries)) / wall.Seconds(),
-				SimTotalMs:      float64(simTotal.Microseconds()) / 1000,
+				WallSeconds:     rs.wall.Seconds(),
+				WallQPS:         rs.qps(),
+				SimTotalMs:      float64(rs.simTotal.Microseconds()) / 1000,
+				SimP50Ms:        rs.p50ms(),
+				SimP95Ms:        rs.p95ms(),
 				CacheHits:       tot.CacheHits,
 				CacheShared:     tot.CacheShared,
 				Executed:        tot.Queries - tot.CacheHits - tot.CacheShared,
@@ -274,10 +238,6 @@ func (l *Lab) CacheSweep(levels []int, queriesPerLevel int) (*CacheReport, error
 				ProbeWasHit:     probeHit,
 				AnswerErrors:    answerErrs,
 				LeakedGrants:    db.RAM.Leaked(),
-			}
-			if n := len(latencies); n > 0 {
-				pt.SimP50Ms = float64(latencies[n/2].Microseconds()) / 1000
-				pt.SimP95Ms = float64(latencies[n*95/100].Microseconds()) / 1000
 			}
 			if hitBus != 0 || hitFlash != 0 || !probeHit {
 				rep.HitTrafficZero = false

@@ -1,11 +1,7 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
-	"sort"
-	"sync"
-	"time"
 
 	"ghostdb/internal/exec"
 )
@@ -88,62 +84,28 @@ func (l *Lab) ConcurrencySweep(levels []int, queriesPerLevel int) (*ConcurrencyR
 		}
 		cfg := exec.QueryConfig{MinBuffers: grant, WantBuffers: grant}
 
-		var (
-			mu        sync.Mutex
-			latencies []time.Duration
-			simTotal  time.Duration
-			errs      int
-		)
 		// A sampler observes how many sessions genuinely overlap.
 		stopSampler := sampleMaxRunning(db)
-		next := make(chan string)
-		var wg sync.WaitGroup
-		start := time.Now()
-		for w := 0; w < level; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for sql := range next {
-					res, err := db.RunCtx(context.Background(), sql, cfg)
-					mu.Lock()
-					if err != nil {
-						errs++
-					} else {
-						latencies = append(latencies, res.Stats.SimTime)
-						simTotal += res.Stats.SimTime
-					}
-					mu.Unlock()
-				}
-			}()
-		}
-		for _, sql := range queries {
-			next <- sql
-		}
-		close(next)
-		wg.Wait()
-		wall := time.Since(start)
+		rs := runWorkload(db, level, queries, cfg, nil)
 		maxRunning := stopSampler()
 
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pt := ConcurrencyPoint{
 			Concurrency:   level,
 			Queries:       len(queries),
 			GrantBuffers:  grant,
-			WallSeconds:   wall.Seconds(),
-			WallQPS:       float64(len(queries)) / wall.Seconds(),
-			SimTotalMs:    float64(simTotal.Microseconds()) / 1000,
+			WallSeconds:   rs.wall.Seconds(),
+			WallQPS:       rs.qps(),
+			SimTotalMs:    float64(rs.simTotal.Microseconds()) / 1000,
+			SimP50Ms:      rs.p50ms(),
+			SimP95Ms:      rs.p95ms(),
 			MaxRunning:    maxRunning,
 			LeakedGrants:  db.RAM.Leaked(),
 			PrivateLeaks:  db.Sched().Leaks(),
-			AnswerErrors:  errs,
+			AnswerErrors:  rs.errs,
 			EngineQueries: db.Totals().Queries,
 		}
-		if n := len(latencies); n > 0 {
-			pt.SimP50Ms = float64(latencies[n/2].Microseconds()) / 1000
-			pt.SimP95Ms = float64(latencies[n*95/100].Microseconds()) / 1000
-		}
-		if errs > 0 {
-			return nil, fmt.Errorf("concurrency sweep: %d queries failed at level %d", errs, level)
+		if rs.errs > 0 {
+			return nil, fmt.Errorf("concurrency sweep: %d queries failed at level %d: %w", rs.errs, level, rs.firstErr)
 		}
 		rep.Levels = append(rep.Levels, pt)
 	}

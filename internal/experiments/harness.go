@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"ghostdb/internal/exec"
+)
+
+// This file is the shared measurement harness of every sweep
+// (concurrency, planner, cache, sharding): a fixed-size pool of client
+// goroutines draining a query list through one engine, wall-clock and
+// simulated-latency accounting, and percentile extraction. The sweeps
+// differ only in which engines they build and which extra counters they
+// derive — that stays in each sweep; the worker-pool boilerplate lives
+// here once.
+
+// runStats is the common yield of one workload run. Latencies are
+// sorted, successful queries only.
+type runStats struct {
+	wall      time.Duration
+	latencies []time.Duration
+	simTotal  time.Duration
+	errs      int
+	firstErr  error
+}
+
+// p50ms / p95ms read percentiles off the sorted latency slice, in
+// milliseconds (0 when empty).
+func (r runStats) p50ms() float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	return float64(r.latencies[len(r.latencies)/2].Microseconds()) / 1000
+}
+
+func (r runStats) p95ms() float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	return float64(r.latencies[len(r.latencies)*95/100].Microseconds()) / 1000
+}
+
+func (r runStats) qps() float64 {
+	if r.wall <= 0 {
+		return 0
+	}
+	return float64(len(r.latencies)+r.errs) / r.wall.Seconds()
+}
+
+// runWorkload pushes the query list through db with `workers` client
+// goroutines under one per-query configuration. Each successful result
+// is also handed to onResult (called under the harness lock; may be
+// nil) for sweep-specific accounting — answer verification, floor
+// tracking, hit counting.
+func runWorkload(db *exec.DB, workers int, queries []string, cfg exec.QueryConfig,
+	onResult func(sql string, res *exec.Result)) runStats {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu  sync.Mutex
+		out runStats
+	)
+	next := make(chan string)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sql := range next {
+				res, err := db.RunCtx(context.Background(), sql, cfg)
+				mu.Lock()
+				if err != nil {
+					out.errs++
+					if out.firstErr == nil {
+						out.firstErr = err
+					}
+				} else {
+					out.latencies = append(out.latencies, res.Stats.SimTime)
+					out.simTotal += res.Stats.SimTime
+					if onResult != nil {
+						onResult(sql, res)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, sql := range queries {
+		next <- sql
+	}
+	close(next)
+	wg.Wait()
+	out.wall = time.Since(start)
+	sort.Slice(out.latencies, func(i, j int) bool { return out.latencies[i] < out.latencies[j] })
+	return out
+}

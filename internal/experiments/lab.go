@@ -56,6 +56,7 @@ type Lab struct {
 
 	synthDS   *datagen.Dataset
 	medicalDS *datagen.Dataset
+	forestDS  map[int]*datagen.Dataset
 	synth     *exec.DB
 	medical   *exec.DB
 }
@@ -216,4 +217,21 @@ func runPoint(db *exec.DB, sql string, strat exec.Strategy, proj exec.Projector,
 		CommTime:  res.Stats.CommTime,
 		Breakdown: bd,
 	}
+}
+
+// ForestDataset returns the nTrees-tree forest dataset (built once per
+// tree count), the substrate of the sharding sweep.
+func (l *Lab) ForestDataset(nTrees int) (*datagen.Dataset, error) {
+	if l.forestDS == nil {
+		l.forestDS = map[int]*datagen.Dataset{}
+	}
+	if ds := l.forestDS[nTrees]; ds != nil {
+		return ds, nil
+	}
+	ds, err := datagen.Forest(l.SF, l.Seed+2, nTrees)
+	if err != nil {
+		return nil, err
+	}
+	l.forestDS[nTrees] = ds
+	return ds, nil
 }

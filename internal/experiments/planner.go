@@ -1,12 +1,8 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"runtime"
-	"sort"
-	"sync"
-	"time"
 
 	"ghostdb/internal/exec"
 )
@@ -141,69 +137,38 @@ func (l *Lab) PlannerSweep(levels []int, queriesPerLevel int) (*PlannerReport, e
 				cfg = exec.QueryConfig{WantBuffers: share}
 			}
 
-			var (
-				mu        sync.Mutex
-				latencies []time.Duration
-				minFloor  = 1 << 30
-				maxFloor  = 0
-				errs      int
-			)
+			minFloor, maxFloor := 1<<30, 0
 			stopSampler := sampleMaxRunning(db)
-			next := make(chan string)
-			var wg sync.WaitGroup
-			start := time.Now()
-			for w := 0; w < level; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for sql := range next {
-						res, err := db.RunCtx(context.Background(), sql, cfg)
-						mu.Lock()
-						if err != nil {
-							errs++
-						} else {
-							latencies = append(latencies, res.Stats.SimTime)
-							if f := res.Stats.PlanMinBuffers; f > 0 {
-								if f < minFloor {
-									minFloor = f
-								}
-								if f > maxFloor {
-									maxFloor = f
-								}
-							}
-						}
-						mu.Unlock()
+			rs := runWorkload(db, level, queries, cfg, func(_ string, res *exec.Result) {
+				if f := res.Stats.PlanMinBuffers; f > 0 {
+					if f < minFloor {
+						minFloor = f
 					}
-				}()
-			}
-			for _, sql := range queries {
-				next <- sql
-			}
-			close(next)
-			wg.Wait()
-			wall := time.Since(start)
+					if f > maxFloor {
+						maxFloor = f
+					}
+				}
+			})
 			maxRunning := stopSampler()
 
-			if errs > 0 {
-				return nil, fmt.Errorf("planner sweep: %d queries failed at level %d (%s)", errs, level, mode)
+			if rs.errs > 0 {
+				return nil, fmt.Errorf("planner sweep: %d queries failed at level %d (%s): %w",
+					rs.errs, level, mode, rs.firstErr)
 			}
-			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 			pt := PlannerPoint{
 				Mode:          mode,
 				Concurrency:   level,
 				Queries:       len(queries),
-				WallSeconds:   wall.Seconds(),
-				WallQPS:       float64(len(queries)) / wall.Seconds(),
+				WallSeconds:   rs.wall.Seconds(),
+				WallQPS:       rs.qps(),
+				SimP50Ms:      rs.p50ms(),
+				SimP95Ms:      rs.p95ms(),
 				MaxRunning:    maxRunning,
 				MinFloorSeen:  minFloor,
 				MaxFloorSeen:  maxFloor,
-				AnswerErrors:  errs,
+				AnswerErrors:  rs.errs,
 				LeakedGrants:  db.RAM.Leaked(),
 				EngineQueries: db.Totals().Queries,
-			}
-			if n := len(latencies); n > 0 {
-				pt.SimP50Ms = float64(latencies[n/2].Microseconds()) / 1000
-				pt.SimP95Ms = float64(latencies[n*95/100].Microseconds()) / 1000
 			}
 			rep.Levels = append(rep.Levels, pt)
 		}

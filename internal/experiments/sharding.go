@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ghostdb/internal/datagen"
+	"ghostdb/internal/exec"
+)
+
+// The sharding sweep measures what multiplying the secure token buys: a
+// shard-local workload (every query confined to one schema tree, each
+// tree placed on its own token) pushed through 1/2/4-token engines at
+// 1/4/16 client sessions. One token serializes everything behind its
+// single execution slot; k tokens genuinely overlap k sessions' flash
+// and bus pipelines, so wall-clock throughput should grow with the
+// token count while per-query simulated cost stays identical.
+//
+// The sweep also *verifies* the accounting invariant sharding promises:
+// summed across tokens, the per-shard Totals of a sharded run report
+// exactly the flash and bus byte counts an unsharded run reports for
+// the same serial query set — spreading work across tokens never adds
+// (or hides) secure-side work.
+
+// ShardingPoint is one (tokens, sessions) cell.
+type ShardingPoint struct {
+	Tokens       int     `json:"tokens"`
+	Concurrency  int     `json:"concurrency"`
+	Queries      int     `json:"queries"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	WallQPS      float64 `json:"wall_qps"`
+	SimP50Ms     float64 `json:"sim_p50_ms"`
+	SimP95Ms     float64 `json:"sim_p95_ms"`
+	SimTotalMs   float64 `json:"sim_total_ms"`
+	AnswerErrors int     `json:"answer_errors"`
+	// PerShardQueries is how many sessions each token completed — the
+	// placement balance check.
+	PerShardQueries []uint64 `json:"per_shard_queries"`
+	LeakedGrants    bool     `json:"leaked_grants"`
+}
+
+// ShardingReport is the machine-readable output (BENCH_sharding.json).
+type ShardingReport struct {
+	Scale          float64         `json:"scale"`
+	Seed           int64           `json:"seed"`
+	Trees          int             `json:"trees"`
+	RAMBudgetBytes int             `json:"ram_budget_bytes"`
+	Levels         []ShardingPoint `json:"levels"`
+	// ScalingOK records the acceptance check: at the 16-session
+	// shard-local workload, 4 tokens achieved strictly higher wall QPS
+	// than 1 token.
+	ScalingOK bool `json:"scaling_ok"`
+	// ParityOK records the byte-parity check: per-shard Totals of the
+	// sharded engines sum to exactly the unsharded engine's flash ops
+	// and bus bytes for the same serial query set.
+	ParityOK        bool     `json:"parity_ok"`
+	ParityFlashOps  []uint64 `json:"parity_flash_ops"`  // per token count, same order as tokenCounts
+	ParityBusBytes  []uint64 `json:"parity_bus_bytes"`  //
+	ParityTokenList []int    `json:"parity_token_list"` // the token counts compared
+}
+
+// shardLocalWorkload renders n queries, each confined to one of the
+// trees (round-robin), with a visible selection, a hidden selection,
+// the tree's join and a value-heavy projection (visible + hidden
+// attributes, so the MJoin and final join do real work) — substantial
+// per-token work, zero cross-tree traffic.
+func shardLocalWorkload(n, trees int) []string {
+	// Moderate-to-loose selectivities: enough surviving tuples that each
+	// query's session does meaningful simulated (and host) work.
+	svs := []float64{0.05, 0.1, 0.2, 0.5}
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := i % trees
+		sv := svs[i/trees%len(svs)]
+		out = append(out, fmt.Sprintf(
+			`SELECT S%d.id, S%d.v1, S%d.v2, S%d.h1, C%d.v1 FROM S%d, C%d `+
+				`WHERE S%d.fkc%d = C%d.id AND S%d.v1 < '%s' AND C%d.h2 < '%s'`,
+			k, k, k, k, k, k, k, k, k, k, k, datagen.SelValue(sv), k, datagen.SelValue(SH)))
+	}
+	return out
+}
+
+// shardingPace is the sweep's real-time pacing divisor: sessions hold
+// their token for SimTime/shardingPace of wall time, so the throughput
+// cells measure the modeled hardware's parallelism (independent tokens
+// overlap their I/O) instead of the host CPU that happens to run the
+// simulation. ~8ms of simulated work becomes ~1ms of held slot.
+const shardingPace = 8
+
+// forestDB builds a fresh engine over the lab's forest dataset with the
+// given token count and concurrency bound.
+func (l *Lab) forestDB(trees, tokens, maxConcurrent int) (*exec.DB, error) {
+	ds, err := l.ForestDataset(trees)
+	if err != nil {
+		return nil, err
+	}
+	return ds.NewDB(exec.Options{
+		FlashParams:          flashFor(l.SF),
+		Shards:               tokens,
+		MaxConcurrentQueries: maxConcurrent,
+		PaceSimulation:       shardingPace,
+	})
+}
+
+// ShardingSweep measures the shard-local workload at every (tokens,
+// sessions) cell, verifies answers against the single-token engine, and
+// runs the serial byte-parity check across token counts.
+func (l *Lab) ShardingSweep(tokenCounts, sessionCounts []int, queriesPerCell int) (*ShardingReport, error) {
+	const trees = 4
+	rep := &ShardingReport{Scale: l.SF, Seed: l.Seed, Trees: trees, ScalingOK: true, ParityOK: true}
+	// queriesPerCell is per tree, so every token count pushes the same
+	// per-token load and the cells are long enough to out-measure
+	// worker-pool startup noise.
+	queries := shardLocalWorkload(queriesPerCell*trees, trees)
+
+	// Answer baseline: row counts from a single-token serial run.
+	baseline := map[string]int{}
+	{
+		db, err := l.forestDB(trees, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, sql := range queries {
+			res, err := db.Run(sql)
+			if err != nil {
+				return nil, fmt.Errorf("sharding baseline %q: %w", sql, err)
+			}
+			baseline[sql] = len(res.Rows)
+		}
+	}
+
+	// ---- Byte-parity check: the same serial query set, per token count.
+	rep.ParityTokenList = tokenCounts
+	for _, tokens := range tokenCounts {
+		db, err := l.forestDB(trees, tokens, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, sql := range queries {
+			if _, err := db.Run(sql); err != nil {
+				return nil, fmt.Errorf("sharding parity %d tokens %q: %w", tokens, sql, err)
+			}
+		}
+		var flashOps, busBytes uint64
+		for _, tot := range db.TokenTotals() {
+			flashOps += tot.Flash.PageReads + tot.Flash.PageWrites
+			busBytes += tot.BusDown + tot.BusUp
+		}
+		rep.ParityFlashOps = append(rep.ParityFlashOps, flashOps)
+		rep.ParityBusBytes = append(rep.ParityBusBytes, busBytes)
+	}
+	for i := 1; i < len(rep.ParityFlashOps); i++ {
+		if rep.ParityFlashOps[i] != rep.ParityFlashOps[0] || rep.ParityBusBytes[i] != rep.ParityBusBytes[0] {
+			rep.ParityOK = false
+		}
+	}
+
+	// ---- Throughput cells.
+	qpsAt := map[[2]int]float64{}
+	for _, tokens := range tokenCounts {
+		for _, sessions := range sessionCounts {
+			db, err := l.forestDB(trees, tokens, sessions)
+			if err != nil {
+				return nil, err
+			}
+			rep.RAMBudgetBytes = db.RAM.Budget()
+			// Sessions split each token's budget as in the other sweeps,
+			// identically across token counts so the comparison isolates
+			// the token count itself.
+			share := db.RAM.Buffers() / sessions
+			if share < 1 {
+				share = 1
+			}
+			cfg := exec.QueryConfig{WantBuffers: share}
+
+			// Best of two runs per cell: the first warms allocator and
+			// scheduler state, so the kept run measures steady state. The
+			// answer-error count follows the kept run.
+			answerErrs := 0
+			var rs runStats
+			for attempt := 0; attempt < 2; attempt++ {
+				curErrs := 0
+				cur := runWorkload(db, sessions, queries, cfg, func(sql string, res *exec.Result) {
+					if want, ok := baseline[sql]; ok && len(res.Rows) != want {
+						curErrs++
+					}
+				})
+				if cur.firstErr != nil {
+					return nil, fmt.Errorf("sharding sweep %d tokens / %d sessions: %w",
+						tokens, sessions, cur.firstErr)
+				}
+				if attempt == 0 || cur.wall < rs.wall {
+					rs, answerErrs = cur, curErrs
+				}
+			}
+			var perShard []uint64
+			for _, u := range db.Tokens() {
+				perShard = append(perShard, u.Totals().Queries)
+			}
+			pt := ShardingPoint{
+				Tokens:          tokens,
+				Concurrency:     sessions,
+				Queries:         len(queries),
+				WallSeconds:     rs.wall.Seconds(),
+				WallQPS:         rs.qps(),
+				SimP50Ms:        rs.p50ms(),
+				SimP95Ms:        rs.p95ms(),
+				SimTotalMs:      float64(rs.simTotal.Microseconds()) / 1000,
+				AnswerErrors:    answerErrs,
+				PerShardQueries: perShard,
+				LeakedGrants:    db.Leaked(),
+			}
+			rep.Levels = append(rep.Levels, pt)
+			qpsAt[[2]int{tokens, sessions}] = pt.WallQPS
+		}
+	}
+	maxTok, maxSess := tokenCounts[len(tokenCounts)-1], sessionCounts[len(sessionCounts)-1]
+	if len(tokenCounts) > 1 {
+		if !(qpsAt[[2]int{maxTok, maxSess}] > qpsAt[[2]int{tokenCounts[0], maxSess}]) {
+			rep.ScalingOK = false
+		}
+	}
+	return rep, nil
+}

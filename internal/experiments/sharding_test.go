@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestShardingSweepContract runs a small sweep and checks sharding's
+// hard contract points: per-shard Totals sum to the unsharded engine's
+// exact byte counts for the same serial query set, every answer matches
+// the single-token baseline, placement balances the shard-local load
+// evenly, and no grants leak. (The wall-clock scaling flag is measured
+// and reported but not asserted here — single-core test runners make it
+// a statement about the host, not the engine; the bench binary enforces
+// it.)
+func TestShardingSweepContract(t *testing.T) {
+	lab := NewLab(0.002, 7)
+	rep, err := lab.ShardingSweep([]int{1, 2}, []int{1, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 4 {
+		t.Fatalf("%d cells, want 4", len(rep.Levels))
+	}
+	if !rep.ParityOK {
+		t.Fatalf("per-shard totals diverge from the unsharded run: flash %v bus %v",
+			rep.ParityFlashOps, rep.ParityBusBytes)
+	}
+	for _, p := range rep.Levels {
+		if p.AnswerErrors != 0 {
+			t.Fatalf("%d tokens / %d sessions: %d answers diverged from the single-token baseline",
+				p.Tokens, p.Concurrency, p.AnswerErrors)
+		}
+		if p.LeakedGrants {
+			t.Fatalf("%d tokens / %d sessions: leaked RAM grants", p.Tokens, p.Concurrency)
+		}
+		if len(p.PerShardQueries) != p.Tokens {
+			t.Fatalf("%d tokens: %d per-shard counters", p.Tokens, len(p.PerShardQueries))
+		}
+		for _, n := range p.PerShardQueries {
+			if n != p.PerShardQueries[0] {
+				t.Fatalf("%d tokens / %d sessions: unbalanced shard load %v",
+					p.Tokens, p.Concurrency, p.PerShardQueries)
+			}
+		}
+	}
+}

@@ -66,7 +66,10 @@ type Catalog struct {
 }
 
 // Build constructs all SKTs and climbing indexes for the given variant.
-// inputs must contain an entry for every table in the schema.
+// inputs must contain an entry for every table of every tree it touches:
+// a tree is either fully present or fully absent (absent trees belong to
+// other secure tokens — each token's catalog covers exactly the trees
+// placed on it, and index structures never cross trees).
 func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, variant Variant) (*Catalog, error) {
 	cat := &Catalog{
 		Sch:     sch,
@@ -75,9 +78,11 @@ func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, va
 		attrs:   make(map[[2]int]*Climbing),
 		ids:     make(map[int]*Climbing),
 	}
+	owned := func(ti int) bool { return inputs[ti] != nil }
 	for _, t := range sch.Tables {
-		if inputs[t.Index] == nil {
-			return nil, fmt.Errorf("index: missing input for table %q", t.Name)
+		if owned(t.Index) != owned(sch.RootOf(t.Index)) {
+			return nil, fmt.Errorf("index: tree of %q is only partially present in the inputs",
+				t.Name)
 		}
 	}
 
@@ -88,14 +93,14 @@ func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, va
 
 	// Subtree Key Tables.
 	for _, t := range sch.Tables {
-		if len(t.Children()) == 0 {
+		if !owned(t.Index) || len(t.Children()) == 0 {
 			continue
 		}
 		switch variant {
 		case VariantFull:
 			// every non-leaf table
 		case VariantBasic, VariantStar:
-			if t.Index != sch.Root().Index {
+			if !sch.IsRoot(t.Index) {
 				continue
 			}
 		case VariantJoin:
@@ -123,6 +128,9 @@ func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, va
 
 	// Attribute climbing indexes.
 	for _, t := range sch.Tables {
+		if !owned(t.Index) {
+			continue
+		}
 		in := inputs[t.Index]
 		levels := attrLevels(sch, t, variant)
 		for _, a := range in.Attrs {
@@ -144,7 +152,7 @@ func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, va
 
 	// ID climbing indexes (join acceleration).
 	for _, t := range sch.Tables {
-		if t.Index == sch.Root().Index {
+		if !owned(t.Index) || sch.IsRoot(t.Index) {
 			continue
 		}
 		var levels []int
@@ -152,7 +160,7 @@ func Build(dev *flash.Device, sch *schema.Schema, inputs map[int]*TableInput, va
 		case VariantFull:
 			levels = append(levels, t.Ancestors()...)
 		case VariantBasic:
-			levels = []int{sch.Root().Index}
+			levels = []int{sch.RootOf(t.Index)}
 		case VariantStar:
 			continue // star joins go through the root SKT only
 		case VariantJoin:
@@ -180,10 +188,10 @@ func attrLevels(sch *schema.Schema, t *schema.Table, variant Variant) []int {
 	case VariantFull:
 		return append([]int{t.Index}, t.Ancestors()...)
 	case VariantBasic:
-		if t.Index == sch.Root().Index {
+		if sch.IsRoot(t.Index) {
 			return []int{t.Index}
 		}
-		return []int{t.Index, sch.Root().Index}
+		return []int{t.Index, sch.RootOf(t.Index)}
 	default:
 		return []int{t.Index}
 	}
@@ -217,8 +225,11 @@ func descendantIDs(sch *schema.Schema, inputs map[int]*TableInput) (map[int]map[
 		}
 	}
 	for _, t := range order {
-		desc[t.Index] = make(map[int][]uint32)
 		in := inputs[t.Index]
+		if in == nil {
+			continue // tree placed on another token
+		}
+		desc[t.Index] = make(map[int][]uint32)
 		for _, ci := range t.Children() {
 			fk := in.FKs[ci]
 			if len(fk) != in.Rows {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"ghostdb/internal/btree"
 	"ghostdb/internal/flash"
@@ -33,6 +34,110 @@ type Climbing struct {
 	levels []int // table index per payload slot
 	tree   *btree.Tree
 	lists  *store.ListSegment
+	dist   *keyDist // secure-side key distribution (attribute indexes)
+}
+
+// distSampleSize bounds the equi-depth boundary sample kept per
+// attribute index: 128 boundaries of a char(10) key are ~1.3KB of token
+// metadata — small against the index itself.
+const distSampleSize = 128
+
+// distExtraCap bounds the post-load inserted keys tracked exactly;
+// beyond it, inserts still count toward the total (slightly diluting
+// the per-key resolution, never the total-row denominator).
+const distExtraCap = 4096
+
+// keyDist is the secure-side distribution summary of one indexed
+// attribute: equi-depth boundaries sampled from the bulk build plus the
+// post-load inserted keys. It lives with the index on the token and is
+// consulted only at plan time; the raw boundaries are never shipped to
+// the untrusted side — only the derived scalar selectivity estimate
+// appears in plans and EXPLAIN output.
+//
+// mu guards extra/extraN: planning deliberately runs outside the
+// token's execution slot, so a concurrent INSERT (which holds the slot
+// and calls add) would otherwise race the estimator's reads. The bulk
+// fields (sample, bulkTotal, distinct) are written only during Build,
+// before the index is published.
+type keyDist struct {
+	mu        sync.Mutex
+	bulkTotal int
+	distinct  int
+	sample    [][]byte // ascending equi-depth boundaries (≤ distSampleSize)
+	extra     [][]byte // sorted post-load keys (≤ distExtraCap)
+	extraN    int      // all post-load inserts, tracked or not
+}
+
+func (d *keyDist) totalLocked() int { return d.bulkTotal + d.extraN }
+
+func (d *keyDist) add(key []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.extraN++
+	if len(d.extra) >= distExtraCap {
+		return
+	}
+	k := append([]byte(nil), key...)
+	i := sort.Search(len(d.extra), func(i int) bool { return bytes.Compare(d.extra[i], k) >= 0 })
+	d.extra = append(d.extra, nil)
+	copy(d.extra[i+1:], d.extra[i:])
+	d.extra[i] = k
+}
+
+// fracBelow estimates the fraction of rows whose key sorts strictly
+// before key.
+func (d *keyDist) fracBelow(key []byte) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.totalLocked() == 0 {
+		return 0
+	}
+	var est float64
+	if d.bulkTotal > 0 && len(d.sample) > 0 {
+		i := sort.Search(len(d.sample), func(i int) bool { return bytes.Compare(d.sample[i], key) >= 0 })
+		est += float64(i) / float64(len(d.sample)+1) * float64(d.bulkTotal)
+	}
+	if len(d.extra) > 0 {
+		i := sort.Search(len(d.extra), func(i int) bool { return bytes.Compare(d.extra[i], key) >= 0 })
+		// Scale tracked extras up to all extras.
+		est += float64(i) / float64(len(d.extra)) * float64(d.extraN)
+	}
+	f := est / float64(d.totalLocked())
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// fracEq estimates the fraction of rows carrying exactly one key value:
+// the average bucket, 1/distinct.
+func (d *keyDist) fracEq() float64 {
+	if d.distinct <= 0 {
+		return 0
+	}
+	return 1 / float64(d.distinct)
+}
+
+// EstimateFracBelow estimates the fraction of the table's rows whose
+// indexed value sorts strictly below the encoded key, from the
+// statistics kept on the token. ok=false when the index keeps none (id
+// indexes — their key space is dense and exact math beats sampling).
+func (c *Climbing) EstimateFracBelow(key []byte) (float64, bool) {
+	if c.dist == nil {
+		return 0, false
+	}
+	return c.dist.fracBelow(key), true
+}
+
+// EstimateFracEq estimates the fraction of rows equal to any one key.
+func (c *Climbing) EstimateFracEq() (float64, bool) {
+	if c.dist == nil {
+		return 0, false
+	}
+	return c.dist.fracEq(), true
 }
 
 // ErrNoLevel is returned when an index does not carry the requested level.
@@ -184,6 +289,13 @@ func (c *Climbing) InsertEntry(key []byte, perLevel []int64) error {
 	if err := c.lists.Seal(); err != nil {
 		return err
 	}
+	// Keep the token-side distribution current: a self-level
+	// contribution is one new row carrying this key.
+	if c.dist != nil {
+		if slot, ok := c.LevelOf(c.table); ok && perLevel[slot] >= 0 {
+			c.dist.add(key)
+		}
+	}
 	return c.tree.Insert(key, payload)
 }
 
@@ -235,6 +347,23 @@ func buildClimbing(dev *flash.Device, in climbingInput) (*Climbing, error) {
 			}
 			ordOfRow[r] = uint32(len(distinct) - 1)
 		}
+		// Equi-depth boundary sample over the sorted rows: the token-side
+		// statistics the planner's hidden-selectivity estimates come from.
+		if in.rows > 0 {
+			d := &keyDist{bulkTotal: in.rows}
+			n := distSampleSize
+			if n > in.rows {
+				n = in.rows
+			}
+			for s := 1; s <= n; s++ {
+				row := order[(s*in.rows/(n+1))%in.rows]
+				// Copy the boundary key: aliasing in.vals would pin the
+				// whole transient build column in memory for the DB's life.
+				d.sample = append(d.sample,
+					append([]byte(nil), in.vals[int(row)*in.keyW:int(row+1)*in.keyW]...))
+			}
+			c.dist = d
+		}
 	} else {
 		// ID index: the key of row i is i itself; every id is distinct.
 		distinct = make([][]byte, in.rows)
@@ -246,6 +375,9 @@ func buildClimbing(dev *flash.Device, in climbingInput) (*Climbing, error) {
 		// ordOfRow is the identity; represented implicitly below.
 	}
 	nvals := len(distinct)
+	if c.dist != nil {
+		c.dist.distinct = nvals
+	}
 
 	// Sorted (ordinal, id) pairs per level, composite-encoded in uint64.
 	sorted := make([][]uint64, len(in.levels))

@@ -48,6 +48,25 @@ type Query struct {
 	Preds       []Pred
 	Projections []Proj
 	CountOnly   bool // SELECT COUNT(*): project nothing, return the cardinality
+
+	// Parts is set when the FROM set spans several schema trees (a
+	// forest query): one self-contained single-tree sub-query per tree,
+	// in FROM order of each tree's first table. The overall answer is the
+	// cross product of the parts' answers — fk joins cannot cross trees,
+	// so no join predicate can relate them. Single-tree queries (all of
+	// the paper's) have Parts nil, and Anchor/Preds/Projections describe
+	// the whole query.
+	Parts []*Query
+	// PartProj maps each top-level projection to its source: Part is the
+	// index into Parts, Col the column position within that part's
+	// projection list. nil when Parts is nil.
+	PartProj []PartCol
+}
+
+// PartCol locates one top-level projection inside a part's result.
+type PartCol struct {
+	Part int
+	Col  int
 }
 
 // HiddenPreds returns the predicates on Hidden attributes (id predicates
@@ -221,34 +240,56 @@ func Resolve(sch *schema.Schema, sel *sqlparse.Select, sql string) (*Query, erro
 		}
 		edges[edge{fk.table, id.table}] = true
 	}
-	if len(q.Tables) > 1 {
-		if len(edges) != len(q.Tables)-1 {
-			return nil, fmt.Errorf("%w: %d join predicates cannot connect %d tables",
-				ErrUnsupported, len(edges), len(q.Tables))
-		}
-		// Every non-anchor table must be reachable via joined edges.
-		joined := map[int]bool{}
-		for e := range edges {
-			if !seen[e.parent] || !seen[e.child] {
-				return nil, fmt.Errorf("query: join references table outside FROM")
-			}
-			if joined[e.child] {
-				return nil, fmt.Errorf("%w: table joined twice", ErrUnsupported)
-			}
-			joined[e.child] = true
-		}
-	}
-	q.Anchor = sch.CommonAncestor(q.Tables)
-	if !seen[q.Anchor] {
-		return nil, fmt.Errorf("%w: tables %v do not form a rooted subtree (missing %q in FROM)",
-			ErrUnsupported, q.Tables, sch.Tables[q.Anchor].Name)
-	}
+	// Group the FROM set by schema tree: fk edges never cross trees, so
+	// each tree's tables must form a rooted, fully-joined subtree on
+	// their own; several trees make a forest query (evaluated as the
+	// cross product of its per-tree parts).
+	var groups [][]int // FROM order of first appearance
+	groupOf := map[int]int{}
 	for _, ti := range q.Tables {
-		if !sch.IsAncestorOf(q.Anchor, ti) {
-			return nil, fmt.Errorf("%w: %q is not under anchor %q",
-				ErrUnsupported, sch.Tables[ti].Name, sch.Tables[q.Anchor].Name)
+		root := sch.RootOf(ti)
+		gi, ok := groupOf[root]
+		if !ok {
+			gi = len(groups)
+			groupOf[root] = gi
+			groups = append(groups, nil)
 		}
+		groups[gi] = append(groups[gi], ti)
 	}
+	joined := map[int]bool{}
+	for e := range edges {
+		if !seen[e.parent] || !seen[e.child] {
+			return nil, fmt.Errorf("query: join references table outside FROM")
+		}
+		if joined[e.child] {
+			return nil, fmt.Errorf("%w: table joined twice", ErrUnsupported)
+		}
+		joined[e.child] = true
+	}
+	edgesWanted := 0
+	for _, g := range groups {
+		edgesWanted += len(g) - 1
+	}
+	if len(edges) != edgesWanted {
+		return nil, fmt.Errorf("%w: %d join predicates cannot connect %d tables across %d trees",
+			ErrUnsupported, len(edges), len(q.Tables), len(groups))
+	}
+	anchors := make([]int, len(groups))
+	for gi, g := range groups {
+		a := sch.CommonAncestor(g)
+		if a < 0 || !seen[a] {
+			return nil, fmt.Errorf("%w: tables %v do not form a rooted subtree",
+				ErrUnsupported, g)
+		}
+		for _, ti := range g {
+			if !sch.IsAncestorOf(a, ti) {
+				return nil, fmt.Errorf("%w: %q is not under anchor %q",
+					ErrUnsupported, sch.Tables[ti].Name, sch.Tables[a].Name)
+			}
+		}
+		anchors[gi] = a
+	}
+	q.Anchor = anchors[0]
 
 	// Predicates.
 	for _, p := range sel.Preds {
@@ -294,9 +335,7 @@ func Resolve(sch *schema.Schema, sel *sqlparse.Select, sql string) (*Query, erro
 	if sel.Count {
 		q.CountOnly = true
 		q.Projections = []Proj{{Table: q.Anchor, ColIdx: IDCol}}
-		return q, nil
-	}
-	if sel.Star {
+	} else if sel.Star {
 		for _, ti := range q.Tables {
 			q.Projections = append(q.Projections, expandStar(sch.Tables[ti])...)
 		}
@@ -317,7 +356,69 @@ func Resolve(sch *schema.Schema, sel *sqlparse.Select, sql string) (*Query, erro
 			q.Projections = append(q.Projections, Proj{Table: ti, ColIdx: ci})
 		}
 	}
+	if len(groups) > 1 {
+		q.buildParts(groups, anchors, groupOfTable(groups))
+	}
 	return q, nil
+}
+
+// groupOfTable inverts the FROM grouping: table index -> group index.
+func groupOfTable(groups [][]int) map[int]int {
+	out := map[int]int{}
+	for gi, g := range groups {
+		for _, ti := range g {
+			out[ti] = gi
+		}
+	}
+	return out
+}
+
+// buildParts splits a forest query into one self-contained sub-query per
+// schema tree. Each part carries the predicates and projections of its
+// tree; a part whose tables only filter (no projections of its own)
+// becomes a COUNT(*) sub-query — its count is the multiplicity its tree
+// contributes to the cross product. Part SQL is the part's canonical
+// text: derived entirely from the submitted query, so shipping it to the
+// part's token reveals nothing the original statement did not.
+func (q *Query) buildParts(groups [][]int, anchors []int, groupOf map[int]int) {
+	q.Parts = make([]*Query, len(groups))
+	for gi := range groups {
+		q.Parts[gi] = &Query{
+			Tables:    append([]int(nil), groups[gi]...),
+			Anchor:    anchors[gi],
+			CountOnly: q.CountOnly,
+		}
+	}
+	for _, p := range q.Preds {
+		part := q.Parts[groupOf[p.Table]]
+		part.Preds = append(part.Preds, p)
+	}
+	if q.CountOnly {
+		// COUNT(*) over a cross product is the product of the parts'
+		// counts; every part counts its own qualifying tuples.
+		for gi := range q.Parts {
+			q.Parts[gi].Projections = []Proj{{Table: anchors[gi], ColIdx: IDCol}}
+		}
+	} else {
+		q.PartProj = make([]PartCol, len(q.Projections))
+		for i, pr := range q.Projections {
+			gi := groupOf[pr.Table]
+			part := q.Parts[gi]
+			q.PartProj[i] = PartCol{Part: gi, Col: len(part.Projections)}
+			part.Projections = append(part.Projections, pr)
+		}
+		// A tree that only filters contributes its qualifying-row count
+		// as a multiplicity.
+		for gi, part := range q.Parts {
+			if len(part.Projections) == 0 {
+				q.Parts[gi].CountOnly = true
+				q.Parts[gi].Projections = []Proj{{Table: anchors[gi], ColIdx: IDCol}}
+			}
+		}
+	}
+	for _, part := range q.Parts {
+		part.SQL = part.Canonical()
+	}
 }
 
 // Canonical renders the resolved query as a normalized text, the result

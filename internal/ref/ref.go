@@ -93,8 +93,12 @@ func match(op sqlparse.CompareOp, v, lo, hi schema.Value) bool {
 
 // Evaluate answers a resolved query: one result row per anchor tuple
 // satisfying all predicates, in ascending anchor-id order, projecting the
-// requested columns.
+// requested columns. Forest queries (q.Parts set) are answered as the
+// cross product of their per-tree parts.
 func (e *Engine) Evaluate(q *query.Query) ([]schema.Row, error) {
+	if len(q.Parts) > 0 {
+		return e.evaluateForest(q)
+	}
 	anchorRows := len(e.rows[q.Anchor])
 	var out []schema.Row
 	for id := uint32(0); int(id) < anchorRows; id++ {
@@ -132,5 +136,61 @@ func (e *Engine) Evaluate(q *query.Query) ([]schema.Row, error) {
 		}
 		out = append(out, row)
 	}
+	return out, nil
+}
+
+// evaluateForest answers a forest query by nested loops over the parts'
+// row sets (deliberately naive — this is the oracle the engine's
+// scatter/merge path is checked against). Filter-only parts contribute
+// their qualifying-row count as a multiplicity; top-level COUNT(*) is
+// the product of the parts' counts.
+func (e *Engine) evaluateForest(q *query.Query) ([]schema.Row, error) {
+	partRows := make([][]schema.Row, len(q.Parts))
+	for i, part := range q.Parts {
+		rows, err := e.Evaluate(part)
+		if err != nil {
+			return nil, err
+		}
+		partRows[i] = rows
+	}
+	if q.CountOnly {
+		n := int64(1)
+		for _, rows := range partRows {
+			n *= int64(len(rows))
+		}
+		return []schema.Row{{schema.IntVal(n)}}, nil
+	}
+	mult := 1
+	for i, part := range q.Parts {
+		if part.CountOnly {
+			mult *= len(partRows[i])
+			partRows[i] = nil
+		}
+	}
+	out := []schema.Row{}
+	if mult == 0 {
+		return out, nil
+	}
+	var walk func(gi int, picked []schema.Row)
+	walk = func(gi int, picked []schema.Row) {
+		if gi == len(q.Parts) {
+			row := make(schema.Row, len(q.Projections))
+			for i, pc := range q.PartProj {
+				row[i] = picked[pc.Part][pc.Col]
+			}
+			for m := 0; m < mult; m++ {
+				out = append(out, row)
+			}
+			return
+		}
+		if partRows[gi] == nil {
+			walk(gi+1, append(picked, nil))
+			return
+		}
+		for _, r := range partRows[gi] {
+			walk(gi+1, append(picked, r))
+		}
+	}
+	walk(0, nil)
 	return out, nil
 }

@@ -15,7 +15,8 @@ import (
 // IDWidth is the on-flash width of a surrogate identifier (Table 1).
 const IDWidth = 4
 
-// ErrNotTree is returned when the foreign keys do not form a tree.
+// ErrNotTree is returned when the foreign keys do not form a forest of
+// trees (each table has at most one parent, no cycles).
 var ErrNotTree = errors.New("schema: foreign keys must form a tree")
 
 // Column describes a data attribute.
@@ -61,11 +62,16 @@ type Table struct {
 	ancestors   []int // nearest first, ending at the root
 }
 
-// Schema is a validated tree-structured database schema.
+// Schema is a validated forest of tree-structured table groups. The
+// paper's schemas are a single tree (Figure 3); several independent
+// trees in one database are allowed so that tables can be placed across
+// multiple secure tokens — joins never cross trees (they follow fk
+// edges), which is exactly what makes tree-granularity placement safe.
 type Schema struct {
 	Tables []*Table
 	byName map[string]int
-	root   int
+	roots  []int // tree roots, in declaration order
+	rootOf []int // table index -> root of its tree
 }
 
 // New validates the table definitions and computes the tree structure.
@@ -112,17 +118,16 @@ func New(defs []TableDef) (*Schema, error) {
 			t.children = append(t.children, ci)
 		}
 	}
-	// Exactly one root; connected; acyclic (parent uniqueness + single root
-	// + full reachability imply a tree).
-	roots := 0
+	// One or more roots; every table reachable from some root; acyclic
+	// (parent uniqueness + full reachability from the roots imply a
+	// forest — an unreachable table would be on a parent cycle).
 	for _, t := range s.Tables {
 		if t.ParentIndex < 0 {
-			roots++
-			s.root = t.Index
+			s.roots = append(s.roots, t.Index)
 		}
 	}
-	if roots != 1 {
-		return nil, fmt.Errorf("%w: found %d root tables, want exactly 1", ErrNotTree, roots)
+	if len(s.roots) == 0 {
+		return nil, fmt.Errorf("%w: no root table (reference cycle)", ErrNotTree)
 	}
 	if err := s.computeTree(); err != nil {
 		return nil, err
@@ -159,26 +164,31 @@ func validateColumns(d TableDef) error {
 }
 
 func (s *Schema) computeTree() error {
-	// Depth-first from the root; detect unreachable tables (forests).
+	// Depth-first from every root; a table not reached from any root sits
+	// on a parent cycle.
 	visited := make([]bool, len(s.Tables))
-	var walk func(i, depth int) []int
-	walk = func(i, depth int) []int {
+	s.rootOf = make([]int, len(s.Tables))
+	var walk func(i, root, depth int) []int
+	walk = func(i, root, depth int) []int {
 		t := s.Tables[i]
 		visited[i] = true
+		s.rootOf[i] = root
 		t.Depth = depth
 		var desc []int
 		for _, c := range t.children {
 			desc = append(desc, c)
-			desc = append(desc, walk(c, depth+1)...)
+			desc = append(desc, walk(c, root, depth+1)...)
 		}
 		t.descendants = desc
 		return desc
 	}
-	walk(s.root, 0)
+	for _, r := range s.roots {
+		walk(r, r, 0)
+	}
 	for i, v := range visited {
 		if !v {
-			return fmt.Errorf("%w: table %q unreachable from root %q",
-				ErrNotTree, s.Tables[i].Name, s.Tables[s.root].Name)
+			return fmt.Errorf("%w: table %q unreachable from any root (reference cycle)",
+				ErrNotTree, s.Tables[i].Name)
 		}
 	}
 	for _, t := range s.Tables {
@@ -190,8 +200,25 @@ func (s *Schema) computeTree() error {
 	return nil
 }
 
-// Root returns the root (largest, central) table of the tree.
-func (s *Schema) Root() *Table { return s.Tables[s.root] }
+// Root returns the first tree's root table. Single-tree schemas (the
+// paper's shape) have exactly one; forest schemas should use Roots.
+func (s *Schema) Root() *Table { return s.Tables[s.roots[0]] }
+
+// Roots returns the root table index of every tree, in declaration
+// order.
+func (s *Schema) Roots() []int { return s.roots }
+
+// RootOf returns the root table index of the tree containing table ti.
+func (s *Schema) RootOf(ti int) int { return s.rootOf[ti] }
+
+// IsRoot reports whether table ti is the root of its tree.
+func (s *Schema) IsRoot(ti int) bool { return s.rootOf[ti] == ti }
+
+// TreeTables returns the table indexes of the tree rooted at root
+// (root first, then preorder descendants).
+func (s *Schema) TreeTables(root int) []int {
+	return append([]int{root}, s.Tables[root].descendants...)
+}
 
 // Lookup finds a table by case-insensitive name.
 func (s *Schema) Lookup(name string) (*Table, bool) {
@@ -265,10 +292,11 @@ func (s *Schema) IsAncestorOf(t, other int) bool {
 }
 
 // CommonAncestor returns the lowest table that is an ancestor-or-self of
-// every table in set.
+// every table in set, or -1 when the set spans several trees (no common
+// ancestor exists in a forest).
 func (s *Schema) CommonAncestor(set []int) int {
 	if len(set) == 0 {
-		return s.root
+		return s.roots[0]
 	}
 	anc := append([]int{set[0]}, s.Tables[set[0]].ancestors...)
 	for _, t := range set[1:] {
@@ -283,6 +311,9 @@ func (s *Schema) CommonAncestor(set []int) int {
 			}
 		}
 		anc = next
+	}
+	if len(anc) == 0 {
+		return -1
 	}
 	// anc is ordered deepest-first because ancestor lists are.
 	return anc[0]
@@ -305,10 +336,13 @@ func (s *Schema) PathUp(from, to int) ([]int, error) {
 	return path, nil
 }
 
-// String renders the schema as CREATE TABLE statements (root first, then
-// breadth-first), for diagnostics.
+// String renders the schema as CREATE TABLE statements (each tree root
+// first, then preorder), for diagnostics.
 func (s *Schema) String() string {
-	order := append([]int{s.root}, s.Root().descendants...)
+	var order []int
+	for _, r := range s.roots {
+		order = append(order, s.TreeTables(r)...)
+	}
 	var b strings.Builder
 	for _, i := range order {
 		t := s.Tables[i]

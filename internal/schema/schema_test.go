@@ -116,13 +116,37 @@ func TestRejectTwoParents(t *testing.T) {
 	}
 }
 
-func TestRejectTwoRoots(t *testing.T) {
-	defs := paperDefs()[0:1]
-	defs = append(defs, TableDef{Name: "Orphan"})
-	// T0 references T1/T2 which do not exist in this slice.
-	defs[0].Refs = nil
-	if _, err := New(defs); !errors.Is(err, ErrNotTree) {
-		t.Fatalf("two roots: %v", err)
+func TestForestTwoRoots(t *testing.T) {
+	// Two independent trees in one schema: the shape cross-token
+	// placement shards on. Each tree keeps its own root, depths and
+	// descendant sets; CommonAncestor across trees reports none.
+	defs := []TableDef{
+		{Name: "A", Refs: []Ref{{FKColumn: "fb", Child: "B"}}},
+		{Name: "B"},
+		{Name: "X", Refs: []Ref{{FKColumn: "fy", Child: "Y"}}},
+		{Name: "Y"},
+	}
+	s, err := New(defs)
+	if err != nil {
+		t.Fatalf("forest rejected: %v", err)
+	}
+	if got := s.Roots(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Roots() = %v", got)
+	}
+	if s.RootOf(1) != 0 || s.RootOf(3) != 2 || !s.IsRoot(2) || s.IsRoot(3) {
+		t.Fatalf("RootOf/IsRoot wrong: rootOf(B)=%d rootOf(Y)=%d", s.RootOf(1), s.RootOf(3))
+	}
+	if ca := s.CommonAncestor([]int{1, 3}); ca != -1 {
+		t.Fatalf("cross-tree CommonAncestor = %d, want -1", ca)
+	}
+	if ca := s.CommonAncestor([]int{0, 1}); ca != 0 {
+		t.Fatalf("in-tree CommonAncestor = %d, want 0", ca)
+	}
+	if tt := s.TreeTables(2); len(tt) != 2 || tt[0] != 2 || tt[1] != 3 {
+		t.Fatalf("TreeTables(X) = %v", tt)
+	}
+	if !strings.Contains(s.String(), "CREATE TABLE X") {
+		t.Fatalf("String() misses the second tree:\n%s", s.String())
 	}
 }
 

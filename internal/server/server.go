@@ -324,12 +324,13 @@ type kv struct {
 	v any
 }
 
-// statsPairs renders engine totals and cache counters; shared between
-// the line protocol and the HTTP endpoint so both report identically.
+// statsPairs renders engine totals, per-shard totals and cache counters;
+// shared between the line protocol and the HTTP endpoint so both report
+// identically.
 func statsPairs(db *ghostdb.DB) []kv {
 	tot := db.Totals()
 	cs := db.CacheStats()
-	return []kv{
+	out := []kv{
 		{"queries", tot.Queries},
 		{"sim_us", tot.SimTime.Microseconds()},
 		{"io_us", tot.IOTime.Microseconds()},
@@ -346,6 +347,19 @@ func statsPairs(db *ghostdb.DB) []kv {
 		{"cache_evictions", cs.Evictions},
 		{"cache_invalidations", cs.Invalidations},
 	}
+	out = append(out, kv{"shards", db.Shards()})
+	for i, st := range db.ShardTotals() {
+		p := fmt.Sprintf("shard%d_", i)
+		out = append(out,
+			kv{p + "sessions", st.Queries},
+			kv{p + "sim_us", st.SimTime.Microseconds()},
+			kv{p + "flash_reads", st.Flash.PageReads},
+			kv{p + "flash_writes", st.Flash.PageWrites},
+			kv{p + "bus_down_bytes", st.BusDown},
+			kv{p + "bus_up_bytes", st.BusUp},
+		)
+	}
+	return out
 }
 
 func cacheLabel(st ghostdb.Stats) string {

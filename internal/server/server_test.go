@@ -143,7 +143,8 @@ func TestProtocolQueryExplainStats(t *testing.T) {
 
 	st := c.roundtrip(t, "STATS")
 	joined := strings.Join(st, "\n")
-	for _, want := range []string{"INFO queries=", "INFO cache_hits=1", "INFO cache_entries=1"} {
+	for _, want := range []string{"INFO queries=", "INFO cache_hits=1", "INFO cache_entries=1",
+		"INFO shards=1", "INFO shard0_sessions=", "INFO shard0_flash_reads="} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("STATS missing %q:\n%s", want, joined)
 		}

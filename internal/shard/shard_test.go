@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"ghostdb/internal/schema"
+)
+
+// forest builds k two-table trees R0/C0, R1/C1, ...
+func forest(t *testing.T, k int) *schema.Schema {
+	t.Helper()
+	var defs []schema.TableDef
+	for i := 0; i < k; i++ {
+		r := schema.TableDef{
+			Name: "R" + string(rune('0'+i)),
+			Refs: []schema.Ref{{FKColumn: "fc", Child: "C" + string(rune('0'+i))}},
+		}
+		defs = append(defs, r, schema.TableDef{Name: "C" + string(rune('0'+i))})
+	}
+	sch, err := schema.New(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func treesOf(sch *schema.Schema, weights []int) []Tree {
+	var out []Tree
+	for i, r := range sch.Roots() {
+		out = append(out, Tree{Root: r, Tables: sch.TreeTables(r), Weight: weights[i]})
+	}
+	return out
+}
+
+func TestPlaceBalancesByWeight(t *testing.T) {
+	sch := forest(t, 4)
+	m, err := Place(sch, 2, treesOf(sch, []int{10, 1, 9, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPT: 10 -> tok0, 9 -> tok1, 2 -> tok1 (load 9 vs 10... 9+2=11), 1 -> tok0.
+	load := map[int]int{}
+	w := map[int]int{0: 10, 2: 1, 4: 9, 6: 2}
+	for _, r := range sch.Roots() {
+		load[m.Of(r)] += w[r]
+	}
+	if load[0]+load[1] != 22 || load[0] == 0 || load[1] == 0 {
+		t.Fatalf("unbalanced placement: %v", load)
+	}
+	// Trees stay whole: a child is always with its root.
+	for _, r := range sch.Roots() {
+		for _, ti := range sch.TreeTables(r) {
+			if m.Of(ti) != m.Of(r) {
+				t.Fatalf("table %d split from its root %d", ti, r)
+			}
+		}
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	sch := forest(t, 4)
+	w := []int{5, 5, 5, 5}
+	a, err := Place(sch, 3, treesOf(sch, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(sch, 3, treesOf(sch, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.byTable, b.byTable) {
+		t.Fatalf("placement not deterministic: %v vs %v", a.byTable, b.byTable)
+	}
+}
+
+func TestTokenOfAll(t *testing.T) {
+	sch := forest(t, 2)
+	m, err := Place(sch, 2, treesOf(sch, []int{3, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := sch.Roots()[0]
+	if tok, ok := m.TokenOfAll(sch.TreeTables(r0)); !ok || tok != m.Of(r0) {
+		t.Fatalf("TokenOfAll in-tree: tok=%d ok=%v", tok, ok)
+	}
+	if _, ok := m.TokenOfAll([]int{sch.Roots()[0], sch.Roots()[1]}); ok {
+		t.Fatal("TokenOfAll accepted a cross-token set")
+	}
+}
+
+func TestPlaceMoreTokensThanTrees(t *testing.T) {
+	sch := forest(t, 2)
+	m, err := Place(sch, 4, treesOf(sch, []int{1, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d", m.Shards())
+	}
+	if len(m.Tables(2))+len(m.Tables(3)) != 0 {
+		t.Fatalf("extra tokens should be empty: %v %v", m.Tables(2), m.Tables(3))
+	}
+}
+
+func TestPlaceRejectsPartialCover(t *testing.T) {
+	sch := forest(t, 2)
+	trees := treesOf(sch, []int{1, 1})[:1]
+	if _, err := Place(sch, 2, trees); err == nil {
+		t.Fatal("partial cover accepted")
+	}
+}
