@@ -1,0 +1,30 @@
+# GhostDB developer targets. `make lint` is the pre-merge gate: it runs
+# the same checks CI enforces locally (gofmt, go vet, ghostdb-lint and
+# the analyzer fixture corpus). See CHANGES.md for the checklist.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt fuzz
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/ghostdb-lint
+	$(GO) test -run 'Fixtures|ByName' ./internal/analysis/...
+
+fmt:
+	gofmt -w .
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse

@@ -1,0 +1,61 @@
+// Command ghostdb-lint runs GhostDB's static security analyzers
+// (internal/analysis) over the module and prints findings in go-vet
+// style. It exits 1 when any rule fires, so CI can make the gate
+// mandatory:
+//
+//	go run ./cmd/ghostdb-lint ./...
+//
+// The tool is a self-contained stand-in for a go/analysis vettool: it
+// loads and type-checks the module with the standard library alone, so
+// it builds and runs in hermetic environments without golang.org/x/tools.
+// Flags:
+//
+//	-C dir    lint the module rooted at dir (default ".")
+//	-run a,b  run only the named analyzers
+//	-list     print the suite and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostdb/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to lint")
+	run := flag.String("run", "", "comma-separated analyzer names (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := analysis.DefaultConfig()
+	prog, err := analysis.Load(*dir, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, cfg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ghostdb-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -61,10 +61,14 @@ type (
 	CacheStats = cache.Stats
 )
 
-// IntVal, FloatVal and CharVal construct Values.
-func IntVal(i int64) Value     { return schema.IntVal(i) }
+// IntVal constructs an integer Value.
+func IntVal(i int64) Value { return schema.IntVal(i) }
+
+// FloatVal constructs a floating-point Value.
 func FloatVal(f float64) Value { return schema.FloatVal(f) }
-func CharVal(s string) Value   { return schema.CharVal(s) }
+
+// CharVal constructs a fixed-width character Value.
+func CharVal(s string) Value { return schema.CharVal(s) }
 
 // Execution strategies (StrategyAuto lets the planner decide, which is
 // the recommended setting; the rest force a strategy for experiments).

@@ -1,0 +1,175 @@
+// Package analysis is GhostDB's static security linter: a suite of
+// analyzers that machine-check the invariants the paper argues
+// informally — hidden data never crosses the trust boundary, every
+// flash byte is metered, secure-RAM allocations derive from admission
+// grants, and token state is only touched under an admitted session.
+//
+// The suite is deliberately shaped like golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic), but is built on the standard library
+// alone (go/parser + go/types with the source importer), so the linter
+// compiles in a hermetic environment with no module downloads. The
+// cmd/ghostdb-lint binary drives it with go-vet-style output, and the
+// analysistest subpackage replays the fixture corpus under testdata/.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Analyzer is one static rule. Run is invoked once per loaded package
+// with a fresh Pass; it reports findings through the Pass and returns an
+// error only for internal failures (a finding is not an error).
+type Analyzer struct {
+	// Name is the short rule identifier shown in diagnostics.
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces.
+	Doc string
+	// Run applies the rule to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	// Pos locates the finding in the analyzed source.
+	Pos token.Position
+	// Analyzer is the name of the rule that produced the finding.
+	Analyzer string
+	// Message explains the violation.
+	Message string
+}
+
+// String renders the finding in go-vet style: position, rule, message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package plus the module-wide
+// context (the Program and the Config).
+type Pass struct {
+	// Prog is the fully loaded and type-checked module.
+	Prog *Program
+	// Cfg holds the package paths and type names the rules key on.
+	Cfg *Config
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression in the package under
+// analysis, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the full import path.
+	Path string
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the checker's expression, definition and use maps.
+	Info *types.Info
+}
+
+// Program is a loaded module: every package parsed, type-checked and
+// topologically ordered, sharing one FileSet.
+type Program struct {
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Pkgs lists the module's packages in dependency order.
+	Pkgs []*Package
+	// ByPath indexes Pkgs by import path.
+	ByPath map[string]*Package
+	// Module is the module path from go.mod.
+	Module string
+
+	hiddenOnce sync.Once
+	hidden     map[*types.TypeName]bool
+}
+
+// Run applies each analyzer to each package of the program and returns
+// every finding sorted by position.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{
+				Prog:     prog,
+				Cfg:      cfg,
+				Pkg:      pkg,
+				analyzer: a.Name,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		TrustBoundary,
+		BusMeter,
+		GrantSize,
+		SlotDiscipline,
+		ExportDoc,
+	}
+}
+
+// ByName resolves a comma-separated list of analyzer names against the
+// suite; an empty list selects every analyzer.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+// Package analysistest replays analyzer fixtures: it loads a miniature
+// module from a testdata directory, runs a set of analyzers over it,
+// and checks the reported diagnostics against "want" annotations in the
+// fixture sources. It is a standard-library stand-in for
+// golang.org/x/tools/go/analysis/analysistest, adapted to the
+// module-at-once loader in internal/analysis.
+//
+// A want annotation is a line comment on the line the diagnostic is
+// expected on, naming the analyzer and a regular expression the
+// diagnostic message must match:
+//
+//	err := dev.Read(p, buf) // want busmeter:"bypasses the metered storage layer"
+//
+// One comment may carry several analyzer:"re" pairs when different
+// rules fire on the same line, and the pattern may be backquoted
+// instead of double-quoted. Annotations naming analyzers outside the
+// running set are ignored, so per-analyzer test functions can replay
+// one shared fixture tree without seeing each other's expectations.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ghostdb/internal/analysis"
+)
+
+// wantRx matches one analyzer:"regexp" (or analyzer:`regexp`) pair at
+// the start of the unparsed remainder of a want comment.
+var wantRx = regexp.MustCompile(`^([a-zA-Z0-9_-]+):("(?:[^"\\]|\\.)*"` + "|`[^`]*`)")
+
+// want is one expectation: analyzer a must report a message matching rx
+// at file:line.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	rx       *regexp.Regexp
+	raw      string
+	matched  bool
+}
+
+// Run loads the fixture module at root using cfg, applies the
+// analyzers, and fails t once per unexpected diagnostic and once per
+// want annotation no diagnostic matched.
+func Run(t *testing.T, root string, cfg *analysis.Config, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.Load(root, cfg)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", root, err)
+	}
+	RunProgram(t, prog, cfg, analyzers...)
+}
+
+// RunProgram is Run for an already-loaded program, letting a test suite
+// share one type-checked load across per-analyzer test functions.
+func RunProgram(t *testing.T, prog *analysis.Program, cfg *analysis.Config, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	wants := collectWants(t, prog, running)
+	diags, err := analysis.Run(prog, cfg, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, w.analyzer, w.raw)
+		}
+	}
+}
+
+// claim marks the first open expectation the diagnostic satisfies.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.analyzer != d.Analyzer || !w.rx.MatchString(d.Message) {
+			continue
+		}
+		w.matched = true
+		return true
+	}
+	return false
+}
+
+// collectWants parses every want annotation in the program's sources,
+// keeping only those that name an analyzer in the running set.
+func collectWants(t *testing.T, prog *analysis.Program, running map[string]bool) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//") {
+						continue // block comments cannot carry wants
+					}
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+						m := wantRx.FindStringSubmatch(rest)
+						if m == nil {
+							t.Fatalf("%s: malformed want annotation near %q", pos, rest)
+						}
+						pat, err := strconv.Unquote(m[2])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, m[2], err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						if running[m[1]] {
+							wants = append(wants, &want{
+								file:     pos.Filename,
+								line:     pos.Line,
+								analyzer: m[1],
+								rx:       rx,
+								raw:      pat,
+							})
+						}
+						rest = rest[len(m[0]):]
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// BusMeter enforces byte accounting: every observable transfer is
+// counted exactly once, by the layer whose job that is.
+//
+//   - The raw flash device's data-path methods (Read/Write/Alloc/Free
+//     and friends) may only be called from the metered storage substrate
+//     (internal/store, internal/btree, internal/bus, internal/flash
+//     itself). An operator that touched the device directly would move
+//     bytes the cost model, and therefore the leak analysis, never sees.
+//   - The bus channel's raw Transfer may only be called from the
+//     packages that implement the audited protocol (internal/untrusted
+//     for Down traffic, internal/exec for the single query-text Up
+//     record); anything else could ship bytes across the trust boundary
+//     outside the audit trail.
+var BusMeter = &Analyzer{
+	Name: "busmeter",
+	Doc:  "flash reads and bus transfers must go through the metered/audited layers",
+	Run:  runBusMeter,
+}
+
+func runBusMeter(pass *Pass) error {
+	cfg := pass.Cfg
+	info := pass.Pkg.Info
+	checkDevice := !contains(cfg.MeteredPkgs, pass.Pkg.Path)
+	checkBus := !contains(cfg.BusCallerPkgs, pass.Pkg.Path) && pass.Pkg.Path != cfg.BusPkg
+	if !checkDevice && !checkBus {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := info.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			if checkDevice && isPkgType(recv, cfg.FlashPkg, cfg.DeviceType) &&
+				contains(cfg.DeviceDataMethods, sel.Sel.Name) {
+				pass.Reportf(call.Pos(),
+					"raw flash %s.%s bypasses the metered storage layer; go through the store/btree readers",
+					cfg.DeviceType, sel.Sel.Name)
+			}
+			if checkBus && isPkgType(recv, cfg.BusPkg, cfg.ChannelType) &&
+				sel.Sel.Name == cfg.TransferMethod {
+				pass.Reportf(call.Pos(),
+					"raw bus %s.%s outside the audited protocol layers moves unaccounted bytes across the trust boundary",
+					cfg.ChannelType, cfg.TransferMethod)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ExportDoc requires a doc comment on every exported identifier of the
+// configured packages (the public facade and the packages whose API
+// other builders extend): exported functions, methods on exported
+// types, and each exported type, var and const declaration. Grouped
+// var/const declarations may share the group's doc comment.
+var ExportDoc = &Analyzer{
+	Name: "exportdoc",
+	Doc:  "exported identifiers in the configured packages need doc comments",
+	Run:  runExportDoc,
+}
+
+func runExportDoc(pass *Pass) error {
+	if !contains(pass.Cfg.DocPkgs, pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(pass.Pkg.Info, d) {
+					continue
+				}
+				if !docNames(d.Doc, d.Name.Name) {
+					pass.Reportf(d.Name.Pos(), "exported %s %s needs a doc comment starting with its name",
+						funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func checkGenDecl(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !docNames(s.Doc, s.Name.Name) && !(len(d.Specs) == 1 && docNames(d.Doc, s.Name.Name)) {
+				pass.Reportf(s.Name.Pos(), "exported type %s needs a doc comment starting with its name", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// A doc on the spec or on the grouped declaration both
+				// satisfy the rule (grouped constants share one doc).
+				if s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					pass.Reportf(name.Pos(), "exported %s %s needs a doc comment", valueKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+func valueKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// docNames reports whether the comment group is a real doc comment for
+// the identifier: non-empty and mentioning the name in its first
+// sentence (the classic golint "should start with the name" rule,
+// relaxed to containment so idiomatic forms like "A Foo is ..." pass).
+func docNames(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	text := strings.TrimSpace(cg.Text())
+	if text == "" {
+		return false
+	}
+	first := text
+	if i := strings.IndexAny(text, ".\n"); i > 0 {
+		first = text[:i]
+	}
+	return strings.Contains(first, name)
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Marker comments recognized on declarations. They are directives, not
+// documentation: each one widens or narrows what the analyzers accept,
+// so every use is part of the reviewed security surface.
+const (
+	// MarkHidden marks a type declaration as hidden data: values of the
+	// type (and anything derived from them) must stay on the secure side.
+	MarkHidden = "ghostdb:hidden"
+	// MarkRequiresSlot marks a function (or a type, covering all its
+	// methods) as assuming the token's execution slot is already held by
+	// an admitted session somewhere up the call chain.
+	MarkRequiresSlot = "ghostdb:requires-slot"
+	// MarkLoadPhase marks a function (or type) as part of the bulk-load
+	// path, which runs single-threaded before the database accepts
+	// queries and therefore outside session admission.
+	MarkLoadPhase = "ghostdb:load-phase"
+	// MarkFixedSize marks a make() whose constant size is genuinely
+	// data-independent (fixed-width scratch), exempting it from
+	// grantsize.
+	MarkFixedSize = "ghostdb:fixedsize"
+	// MarkPublic marks a statement as a reviewed declassification: the
+	// hidden-derived expressions on the line are schema metadata (an
+	// arity, a declared width), not data content, and may appear in an
+	// error string. Every use widens the leak surface and is part of
+	// review.
+	MarkPublic = "ghostdb:public"
+)
+
+// hiddenTypes collects every type marked //ghostdb:hidden across the
+// module, keyed by its *types.TypeName.
+func (p *Program) hiddenTypes() map[*types.TypeName]bool {
+	p.hiddenOnce.Do(func() {
+		p.hidden = map[*types.TypeName]bool{}
+		for _, pkg := range p.Pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if !hasMarker(ts.Doc, MarkHidden) && !(len(gd.Specs) == 1 && hasMarker(gd.Doc, MarkHidden)) {
+							continue
+						}
+						if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							p.hidden[obj] = true
+						}
+					}
+				}
+			}
+		}
+	})
+	return p.hidden
+}
+
+// hasMarker reports whether a comment group contains the //ghostdb:...
+// directive.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsHidden reports whether t is a marked hidden type or a direct
+// composite over one (pointer, slice, array, map, channel). It does not
+// descend into the fields of unmarked named structs: a wrapper type is a
+// boundary whose API mediates access, and taint restarts at the field
+// selector that extracts the hidden part.
+func typeIsHidden(t types.Type, hidden map[*types.TypeName]bool) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			if hidden[tt.Obj()] {
+				return true
+			}
+			return false
+		case *types.Alias:
+			return walk(types.Unalias(tt))
+		case *types.Pointer:
+			return walk(tt.Elem())
+		case *types.Slice:
+			return walk(tt.Elem())
+		case *types.Array:
+			return walk(tt.Elem())
+		case *types.Map:
+			return walk(tt.Key()) || walk(tt.Elem())
+		case *types.Chan:
+			return walk(tt.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// exprMentionsHidden reports whether any subexpression of e has a
+// hidden type or names a tainted variable. This is deliberately
+// syntactic containment, not value flow: len(hiddenRows), hidden.Count()
+// and string(hiddenRec) all "mention" hidden data, which is exactly the
+// class of derived scalars that volume-leak attacks exploit.
+func exprMentionsHidden(info *types.Info, e ast.Expr, hidden map[*types.TypeName]bool, tainted map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[ex]; ok && tv.IsValue() && typeIsHidden(tv.Type, hidden) {
+			found = true
+			return false
+		}
+		if id, ok := ex.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && tainted[v] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintedVars runs a small intraprocedural fixpoint over a function
+// body: a local variable assigned from an expression that mentions
+// hidden data (directly or through an already-tainted variable) is
+// itself tainted. It is the assignment-chasing half of the taint walk;
+// exprMentionsHidden is the per-expression half.
+func taintedVars(info *types.Info, body *ast.BlockStmt, hidden map[*types.TypeName]bool) map[*types.Var]bool {
+	tainted := map[*types.Var]bool{}
+	if body == nil {
+		return tainted
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			anyRHS := false
+			for _, rhs := range as.Rhs {
+				if exprMentionsHidden(info, rhs, hidden, tainted) {
+					anyRHS = true
+					break
+				}
+			}
+			if !anyRHS {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if def, ok := info.Defs[id].(*types.Var); ok {
+					v = def
+				} else if use, ok := info.Uses[id].(*types.Var); ok {
+					v = use
+				}
+				if v != nil && !tainted[v] {
+					tainted[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// lineMarkers indexes, per file line, whether a //ghostdb:... directive
+// comment sits on that line or the line immediately above it.
+func lineMarkers(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == marker || strings.HasPrefix(text, marker+" ") {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+// namedOrPointee unwraps pointers and aliases down to a named type.
+func namedOrPointee(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgType reports whether t (after pointer unwrap) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Load parses and type-checks every non-test package under root (a
+// module directory) and returns the checked Program. It is a miniature,
+// dependency-free stand-in for go/packages: module packages are checked
+// in topological order against each other, and imports that leave the
+// module (the standard library) resolve through the compiler's source
+// importer, so the loader needs neither export data nor a network.
+func Load(root string, cfg *Config) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(abs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	parsed := map[string]*rawPkg{} // import path -> sources
+	if err := walkPackages(abs, abs, module, fset, parsed); err != nil {
+		return nil, err
+	}
+	order, err := topoSort(parsed, module)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: fset, ByPath: map[string]*Package{}, Module: module}
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{
+		module:   module,
+		checked:  checked,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, path := range order {
+		raw := parsed[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tconf := types.Config{Importer: imp}
+		tpkg, err := tconf.Check(path, fset, raw.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+		}
+		checked[path] = tpkg
+		pkg := &Package{Path: path, Files: raw.files, Types: tpkg, Info: info}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.ByPath[path] = pkg
+	}
+	return prog, nil
+}
+
+type rawPkg struct {
+	dir     string
+	files   []*ast.File
+	imports []string
+}
+
+// modulePath reads the module path from root/go.mod, falling back to
+// cfg.ModulePath for fixture trees without one.
+func modulePath(root string, cfg *Config) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		if cfg != nil && cfg.ModulePath != "" {
+			return cfg.ModulePath, nil
+		}
+		return "", fmt.Errorf("analysis: no go.mod under %s and no ModulePath configured", root)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// walkPackages recursively parses every package directory below dir.
+func walkPackages(root, dir, module string, fset *token.FileSet, out map[string]*rawPkg) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "vendor" {
+				continue
+			}
+			if err := walkPackages(root, filepath.Join(dir, name), module, fset, out); err != nil {
+				return err
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return err
+			}
+			imports = append(imports, p)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return err
+	}
+	path := module
+	if rel != "." {
+		path = module + "/" + filepath.ToSlash(rel)
+	}
+	out[path] = &rawPkg{dir: dir, files: files, imports: imports}
+	return nil
+}
+
+// topoSort orders the module packages so each is checked after its
+// in-module dependencies.
+func topoSort(pkgs map[string]*rawPkg, module string) ([]string, error) {
+	const (
+		unseen = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+		state[path] = visiting
+		raw := pkgs[path]
+		deps := append([]string(nil), raw.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := pkgs[dep]; !ok {
+				continue // outside the module (stdlib)
+			}
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	var all []string
+	for p := range pkgs {
+		all = append(all, p)
+	}
+	sort.Strings(all)
+	for _, p := range all {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves in-module imports to the packages this load
+// already checked (so type identity is shared across the program) and
+// delegates everything else to the source importer.
+type moduleImporter struct {
+	module   string
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		if pkg, ok := m.checked[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("analysis: module package %s not yet checked (import cycle?)", path)
+	}
+	return m.fallback.Import(path)
+}

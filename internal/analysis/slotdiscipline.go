@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SlotDiscipline enforces session admission around token state: the
+// flash device and the hidden images of a Token (or of the DB's
+// token-0 aliases) may only be touched while the token's execution slot
+// is held by an admitted sched.Session.
+//
+// A function "holds the slot" when it is (a) a function literal passed
+// to Session.Exclusive, (b) annotated //ghostdb:requires-slot (meaning
+// its callers must hold it — and calling such a function from a
+// non-holder is itself a violation), (c) a method of a type annotated
+// //ghostdb:requires-slot, or (d) part of the bulk-load path, annotated
+// //ghostdb:load-phase, which runs single-threaded before the database
+// accepts queries. Exported functions may not simply assume the slot:
+// an exported entry point annotated requires-slot is flagged, because
+// outside callers have no session to hold.
+var SlotDiscipline = &Analyzer{
+	Name: "slotdiscipline",
+	Doc:  "token flash/hidden state may only be touched under an admitted session",
+	Run:  runSlotDiscipline,
+}
+
+func runSlotDiscipline(pass *Pass) error {
+	if pass.Pkg.Path != pass.Cfg.ExecPkg {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	markedTypes := markedTypeNames(pass, MarkRequiresSlot)
+	loadTypes := markedTypeNames(pass, MarkLoadPhase)
+	slotFuncs := map[*types.Func]bool{}
+	exemptFuncs := map[*types.Func]bool{} // requires-slot or load-phase
+
+	// Pass 1: classify every declared function.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			requires := hasMarker(fd.Doc, MarkRequiresSlot) || markedTypes[recvTypeName(info, fd)]
+			load := hasMarker(fd.Doc, MarkLoadPhase) || loadTypes[recvTypeName(info, fd)]
+			if requires {
+				slotFuncs[fn] = true
+				if fd.Name.IsExported() && exportedRecv(info, fd) {
+					pass.Reportf(fd.Name.Pos(),
+						"exported function %s must acquire an admitted session itself; //%s is only for internal helpers",
+						fd.Name.Name, MarkRequiresSlot)
+				}
+			}
+			if requires || load {
+				exemptFuncs[fn] = true
+			}
+		}
+	}
+
+	// Pass 2: walk bodies with a holding flag.
+	exclusive := exclusiveClosures(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			checkSlotBody(pass, fd.Body, exemptFuncs[fn], exclusive, slotFuncs)
+		}
+	}
+	return nil
+}
+
+// checkSlotBody inspects one function body, recursing into function
+// literals with an updated holding state.
+func checkSlotBody(pass *Pass, body ast.Node, holding bool, exclusive map[*ast.FuncLit]bool, slotFuncs map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	cfg := pass.Cfg
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			checkSlotBody(pass, m.Body, holding || exclusive[m], exclusive, slotFuncs)
+			return false
+		case *ast.SelectorExpr:
+			if holding || !contains(cfg.TokenHotFields, m.Sel.Name) {
+				return true
+			}
+			recv := info.TypeOf(m.X)
+			named := namedOrPointee(recv)
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != cfg.ExecPkg {
+				return true
+			}
+			if !contains(cfg.TokenOwnerTypes, named.Obj().Name()) {
+				return true
+			}
+			// Only flag field accesses, not same-named methods.
+			if sel, ok := info.Selections[m]; !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			pass.Reportf(m.Pos(),
+				"token state %s.%s touched without an admitted session: run inside %s.%s or annotate //%s",
+				named.Obj().Name(), m.Sel.Name, cfg.SessionType, cfg.ExclusiveMethod, MarkRequiresSlot)
+		case *ast.CallExpr:
+			if holding {
+				return true
+			}
+			if fn := calleeFunc(info, m); fn != nil && slotFuncs[fn] {
+				pass.Reportf(m.Pos(),
+					"%s requires the token slot (//%s) but the caller does not hold an admitted session",
+					fn.Name(), MarkRequiresSlot)
+			}
+		}
+		return true
+	})
+}
+
+// exclusiveClosures finds every function literal passed directly to
+// sched.Session.Exclusive: those run with the token slot held.
+func exclusiveClosures(pass *Pass) map[*ast.FuncLit]bool {
+	info := pass.Pkg.Info
+	cfg := pass.Cfg
+	out := map[*ast.FuncLit]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != cfg.ExclusiveMethod {
+				return true
+			}
+			if !isPkgType(info.TypeOf(sel.X), cfg.SchedPkg, cfg.SessionType) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					out[lit] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// markedTypeNames collects the package's type declarations carrying the
+// given //ghostdb:... marker.
+func markedTypeNames(pass *Pass, marker string) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(ts.Doc, marker) && !(len(gd.Specs) == 1 && hasMarker(gd.Doc, marker)) {
+					continue
+				}
+				if obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName resolves a method declaration's receiver type object, or
+// nil for plain functions.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, _ := info.Uses[id].(*types.TypeName)
+	return tn
+}
+
+// exportedRecv reports whether fd is reachable from outside the
+// package: a plain function, or a method on an exported type.
+func exportedRecv(info *types.Info, fd *ast.FuncDecl) bool {
+	tn := recvTypeName(info, fd)
+	if fd.Recv == nil {
+		return true
+	}
+	return tn != nil && tn.Exported()
+}

@@ -1,0 +1,23 @@
+// Package bus is the fixture stand-in for the metered token link.
+package bus
+
+// Channel is the metered link between the terminal and the token.
+type Channel struct {
+	up, down int
+}
+
+// Transfer moves one payload across the link; only the audited
+// protocol packages may call it.
+func (c *Channel) Transfer(dir int, payload []byte) error {
+	if dir == 0 {
+		c.up += len(payload)
+	} else {
+		c.down += len(payload)
+	}
+	return nil
+}
+
+// Counters is a statistics accessor, callable from anywhere.
+func (c *Channel) Counters() (up, down int) {
+	return c.up, c.down
+}

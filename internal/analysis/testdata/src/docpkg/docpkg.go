@@ -1,0 +1,31 @@
+// Package docpkg exercises the exportdoc analyzer: documented exports
+// stay silent, undocumented or mis-documented ones fire.
+package docpkg
+
+// Width is a documented constant.
+const Width = 8
+
+// Good is a documented type.
+type Good struct{}
+
+// Do performs the documented operation.
+func (g *Good) Do() {}
+
+// String implements fmt.Stringer on an unexported type, which is
+// exempt from the rule.
+func (p *private) String() string { return "p" }
+
+type private struct{}
+
+func helper() {} // unexported functions need no doc
+
+type Bad struct{} // want exportdoc:"exported type Bad needs a doc comment"
+
+func Orphan() {} // want exportdoc:"exported function Orphan needs a doc comment"
+
+// This comment never names its subject.
+func Mismatch() {} // want exportdoc:"exported function Mismatch needs a doc comment starting with its name"
+
+var Hanging = map[string]int{ // want exportdoc:"exported var Hanging needs a doc comment"
+	"fixture": 1,
+}

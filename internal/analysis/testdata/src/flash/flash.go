@@ -1,0 +1,40 @@
+// Package flash is the fixture stand-in for the raw flash device.
+package flash
+
+// Device is the raw flash device; its data-path methods may only be
+// called from the metered storage packages.
+type Device struct {
+	pages [][]byte
+}
+
+// Read copies one page into dst.
+func (d *Device) Read(page int, dst []byte) error {
+	copy(dst, d.pages[page])
+	return nil
+}
+
+// Write replaces one page.
+func (d *Device) Write(page int, src []byte) error {
+	d.pages[page] = append([]byte(nil), src...)
+	return nil
+}
+
+// Alloc reserves n fresh pages and returns the first index.
+func (d *Device) Alloc(n int) int {
+	first := len(d.pages)
+	for i := 0; i < n; i++ {
+		d.pages = append(d.pages, nil)
+	}
+	return first
+}
+
+// Free releases a page.
+func (d *Device) Free(page int) {
+	d.pages[page] = nil
+}
+
+// PageCount is a statistics accessor, not a data-path method: calling
+// it from anywhere is fine.
+func (d *Device) PageCount() int {
+	return len(d.pages)
+}

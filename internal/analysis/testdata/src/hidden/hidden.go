@@ -1,0 +1,21 @@
+// Package hidden declares the fixture hidden-data types.
+package hidden
+
+// Image is the hidden tuple image living on the secure token.
+//
+//ghostdb:hidden
+type Image struct {
+	Rows [][]byte
+}
+
+// Count returns the hidden cardinality — a value that must never reach
+// the untrusted side.
+func (im *Image) Count() int {
+	return len(im.Rows)
+}
+
+// Meta is visible schema metadata, deliberately unmarked: mentioning it
+// anywhere is legitimate.
+type Meta struct {
+	Cols int
+}

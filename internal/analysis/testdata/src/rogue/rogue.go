@@ -1,0 +1,31 @@
+// Package rogue is a fixture package outside every allow list: not
+// metered, not an audited bus caller, not the exec package.
+package rogue
+
+import (
+	"fixture/bus"
+	"fixture/flash"
+)
+
+// Sniff is a seeded violation: a raw bus transfer outside the audited
+// protocol layers.
+func Sniff(c *bus.Channel) error {
+	return c.Transfer(1, []byte("x")) // want busmeter:"outside the audited protocol layers"
+}
+
+// Peek is a seeded violation on the read, while its constant make is
+// fine because grantsize only applies to the exec package.
+func Peek(d *flash.Device) ([]byte, error) {
+	buf := make([]byte, 64)
+	if err := d.Read(0, buf); err != nil { // want busmeter:"bypasses the metered storage layer"
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Poll reads statistics, which is not a data-path call and stays
+// silent.
+func Poll(c *bus.Channel, d *flash.Device) int {
+	up, down := c.Counters()
+	return up + down + d.PageCount()
+}

@@ -1,0 +1,15 @@
+// Package sched is the fixture stand-in for the admission scheduler.
+package sched
+
+// Session is an admitted session; a function literal passed to
+// Exclusive runs with the token's execution slot held.
+type Session struct {
+	admitted bool
+}
+
+// Exclusive runs fn while holding the token slot.
+func (s *Session) Exclusive(fn func() error) error {
+	s.admitted = true
+	defer func() { s.admitted = false }()
+	return fn()
+}

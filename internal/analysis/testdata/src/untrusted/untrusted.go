@@ -1,0 +1,35 @@
+// Package untrusted is the fixture untrusted-side engine: hidden types
+// must never appear here, and calls into it must never carry
+// hidden-derived arguments.
+package untrusted
+
+import "fixture/hidden"
+
+// Stats is visible bookkeeping — untrusted code handling visible
+// counts is legitimate.
+type Stats struct {
+	VisRows int
+}
+
+// Observe records a visible-side measurement.
+func Observe(n int) {
+	_ = n
+}
+
+// Span times a closure; the closure is code the untrusted side runs,
+// not data it receives.
+func Span(name string, fn func()) {
+	fn()
+	_ = name
+}
+
+// Describe mentions unmarked schema metadata, which is fine.
+func Describe(m hidden.Meta) int {
+	return m.Cols
+}
+
+// Leak is a seeded violation: an untrusted-side function that receives
+// a hidden image. Both the parameter type and the use fire.
+func Leak(im *hidden.Image) int { // want trustboundary:"crosses the trust boundary into untrusted-side package"
+	return im.Count() // want trustboundary:"crosses the trust boundary into untrusted-side package"
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TrustBoundary enforces the paper's confidentiality invariant: hidden
+// data lives on the secure token and nothing derived from it may become
+// observable to the untrusted side. Three concrete rules:
+//
+//  1. Untrusted-side packages must not mention a //ghostdb:hidden type
+//     at all — not in a value, a field, a parameter or a conversion.
+//  2. No expression that mentions hidden data (including derived
+//     scalars such as len(hiddenRows) — exactly what volume-based
+//     attacks exploit) may reach a fmt/log/errors formatting call
+//     anywhere in the module: error strings and log lines end up on the
+//     untrusted side.
+//  3. No call into an untrusted-side package may carry a hidden-derived
+//     argument, with a small intraprocedural taint walk chasing local
+//     assignments.
+var TrustBoundary = &Analyzer{
+	Name: "trustboundary",
+	Doc:  "hidden-data types must never flow to the untrusted side, nor into error/log strings",
+	Run:  runTrustBoundary,
+}
+
+func runTrustBoundary(pass *Pass) error {
+	hidden := pass.Prog.hiddenTypes()
+	if len(hidden) == 0 {
+		return nil
+	}
+	if contains(pass.Cfg.UntrustedPkgs, pass.Pkg.Path) {
+		reportHiddenMentions(pass, hidden)
+		return nil
+	}
+	reportHiddenSinks(pass, hidden)
+	return nil
+}
+
+// reportHiddenMentions flags every top-most expression in an untrusted
+// package whose type involves a hidden type.
+func reportHiddenMentions(pass *Pass, hidden map[*types.TypeName]bool) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[e]
+			if !ok {
+				return true
+			}
+			if typeIsHidden(tv.Type, hidden) {
+				pass.Reportf(e.Pos(), "hidden type %s crosses the trust boundary into untrusted-side package %s",
+					tv.Type, pass.Pkg.Path)
+				return false // one report per outermost mention
+			}
+			return true
+		})
+	}
+}
+
+// reportHiddenSinks flags hidden-derived expressions reaching format/log
+// sinks (rule 2) or untrusted-package callees (rule 3).
+func reportHiddenSinks(pass *Pass, hidden map[*types.TypeName]bool) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		declassified := lineMarkers(pass.Prog.Fset, f, MarkPublic)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tainted := taintedVars(info, fd.Body, hidden)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				if declassified[pass.Prog.Fset.Position(call.Pos()).Line] {
+					return true
+				}
+				pkgPath := callee.Pkg().Path()
+				switch {
+				case pkgPath == "fmt" || pkgPath == "log" || pkgPath == "errors":
+					for _, arg := range call.Args {
+						if exprMentionsHidden(info, arg, hidden, tainted) {
+							pass.Reportf(arg.Pos(),
+								"hidden data reaches %s.%s: error/log strings are observable by the untrusted side",
+								pkgPath, callee.Name())
+						}
+					}
+				case contains(pass.Cfg.UntrustedPkgs, pkgPath):
+					for _, arg := range call.Args {
+						// A function literal is code the callee runs, not
+						// data it receives; what the callee can observe of
+						// it is covered by the other rules.
+						if _, isLit := ast.Unparen(arg).(*ast.FuncLit); isLit {
+							continue
+						}
+						if exprMentionsHidden(info, arg, hidden, tainted) {
+							pass.Reportf(arg.Pos(),
+								"hidden-derived argument crosses the trust boundary into %s.%s",
+								pkgPath, callee.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

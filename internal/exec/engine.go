@@ -202,6 +202,12 @@ type QueryConfig struct {
 
 // HiddenImage is the flash-resident image of a table's hidden non-key
 // attributes, in ID order ("TiH, the Hidden image of Ti", §4).
+//
+// The type is hidden data: nothing derived from it — not even its
+// cardinality — may reach the untrusted side or an error/log string
+// (ghostdb-lint trustboundary).
+//
+//ghostdb:hidden
 type HiddenImage struct {
 	Codec  *store.Codec
 	File   *store.RowFile
@@ -265,6 +271,8 @@ type TableLoad struct {
 // NewDB creates a DB for the schema with the given options: Shards
 // simulated secure tokens, with the schema's trees placed across them by
 // the planner-floor-weighted policy of internal/shard.
+//
+//ghostdb:load-phase
 func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	db := &DB{
@@ -292,13 +300,14 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 		}
 		ch := bus.NewChannel(opts.ThroughputMBps)
 		tok := &Token{
-			id:     i,
-			Dev:    dev,
-			RAM:    ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
-			Bus:    ch,
-			Untr:   untrusted.NewEngine(sch, ch),
-			Hidden: make(map[int]*HiddenImage),
-			rows:   make(map[int]int),
+			id:       i,
+			Dev:      dev,
+			RAM:      ram.NewManager(opts.RAMBudget, opts.FlashParams.PageSize),
+			Bus:      ch,
+			Untr:     untrusted.NewEngine(sch, ch),
+			Hidden:   make(map[int]*HiddenImage),
+			insBytes: make(map[int]int),
+			rows:     make(map[int]int),
 		}
 		tok.sched = sched.New(tok.RAM, opts.MaxConcurrentQueries)
 		db.tokens = append(db.tokens, tok)
@@ -417,7 +426,10 @@ func (db *DB) Rows(table int) int { return db.TokenOf(table).Rows(table) }
 // Load bulk-loads every table onto its placed token: visible columns go
 // to the token's untrusted store, hidden columns to hidden images on the
 // token's flash, and each token builds the index catalog (SKTs +
-// climbing indexes) for the trees it owns.
+// climbing indexes) for the trees it owns. Load runs single-threaded
+// before the database accepts queries, outside session admission.
+//
+//ghostdb:load-phase
 func (db *DB) Load(data map[int]*TableLoad) error {
 	if db.loaded {
 		return errors.New("exec: database already loaded")
@@ -507,6 +519,20 @@ func (db *DB) Load(data map[int]*TableLoad) error {
 			return err
 		}
 		tok.Cat = cat
+		// Precompute per-table insert footprints (hidden record + SKT
+		// row) while we still legitimately hold the structures: the
+		// planner sizes INSERT admission from these without touching
+		// hidden images outside the token slot.
+		for ti := range perTok[tok.id] {
+			bytes := 0
+			if img := tok.Hidden[ti]; img != nil {
+				bytes += img.Codec.Width()
+			}
+			if skt, ok := cat.SKTOf(ti); ok {
+				bytes += len(skt.Descendants()) * store.IDBytes
+			}
+			tok.insBytes[ti] = bytes
+		}
 		// Exclude load/build I/O from query measurements.
 		tok.Dev.ResetCounters()
 		tok.Bus.ResetCounters()

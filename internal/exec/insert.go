@@ -23,7 +23,10 @@ import (
 //
 // insertOn runs against the token owning the table (the caller routed
 // it); every structure it maintains — untrusted store, hidden image,
-// SKT, climbing indexes, row counts, the data version — is that token's.
+// SKT, climbing indexes, row counts, the data version — is that token's,
+// so the caller must hold that token's admitted session.
+//
+//ghostdb:requires-slot
 func (db *DB) insertOn(tok *Token, ins sqlparse.Insert) error {
 	t, ok := db.Sch.Lookup(ins.Table)
 	if !ok {

@@ -161,7 +161,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 			rec: make([]byte, s.File().RowWidth())}
 	}
 
-	const batchSize = 512
+	batchSize := r.bind.StoreBatch
 	ids := make([]uint32, 0, batchSize)
 	tuple := make([]uint32, len(needed))
 	n := 0

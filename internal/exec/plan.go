@@ -188,6 +188,10 @@ type Binding struct {
 	// table's fixed readers ("RAM capacity minus two buffers" in §4,
 	// generalized to the table's true reader set).
 	MJoinBatch map[int]int
+	// StoreBatch is the number of anchor ids the Store pipeline stages
+	// per batch: one RAM buffer's worth of ids, so the staging area is
+	// covered by the pipeline's reserved buffer instead of a literal.
+	StoreBatch int
 }
 
 // Bind derives the session's operator binding from its actual grant.
@@ -209,6 +213,7 @@ func (p *Plan) Bind(grant int) *Binding {
 	for ti, fixed := range p.mjoinFixed {
 		b.MJoinBatch[ti] = maxInt(grant-fixed, p.mjoinMinVal[ti])
 	}
+	b.StoreBatch = maxInt(p.BufferBytes/store.IDBytes, 16)
 	return b
 }
 
@@ -636,13 +641,10 @@ func (db *DB) planInsert(ins sqlparse.Insert) (*Plan, error) {
 		return nil, fmt.Errorf("exec: unknown table %q", ins.Table)
 	}
 	tok := db.TokenOf(t.Index)
-	bytes := 0
-	if img := tok.Hidden[t.Index]; img != nil {
-		bytes += img.Codec.Width()
-	}
-	if skt, ok := tok.Cat.SKTOf(t.Index); ok {
-		bytes += len(skt.Descendants()) * store.IDBytes
-	}
+	// The footprint was derived at load time: plan-time code must not
+	// touch the hidden images (slotdiscipline — planning runs outside
+	// the token's execution slot).
+	bytes := tok.insertFootprint(t.Index)
 	bufSize := tok.RAM.BufferSize()
 	min := (bytes + bufSize - 1) / bufSize
 	if min < 1 {

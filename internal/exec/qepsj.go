@@ -53,6 +53,11 @@ type resCol struct {
 // immutable QueryConfig snapshot, the bound plan, the session's private
 // RAM budget and a per-query metrics collector, so concurrent sessions
 // never read each other's knobs or counters.
+//
+// A queryRun only ever exists inside its session's Exclusive closure,
+// so every method may touch the token's flash device and hidden images.
+//
+//ghostdb:requires-slot
 type queryRun struct {
 	db      *DB
 	tok     *Token // the secure token this session runs on

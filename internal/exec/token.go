@@ -35,6 +35,12 @@ type Token struct {
 	// non-key attributes (only tables placed on this token appear).
 	Hidden map[int]*HiddenImage
 
+	// insBytes maps table index -> the staged working-set bytes of one
+	// INSERT (hidden record + SKT row). It is derived once at load time
+	// so the planner can size insert admission without touching the
+	// hidden images outside the token slot; immutable after Load.
+	insBytes map[int]int
+
 	sched *sched.Scheduler
 
 	// mu guards rows (against the public Rows accessor; in-query reads
@@ -83,6 +89,10 @@ func (t *Token) QueueLen() int { return t.sched.QueueLen() }
 
 // RAMBuffers returns the token's secure RAM budget in whole buffers.
 func (t *Token) RAMBuffers() int { return t.RAM.Buffers() }
+
+// insertFootprint returns the bytes one INSERT into table stages on the
+// secure side (precomputed at load time, see insBytes).
+func (t *Token) insertFootprint(table int) int { return t.insBytes[table] }
 
 // Rows returns the cardinality of a table placed on this token.
 func (t *Token) Rows(table int) int {

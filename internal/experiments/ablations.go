@@ -151,7 +151,10 @@ func (l *Lab) AblationClimbingVsCascade() (*Figure, error) {
 		}
 		cascadeTime := db.Options().Model.IOTime(sampleOf(db))
 		if len(t0set) != len(climbIDs) {
-			return nil, fmt.Errorf("cascade disagreement: %d vs %d ids", len(t0set), len(climbIDs))
+			// The mismatched cardinalities are hidden-derived: naming them
+			// in the error would put data-dependent counts in a string the
+			// untrusted side can observe (trustboundary).
+			return nil, fmt.Errorf("cascade disagreement: climbing and cascading selections returned different id counts")
 		}
 		fig.Points = append(fig.Points,
 			Point{Series: "climbing", X: sel, Time: climbTime, IOTime: climbTime},

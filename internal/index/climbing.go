@@ -27,6 +27,12 @@ const runDescWidth = 8
 // An index with colIdx < 0 is the table's ID index ("Climbing Index on
 // T1.id" in Figure 4): keys are tuple identifiers and levels contain
 // ancestor IDs only.
+//
+// The index keys and ID sublists are hidden data (they enumerate hidden
+// attribute values); nothing derived from them may reach the untrusted
+// side or an error/log string (ghostdb-lint trustboundary).
+//
+//ghostdb:hidden
 type Climbing struct {
 	table  int
 	colIdx int // data-column position, or -1 for the id index
@@ -269,6 +275,9 @@ func (c *Climbing) RunsForID(id uint32, slot int) ([]store.Run, error) {
 // union them with the bulk runs.
 func (c *Climbing) InsertEntry(key []byte, perLevel []int64) error {
 	if len(perLevel) != len(c.levels) {
+		// The level count is schema arity (ancestor chain length), not
+		// data content — a reviewed declassification.
+		//ghostdb:public
 		return fmt.Errorf("index: InsertEntry has %d levels, want %d", len(perLevel), len(c.levels))
 	}
 	if err := c.lists.Reopen(); err != nil {

@@ -21,6 +21,11 @@ import (
 // keyed by idT = i, which is not stored — the file is sorted on it, §3.2)
 // holds the IDs of the tuples of every descendant table joined with tuple
 // i. Child foreign keys are therefore materialized here and nowhere else.
+//
+// SKT rows are hidden data: the join structure they encode must never
+// leave the secure token (ghostdb-lint trustboundary).
+//
+//ghostdb:hidden
 type SKT struct {
 	table int
 	desc  []int // descendant table indexes, preorder
@@ -68,6 +73,9 @@ func (s *SKT) Pages() int { return s.file.Pages() }
 // Append adds the descendant IDs for the next tuple during bulk load.
 func (s *SKT) Append(ids []uint32) error {
 	if len(ids) != len(s.desc) {
+		// Descendant arity is schema metadata, not data content — a
+		// reviewed declassification.
+		//ghostdb:public
 		return fmt.Errorf("index: SKT row has %d ids, want %d", len(ids), len(s.desc))
 	}
 	rec := make([]byte, len(ids)*store.IDBytes)
@@ -83,6 +91,9 @@ func (s *SKT) Seal() error { return s.file.Seal() }
 // Insert appends a row after load (single-tuple updates).
 func (s *SKT) Insert(ids []uint32) error {
 	if len(ids) != len(s.desc) {
+		// Descendant arity is schema metadata, not data content — a
+		// reviewed declassification.
+		//ghostdb:public
 		return fmt.Errorf("index: SKT row has %d ids, want %d", len(ids), len(s.desc))
 	}
 	rec := make([]byte, len(ids)*store.IDBytes)

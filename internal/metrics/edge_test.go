@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A span that performs no I/O at all (a zero-duration session in the
+// simulated cost model) must still be recorded: zero sample, zero
+// times, name present, and a stable breakdown entry.
+func TestZeroActivitySpan(t *testing.T) {
+	_, _, col := testRig(t)
+	if err := col.Span("idle", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := col.SampleOf("idle")
+	if s != (Sample{}) {
+		t.Fatalf("idle sample = %+v, want zero", s)
+	}
+	if got := col.TimeOf("idle"); got != 0 {
+		t.Fatalf("idle IO time = %v", got)
+	}
+	if got := col.CommTimeOf("idle"); got != 0 {
+		t.Fatalf("idle comm time = %v", got)
+	}
+	names := col.Names()
+	if len(names) != 1 || names[0] != "idle" {
+		t.Fatalf("names = %v", names)
+	}
+	if bd := col.Breakdown(); bd["idle"] != 0 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	if out := col.FormatBreakdown(); !containsStr(out, "idle") {
+		t.Fatalf("breakdown output missing idle span:\n%s", out)
+	}
+}
+
+// Nested zero-activity spans must not leak phantom costs into their
+// parents: the parent's own sample stays zero too.
+func TestZeroActivityNestedSpans(t *testing.T) {
+	_, _, col := testRig(t)
+	err := col.Span("outer", func() error {
+		return col.Span("inner", func() error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := col.SampleOf("outer"); s != (Sample{}) {
+		t.Fatalf("outer = %+v, want zero", s)
+	}
+	if s := col.SampleOf("inner"); s != (Sample{}) {
+		t.Fatalf("inner = %+v, want zero", s)
+	}
+}
+
+// An unknown span name reads back as zero rather than panicking.
+func TestUnknownSpanIsZero(t *testing.T) {
+	_, _, col := testRig(t)
+	if col.SampleOf("never-opened") != (Sample{}) || col.TimeOf("never-opened") != 0 {
+		t.Fatal("unknown span should read as zero")
+	}
+}
+
+// CommTime must treat non-positive throughput as free rather than
+// dividing by zero or producing negative durations.
+func TestCommTimeDegenerateThroughput(t *testing.T) {
+	m := DefaultModel()
+	s := Sample{BusDown: 1 << 20, BusUp: 1 << 20}
+	for _, mbps := range []float64{0, -1, -0.001} {
+		if got := m.CommTime(s, mbps); got != 0 {
+			t.Fatalf("CommTime at %v MB/s = %v, want 0", mbps, got)
+		}
+	}
+}
+
+// Sample arithmetic round-trips: (a+b)-b == a, including at zero.
+func TestSampleAddSubRoundTrip(t *testing.T) {
+	a := Sample{BusDown: 7, BusUp: 3}
+	a.Flash.PageReads = 11
+	b := Sample{BusDown: 2, BusUp: 1}
+	b.Flash.PageWrites = 5
+	if got := a.Add(b).Sub(b); got != a {
+		t.Fatalf("(a+b)-b = %+v, want %+v", got, a)
+	}
+	var zero Sample
+	if zero.Add(zero) != zero || zero.Sub(zero) != zero {
+		t.Fatal("zero sample arithmetic must stay zero")
+	}
+}
+
+// Once collection has quiesced, every snapshot accessor is read-only
+// and may be hit from many goroutines at once; this test exists to run
+// under -race.
+func TestConcurrentSnapshots(t *testing.T) {
+	dev, _, col := testRig(t)
+	pg, _ := dev.Alloc()
+	buf := make([]byte, 2048)
+	for _, name := range []string{"Merge", "SJoin", "Project"} {
+		if err := col.Span(name, func() error { return dev.Write(pg, buf) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if col.SampleOf("Merge").Flash.PageWrites != 1 {
+					t.Error("Merge sample changed under read-only access")
+					return
+				}
+				if n := col.Names(); len(n) != 3 {
+					t.Errorf("names = %v", n)
+					return
+				}
+				if col.TimeOf("SJoin") != 200*time.Microsecond {
+					t.Error("SJoin time changed under read-only access")
+					return
+				}
+				_ = col.Breakdown()
+				_ = col.FormatBreakdown()
+				_ = col.CommTimeOf("Project")
+				_ = col.Model()
+				_ = col.ThroughputMBps()
+			}
+		}()
+	}
+	wg.Wait()
+}

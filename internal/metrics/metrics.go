@@ -87,6 +87,11 @@ func (m Model) Time(s Sample, throughputMBps float64) time.Duration {
 // activity is attributed to the innermost open span, and enclosing spans
 // see only their own direct activity (so the per-operator decomposition of
 // Figure 15 sums to the total).
+//
+// A Collector is single-writer: Span/Reset must not be called
+// concurrently. Once collection quiesces, the snapshot accessors
+// (SampleOf, Names, Breakdown, TimeOf, CommTimeOf, FormatBreakdown) are
+// read-only and safe to call from any number of goroutines.
 type Collector struct {
 	dev   *flash.Device
 	ch    *bus.Channel
