@@ -48,14 +48,18 @@ func main() {
 	sessions := flag.Int("sessions", 8, "max concurrently admitted query sessions")
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
 	shards := flag.Int("shards", 1, "simulated secure tokens to place the demo's trees across")
+	metricsOn := flag.Bool("metrics", true, "expose telemetry over HTTP (/metrics, /trace, /slowlog); collection is always on")
+	slowMs := flag.Int("slowlog-ms", 250, "slow-query log threshold in simulated milliseconds (0 disables the log)")
 	flag.Parse()
 
-	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes, *shards)
+	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes, *shards,
+		time.Duration(*slowMs)*time.Millisecond)
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
 	}
 
 	srv := server.New(db, log.Printf)
+	srv.SetTelemetry(*metricsOn)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
@@ -68,7 +72,7 @@ func main() {
 	if *httpAddr != "" {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
-			log.Printf("HTTP/JSON facade on %s (/query /exec /explain /stats)", *httpAddr)
+			log.Printf("HTTP/JSON facade on %s (/query /exec /explain /stats /healthz /metrics /trace /slowlog)", *httpAddr)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("http: %v", err)
 			}
@@ -92,11 +96,14 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if httpSrv != nil {
-		httpSrv.Shutdown(ctx)
-	}
+	// Drain the engine first: while in-flight commands finish, /healthz
+	// keeps answering 503 "draining" so load balancers stop routing here
+	// before the HTTP listener goes away.
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("forced shutdown: %v", err)
+	}
+	if httpSrv != nil {
+		httpSrv.Shutdown(ctx)
 	}
 	tot := db.Totals()
 	cs := db.CacheStats()
@@ -125,7 +132,7 @@ func hostPort(addr string) string {
 // Values are zero-padded decimals over a domain of 1000 so range
 // predicates can target any selectivity, the same convention as
 // internal/datagen.
-func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int) (*ghostdb.DB, error) {
+func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int, slowThreshold time.Duration) (*ghostdb.DB, error) {
 	if sf <= 0 {
 		sf = 0.01
 	}
@@ -142,6 +149,7 @@ func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards in
 		MaxConcurrentQueries: sessions,
 		ResultCacheBytes:     cacheBytes,
 		Shards:               shards,
+		SlowQueryThreshold:   slowThreshold,
 	})
 	if err != nil {
 		return nil, err

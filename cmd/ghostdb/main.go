@@ -11,21 +11,28 @@
 //
 // `EXPLAIN SELECT ...` prints the statement's plan — per-table
 // strategies, derived RAM footprint and estimated cost — without
-// executing it.
+// executing it. `EXPLAIN ANALYZE SELECT ...` executes the statement
+// with a trace attached and prints the span tree as JSON: parse,
+// resolve, plan, admission wait, and the token execution broken down
+// into per-operator simulated costs that sum to the query's SimTime.
 //
-// Shell commands: \schema  \stats  \cache  \shards  \audit  \quit
+// Shell commands: \schema  \stats  \cache  \shards  \audit  \metrics
+// \slowlog  \quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ghostdb/internal/datagen"
 	"ghostdb/internal/exec"
 	"ghostdb/internal/flash"
+	"ghostdb/internal/obs"
 )
 
 func main() {
@@ -36,9 +43,12 @@ func main() {
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
 	cacheBytes := flag.Int("cache", 4<<20, "untrusted-side result cache bound in bytes (0 disables)")
 	shards := flag.Int("shards", 1, "simulated secure tokens to place the schema's trees across")
+	metricsOn := flag.Bool("metrics", false, "enable the \\metrics command (Prometheus text dump; collection is always on)")
+	slowMs := flag.Int("slowlog-ms", 0, "slow-query log threshold in simulated milliseconds (0 disables the \\slowlog ring)")
 	flag.Parse()
 
-	db, err := buildDemo(*which, *scale, *seed, *ramBytes, *cacheBytes, *shards)
+	db, err := buildDemo(*which, *scale, *seed, *ramBytes, *cacheBytes, *shards,
+		time.Duration(*slowMs)*time.Millisecond)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostdb:", err)
 		os.Exit(1)
@@ -47,7 +57,7 @@ func main() {
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
-	fmt.Println(`Type SQL (single line), EXPLAIN SELECT ..., or \schema, \stats, \cache, \shards, \audit, \quit.`)
+	fmt.Println(`Type SQL (single line), EXPLAIN [ANALYZE] SELECT ..., or \schema, \stats, \cache, \shards, \audit, \metrics, \slowlog, \quit.`)
 
 	showStats := *stats
 	in := bufio.NewScanner(os.Stdin)
@@ -99,11 +109,61 @@ func main() {
 				fmt.Printf("  [%s] %d bytes: %q\n", r.Kind, r.Bytes, r.Payload)
 			}
 			continue
+		case line == `\metrics`:
+			if !*metricsOn {
+				fmt.Println("metrics exposure is off (run with -metrics)")
+				continue
+			}
+			if err := db.Metrics().WritePrometheus(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		case line == `\slowlog`:
+			sl := db.SlowLog()
+			if sl == nil {
+				fmt.Println("slow-query log disabled (run with -slowlog-ms <threshold>)")
+				continue
+			}
+			entries := sl.Entries()
+			fmt.Printf("slow-query log: %d recorded (threshold %v, ring holds %d)\n",
+				sl.Total(), sl.Threshold(), len(entries))
+			for _, e := range entries {
+				fmt.Printf("  [%s] sim %dµs, queue %dµs, grant %d/%d buffers: %s\n",
+					e.Time.Format("15:04:05"), e.SimUs, e.QueueWaitUs,
+					e.PlanMinBuffers, e.GrantBuffers, e.Query)
+				for _, sc := range e.Spans {
+					fmt.Printf("      %-12s %8dµs\n", sc.Name, sc.SimUs)
+				}
+			}
+			continue
 		case strings.HasPrefix(line, `\`):
 			fmt.Println("unknown command:", line)
 			continue
 		}
 		if fields := strings.Fields(line); len(fields) > 1 && strings.EqualFold(fields[0], "EXPLAIN") {
+			if len(fields) > 2 && strings.EqualFold(fields[1], "ANALYZE") {
+				// EXPLAIN ANALYZE SELECT ... : execute with a trace and
+				// print the span tree as JSON.
+				sql := strings.TrimSpace(line[strings.Index(strings.ToLower(line), "analyze")+len("analyze"):])
+				tr := obs.NewTrace(sql)
+				cfg := db.DefaultConfig()
+				cfg.Trace = tr
+				res, err := db.RunCtx(context.Background(), sql, cfg)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				tr.Finish()
+				blob, err := tr.JSON()
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				os.Stdout.Write(blob)
+				fmt.Println()
+				fmt.Printf("(%d rows; simulated time %v)\n", len(res.Rows), res.Stats.SimTime)
+				continue
+			}
 			// EXPLAIN SELECT ... : print the plan (strategies, footprint,
 			// estimated cost) without executing anything.
 			stmt, err := db.Prepare(strings.TrimSpace(line[len(fields[0]):]), db.DefaultConfig())
@@ -126,7 +186,7 @@ func main() {
 	}
 }
 
-func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes, shards int) (*exec.DB, error) {
+func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes, shards int, slowThreshold time.Duration) (*exec.DB, error) {
 	var ds *datagen.Dataset
 	var err error
 	switch which {
@@ -145,7 +205,13 @@ func buildDemo(which string, scale float64, seed int64, ramBytes, cacheBytes, sh
 	if ramBytes != 0 && ramBytes < p.PageSize {
 		return nil, fmt.Errorf("-ram %d is smaller than one %d-byte flash buffer", ramBytes, p.PageSize)
 	}
-	return ds.NewDB(exec.Options{FlashParams: p, RAMBudget: ramBytes, ResultCacheBytes: cacheBytes, Shards: shards})
+	return ds.NewDB(exec.Options{
+		FlashParams:        p,
+		RAMBudget:          ramBytes,
+		ResultCacheBytes:   cacheBytes,
+		Shards:             shards,
+		SlowQueryThreshold: slowThreshold,
+	})
 }
 
 func printResult(res *exec.Result) {

@@ -27,11 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"ghostdb/internal/cache"
 	"ghostdb/internal/exec"
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
+	"ghostdb/internal/obs"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 )
@@ -59,7 +61,26 @@ type (
 	TablePlan = exec.TablePlan
 	// CacheStats reports the result cache's counters (db.CacheStats).
 	CacheStats = cache.Stats
+	// Trace is a per-query span tree (attach with WithTrace, render with
+	// Trace.JSON). Every value in it is declassified by construction:
+	// simulated durations from the metered cost model, wall-clock
+	// scheduling waits, and canonical query text.
+	Trace = obs.Trace
+	// TraceSpan is the JSON form of one trace span (Trace.Snapshot).
+	TraceSpan = obs.SpanJSON
+	// Metrics is the engine's counter/gauge/histogram registry
+	// (db.Metrics); render with WritePrometheus.
+	Metrics = obs.Registry
+	// SlowQuery is one slow-query log entry (db.SlowLog().Entries()).
+	SlowQuery = obs.SlowQuery
+	// SlowLog is the ring-buffered slow-query log (db.SlowLog; nil when
+	// Options.SlowQueryThreshold is zero).
+	SlowLog = obs.SlowLog
 )
+
+// NewTrace creates an empty trace for one query; pass it via WithTrace
+// and read it back after the query returns (Snapshot or JSON).
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
 // IntVal constructs an integer Value.
 func IntVal(i int64) Value { return schema.IntVal(i) }
@@ -134,6 +155,14 @@ type Options struct {
 	// queries over several trees fan out per-shard sub-plans and merge
 	// their cross product on the untrusted side.
 	Shards int
+	// SlowQueryThreshold enables the slow-query log: completed SELECTs
+	// whose simulated time reaches the threshold are recorded (canonical
+	// query text, costs and a span summary — all declassified scalars).
+	// Zero leaves the log disabled.
+	SlowQueryThreshold time.Duration
+	// SlowLogEntries bounds the slow-query ring buffer (default 128;
+	// older entries are overwritten).
+	SlowLogEntries int
 }
 
 func (o Options) toExec() exec.Options {
@@ -143,6 +172,8 @@ func (o Options) toExec() exec.Options {
 	eo.MaxConcurrentQueries = o.MaxConcurrentQueries
 	eo.ResultCacheBytes = o.ResultCacheBytes
 	eo.Shards = o.Shards
+	eo.SlowQueryThreshold = o.SlowQueryThreshold
+	eo.SlowLogEntries = o.SlowLogEntries
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -219,6 +250,15 @@ func WithStrategy(s Strategy) QueryOption {
 // WithProjector selects the projection algorithm for this query only.
 func WithProjector(p Projector) QueryOption {
 	return func(c *exec.QueryConfig) { c.Projector = p }
+}
+
+// WithTrace attaches a span tree to this query: parse, resolve, plan,
+// admission wait, token execution (with per-operator simulated costs
+// summing to Stats.SimTime), cache lookups and scatter legs all record
+// spans into tr. Read it back with tr.Snapshot or tr.JSON after the
+// query returns. A nil tr is a no-op.
+func WithTrace(tr *Trace) QueryOption {
+	return func(c *exec.QueryConfig) { c.Trace = tr }
 }
 
 // WithRAMBuffers adjusts this query session's RAM admission request in
@@ -393,6 +433,15 @@ func (db *DB) DescribePlacement() string {
 // zero value is returned when Options.ResultCacheBytes left the cache
 // disabled.
 func (db *DB) CacheStats() CacheStats { return db.inner.CacheStats() }
+
+// Metrics returns the engine's metric registry. It is always collecting
+// (a few atomic adds per query); render it with WritePrometheus when the
+// process opts into exposure.
+func (db *DB) Metrics() *Metrics { return db.inner.Metrics() }
+
+// SlowLog returns the slow-query log, or nil when
+// Options.SlowQueryThreshold left it disabled.
+func (db *DB) SlowLog() *SlowLog { return db.inner.SlowLog() }
 
 // Internal returns the underlying engine, for the benchmark harness and
 // tools living inside this module.

@@ -65,6 +65,7 @@ func DefaultConfig() *Config {
 			"ghostdb/internal/cache",
 			"ghostdb/internal/server",
 			"ghostdb/internal/metrics",
+			"ghostdb/internal/obs",
 		},
 		FlashPkg:          "ghostdb/internal/flash",
 		DeviceType:        "Device",
@@ -94,6 +95,7 @@ func DefaultConfig() *Config {
 			"ghostdb/internal/shard",
 			"ghostdb/internal/analysis",
 			"ghostdb/internal/analysis/analysistest",
+			"ghostdb/internal/obs",
 		},
 	}
 }

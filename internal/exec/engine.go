@@ -12,6 +12,7 @@ import (
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
+	"ghostdb/internal/obs"
 	"ghostdb/internal/query"
 	"ghostdb/internal/ram"
 	"ghostdb/internal/sched"
@@ -148,6 +149,14 @@ type Options struct {
 	// sharding benchmark uses this; answers and all simulated counters
 	// are unaffected. 0 disables pacing (the default).
 	PaceSimulation float64
+	// SlowQueryThreshold enables the slow-query log: completed SELECTs
+	// whose simulated time reaches the threshold are recorded in a ring
+	// buffer of canonical query text plus declassified cost scalars
+	// (see obs.SlowQuery). 0 disables the log (the default).
+	SlowQueryThreshold time.Duration
+	// SlowLogEntries caps the slow-query ring buffer (default
+	// obs.DefaultSlowLogEntries).
+	SlowLogEntries int
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -198,6 +207,14 @@ type QueryConfig struct {
 	// the mono-user engine); cap it to let several sessions hold RAM
 	// simultaneously. Values below the plan floor are raised to it.
 	WantBuffers int
+	// Trace, when non-nil, collects this query's span tree: parse,
+	// resolve, plan, admission wait, slot occupancy, per-operator costs,
+	// cache lookups and scatter legs (EXPLAIN ANALYZE, /trace). The
+	// untraced hot path pays a single nil check and zero allocations.
+	Trace *obs.Trace
+	// span redirects a fan-out sub-session's spans under its scatter
+	// leg instead of the trace root (set by runScatter only).
+	span *obs.Span
 }
 
 // HiddenImage is the flash-resident image of a table's hidden non-key
@@ -246,6 +263,14 @@ type DB struct {
 	// leak-freedom argument. It sits above sharding: invalidation is the
 	// per-shard version vector fed by each token's committed updates.
 	cache *cache.Cache
+
+	// reg/inst/slow are the telemetry layer (internal/obs): the metric
+	// registry and its engine instruments always exist and collect
+	// (cheap atomics — exposure is opt-in per process), the slow-query
+	// log only when Options.SlowQueryThreshold is set.
+	reg  *obs.Registry
+	inst *instruments
+	slow *obs.SlowLog
 
 	// mu guards the mutable engine state that outlives a single query:
 	// the default QueryConfig and the client-level cumulative totals
@@ -318,6 +343,11 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 	if opts.ResultCacheBytes > 0 {
 		db.cache = cache.New(int64(opts.ResultCacheBytes))
 	}
+	db.reg = obs.NewRegistry()
+	if opts.SlowQueryThreshold > 0 {
+		db.slow = obs.NewSlowLog(opts.SlowQueryThreshold, opts.SlowLogEntries)
+	}
+	db.inst = newInstruments(db)
 	return db, nil
 }
 
@@ -557,6 +587,11 @@ type Stats struct {
 	// elastic grant the session actually held.
 	PlanMinBuffers int
 	GrantBuffers   int
+	// QueueWait is the wall-clock time the session spent in the FIFO
+	// admission queue (a scatter query reports its slowest leg's wait).
+	// Wall-clock, not simulated: it measures engine load, not the cost
+	// model.
+	QueueWait time.Duration
 	// Shard is the token the session ran on. For a fan-out query the
 	// top-level Stats report Shard -1 and Scatter counts the per-token
 	// sub-sessions (each of which merged into its own token's totals).
@@ -571,6 +606,12 @@ type Stats struct {
 	// and moves zero bytes across the secure-token bus.
 	CacheHit    bool
 	CacheShared bool
+
+	// opSims holds each cost span's full simulated duration (I/O plus
+	// communication), feeding the slow-query log's span summary.
+	// Breakdown above stays the exported I/O-only decomposition of
+	// Figures 15–16.
+	opSims map[string]time.Duration
 }
 
 // Result is a query answer plus its cost statistics. A Result is
@@ -663,11 +704,15 @@ func (db *DB) Prepare(sql string, cfg QueryConfig) (*Stmt, error) {
 func (db *DB) prepareParsed(stmt sqlparse.Statement, sql string, cfg QueryConfig) (*Stmt, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.Select:
+		resolveSp := cfg.Trace.Root().Start("resolve")
 		q, err := query.Resolve(db.Sch, st, sql)
+		resolveSp.End()
 		if err != nil {
 			return nil, err
 		}
+		planSp := cfg.Trace.Root().Start("plan")
 		p, err := db.PlanQuery(q, cfg)
+		planSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -731,7 +776,9 @@ func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result,
 	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
+	parseSp := cfg.Trace.Root().Start("parse")
 	stmt, err := sqlparse.Parse(sql)
+	parseSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -755,10 +802,18 @@ func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*
 	sess, err := tok.sched.Acquire(ctx, sched.Request{
 		MinBuffers: plan.MinBuffers, WantBuffers: plan.WantBuffers})
 	if err != nil {
+		if errors.Is(err, sched.ErrNeverAdmissible) {
+			db.inst.rejections[tok.id].Inc()
+		}
+		db.inst.queryErrs.Inc()
 		return nil, wrapAdmission(err)
 	}
 	defer sess.Release()
 	err = sess.Exclusive(ctx, func() error {
+		slotStart := time.Now()
+		defer func() {
+			db.inst.slotOcc[tok.id].Observe(time.Since(slotStart).Seconds())
+		}()
 		// Stage the insert's working set (hidden record + SKT row) in the
 		// session's private budget, so the accounting matches the plan.
 		g, err := sess.RAM().AllocBuffers(plan.MinBuffers)
@@ -769,6 +824,7 @@ func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*
 		return db.insertOn(tok, ins)
 	})
 	if err != nil {
+		db.inst.queryErrs.Inc()
 		return nil, err
 	}
 	return &Result{}, nil
@@ -829,9 +885,11 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 	}
 	res, err := db.runSelectOn(ctx, q, plan, cfg)
 	if err != nil {
+		db.inst.queryErrs.Inc()
 		return nil, err
 	}
 	db.mergeTotals(res.Stats)
+	db.observeSelect(q, res.Stats)
 	return res, nil
 }
 
@@ -841,13 +899,28 @@ func (db *DB) runSelect(ctx context.Context, q *query.Query, plan *Plan, cfg Que
 func (db *DB) runSelectOn(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig) (*Result, error) {
 	tok := plan.tok
 	req := db.sessionRequest(plan, cfg)
+	parent := cfg.traceParent()
+	admSp := parent.Start("admission")
+	queued := time.Now()
 	sess, err := tok.sched.Acquire(ctx, req)
+	admSp.End()
 	if err != nil {
+		if errors.Is(err, sched.ErrNeverAdmissible) {
+			db.inst.rejections[tok.id].Inc()
+		}
 		return nil, wrapAdmission(err)
 	}
+	wait := time.Since(queued)
 	defer sess.Release()
+	execSp := parent.Start("exec")
+	execSp.SetNote(fmt.Sprintf("token %d, grant %d buffers", tok.id, sess.Buffers()))
+	defer execSp.End()
 	var res *Result
 	err = sess.Exclusive(ctx, func() error {
+		slotStart := time.Now()
+		defer func() {
+			db.inst.slotOcc[tok.id].Observe(time.Since(slotStart).Seconds())
+		}()
 		r := &queryRun{
 			db:         db,
 			tok:        tok,
@@ -869,8 +942,11 @@ func (db *DB) runSelectOn(ctx context.Context, q *query.Query, plan *Plan, cfg Q
 		r.col.Reset()
 		// The query text is the only thing that ever leaves the secure
 		// perimeter (§1: "the only information revealed to a potential
-		// spy is which queries you pose").
-		if err := tok.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL); err != nil {
+		// spy is which queries you pose"). Its upload is metered under
+		// its own cost span so the trace decomposition covers it.
+		if err := r.col.Span(spanBus, func() error {
+			return tok.Bus.Transfer(bus.Up, "query", len(q.SQL), q.SQL)
+		}); err != nil {
 			return err
 		}
 		out, err := r.execute()
@@ -884,12 +960,16 @@ func (db *DB) runSelectOn(ctx context.Context, q *query.Query, plan *Plan, cfg Q
 			}
 		}
 		out.Stats = r.collectStats()
+		out.Stats.QueueWait = wait
+		attachOperatorSpans(execSp, r.col, out.Stats.SimTime)
 		res = out
 		// Paced mode: hold the token slot for a real-time shadow of the
 		// simulated cost, so wall-clock measurements see device-bound
 		// (not host-CPU-bound) behavior. See Options.PaceSimulation.
 		if pace := db.opts.PaceSimulation; pace > 0 {
+			paceSp := execSp.Start("pace")
 			time.Sleep(time.Duration(float64(out.Stats.SimTime) / pace))
+			paceSp.End()
 		}
 		return nil
 	})
@@ -921,6 +1001,10 @@ func (r *queryRun) collectStats() Stats {
 		Projector:      r.cfg.Projector,
 	}
 	st.SimTime = st.IOTime + st.CommTime
+	st.opSims = make(map[string]time.Duration)
+	for _, name := range r.col.Names() {
+		st.opSims[name] = r.col.SimTimeOf(name)
+	}
 	for ti, s := range r.strategies {
 		st.Strategy[db.Sch.Tables[ti].Name] = s
 	}

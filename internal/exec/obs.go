@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ghostdb/internal/metrics"
+	"ghostdb/internal/obs"
+	"ghostdb/internal/query"
+)
+
+// This file threads the leak-aware telemetry layer (internal/obs)
+// through the engine. Everything exported here is declassified by
+// construction — obs is registered untrusted-side in the analyzer
+// config, so the trustboundary rule proves no hidden-derived value can
+// cross into it:
+//
+//   - Durations are functions of the metered flash/bus counters (the
+//     cost model) or of wall-clock scheduling, never of hidden tuples.
+//   - Grant sizes, queue depths and admission counts are RAM-admission
+//     bookkeeping over plan-derived floors (pure functions of query
+//     text + schema).
+//   - The slow log's query text is the canonical resolved form — the
+//     one thing the security model reveals to the untrusted side anyway.
+
+// spanBus names the cost span covering the query-text upload — the bus
+// transfer that, per §1, is the only data ever revealed to a spy.
+const spanBus = "Bus"
+
+// instruments holds the engine's always-on metric handles. Collection
+// is a few atomic adds per query; exposure (the /metrics endpoint, the
+// REPL command) is what processes opt into.
+type instruments struct {
+	queryErrs *obs.Counter
+	simHist   *obs.Histogram
+	grantHist *obs.Histogram
+
+	// Per-token (shard-labeled) instruments, indexed by token ordinal.
+	queueWait  []*obs.Histogram
+	slotOcc    []*obs.Histogram
+	rejections []*obs.Counter
+}
+
+// newInstruments registers the engine's metric families on db's
+// registry and wires each token's admission scheduler to its queue-wait
+// histogram. Called once from NewDB, before any traffic.
+func newInstruments(db *DB) *instruments {
+	r := db.reg
+	inst := &instruments{
+		queryErrs: r.Counter("ghostdb_query_errors_total", "queries that failed during execution"),
+		simHist: r.Histogram("ghostdb_query_sim_seconds",
+			"per-query simulated time under the paper's cost model (cache hits observe 0)", obs.TimeBuckets()),
+		grantHist: r.Histogram("ghostdb_session_grant_buffers",
+			"elastic RAM grant per admitted session, in whole buffers", obs.GrantBuckets()),
+	}
+	r.CounterFunc("ghostdb_queries_total", "completed queries, cache hits included",
+		func() float64 { return float64(db.Totals().Queries) })
+	r.CounterFunc("ghostdb_slowlog_entries_total", "queries recorded by the slow-query log",
+		func() float64 { return float64(db.slow.Total()) })
+
+	for i, t := range db.tokens {
+		tok := t
+		shard := obs.L("shard", fmt.Sprintf("%d", i))
+		qw := r.Histogram("ghostdb_sched_queue_wait_seconds",
+			"wall-clock wait in the FIFO admission queue", obs.TimeBuckets(), shard)
+		inst.queueWait = append(inst.queueWait, qw)
+		inst.slotOcc = append(inst.slotOcc, r.Histogram("ghostdb_slot_occupancy_seconds",
+			"wall-clock time sessions hold the token's serial execution slot", obs.TimeBuckets(), shard))
+		inst.rejections = append(inst.rejections, r.Counter("ghostdb_sched_rejections_total",
+			"admission requests rejected up front (plan floor exceeds the budget)", shard))
+		admissions := r.Counter("ghostdb_sched_admissions_total", "sessions admitted", shard)
+		tok.sched.SetAdmitObserver(func(wait time.Duration, grantBuffers int) {
+			qw.Observe(wait.Seconds())
+			inst.grantHist.Observe(float64(grantBuffers))
+			admissions.Inc()
+		})
+		r.GaugeFunc("ghostdb_sched_queue_depth", "admission requests waiting",
+			func() float64 { return float64(tok.QueueLen()) }, shard)
+		r.GaugeFunc("ghostdb_sched_running", "admitted, unreleased sessions",
+			func() float64 { return float64(tok.Running()) }, shard)
+		r.GaugeFunc("ghostdb_token_ram_buffers", "secure RAM budget in whole buffers",
+			func() float64 { return float64(tok.RAMBuffers()) }, shard)
+		r.CounterFunc("ghostdb_token_sessions_total", "query sessions completed on this token",
+			func() float64 { return float64(tok.Totals().Queries) }, shard)
+		r.CounterFunc("ghostdb_token_sim_seconds_total", "simulated seconds of completed sessions",
+			func() float64 { return tok.Totals().SimTime.Seconds() }, shard)
+		r.CounterFunc("ghostdb_token_flash_reads_total", "flash page reads",
+			func() float64 { return float64(tok.Totals().Flash.PageReads) }, shard)
+		r.CounterFunc("ghostdb_token_flash_writes_total", "flash page writes",
+			func() float64 { return float64(tok.Totals().Flash.PageWrites) }, shard)
+		r.CounterFunc("ghostdb_token_bus_down_bytes_total", "bytes moved untrusted→token",
+			func() float64 { return float64(tok.Totals().BusDown) }, shard)
+		r.CounterFunc("ghostdb_token_bus_up_bytes_total", "bytes moved token→untrusted",
+			func() float64 { return float64(tok.Totals().BusUp) }, shard)
+	}
+
+	r.CounterFunc("ghostdb_cache_hits_total", "result-cache hits (zero token work)",
+		func() float64 { return float64(db.CacheStats().Hits) })
+	r.CounterFunc("ghostdb_cache_shared_total", "results shared via singleflight",
+		func() float64 { return float64(db.CacheStats().SharedHits) })
+	r.CounterFunc("ghostdb_cache_misses_total", "result-cache misses",
+		func() float64 { return float64(db.CacheStats().Misses) })
+	r.CounterFunc("ghostdb_cache_evictions_total", "LRU evictions",
+		func() float64 { return float64(db.CacheStats().Evictions) })
+	r.CounterFunc("ghostdb_cache_invalidations_total", "entries invalidated by committed inserts",
+		func() float64 { return float64(db.CacheStats().Invalidations) })
+	r.GaugeFunc("ghostdb_cache_entries", "live result-cache entries",
+		func() float64 { return float64(db.CacheStats().Entries) })
+	r.GaugeFunc("ghostdb_cache_bytes", "result-cache occupancy in bytes",
+		func() float64 { return float64(db.CacheStats().Bytes) })
+	return inst
+}
+
+// Metrics returns the engine's metric registry. It always exists and is
+// always collecting (a few atomic adds per query); whether anything is
+// exposed — /metrics, the REPL command — is the caller's choice.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
+
+// SlowLog returns the slow-query log, nil when disabled
+// (Options.SlowQueryThreshold == 0).
+func (db *DB) SlowLog() *obs.SlowLog { return db.slow }
+
+// traceParent returns the span new session work should nest under: the
+// scatter leg's span for fan-out sub-sessions, else the trace root —
+// nil (a no-op) for the untraced hot path.
+func (cfg *QueryConfig) traceParent() *obs.Span {
+	if cfg.span != nil {
+		return cfg.span
+	}
+	return cfg.Trace.Root()
+}
+
+// attachOperatorSpans converts the collector's per-operator cost spans
+// into sim-only children of the session's exec span, in first-seen
+// order, then adds the unattributed remainder as "other" — so the
+// children's simulated durations always sum to exactly the session's
+// SimTime (the EXPLAIN ANALYZE contract).
+func attachOperatorSpans(sp *obs.Span, col *metrics.Collector, simTime time.Duration) {
+	if sp == nil {
+		return
+	}
+	var sum time.Duration
+	for _, name := range col.Names() {
+		d := col.SimTimeOf(name)
+		sp.Add(name, d)
+		sum += d
+	}
+	if rest := simTime - sum; rest > 0 {
+		sp.Add("other", rest)
+	}
+	sp.SetSim(simTime)
+}
+
+// observeSelect records one completed client-level SELECT into the
+// latency histogram and, when it clears the threshold, the slow log.
+func (db *DB) observeSelect(q *query.Query, st Stats) {
+	db.inst.simHist.Observe(st.SimTime.Seconds())
+	if db.slow == nil || st.SimTime < db.slow.Threshold() {
+		return
+	}
+	db.slow.Record(obs.SlowQuery{
+		Time:           time.Now(),
+		Query:          q.Canonical(),
+		Shard:          st.Shard,
+		Scatter:        st.Scatter,
+		SimUs:          st.SimTime.Microseconds(),
+		QueueWaitUs:    st.QueueWait.Microseconds(),
+		PlanMinBuffers: st.PlanMinBuffers,
+		GrantBuffers:   st.GrantBuffers,
+		Spans:          topSpanCosts(st.opSims, 8),
+	})
+}
+
+// topSpanCosts renders the per-operator simulated costs as a span
+// summary, slowest first, capped at n entries.
+func topSpanCosts(sims map[string]time.Duration, n int) []obs.SpanCost {
+	out := make([]obs.SpanCost, 0, len(sims))
+	for name, d := range sims {
+		out = append(out, obs.SpanCost{Name: name, SimUs: d.Microseconds()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SimUs != out[j].SimUs {
+			return out[i].SimUs > out[j].SimUs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ghostdb/internal/cache"
+	"ghostdb/internal/obs"
 	"ghostdb/internal/query"
 	"ghostdb/internal/sqlparse"
 )
@@ -87,12 +88,16 @@ func (db *DB) CacheStats() cache.Stats {
 // *planning as well as execution* into the singleflight compute — a hit
 // pays neither the plan-time selectivity scans nor any token work.
 func (db *DB) runCachedSelect(ctx context.Context, sel *sqlparse.Select, sql string, cfg QueryConfig) (*Result, error) {
+	resolveSp := cfg.Trace.Root().Start("resolve")
 	q, err := query.Resolve(db.Sch, sel, sql)
+	resolveSp.End()
 	if err != nil {
 		return nil, err
 	}
-	return db.cachedSelect(ctx, cacheKey(q, cfg), db.shardsOf(q), func() (*Result, error) {
+	return db.cachedSelect(ctx, cfg.Trace, cacheKey(q, cfg), db.shardsOf(q), func() (*Result, error) {
+		planSp := cfg.Trace.Root().Start("plan")
 		plan, err := db.PlanQuery(q, cfg)
+		planSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +108,7 @@ func (db *DB) runCachedSelect(ctx context.Context, sel *sqlparse.Select, sql str
 // runSelectCached answers an already-planned SELECT (a prepared Stmt)
 // through the result cache.
 func (db *DB) runSelectCached(ctx context.Context, q *query.Query, plan *Plan, cfg QueryConfig, key string) (*Result, error) {
-	return db.cachedSelect(ctx, key, db.shardsOf(q), func() (*Result, error) {
+	return db.cachedSelect(ctx, cfg.Trace, key, db.shardsOf(q), func() (*Result, error) {
 		return db.runSelect(ctx, q, plan, cfg)
 	})
 }
@@ -116,7 +121,11 @@ func (db *DB) runSelectCached(ctx context.Context, q *query.Query, plan *Plan, c
 // function of query text + schema placement) as observed before it
 // started, so a racing INSERT can never leave a stale entry behind —
 // and an INSERT to an untouched shard never evicts it at all.
-func (db *DB) cachedSelect(ctx context.Context, key string, shards []int, compute func() (*Result, error)) (*Result, error) {
+func (db *DB) cachedSelect(ctx context.Context, tr *obs.Trace, key string, shards []int, compute func() (*Result, error)) (*Result, error) {
+	// The cache span wraps the whole Do call; on a miss the compute's
+	// own plan/exec spans appear as siblings under the trace root (the
+	// lookup span's note records the outcome either way).
+	cacheSp := tr.Root().Start("cache")
 	v, outcome, err := db.cache.Do(ctx, key, shards, func() (any, int64, error) {
 		res, err := compute()
 		if err != nil {
@@ -125,10 +134,13 @@ func (db *DB) cachedSelect(ctx context.Context, key string, shards []int, comput
 		return res, res.SizeBytes(), nil
 	})
 	if err != nil {
+		cacheSp.End()
 		return nil, err
 	}
 	res := v.(*Result)
 	if outcome == cache.Miss {
+		cacheSp.SetNote("miss")
+		cacheSp.End()
 		// The leader executed for real; runSelect already merged totals.
 		return res, nil
 	}
@@ -137,7 +149,16 @@ func (db *DB) cachedSelect(ctx context.Context, key string, shards []int, comput
 		CacheHit:    outcome == cache.Hit,
 		CacheShared: outcome == cache.Shared,
 	}
+	if out.Stats.CacheHit {
+		cacheSp.SetNote("hit")
+	} else {
+		cacheSp.SetNote("shared")
+	}
+	cacheSp.End()
 	db.mergeCacheTotals(outcome == cache.Shared)
+	// A hit is a served query with zero simulated cost: it belongs in
+	// the latency distribution exactly as the bench harness counts it.
+	db.inst.simHist.Observe(0)
 	return out, nil
 }
 

@@ -98,6 +98,7 @@ func (db *DB) runScatter(ctx context.Context, q *query.Query, plan *Plan, cfg Qu
 	// running to completion for an answer nobody will see.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	parent := cfg.traceParent()
 	parts := make([]*Result, len(plan.Parts))
 	errs := make([]error, len(plan.Parts))
 	var wg sync.WaitGroup
@@ -105,7 +106,11 @@ func (db *DB) runScatter(ctx context.Context, q *query.Query, plan *Plan, cfg Qu
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], errs[i] = db.runSelectOn(ctx, q.Parts[i], plan.Parts[i], cfg)
+			legCfg := cfg
+			legCfg.span = parent.Start("scatter")
+			legCfg.span.SetNote(fmt.Sprintf("part %d", i))
+			parts[i], errs[i] = db.runSelectOn(ctx, q.Parts[i], plan.Parts[i], legCfg)
+			legCfg.span.End()
 			if errs[i] != nil {
 				cancel()
 			}
@@ -114,19 +119,25 @@ func (db *DB) runScatter(ctx context.Context, q *query.Query, plan *Plan, cfg Qu
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, context.Canceled) {
+			db.inst.queryErrs.Inc()
 			return nil, err
 		}
 	}
 	for _, err := range errs {
 		if err != nil {
+			db.inst.queryErrs.Inc()
 			return nil, err
 		}
 	}
+	mergeSp := parent.Start("merge")
 	res, err := db.mergeScatter(q, parts)
+	mergeSp.End()
 	if err != nil {
+		db.inst.queryErrs.Inc()
 		return nil, err
 	}
 	db.mergeTotals(res.Stats)
+	db.observeSelect(q, res.Stats)
 	return res, nil
 }
 
@@ -225,6 +236,7 @@ func mergeScatterStats(parts []*Result) Stats {
 		Scatter:   len(parts),
 		Breakdown: map[string]time.Duration{},
 		Strategy:  map[string]Strategy{},
+		opSims:    map[string]time.Duration{},
 	}
 	for _, pr := range parts {
 		ps := pr.Stats
@@ -232,6 +244,14 @@ func mergeScatterStats(parts []*Result) Stats {
 		st.CommTime += ps.CommTime
 		if ps.SimTime > st.SimTime {
 			st.SimTime = ps.SimTime
+		}
+		// Wall-clock waits overlapped (the legs queued in parallel), so
+		// the client-visible wait is the slowest leg's, like SimTime.
+		if ps.QueueWait > st.QueueWait {
+			st.QueueWait = ps.QueueWait
+		}
+		for k, v := range ps.opSims {
+			st.opSims[k] += v
 		}
 		st.Flash = st.Flash.Add(ps.Flash)
 		st.BusDown += ps.BusDown

@@ -35,6 +35,7 @@ type CachePoint struct {
 	WallQPS         float64 `json:"wall_qps"`
 	SimP50Ms        float64 `json:"sim_p50_ms"`
 	SimP95Ms        float64 `json:"sim_p95_ms"`
+	SimP99Ms        float64 `json:"sim_p99_ms"`
 	SimTotalMs      float64 `json:"sim_total_ms"`
 	CacheHits       uint64  `json:"cache_hits"`
 	CacheShared     uint64  `json:"cache_shared"`
@@ -230,6 +231,7 @@ func (l *Lab) CacheSweep(levels []int, queriesPerLevel int) (*CacheReport, error
 				SimTotalMs:      float64(rs.simTotal.Microseconds()) / 1000,
 				SimP50Ms:        rs.p50ms(),
 				SimP95Ms:        rs.p95ms(),
+				SimP99Ms:        rs.p99ms(),
 				CacheHits:       tot.CacheHits,
 				CacheShared:     tot.CacheShared,
 				Executed:        tot.Queries - tot.CacheHits - tot.CacheShared,

@@ -20,6 +20,7 @@ type ConcurrencyPoint struct {
 	WallQPS       float64 `json:"wall_qps"`
 	SimP50Ms      float64 `json:"sim_p50_ms"`
 	SimP95Ms      float64 `json:"sim_p95_ms"`
+	SimP99Ms      float64 `json:"sim_p99_ms"`
 	SimTotalMs    float64 `json:"sim_total_ms"`
 	MaxRunning    int     `json:"max_running_observed"`
 	LeakedGrants  bool    `json:"leaked_grants"`
@@ -98,6 +99,7 @@ func (l *Lab) ConcurrencySweep(levels []int, queriesPerLevel int) (*ConcurrencyR
 			SimTotalMs:    float64(rs.simTotal.Microseconds()) / 1000,
 			SimP50Ms:      rs.p50ms(),
 			SimP95Ms:      rs.p95ms(),
+			SimP99Ms:      rs.p99ms(),
 			MaxRunning:    maxRunning,
 			LeakedGrants:  db.RAM.Leaked(),
 			PrivateLeaks:  db.Sched().Leaks(),

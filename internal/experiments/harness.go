@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"context"
-	"sort"
 	"sync"
 	"time"
 
 	"ghostdb/internal/exec"
+	"ghostdb/internal/obs"
 )
 
 // This file is the shared measurement harness of every sweep
@@ -17,37 +17,40 @@ import (
 // derive — that stays in each sweep; the worker-pool boilerplate lives
 // here once.
 
-// runStats is the common yield of one workload run. Latencies are
-// sorted, successful queries only.
+// runStats is the common yield of one workload run: successful queries
+// only, latencies accumulated into the same exponential bucket layout
+// the live /metrics endpoint exposes (obs.TimeBuckets).
 type runStats struct {
-	wall      time.Duration
-	latencies []time.Duration
-	simTotal  time.Duration
-	errs      int
-	firstErr  error
+	wall     time.Duration
+	served   int
+	hist     *obs.Histogram
+	simTotal time.Duration
+	errs     int
+	firstErr error
 }
 
-// p50ms / p95ms read percentiles off the sorted latency slice, in
-// milliseconds (0 when empty).
-func (r runStats) p50ms() float64 {
-	if len(r.latencies) == 0 {
-		return 0
-	}
-	return float64(r.latencies[len(r.latencies)/2].Microseconds()) / 1000
-}
+// p50ms / p95ms / p99ms read quantiles off the bucketed latency
+// distribution, in milliseconds (0 when empty). Because the buckets are
+// exactly ghostdb_query_sim_seconds's, a Prometheus histogram_quantile
+// over the live server reports the same numbers as the bench harness.
+func (r runStats) p50ms() float64 { return r.quantileMs(0.50) }
 
-func (r runStats) p95ms() float64 {
-	if len(r.latencies) == 0 {
+func (r runStats) p95ms() float64 { return r.quantileMs(0.95) }
+
+func (r runStats) p99ms() float64 { return r.quantileMs(0.99) }
+
+func (r runStats) quantileMs(q float64) float64 {
+	if r.hist == nil || r.hist.Count() == 0 {
 		return 0
 	}
-	return float64(r.latencies[len(r.latencies)*95/100].Microseconds()) / 1000
+	return r.hist.Quantile(q) * 1000
 }
 
 func (r runStats) qps() float64 {
 	if r.wall <= 0 {
 		return 0
 	}
-	return float64(len(r.latencies)+r.errs) / r.wall.Seconds()
+	return float64(r.served+r.errs) / r.wall.Seconds()
 }
 
 // runWorkload pushes the query list through db with `workers` client
@@ -62,7 +65,7 @@ func runWorkload(db *exec.DB, workers int, queries []string, cfg exec.QueryConfi
 	}
 	var (
 		mu  sync.Mutex
-		out runStats
+		out = runStats{hist: obs.NewHistogram(obs.TimeBuckets())}
 	)
 	next := make(chan string)
 	var wg sync.WaitGroup
@@ -80,7 +83,8 @@ func runWorkload(db *exec.DB, workers int, queries []string, cfg exec.QueryConfi
 						out.firstErr = err
 					}
 				} else {
-					out.latencies = append(out.latencies, res.Stats.SimTime)
+					out.served++
+					out.hist.Observe(res.Stats.SimTime.Seconds())
 					out.simTotal += res.Stats.SimTime
 					if onResult != nil {
 						onResult(sql, res)
@@ -96,6 +100,5 @@ func runWorkload(db *exec.DB, workers int, queries []string, cfg exec.QueryConfi
 	close(next)
 	wg.Wait()
 	out.wall = time.Since(start)
-	sort.Slice(out.latencies, func(i, j int) bool { return out.latencies[i] < out.latencies[j] })
 	return out
 }

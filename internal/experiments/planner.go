@@ -19,6 +19,7 @@ type PlannerPoint struct {
 	WallQPS       float64 `json:"wall_qps"`
 	SimP50Ms      float64 `json:"sim_p50_ms"`
 	SimP95Ms      float64 `json:"sim_p95_ms"`
+	SimP99Ms      float64 `json:"sim_p99_ms"`
 	MaxRunning    int     `json:"max_running_observed"`
 	MinFloorSeen  int     `json:"min_floor_seen"`
 	MaxFloorSeen  int     `json:"max_floor_seen"`
@@ -163,6 +164,7 @@ func (l *Lab) PlannerSweep(levels []int, queriesPerLevel int) (*PlannerReport, e
 				WallQPS:       rs.qps(),
 				SimP50Ms:      rs.p50ms(),
 				SimP95Ms:      rs.p95ms(),
+				SimP99Ms:      rs.p99ms(),
 				MaxRunning:    maxRunning,
 				MinFloorSeen:  minFloor,
 				MaxFloorSeen:  maxFloor,

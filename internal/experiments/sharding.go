@@ -30,6 +30,7 @@ type ShardingPoint struct {
 	WallQPS      float64 `json:"wall_qps"`
 	SimP50Ms     float64 `json:"sim_p50_ms"`
 	SimP95Ms     float64 `json:"sim_p95_ms"`
+	SimP99Ms     float64 `json:"sim_p99_ms"`
 	SimTotalMs   float64 `json:"sim_total_ms"`
 	AnswerErrors int     `json:"answer_errors"`
 	// PerShardQueries is how many sessions each token completed — the
@@ -204,6 +205,7 @@ func (l *Lab) ShardingSweep(tokenCounts, sessionCounts []int, queriesPerCell int
 				WallQPS:         rs.qps(),
 				SimP50Ms:        rs.p50ms(),
 				SimP95Ms:        rs.p95ms(),
+				SimP99Ms:        rs.p99ms(),
 				SimTotalMs:      float64(rs.simTotal.Microseconds()) / 1000,
 				AnswerErrors:    answerErrs,
 				PerShardQueries: perShard,

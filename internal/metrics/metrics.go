@@ -186,6 +186,15 @@ func (c *Collector) CommTimeOf(name string) time.Duration {
 	return c.model.CommTime(c.spans[name], c.mbps)
 }
 
+// SimTimeOf returns a span's full simulated duration — I/O plus
+// communication at the snapshotted link speed. Because activity is
+// attributed to the innermost open span only, summing SimTimeOf over
+// Names() decomposes the session's attributed cost without double
+// counting; the trace layer builds its per-operator spans from this.
+func (c *Collector) SimTimeOf(name string) time.Duration {
+	return c.model.Time(c.spans[name], c.mbps)
+}
+
 // Names returns the span names in first-seen order.
 func (c *Collector) Names() []string {
 	out := make([]string, len(c.order))

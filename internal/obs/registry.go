@@ -1,0 +1,401 @@
+// Package obs is GhostDB's leak-aware telemetry layer: per-query trace
+// spans (trace.go), a dependency-free counter/gauge/histogram registry
+// rendered in Prometheus text format (this file), and a ring-buffered
+// slow-query log (slowlog.go).
+//
+// The package is untrusted-side by construction and is registered in the
+// analyzer Config's untrusted set, so ghostdb-lint's trustboundary rule
+// proves no hidden-derived value can ever be exported through it: obs
+// must never mention a //ghostdb:hidden type, and no caller may pass a
+// hidden-derived expression into an obs function. Every signal that
+// flows in here is therefore a function of data the security model
+// already reveals — query text, simulated durations derived from metered
+// counters, RAM-grant sizes, queue depths — never of hidden tuples.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. {shard="0"}). Labels are sparse:
+// most metrics carry none, per-token metrics carry exactly one.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. All methods are
+// atomic and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are atomic.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative-style buckets and
+// keeps a running sum, the exact shape Prometheus exposes: per-bucket
+// counts for every finite upper bound plus an implicit +Inf bucket.
+// Observe is atomic and allocation-free; percentiles are derived from
+// the buckets by Quantile, so an offline harness and a live scrape
+// compute identical numbers from identical data.
+type Histogram struct {
+	bounds []float64 // ascending finite upper bounds
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram creates a histogram over the given ascending finite
+// bucket upper bounds. It is usable standalone (the bench harness) or
+// through Registry.Histogram (the live engine).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets with
+// linear interpolation inside the bucket holding the rank — the same
+// estimate Prometheus's histogram_quantile computes from a scrape of
+// this histogram, which is the point: the bench harness and the live
+// server report the same p50/p95/p99 for the same observations. Values
+// landing in the +Inf bucket clamp to the highest finite bound. Returns
+// 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := float64(h.count.Load())
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	cum, lower := 0.0, 0.0
+	for i, upper := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = upper
+	}
+	return lower
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets are the default bucket bounds for duration-valued
+// histograms, in seconds: 100µs to ~1.7 minutes, doubling. They cover
+// the paper's cost model from a one-page read (25µs rounds into the
+// first bucket) to multi-pass scans over the full medical dataset.
+func TimeBuckets() []float64 { return ExpBuckets(100e-6, 2, 20) }
+
+// GrantBuckets are the default bucket bounds for RAM-grant histograms,
+// in whole buffers (the 64KB budget holds 32 two-KB buffers).
+func GrantBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32}
+}
+
+// metric is one label-set instance inside a family: exactly one of the
+// value fields is set, matching the family's kind.
+type metric struct {
+	labels []Label
+	key    string
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is all metrics sharing one name (and therefore one HELP/TYPE
+// header in the exposition).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent — asking for an already
+// registered (name, labels) pair returns the existing metric (callback
+// variants replace the callback) — so several frontends over one engine
+// can each declare the instruments they need. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// metricFor finds or creates the (family, label set) slot. Callers hold
+// r.mu.
+func (r *Registry) metricFor(name, help string, kind metricKind, labels []Label) *metric {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, index: make(map[string]*metric)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered twice with different kinds (%v vs %v)", name, f.kind, kind))
+	}
+	key := renderLabels(labels, "")
+	m := f.index[key]
+	if m == nil {
+		m = &metric{labels: append([]Label(nil), labels...), key: key}
+		f.index[key] = m
+		f.metrics = append(f.metrics, m)
+	}
+	return m
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metricFor(name, help, kindCounter, labels)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic totals another subsystem already maintains
+// (token Totals, cache counters). Re-registering replaces the callback.
+// fn must be safe for concurrent calls and must not use the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metricFor(name, help, kindCounter, labels)
+	m.fn = fn
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metricFor(name, help, kindGauge, labels)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time (queue
+// depths, cache occupancy). Re-registering replaces the callback. fn
+// must be safe for concurrent calls and must not use the registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metricFor(name, help, kindGauge, labels)
+	m.fn = fn
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given bucket bounds (bounds are fixed by the first registration).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metricFor(name, help, kindHistogram, labels)
+	if m.h == nil {
+		m.h = NewHistogram(bounds)
+	}
+	return m.h
+}
+
+// FindHistogram returns a registered histogram by name and labels, or
+// nil — tests and the REPL use it to compute quantiles from the same
+// buckets a scrape would see.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		return nil
+	}
+	m := f.index[renderLabels(labels, "")]
+	if m == nil {
+		return nil
+	}
+	return m.h
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (HELP/TYPE headers, one line per sample, histograms as
+// cumulative _bucket/_sum/_count series), families in registration
+// order, label sets in registration order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// One lock around the whole render: registrations are rare (engine
+	// construction) and callbacks read other subsystems, never the
+	// registry, so holding r.mu across fn() calls cannot deadlock.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.metrics {
+			switch {
+			case f.kind == kindHistogram:
+				writeHistogram(&b, f.name, m)
+			case m.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(m.labels, ""), fmtFloat(m.fn()))
+			case m.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(m.labels, ""), m.c.Value())
+			case m.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(m.labels, ""), m.g.Value())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, m *metric) {
+	h := m.h
+	if h == nil {
+		return
+	}
+	cum := uint64(0)
+	for i, upper := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(m.labels, `le="`+fmtFloat(upper)+`"`), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(m.labels, `le="+Inf"`), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(m.labels, ""), fmtFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(m.labels, ""), h.Count())
+}
+
+// renderLabels renders a label set as {k="v",...}, with extra (already
+// rendered, e.g. the le bound) appended; "" for the empty set.
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, l.Key+`=`+strconv.Quote(l.Value))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

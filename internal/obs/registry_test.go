@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantilesKnownDistribution checks the bucket-based
+// percentile estimate against a distribution whose quantiles are exact
+// under linear interpolation: 1000 observations evenly filling ten
+// equal-width buckets.
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	wantSum := 500.5 // sum of i/1000 for i=1..1000
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.50},
+		{0.95, 0.95},
+		{0.99, 0.99},
+		{0.10, 0.10},
+		{1.00, 1.00},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	h := NewHistogram([]float64{1, 10})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// Values beyond the last bound land in +Inf and clamp to the highest
+	// finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile = %g, want clamp to 10", got)
+	}
+}
+
+// TestWritePrometheusParses validates the exposition against the text
+// format's grammar line by line, and checks the histogram invariants a
+// real scraper relies on: cumulative buckets, a +Inf bucket equal to
+// _count, HELP/TYPE exactly once per family.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ghostdb_queries_total", "completed queries")
+	c.Add(7)
+	g := r.Gauge("ghostdb_conns", "open connections")
+	g.Set(3)
+	r.GaugeFunc("ghostdb_queue_depth", "admission queue depth", func() float64 { return 2 }, L("shard", "0"))
+	r.CounterFunc("ghostdb_flash_reads_total", "flash page reads", func() float64 { return 41 }, L("shard", "0"))
+	h := r.Histogram("ghostdb_queue_wait_seconds", "admission wait", TimeBuckets(), L("shard", "0"))
+	for i := 0; i < 50; i++ {
+		h.Observe(0.001 * float64(i))
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	helpRe := regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe := regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? [-+]?([0-9]*\.)?[0-9]+([eE][-+]?[0-9]+)?$`)
+	helpSeen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpRe.MatchString(line) {
+				t.Errorf("malformed HELP line: %q", line)
+			}
+			helpSeen[strings.Fields(line)[2]]++
+		case strings.HasPrefix(line, "# TYPE"):
+			if !typeRe.MatchString(line) {
+				t.Errorf("malformed TYPE line: %q", line)
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Errorf("malformed sample line: %q", line)
+			}
+		}
+	}
+	for name, n := range helpSeen {
+		if n != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", name, n)
+		}
+	}
+
+	for _, want := range []string{
+		"ghostdb_queries_total 7",
+		"ghostdb_conns 3",
+		`ghostdb_queue_depth{shard="0"} 2`,
+		`ghostdb_flash_reads_total{shard="0"} 41`,
+		`ghostdb_queue_wait_seconds_count{shard="0"} 50`,
+		`ghostdb_queue_wait_seconds_bucket{shard="0",le="+Inf"} 50`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Bucket counts must be cumulative (non-decreasing in le order).
+	bucketRe := regexp.MustCompile(`ghostdb_queue_wait_seconds_bucket\{shard="0",le="([^"]+)"\} (\d+)`)
+	prev := int64(-1)
+	matches := bucketRe.FindAllStringSubmatch(text, -1)
+	if len(matches) < 2 {
+		t.Fatal("no histogram buckets rendered")
+	}
+	for _, m := range matches {
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		if n < prev {
+			t.Fatalf("bucket le=%s count %d < previous %d: not cumulative", m[1], n, prev)
+		}
+		prev = n
+	}
+	if prev != 50 {
+		t.Fatalf("+Inf bucket = %d, want 50", prev)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	h1 := r.Histogram("h_seconds", "h", TimeBuckets())
+	h2 := r.Histogram("h_seconds", "h", GrantBuckets())
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram must return the same instance")
+	}
+	la := r.Counter("y_total", "y", L("shard", "0"))
+	lb := r.Counter("y_total", "y", L("shard", "1"))
+	if la == lb {
+		t.Fatal("distinct label sets must get distinct counters")
+	}
+	if got := r.FindHistogram("h_seconds"); got != h1 {
+		t.Fatal("FindHistogram must return the registered instance")
+	}
+	if got := r.FindHistogram("absent"); got != nil {
+		t.Fatal("FindHistogram on an absent family must return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogEntries is the ring capacity when the caller does not
+// choose one.
+const DefaultSlowLogEntries = 128
+
+// SpanCost is one per-operator line of a slow-query entry's span
+// summary: the operator's simulated cost, nothing else.
+type SpanCost struct {
+	// Name is the operator cost-span name (Vis, CI, Merge, SJoin, ...).
+	Name string `json:"name"`
+	// SimUs is the operator's simulated duration in microseconds.
+	SimUs int64 `json:"sim_us"`
+}
+
+// SlowQuery is one slow-query log entry. Every field is declassified by
+// construction: the query text is the canonical resolved form (the one
+// thing the security model reveals anyway), and the rest are scalars of
+// the simulated cost model and the RAM-admission bookkeeping — functions
+// of metered counters and grant arithmetic, never of hidden tuples.
+type SlowQuery struct {
+	// Time is when the query finished.
+	Time time.Time `json:"time"`
+	// Query is the canonical (normalized, resolved) statement text.
+	Query string `json:"query"`
+	// Shard is the token the session ran on (-1 for a scatter fan-out).
+	Shard int `json:"shard"`
+	// Scatter is the fan-out width of a cross-token query (0 otherwise).
+	Scatter int `json:"scatter,omitempty"`
+	// SimUs is the query's simulated duration in microseconds.
+	SimUs int64 `json:"sim_us"`
+	// QueueWaitUs is the wall-clock admission-queue wait in microseconds.
+	QueueWaitUs int64 `json:"queue_wait_us"`
+	// PlanMinBuffers is the plan-derived admission floor.
+	PlanMinBuffers int `json:"plan_min_buffers"`
+	// GrantBuffers is the elastic RAM grant the session held.
+	GrantBuffers int `json:"grant_buffers"`
+	// Spans summarizes the per-operator simulated costs, slowest first.
+	Spans []SpanCost `json:"spans,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the slowest recent queries:
+// entries at or above the threshold overwrite the oldest once full. All
+// methods are safe for concurrent use and nil-safe (a nil SlowLog is a
+// disabled one).
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	buf       []SlowQuery
+	next      int
+	filled    bool
+	total     uint64
+}
+
+// NewSlowLog creates a slow-query log keeping the last capacity entries
+// whose simulated time is at least threshold (capacity <= 0 uses
+// DefaultSlowLogEntries).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogEntries
+	}
+	return &SlowLog{threshold: threshold, buf: make([]SlowQuery, capacity)}
+}
+
+// Threshold returns the minimum simulated duration an entry must reach
+// (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record appends an entry if it meets the threshold, overwriting the
+// oldest entry once the ring is full. It reports whether the entry was
+// kept.
+func (l *SlowLog) Record(e SlowQuery) bool {
+	if l == nil {
+		return false
+	}
+	if time.Duration(e.SimUs)*time.Microsecond < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.filled = true
+	}
+	l.total++
+	return true
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.filled {
+		return append([]SlowQuery(nil), l.buf[:l.next]...)
+	}
+	out := make([]SlowQuery, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total counts every entry ever recorded, including those the ring has
+// since overwritten.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdAndWraparound(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 4)
+	if l.Record(SlowQuery{Query: "fast", SimUs: 9_000}) {
+		t.Fatal("entry below threshold must be dropped")
+	}
+	// 10 entries through a 4-slot ring: the last 4 survive, in order.
+	for i := 0; i < 10; i++ {
+		kept := l.Record(SlowQuery{
+			Query: fmt.Sprintf("q%d", i),
+			SimUs: int64(10_000 + i),
+		})
+		if !kept {
+			t.Fatalf("entry %d at threshold must be kept", i)
+		}
+	}
+	got := l.Entries()
+	if len(got) != 4 {
+		t.Fatalf("%d entries retained, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("q%d", 6+i); e.Query != want {
+			t.Errorf("entry %d = %q, want %q (oldest-first after wraparound)", i, e.Query, want)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10 (overwritten entries still count)", l.Total())
+	}
+}
+
+func TestSlowLogPartialRing(t *testing.T) {
+	l := NewSlowLog(0, 8)
+	l.Record(SlowQuery{Query: "a"})
+	l.Record(SlowQuery{Query: "b"})
+	got := l.Entries()
+	if len(got) != 2 || got[0].Query != "a" || got[1].Query != "b" {
+		t.Fatalf("partial ring entries = %v", got)
+	}
+}
+
+func TestSlowLogNilSafety(t *testing.T) {
+	var l *SlowLog
+	if l.Record(SlowQuery{}) {
+		t.Fatal("nil log must drop entries")
+	}
+	if l.Entries() != nil || l.Total() != 0 || l.Threshold() != 0 {
+		t.Fatal("nil log must read as empty")
+	}
+}
+
+func TestSlowLogDefaultCapacity(t *testing.T) {
+	l := NewSlowLog(time.Second, 0)
+	for i := 0; i < DefaultSlowLogEntries+5; i++ {
+		l.Record(SlowQuery{SimUs: time.Second.Microseconds()})
+	}
+	if n := len(l.Entries()); n != DefaultSlowLogEntries {
+		t.Fatalf("default capacity kept %d, want %d", n, DefaultSlowLogEntries)
+	}
+}

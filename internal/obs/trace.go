@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Trace is one query's span tree: parse, resolve, plan, admission-queue
+// wait, token-slot occupancy, per-operator execution, cache lookup and
+// per-shard scatter legs, each with its wall-clock duration and (where
+// the cost model applies) its simulated duration.
+//
+// Every method on Trace and Span is nil-safe: a nil receiver is a
+// complete no-op, so the hot path carries a single nil check and zero
+// allocations for the overwhelmingly common untraced query. Span
+// creation from concurrent goroutines (scatter legs) is serialized by
+// the trace's mutex.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	root  *Span
+}
+
+// Span is one node of a trace: a named interval with wall-clock timing,
+// an optional simulated duration from the cost model, an optional note,
+// and child spans.
+type Span struct {
+	tr       *Trace
+	name     string
+	note     string
+	startUs  int64 // offset from the trace start
+	wallUs   int64
+	simUs    int64
+	children []*Span
+	began    time.Time
+	open     bool
+}
+
+// NewTrace starts a trace whose root span has the given name (the
+// canonical place for it is the query's statement kind, e.g. "query").
+func NewTrace(name string) *Trace {
+	t := &Trace{start: time.Now()}
+	t.root = &Span{tr: t, name: name, began: t.start, open: true}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace, so a chained
+// t.Root().Start(...) stays a no-op when tracing is off).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish closes the root span. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Start opens a child span. Safe from any goroutine; returns nil (still
+// usable) when the receiver is nil.
+func (sp *Span) Start(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	t := sp.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	child := &Span{tr: t, name: name, began: now, startUs: now.Sub(t.start).Microseconds(), open: true}
+	sp.children = append(sp.children, child)
+	return child
+}
+
+// End closes the span, fixing its wall-clock duration. Idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	t := sp.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sp.open {
+		sp.open = false
+		sp.wallUs = time.Since(sp.began).Microseconds()
+	}
+}
+
+// SetSim records the span's simulated duration under the cost model.
+func (sp *Span) SetSim(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.simUs = d.Microseconds()
+	sp.tr.mu.Unlock()
+}
+
+// SetNote attaches a short annotation (e.g. "token 2" or "cache hit").
+// Notes must be declassified scalars — the trustboundary analyzer
+// rejects hidden-derived arguments at every call site.
+func (sp *Span) SetNote(note string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.note = note
+	sp.tr.mu.Unlock()
+}
+
+// Add appends an already-completed child carrying only a simulated
+// duration — how per-operator costs, measured by the metrics collector
+// rather than wall-clocked inline, enter the tree.
+func (sp *Span) Add(name string, sim time.Duration) *Span {
+	if sp == nil {
+		return nil
+	}
+	t := sp.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	child := &Span{tr: t, name: name, startUs: sp.startUs, simUs: sim.Microseconds()}
+	sp.children = append(sp.children, child)
+	return child
+}
+
+// SpanJSON is the exported form of one span, the shape EXPLAIN ANALYZE
+// and /trace marshal.
+type SpanJSON struct {
+	// Name identifies the span (parse, admission, exec, an operator
+	// cost-span name, scatter, ...).
+	Name string `json:"name"`
+	// StartUs is the span's start offset from the trace start, in
+	// wall-clock microseconds.
+	StartUs int64 `json:"start_us"`
+	// WallUs is the span's wall-clock duration in microseconds.
+	WallUs int64 `json:"wall_us"`
+	// SimUs is the span's simulated duration under the cost model, in
+	// microseconds (0 when the span is wall-clock only).
+	SimUs int64 `json:"sim_us,omitempty"`
+	// Note is an optional annotation ("token 2", "hit", ...).
+	Note string `json:"note,omitempty"`
+	// Children are the nested spans.
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+// Snapshot renders the trace as its exported JSON structure. Open spans
+// appear with their duration so far.
+func (t *Trace) Snapshot() SpanJSON {
+	if t == nil {
+		return SpanJSON{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotSpan(t.root)
+}
+
+func snapshotSpan(sp *Span) SpanJSON {
+	out := SpanJSON{Name: sp.name, StartUs: sp.startUs, WallUs: sp.wallUs, SimUs: sp.simUs, Note: sp.note}
+	if sp.open {
+		out.WallUs = time.Since(sp.began).Microseconds()
+	}
+	for _, c := range sp.children {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+// JSON marshals the snapshot, indented for human consumption.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Snapshot(), "", "  ")
+}
+
+// SimSum returns the sum of the direct children's simulated durations
+// for the first span named name in the tree — what the EXPLAIN ANALYZE
+// contract checks against Stats.SimTime.
+func (s SpanJSON) SimSum(name string) time.Duration {
+	if sp, ok := s.find(name); ok {
+		var sum int64
+		for _, c := range sp.Children {
+			sum += c.SimUs
+		}
+		return time.Duration(sum) * time.Microsecond
+	}
+	return 0
+}
+
+func (s SpanJSON) find(name string) (SpanJSON, bool) {
+	if s.Name == name {
+		return s, true
+	}
+	for _, c := range s.Children {
+		if found, ok := c.find(name); ok {
+			return found, true
+		}
+	}
+	return SpanJSON{}, false
+}
+
+// Find returns the first span with the given name in depth-first order.
+func (s SpanJSON) Find(name string) (SpanJSON, bool) { return s.find(name) }

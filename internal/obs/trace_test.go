@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeAndJSON(t *testing.T) {
+	tr := NewTrace("query")
+	parse := tr.Root().Start("parse")
+	parse.End()
+	ex := tr.Root().Start("exec")
+	ex.SetNote("token 0")
+	ex.Add("Vis", 3*time.Millisecond)
+	ex.Add("CI", 2*time.Millisecond)
+	ex.SetSim(5 * time.Millisecond)
+	ex.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "query" || len(snap.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want query with 2", snap.Name, len(snap.Children))
+	}
+	execSpan, ok := snap.Find("exec")
+	if !ok {
+		t.Fatal("exec span missing")
+	}
+	if execSpan.Note != "token 0" || execSpan.SimUs != 5000 {
+		t.Fatalf("exec span = %+v", execSpan)
+	}
+	if got := snap.SimSum("exec"); got != 5*time.Millisecond {
+		t.Fatalf("SimSum(exec) = %v, want 5ms", got)
+	}
+
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if _, ok := back.Find("Vis"); !ok {
+		t.Fatal("operator span lost in JSON round-trip")
+	}
+}
+
+// TestTraceNilSafety pins the hot-path contract: with tracing off every
+// call chain is a no-op, never a panic.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root().Start("x")
+	sp.SetSim(time.Second)
+	sp.SetNote("n")
+	sp.Add("y", time.Second).End()
+	sp.End()
+	tr.Finish()
+	if snap := tr.Snapshot(); snap.Name != "" {
+		t.Fatal("nil trace snapshot must be zero")
+	}
+}
+
+// TestTraceConcurrentSpans emits spans from 16 goroutines into one
+// trace — the scatter fan-out shape — and is exercised under -race by
+// the CI race job.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("query")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			leg := tr.Root().Start("scatter")
+			leg.SetNote(fmt.Sprintf("part %d", i))
+			for j := 0; j < 8; j++ {
+				op := leg.Start("op")
+				op.SetSim(time.Duration(j) * time.Microsecond)
+				op.End()
+			}
+			leg.End()
+		}(i)
+	}
+	// Concurrent snapshot while spans are still being emitted must be
+	// safe too (the /trace endpoint can race a scatter leg).
+	for i := 0; i < 4; i++ {
+		tr.Snapshot()
+	}
+	wg.Wait()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if len(snap.Children) != 16 {
+		t.Fatalf("%d scatter legs, want 16", len(snap.Children))
+	}
+	for _, leg := range snap.Children {
+		if len(leg.Children) != 8 {
+			t.Fatalf("leg %q has %d ops, want 8", leg.Note, len(leg.Children))
+		}
+	}
+}

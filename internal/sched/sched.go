@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ghostdb/internal/ram"
 )
@@ -72,10 +73,12 @@ type Scheduler struct {
 	running  int
 	admitted uint64 // admission sequence, for fairness assertions
 	leaks    int    // sessions released with outstanding sub-grants
+	onAdmit  func(wait time.Duration, grantBuffers int)
 }
 
 type waiter struct {
 	req   Request
+	enq   time.Time     // when the request joined the queue
 	ready chan *Session // buffered(1); receives the admitted session
 }
 
@@ -115,6 +118,20 @@ func (s *Scheduler) Leaks() int {
 	return s.leaks
 }
 
+// SetAdmitObserver registers fn to be called at every admission with
+// the wall-clock time the request spent in the queue and the buffers it
+// was granted — the feed for queue-wait histograms and admission
+// counters. Both values are scheduling bookkeeping over plan-derived
+// floors: functions of query text and engine load, never of hidden
+// data. fn runs under the scheduler's lock, so it must be fast and must
+// not call back into the scheduler; set it once at engine construction,
+// before traffic.
+func (s *Scheduler) SetAdmitObserver(fn func(wait time.Duration, grantBuffers int)) {
+	s.mu.Lock()
+	s.onAdmit = fn
+	s.mu.Unlock()
+}
+
 // Acquire blocks until the request is admitted (FIFO order) or the
 // context is cancelled. A cancelled request leaves the scheduler exactly
 // as it found it: nothing reserved, nothing held, and the queue pumped so
@@ -133,7 +150,7 @@ func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Session, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	w := &waiter{req: req, ready: make(chan *Session, 1)}
+	w := &waiter{req: req, enq: time.Now(), ready: make(chan *Session, 1)}
 	s.mu.Lock()
 	s.queue = append(s.queue, w)
 	s.pumpLocked()
@@ -177,6 +194,9 @@ func (s *Scheduler) pumpLocked() {
 		s.queue = s.queue[1:]
 		s.running++
 		s.admitted++
+		if s.onAdmit != nil {
+			s.onAdmit(time.Since(w.enq), g.Buffers())
+		}
 		sess := &Session{
 			s:     s,
 			grant: g,

@@ -15,6 +15,15 @@ import (
 //	POST     /exec?q=INSERT...    -> {ok}
 //	GET      /explain?q=SELECT... -> {plan}
 //	GET      /stats               -> {totals & cache counters}
+//	GET      /healthz             -> 200 {"status":"ok"} | 503 "draining"
+//	GET      /metrics             -> Prometheus text exposition
+//	GET/POST /trace?q=SELECT...   -> execute with a span tree attached
+//	GET      /slowlog             -> slow-query ring, oldest first
+//
+// The observability trio (/metrics, /trace, /slowlog) is gated by
+// SetTelemetry and exports only declassified values: simulated costs
+// from the metered model, scheduling bookkeeping, and canonical query
+// text — the one thing the security model reveals anyway.
 //
 // Each request's context flows into QueryCtx/ExecCtx, so a client that
 // disconnects mid-request abandons its queued admission slot — the same
@@ -87,7 +96,94 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
-	return mux
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !s.telemetry.Load() {
+			httpErr(w, http.StatusNotFound, "telemetry disabled")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.db.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !s.telemetry.Load() {
+			httpErr(w, http.StatusNotFound, "telemetry disabled")
+			return
+		}
+		sql := r.FormValue("q")
+		if sql == "" {
+			httpErr(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		tr := ghostdb.NewTrace(sql)
+		res, err := s.db.QueryCtx(r.Context(), sql, ghostdb.WithTrace(tr))
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		tr.Finish()
+		writeJSON(w, map[string]any{
+			"trace": tr.Snapshot(),
+			"stats": map[string]any{
+				"rows":          len(res.Rows),
+				"sim_us":        res.Stats.SimTime.Microseconds(),
+				"queue_wait_us": res.Stats.QueueWait.Microseconds(),
+				"cache":         cacheLabel(res.Stats),
+			},
+		})
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		if !s.telemetry.Load() {
+			httpErr(w, http.StatusNotFound, "telemetry disabled")
+			return
+		}
+		sl := s.db.SlowLog()
+		if sl == nil {
+			writeJSON(w, map[string]any{"enabled": false, "entries": []ghostdb.SlowQuery{}})
+			return
+		}
+		entries := sl.Entries()
+		if entries == nil {
+			entries = []ghostdb.SlowQuery{}
+		}
+		writeJSON(w, map[string]any{
+			"enabled":      true,
+			"threshold_us": sl.Threshold().Microseconds(),
+			"total":        sl.Total(),
+			"entries":      entries,
+		})
+	})
+	// The wrapper meters every request: in-flight gauge around the
+	// handler, status-class counter after it.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpInFlight.Add(1)
+		defer s.httpInFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		if i := rec.code/100 - 2; i >= 0 && i < len(s.httpCodes) {
+			s.httpCodes[i].Inc()
+		}
+	})
+}
+
+// statusRecorder captures the response status for the per-class
+// response counters (an unwritten header counts as the implicit 200).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 func jsonValue(v ghostdb.Value) any {

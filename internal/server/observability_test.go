@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostdb"
+)
+
+// slowTestDB is testDB with the slow-query log catching everything.
+func slowTestDB(t testing.TB) *ghostdb.DB {
+	t.Helper()
+	db, err := ghostdb.Create([]string{
+		`CREATE TABLE Orders (id int, customer_id int REFERENCES Customers HIDDEN,
+		   quarter char(7), amount float HIDDEN)`,
+		`CREATE TABLE Customers (id int, company char(30) HIDDEN, region char(20))`,
+	}, ghostdb.Options{
+		FlashBlocks:          4096,
+		MaxConcurrentQueries: 8,
+		ResultCacheBytes:     1 << 20,
+		SlowQueryThreshold:   time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := db.Loader()
+	for i := 0; i < 20; i++ {
+		if err := ld.Append("Customers", ghostdb.R{"company": fmt.Sprintf("corp-%02d", i), "region": "north"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := ld.Append("Orders", ghostdb.R{"customer_id": i % 20, "quarter": "2006-Q1", "amount": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ld.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func httpGet(t *testing.T, ts *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	res, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body), res.Header
+}
+
+func TestHTTPObservabilityEndpoints(t *testing.T) {
+	s := New(slowTestDB(t), t.Logf)
+	ts := httptest.NewServer(s.HTTPHandler())
+	defer ts.Close()
+
+	// Healthy until shutdown begins.
+	code, body, hdr := httpGet(t, ts, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz = %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/healthz Content-Type = %q", ct)
+	}
+
+	// A traced query returns the span tree alongside its stats.
+	q := strings.ReplaceAll("SELECT Orders.id FROM Orders, Customers WHERE Orders.customer_id = Customers.id AND Orders.amount >= 50.0", " ", "+")
+	code, body, _ = httpGet(t, ts, "/trace?q="+q)
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d %s", code, body)
+	}
+	var traced struct {
+		Trace ghostdb.TraceSpan `json:"trace"`
+		Stats struct {
+			SimUs int64 `json:"sim_us"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &traced); err != nil {
+		t.Fatalf("/trace body does not parse: %v\n%s", err, body)
+	}
+	execSp, ok := traced.Trace.Find("exec")
+	if !ok {
+		t.Fatalf("/trace has no exec span: %s", body)
+	}
+	var sum int64
+	for _, c := range execSp.Children {
+		sum += c.SimUs
+	}
+	if traced.Stats.SimUs <= 0 || sum != execSp.SimUs {
+		t.Errorf("exec children sum %dµs, span %dµs, stats %dµs", sum, execSp.SimUs, traced.Stats.SimUs)
+	}
+
+	// The slow log caught the query (threshold 1ns).
+	code, body, _ = httpGet(t, ts, "/slowlog")
+	if code != http.StatusOK || !strings.Contains(body, `"enabled":true`) {
+		t.Fatalf("/slowlog = %d %s", code, body)
+	}
+	var slow struct {
+		Entries []ghostdb.SlowQuery `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Entries) == 0 {
+		t.Fatalf("/slowlog has no entries: %s", body)
+	}
+	if !strings.Contains(slow.Entries[0].Query, "select") {
+		t.Errorf("slow entry query = %q", slow.Entries[0].Query)
+	}
+
+	// /metrics speaks Prometheus text format and includes the engine,
+	// scheduler and server families.
+	code, body, hdr = httpGet(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, fam := range []string{
+		"ghostdb_queries_total",
+		"ghostdb_sched_queue_wait_seconds_bucket",
+		"ghostdb_slot_occupancy_seconds_bucket",
+		"ghostdb_server_connections",
+		"ghostdb_server_http_responses_total",
+		"ghostdb_slowlog_entries_total",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("/metrics is missing %s", fam)
+		}
+	}
+
+	// Telemetry off: the trio disappears, the core API stays.
+	s.SetTelemetry(false)
+	if code, _, _ = httpGet(t, ts, "/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics with telemetry off = %d, want 404", code)
+	}
+	if code, _, _ = httpGet(t, ts, "/slowlog"); code != http.StatusNotFound {
+		t.Errorf("/slowlog with telemetry off = %d, want 404", code)
+	}
+	if code, _, _ = httpGet(t, ts, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz with telemetry off = %d, want 200", code)
+	}
+}
+
+func TestHealthzReportsDraining(t *testing.T) {
+	s := New(testDB(t), t.Logf)
+	ts := httptest.NewServer(s.HTTPHandler())
+	defer ts.Close()
+
+	if code, _, _ := httpGet(t, ts, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz before shutdown = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := httpGet(t, ts, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/healthz during drain = %d %s, want 503 draining", code, body)
+	}
+	if !s.Draining() {
+		t.Error("Draining() = false after Shutdown")
+	}
+}
+
+func TestHTTPErrorsAreJSON(t *testing.T) {
+	s := New(testDB(t), t.Logf)
+	ts := httptest.NewServer(s.HTTPHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/query", "/explain?q=SELEC+nonsense", "/trace"} {
+		code, body, hdr := httpGet(t, ts, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s Content-Type = %q", path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("%s body is not a JSON error: %s", path, body)
+		}
+	}
+}

@@ -51,8 +51,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"ghostdb"
+	"ghostdb/internal/obs"
 	"ghostdb/internal/schema"
 )
 
@@ -73,6 +75,15 @@ type Server struct {
 	closed    bool
 
 	wg sync.WaitGroup // live connection handlers
+
+	// telemetry gates the observability endpoints (/metrics, /trace,
+	// /slowlog). Collection in the engine is always on; this only
+	// controls whether this process *exposes* it.
+	telemetry atomic.Bool
+	// httpInFlight counts HTTP requests currently being served.
+	httpInFlight atomic.Int64
+	// httpCodes counts responses by status class (2xx/3xx/4xx/5xx).
+	httpCodes [4]*obs.Counter
 }
 
 type connState struct {
@@ -85,7 +96,7 @@ func New(db *ghostdb.DB, logf func(string, ...any)) *Server {
 		logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		db:        db,
 		logf:      logf,
 		baseCtx:   ctx,
@@ -93,6 +104,38 @@ func New(db *ghostdb.DB, logf func(string, ...any)) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]*connState),
 	}
+	s.telemetry.Store(true)
+	reg := db.Metrics()
+	reg.GaugeFunc("ghostdb_server_connections", "live line-protocol client connections",
+		func() float64 { return float64(s.ConnCount()) })
+	reg.GaugeFunc("ghostdb_server_http_in_flight", "HTTP requests currently being served",
+		func() float64 { return float64(s.httpInFlight.Load()) })
+	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		s.httpCodes[i] = reg.Counter("ghostdb_server_http_responses_total",
+			"HTTP responses by status class", obs.L("code", class))
+	}
+	return s
+}
+
+// SetTelemetry enables or disables the observability endpoints
+// (/metrics, /trace, /slowlog, the \metrics surface). Exposure is what
+// is gated — the engine keeps collecting either way. Enabled by default.
+func (s *Server) SetTelemetry(on bool) { s.telemetry.Store(on) }
+
+// Draining reports whether Shutdown has begun: new connections are
+// refused and /healthz answers 503, so load balancers stop routing here
+// while in-flight commands finish.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// ConnCount returns the number of live line-protocol connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 // Serve accepts connections on ln until Shutdown (returns nil) or an
