@@ -11,6 +11,7 @@
 //	ghostdb-bench -exp planner             # plan-sized vs fixed-floor admission -> BENCH_planner.json
 //	ghostdb-bench -exp cache               # result cache: cold vs Zipf -> BENCH_cache.json
 //	ghostdb-bench -exp sharding            # 1/2/4 secure tokens -> BENCH_sharding.json
+//	ghostdb-bench -exp dml                 # OLTP write window vs read-only baseline -> BENCH_dml.json
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding, dml")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
@@ -76,6 +77,16 @@ func main() {
 			path = "BENCH_sharding.json"
 		}
 		if err := runSharding(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "dml":
+		path := *out
+		if path == "" {
+			path = "BENCH_dml.json"
+		}
+		if err := runDML(lab, *queries, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -186,6 +197,43 @@ func runSharding(lab *experiments.Lab, queries int, out string) error {
 	}
 	if !rep.ScalingOK {
 		return fmt.Errorf("sharding contract violated: 4 tokens not faster than 1 on the shard-local workload")
+	}
+	return nil
+}
+
+// runDML replays the OLTP write window: mixed reads and delta-store
+// writes (with concurrent background compaction) against a write-free
+// baseline at 1/4/16 sessions, and writes the machine-readable report.
+func runDML(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.DMLSweep([]int{1, 4, 16}, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== dml: write window (4 reads : 1 write) vs read-only baseline, %d reads per cell (scale %g, %dB secure RAM, compaction at %d delta pages) ==\n",
+		queries, rep.Scale, rep.RAMBudgetBytes, rep.CompactThreshold)
+	fmt.Printf("  %-10s %-10s %10s %10s %10s %10s %12s %12s\n",
+		"sessions", "mode", "wall-qps", "sim-p50", "sim-p95", "peak-delta", "compactions", "answer-errs")
+	for _, p := range rep.Levels {
+		fmt.Printf("  %-10d %-10s %10.1f %8.2fms %8.2fms %9dp %12d %12d\n",
+			p.Concurrency, p.Mode, p.WallQPS, p.SimP50Ms, p.SimP95Ms,
+			p.PeakDeltaPages, p.Compactions, p.AnswerErrors)
+	}
+	fmt.Printf("  mixed qps >= 85%% of read-only at max sessions, exact answers: %v\n", rep.MixedOK)
+	fmt.Printf("  no admission starvation: %v; compaction ran mid-window: %v\n",
+		rep.StarvationOK, rep.CompactionRan)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	if !rep.MixedOK {
+		return fmt.Errorf("dml contract violated: mixed write window fell below 85%% of the read-only baseline (or answers drifted)")
+	}
+	if !rep.StarvationOK {
+		return fmt.Errorf("dml contract violated: admission starved under background compaction")
 	}
 	return nil
 }

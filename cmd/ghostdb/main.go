@@ -16,8 +16,12 @@
 // resolve, plan, admission wait, and the token execution broken down
 // into per-operator simulated costs that sum to the query's SimTime.
 //
-// Shell commands: \schema  \stats  \cache  \shards  \audit  \metrics
-// \slowlog  \quit
+// UPDATE and DELETE statements commit through the secure token's hidden
+// delta log; `\compact` folds the accumulated deltas into fresh base
+// images on every token and prints the write-path counters.
+//
+// Shell commands: \schema  \stats  \cache  \shards  \compact  \audit
+// \metrics  \slowlog  \quit
 package main
 
 import (
@@ -57,7 +61,7 @@ func main() {
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
-	fmt.Println(`Type SQL (single line), EXPLAIN [ANALYZE] SELECT ..., or \schema, \stats, \cache, \shards, \audit, \metrics, \slowlog, \quit.`)
+	fmt.Println(`Type SQL (single line), EXPLAIN [ANALYZE] SELECT ..., or \schema, \stats, \cache, \shards, \compact, \audit, \metrics, \slowlog, \quit.`)
 
 	showStats := *stats
 	in := bufio.NewScanner(os.Stdin)
@@ -100,6 +104,18 @@ func main() {
 			for i, tot := range db.TokenTotals() {
 				fmt.Printf("  token %d totals: %d sessions, %v simulated, %d flash reads / %d writes, %d B down / %d B up\n",
 					i, tot.Queries, tot.SimTime, tot.Flash.PageReads, tot.Flash.PageWrites, tot.BusDown, tot.BusUp)
+			}
+			continue
+		case line == `\compact`:
+			start := time.Now()
+			if err := db.Compact(context.Background()); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("compaction pass done in %v wall time\n", time.Since(start))
+			for i, ds := range db.TokenDeltaStats() {
+				fmt.Printf("  token %d: delta %d pages, %d DML statements committed, %d compactions\n",
+					i, ds.Pages, ds.DMLStatements, ds.Compactions)
 			}
 			continue
 		case line == `\audit`:

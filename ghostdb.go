@@ -163,6 +163,10 @@ type Options struct {
 	// SlowLogEntries bounds the slow-query ring buffer (default 128;
 	// older entries are overwritten).
 	SlowLogEntries int
+	// CompactThreshold is the delta-log depth, in flash pages, at which
+	// a token starts a background compaction (default 64; negative
+	// disables automatic compaction — DB.Compact still works).
+	CompactThreshold int
 }
 
 func (o Options) toExec() exec.Options {
@@ -174,6 +178,7 @@ func (o Options) toExec() exec.Options {
 	eo.Shards = o.Shards
 	eo.SlowQueryThreshold = o.SlowQueryThreshold
 	eo.SlowLogEntries = o.SlowLogEntries
+	eo.CompactThreshold = o.CompactThreshold
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -362,15 +367,20 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts ...QueryOption) (*R
 	return db.inner.RunCtx(ctx, sql, cfg)
 }
 
-// Exec executes a non-SELECT statement (INSERT). A committed insert
-// invalidates the result cache, so no later query can observe a
-// pre-insert cached answer.
+// Exec executes a non-SELECT statement: INSERT, UPDATE or DELETE.
+// UPDATE and DELETE commit through the secure token's hidden delta log
+// (tombstones and upserted row images); every committed write
+// invalidates the cached results of its shard, so no later query can
+// observe a pre-write cached answer. UPDATEs that assign visible
+// columns while filtering on hidden ones are rejected — the matched
+// visible rows would reveal which hidden values satisfied the
+// predicate.
 func (db *DB) Exec(sql string) error {
 	return db.ExecCtx(context.Background(), sql)
 }
 
-// ExecCtx is Exec with cancellation: cancelling ctx while the insert is
-// queued for admission abandons it without it having run.
+// ExecCtx is Exec with cancellation: cancelling ctx while the statement
+// is queued for admission abandons it without it having run.
 func (db *DB) ExecCtx(ctx context.Context, sql string) error {
 	if !db.loaded.Load() {
 		return errors.New("ghostdb: load data first (Loader / Commit)")
@@ -378,6 +388,29 @@ func (db *DB) ExecCtx(ctx context.Context, sql string) error {
 	_, err := db.inner.RunCtx(ctx, sql, db.inner.DefaultConfig())
 	return err
 }
+
+// Compact synchronously folds every token's accumulated delta log into
+// fresh base images and index structures. It acquires a normal
+// scheduled session per token — on the bus it is indistinguishable from
+// query work — and leaves query answers unchanged, so the result cache
+// survives the swap. Background compaction triggers automatically when
+// a token's delta depth crosses Options.CompactThreshold; this is the
+// explicit handle (the shell's \compact).
+func (db *DB) Compact(ctx context.Context) error {
+	if !db.loaded.Load() {
+		return errors.New("ghostdb: load data first (Loader / Commit)")
+	}
+	return db.inner.Compact(ctx)
+}
+
+// DeltaStats reports one secure token's write-path counters.
+type DeltaStats = exec.DeltaStats
+
+// ShardDeltaStats reports each token's delta-log depth, committed DML
+// statement count and completed compactions, in shard order. The
+// values are declassified mirrors maintained at commit and compaction
+// time — reading them never touches hidden state.
+func (db *DB) ShardDeltaStats() []DeltaStats { return db.inner.TokenDeltaStats() }
 
 // ForceStrategy overrides the planner default for experiments; pass
 // StrategyAuto to restore normal planning. It only affects queries

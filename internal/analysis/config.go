@@ -92,6 +92,7 @@ func DefaultConfig() *Config {
 		ExclusiveMethod: "Exclusive",
 		DocPkgs: []string{
 			"ghostdb",
+			"ghostdb/internal/delta",
 			"ghostdb/internal/shard",
 			"ghostdb/internal/analysis",
 			"ghostdb/internal/analysis/analysistest",

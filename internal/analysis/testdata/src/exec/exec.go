@@ -96,6 +96,13 @@ func leakViaLocal(img *hidden.Image) {
 	untrusted.Observe(n) // want trustboundary:"hidden-derived argument crosses the trust boundary"
 }
 
+// leakDeltaDepth is a seeded violation: the write path's delta-log
+// depth is hidden write volume, and formatting it into an error string
+// would hand the untrusted side the table's update rate.
+func leakDeltaDepth(d *hidden.Delta) error {
+	return fmt.Errorf("delta log at depth %d", d.Depth()) // want trustboundary:"error/log strings are observable"
+}
+
 // rawRead is a seeded violation: exec is not a metered layer, so a raw
 // device read bypasses the byte accounting.
 func rawRead(d *flash.Device, page int) error {

@@ -14,6 +14,20 @@ func (im *Image) Count() int {
 	return len(im.Rows)
 }
 
+// Delta is the hidden write-side delta log: tombstones and upserted row
+// images staged on the secure token between compactions.
+//
+//ghostdb:hidden
+type Delta struct {
+	Tombs map[uint32]bool
+}
+
+// Depth returns the delta log's depth — the hidden write volume, which
+// would reveal the workload's update pattern if it ever left the token.
+func (d *Delta) Depth() int {
+	return len(d.Tombs)
+}
+
 // Meta is visible schema metadata, deliberately unmarked: mentioning it
 // anywhere is legitimate.
 type Meta struct {

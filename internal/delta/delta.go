@@ -1,0 +1,220 @@
+// Package delta is the secure-side write path: a per-table LSM-style
+// delta log that turns UPDATE and DELETE into append-only work on the
+// write-once flash the paper's NAND model already imposes.
+//
+// The base image of a table (its hidden-column RowFile) is immutable
+// once loaded; every DML statement appends fixed-width delta records —
+// tombstones and whole-row upserts — to a per-table log RowFile, and
+// keeps an in-RAM overlay (latest row image per updated id, plus the
+// tombstone set) that readers consult after every base-image access.
+// Row ids are dense and positional, so a tombstone never frees an id
+// and an upsert never moves a row: the merge at read time is a pure
+// per-id lookup, which is what keeps the multi-pass exec operators'
+// access patterns (and therefore their cost model) intact.
+//
+// Leak argument. The untrusted observer sees flash traffic volume, not
+// content. Delta segments are fixed-size: every record of a table's log
+// is the same width (tombstones and pads carry a zeroed row image, so
+// record kinds are indistinguishable by size), and every statement's
+// commit pads its final page with pad records so the statement writes a
+// whole number of pages — at least one, even for a statement that
+// matched nothing. The only thing write volume reveals is the page
+// count of the statement's delta batch, a coarse bound the statement
+// text (which GhostDB's model already reveals) gives away anyway; it
+// never reveals *which* rows matched. Reads replay the whole log per
+// touching query (Refresh), a data-independent sequential scan.
+package delta
+
+import (
+	"encoding/binary"
+
+	"ghostdb/internal/flash"
+	"ghostdb/internal/store"
+)
+
+// Record kinds. A pad record fills the tail of a statement's final page
+// so commits are page-aligned; it carries no data.
+const (
+	kindPad       = 0
+	kindTombstone = 1
+	kindUpsert    = 2
+)
+
+// headerBytes is the fixed per-record header: 1 kind byte + 4 id bytes.
+const headerBytes = 1 + store.IDBytes
+
+// Table is the live delta state of one table: the flash-resident log
+// and the in-RAM merge overlay rebuilt from it. All methods must run
+// with the owning token's execution slot held; the type is hidden state
+// and must never be mentioned by untrusted-side packages.
+//
+//ghostdb:hidden
+type Table struct {
+	dev  *flash.Device
+	rowW int // hidden image row width; 0 for tables with no hidden columns
+
+	// log is the append-only delta log. It is kept unsealed: Commit
+	// pads every statement's batch to a page boundary, so the RowFile's
+	// one-page append buffer is always empty between statements and the
+	// log flushes exactly the batch's whole pages, once.
+	log *store.RowFile
+
+	dirty map[uint32][]byte // id -> latest upserted hidden row image
+	tombs map[uint32]bool   // id -> deleted
+
+	// checkpoint persists the tombstone set across compactions: the log
+	// is recreated empty, but deletions are forever (ids are positional
+	// and never reused), so the surviving tombstones move here.
+	checkpoint *store.RowFile
+	staged     int // records staged by the current statement
+}
+
+// NewTable creates an empty delta log for a table whose hidden image
+// rows are rowWidth bytes (0 when the table has no hidden columns).
+func NewTable(dev *flash.Device, rowWidth int) (*Table, error) {
+	t := &Table{
+		dev:   dev,
+		rowW:  rowWidth,
+		dirty: make(map[uint32][]byte),
+		tombs: make(map[uint32]bool),
+	}
+	if err := t.resetLog(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// recWidth is the fixed on-flash record width: header plus a full row
+// image (zeroed for tombstones and pads, so every record of a table's
+// log is the same size).
+func (t *Table) recWidth() int { return headerBytes + t.rowW }
+
+func (t *Table) resetLog() error {
+	f, err := store.NewRowFile(t.dev, t.recWidth())
+	if err != nil {
+		return err
+	}
+	t.log = f
+	t.staged = 0
+	return nil
+}
+
+// StageTombstone appends a tombstone for id to the current statement's
+// batch and marks the overlay. Idempotent per id.
+func (t *Table) StageTombstone(id uint32) error {
+	if t.tombs[id] {
+		return nil
+	}
+	t.tombs[id] = true
+	delete(t.dirty, id)
+	return t.stage(kindTombstone, id, nil)
+}
+
+// StageUpsert appends a whole-row upsert for id (rec is the new hidden
+// row image, copied) and installs it in the overlay.
+func (t *Table) StageUpsert(id uint32, rec []byte) error {
+	cp := make([]byte, t.rowW)
+	copy(cp, rec)
+	t.dirty[id] = cp
+	return t.stage(kindUpsert, id, cp)
+}
+
+func (t *Table) stage(kind byte, id uint32, image []byte) error {
+	rec := make([]byte, t.recWidth())
+	rec[0] = kind
+	binary.BigEndian.PutUint32(rec[1:], id)
+	copy(rec[headerBytes:], image)
+	t.staged++
+	return t.log.Append(rec)
+}
+
+// Commit ends the current statement's batch: pad records fill the rest
+// of the final page, so the batch hits flash as a whole number of pages
+// — at least one, even for a statement that staged nothing.
+func (t *Table) Commit() error {
+	perPage := t.dev.PageSize() / t.recWidth()
+	pad := (perPage - t.log.Count()%perPage) % perPage
+	if t.staged == 0 {
+		pad = perPage // zero-match statements still write one full page
+	}
+	for i := 0; i < pad; i++ {
+		if err := t.stage(kindPad, 0, nil); err != nil {
+			return err
+		}
+	}
+	t.staged = 0
+	return nil
+}
+
+// Depth reports the live log depth in flash pages — the read
+// amplification every touching query pays until the next compaction.
+func (t *Table) Depth() int { return t.log.Pages() }
+
+// DirtyCount reports how many ids currently carry an upsert overlay.
+func (t *Table) DirtyCount() int { return len(t.dirty) }
+
+// TombCount reports how many ids are tombstoned.
+func (t *Table) TombCount() int { return len(t.tombs) }
+
+// Lookup returns the overlay row image for id, if the id was upserted
+// since the last compaction.
+func (t *Table) Lookup(id uint32) ([]byte, bool) {
+	rec, ok := t.dirty[id]
+	return rec, ok
+}
+
+// Dead reports whether id is tombstoned.
+func (t *Table) Dead(id uint32) bool { return t.tombs[id] }
+
+// Refresh replays the whole delta log through a sequential metered read
+// — the per-query price of the LSM merge. The overlay is already
+// memory-resident; what Refresh models (and charges to the session's
+// cost) is the read amplification a real token would pay to rebuild it.
+func (t *Table) Refresh() error {
+	rd := t.log.NewSeqReader()
+	for {
+		_, _, ok, err := rd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Reset is the compaction epilogue: the overlay has been folded into a
+// fresh base image, so upserts are dropped, the old log's pages are
+// freed, and the surviving tombstone set is checkpointed to flash (ids
+// never revive, so tombstones outlive every compaction).
+func (t *Table) Reset() error {
+	if err := t.log.Free(); err != nil {
+		return err
+	}
+	if t.checkpoint != nil {
+		if err := t.checkpoint.Free(); err != nil {
+			return err
+		}
+		t.checkpoint = nil
+	}
+	if len(t.tombs) > 0 {
+		ck, err := store.NewRowFile(t.dev, headerBytes)
+		if err != nil {
+			return err
+		}
+		rec := make([]byte, headerBytes)
+		for id := range t.tombs {
+			rec[0] = kindTombstone
+			binary.BigEndian.PutUint32(rec[1:], id)
+			if err := ck.Append(rec); err != nil {
+				return err
+			}
+		}
+		if err := ck.Seal(); err != nil {
+			return err
+		}
+		t.checkpoint = ck
+	}
+	t.dirty = make(map[uint32][]byte)
+	return t.resetLog()
+}

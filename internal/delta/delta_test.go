@@ -1,0 +1,132 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+
+	"ghostdb/internal/flash"
+)
+
+func newDev(t *testing.T) *flash.Device {
+	t.Helper()
+	dev, err := flash.NewDevice(flash.Params{PageSize: 512, PagesPerBlock: 8, Blocks: 256, ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestCommitPadsToWholePages: every statement's batch lands as a whole
+// number of pages, and a statement that staged nothing still writes one
+// full pad page — the write volume depends on the batch's record count,
+// never on what the records say.
+func TestCommitPadsToWholePages(t *testing.T) {
+	const rowW = 30
+	dl, err := NewTable(newDev(t), rowW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Depth(); got != 0 {
+		t.Fatalf("fresh log depth = %d, want 0", got)
+	}
+
+	// Zero-match statement: one full pad page.
+	if err := dl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Depth(); got != 1 {
+		t.Fatalf("zero-match commit depth = %d, want 1", got)
+	}
+
+	// A one-record statement and a statement filling several pages pad
+	// to the same boundary rule: ceil(staged/perPage) pages each.
+	perPage := 512 / (headerBytes + rowW)
+	if err := dl.StageTombstone(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Depth(); got != 2 {
+		t.Fatalf("one-record commit depth = %d, want 2", got)
+	}
+	row := bytes.Repeat([]byte{0xab}, rowW)
+	for i := 0; i < perPage+1; i++ {
+		if err := dl.StageUpsert(uint32(100+i), row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Depth(); got != 4 {
+		t.Fatalf("perPage+1 records commit depth = %d, want 4", got)
+	}
+}
+
+// TestOverlaySemantics: upserts are visible via Lookup until a tombstone
+// hides the id; tombstones are idempotent and permanent across Reset,
+// while upsert overlays (folded into the base by compaction) are not.
+func TestOverlaySemantics(t *testing.T) {
+	const rowW = 16
+	dl, err := NewTable(newDev(t), rowW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := bytes.Repeat([]byte{0x11}, rowW)
+	if err := dl.StageUpsert(3, row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dl.Lookup(3)
+	if !ok || !bytes.Equal(got, row) {
+		t.Fatalf("Lookup(3) = %v,%v after upsert", got, ok)
+	}
+	// The stored image is a copy: mutating the caller's slice must not
+	// reach the overlay.
+	row[0] = 0x99
+	if got, _ := dl.Lookup(3); got[0] != 0x11 {
+		t.Fatal("overlay aliases the caller's row slice")
+	}
+
+	if err := dl.StageTombstone(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.StageTombstone(3); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, ok := dl.Lookup(3); ok {
+		t.Fatal("tombstoned id still has an upsert overlay")
+	}
+	if !dl.Dead(3) || dl.TombCount() != 1 {
+		t.Fatalf("Dead(3)=%v TombCount=%d, want true/1", dl.Dead(3), dl.TombCount())
+	}
+	if err := dl.StageUpsert(5, bytes.Repeat([]byte{0x22}, rowW)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dl.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.Depth(); got != 0 {
+		t.Fatalf("post-Reset depth = %d, want 0", got)
+	}
+	if dl.DirtyCount() != 0 {
+		t.Fatal("upsert overlay survived compaction Reset")
+	}
+	if !dl.Dead(3) {
+		t.Fatal("tombstone lost across compaction Reset")
+	}
+	// Ids never revive: re-tombstoning after Reset stays consistent.
+	if err := dl.StageTombstone(3); err != nil {
+		t.Fatal(err)
+	}
+	if dl.TombCount() != 1 {
+		t.Fatalf("TombCount = %d after re-tombstone, want 1", dl.TombCount())
+	}
+}

@@ -153,6 +153,13 @@ func (r *queryRun) bruteForce(res *Result) error {
 				if err := img.File.ReadRow(ids[p.Table], rec); err != nil {
 					return err
 				}
+				// Delta overlay: upserted rows carry their latest values
+				// in the overlay, not the immutable base image.
+				if dl := r.tok.deltaOf(p.Table); dl != nil {
+					if ov, ok := dl.Lookup(ids[p.Table]); ok {
+						copy(rec, ov)
+					}
+				}
 				hidRec[p.Table] = rec
 			}
 			o, w := img.Codec.ColumnRange(img.ColPos[p.ColIdx])

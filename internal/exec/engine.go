@@ -9,6 +9,7 @@ import (
 
 	"ghostdb/internal/bus"
 	"ghostdb/internal/cache"
+	"ghostdb/internal/delta"
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
@@ -105,6 +106,10 @@ func (p Projector) String() string {
 // Options.MaxConcurrentQueries is unset.
 const DefaultMaxConcurrentQueries = 4
 
+// DefaultCompactThreshold is the delta-log page depth that triggers a
+// background compaction (Options.CompactThreshold).
+const DefaultCompactThreshold = 64
+
 // DefaultSessionMinBuffers was the blind admission floor used before the
 // grant-aware planner: every session requested 8 buffers regardless of
 // its real footprint, so wide queries could still die mid-run and narrow
@@ -157,6 +162,11 @@ type Options struct {
 	// SlowLogEntries caps the slow-query ring buffer (default
 	// obs.DefaultSlowLogEntries).
 	SlowLogEntries int
+	// CompactThreshold is the delta-log depth, in flash pages summed
+	// over a token's tables, at which a background compaction of that
+	// token starts (default DefaultCompactThreshold). Negative disables
+	// automatic compaction; DB.Compact still works.
+	CompactThreshold int
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -181,6 +191,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards < 1 {
 		o.Shards = 1
+	}
+	if o.CompactThreshold == 0 {
+		o.CompactThreshold = DefaultCompactThreshold
 	}
 	return o
 }
@@ -331,6 +344,7 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 			Bus:      ch,
 			Untr:     untrusted.NewEngine(sch, ch),
 			Hidden:   make(map[int]*HiddenImage),
+			deltas:   make(map[int]*delta.Table),
 			insBytes: make(map[int]int),
 			rows:     make(map[int]int),
 		}
@@ -677,8 +691,9 @@ func (db *DB) Run(sql string) (*Result, error) {
 // RunCtx calls with the configuration it was prepared under.
 type Stmt struct {
 	db   *DB
-	sel  *query.Query // nil for INSERT
+	sel  *query.Query // nil for INSERT/UPDATE/DELETE
 	ins  *sqlparse.Insert
+	dml  *query.DML // resolved UPDATE/DELETE
 	cfg  QueryConfig
 	plan *Plan
 	key  string // result-cache key ("" when the cache is disabled)
@@ -728,6 +743,30 @@ func (db *DB) prepareParsed(stmt sqlparse.Statement, sql string, cfg QueryConfig
 		}
 		ins := st
 		return &Stmt{db: db, ins: &ins, cfg: cfg, plan: p}, nil
+	case *sqlparse.Update:
+		resolveSp := cfg.Trace.Root().Start("resolve")
+		d, err := query.ResolveUpdate(db.Sch, st, sql)
+		resolveSp.End()
+		if err != nil {
+			return nil, err
+		}
+		p, err := db.planDML(d)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{db: db, dml: d, cfg: cfg, plan: p}, nil
+	case *sqlparse.Delete:
+		resolveSp := cfg.Trace.Root().Start("resolve")
+		d, err := query.ResolveDelete(db.Sch, st, sql)
+		resolveSp.End()
+		if err != nil {
+			return nil, err
+		}
+		p, err := db.planDML(d)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{db: db, dml: d, cfg: cfg, plan: p}, nil
 	case sqlparse.CreateTable:
 		return nil, errors.New("exec: schema is fixed at load time; CREATE TABLE goes through ghostdb.Create")
 	}
@@ -744,6 +783,9 @@ func (s *Stmt) Plan() *Plan { return s.plan }
 func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
 	if s.ins != nil {
 		return s.db.runInsert(ctx, *s.ins, s.plan)
+	}
+	if s.dml != nil {
+		return s.db.runDML(ctx, s.dml, s.plan)
 	}
 	plan, key := s.plan, s.key
 	if cfg.Strategy != s.cfg.Strategy || cfg.Projector != s.cfg.Projector {

@@ -341,10 +341,18 @@ func (r *queryRun) finalJoin(res *Result, tps []*tableProj) error {
 			}
 		case p.Table == anchor:
 			col := t.Columns[p.ColIdx]
+			aDl := r.tok.deltaOf(anchor)
 			getters[i] = func() (schema.Value, error) {
 				if !aHidLoaded {
 					if err := aHidRd.Read(aid, aHidRec); err != nil {
 						return schema.Value{}, err
+					}
+					// Delta overlay: upserted rows carry their latest
+					// values in the overlay, not the base image.
+					if aDl != nil {
+						if ov, ok := aDl.Lookup(aid); ok {
+							copy(aHidRec, ov)
+						}
 					}
 					aHidLoaded = true
 				}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ghostdb/internal/delta"
 	"ghostdb/internal/ram"
 	"ghostdb/internal/store"
 )
@@ -115,10 +116,35 @@ type storeSpill struct {
 // variant was bound at admission: direct per-column writers when the
 // grant holds them, otherwise one shared staged spill buffer whose
 // contents distributeSpill rewrites column by column afterwards.
-func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) error {
+// tombChecks lists joined non-anchor tables with live tombstones: each
+// anchor tuple is chased to them through the SKT and dropped when any
+// referenced row is deleted (SQL join semantics over tombstones).
+func (r *queryRun) joinAndStore(merged idStream, needed, tombChecks []int, bfs []*bfFilter) error {
 	db := r.db
 	anchor := r.q.Anchor
 	direct := r.bind.StoreDirect || len(needed) == 0
+
+	// The SKT lookup set is the projection's needed tables plus any
+	// tomb-checked tables not already among them.
+	lookup := append([]int(nil), needed...)
+	lookupPos := make(map[int]int, len(lookup))
+	for i, ti := range lookup {
+		lookupPos[ti] = i
+	}
+	type tombCheck struct {
+		pos int
+		dl  *delta.Table
+	}
+	var tombs []tombCheck
+	for _, ti := range tombChecks {
+		pos, ok := lookupPos[ti]
+		if !ok {
+			pos = len(lookup)
+			lookupPos[ti] = pos
+			lookup = append(lookup, ti)
+		}
+		tombs = append(tombs, tombCheck{pos: pos, dl: r.tok.deltaOf(ti)})
+	}
 
 	var anchorSeg *store.ListSegment
 	var colSegs map[int]*store.ListSegment
@@ -143,13 +169,13 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 	}
 
 	var skt *sktAccess
-	if len(needed) > 0 {
-		s, ok := r.tok.Cat.SKTOf(anchor)
+	if len(lookup) > 0 {
+		s, ok := r.tok.catalog().SKTOf(anchor)
 		if !ok {
 			return fmt.Errorf("exec: no SKT on anchor %s", db.Sch.Tables[anchor].Name)
 		}
-		cols := make([]int, len(needed))
-		for i, ti := range needed {
+		cols := make([]int, len(lookup))
+		for i, ti := range lookup {
 			c, ok := s.ColumnOf(ti)
 			if !ok {
 				return fmt.Errorf("exec: SKT of %s has no column for %s",
@@ -163,7 +189,7 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 
 	batchSize := r.bind.StoreBatch
 	ids := make([]uint32, 0, batchSize)
-	tuple := make([]uint32, len(needed))
+	tuple := make([]uint32, len(lookup))
 	n := 0
 	for {
 		// Merge: fill a batch of anchor ids.
@@ -195,6 +221,19 @@ func (r *queryRun) joinAndStore(merged idStream, needed []int, bfs []*bfFilter) 
 				})
 				if err != nil {
 					return err
+				}
+			}
+			// Tombstones: drop the tuple if any chased row is deleted.
+			if len(tombs) > 0 {
+				dead := false
+				for _, tc := range tombs {
+					if tc.dl.Dead(tuple[tc.pos]) {
+						dead = true
+						break
+					}
+				}
+				if dead {
+					continue
 				}
 			}
 			// ProbeBF: approximate visible filtering.

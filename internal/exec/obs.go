@@ -37,9 +37,12 @@ type instruments struct {
 	grantHist *obs.Histogram
 
 	// Per-token (shard-labeled) instruments, indexed by token ordinal.
-	queueWait  []*obs.Histogram
-	slotOcc    []*obs.Histogram
-	rejections []*obs.Counter
+	queueWait   []*obs.Histogram
+	slotOcc     []*obs.Histogram
+	rejections  []*obs.Counter
+	compactSecs []*obs.Histogram
+
+	compactErrs *obs.Counter
 }
 
 // newInstruments registers the engine's metric families on db's
@@ -54,6 +57,8 @@ func newInstruments(db *DB) *instruments {
 		grantHist: r.Histogram("ghostdb_session_grant_buffers",
 			"elastic RAM grant per admitted session, in whole buffers", obs.GrantBuckets()),
 	}
+	inst.compactErrs = r.Counter("ghostdb_compaction_errors_total",
+		"background delta compactions that failed")
 	r.CounterFunc("ghostdb_queries_total", "completed queries, cache hits included",
 		func() float64 { return float64(db.Totals().Queries) })
 	r.CounterFunc("ghostdb_slowlog_entries_total", "queries recorded by the slow-query log",
@@ -93,6 +98,18 @@ func newInstruments(db *DB) *instruments {
 			func() float64 { return float64(tok.Totals().BusDown) }, shard)
 		r.CounterFunc("ghostdb_token_bus_up_bytes_total", "bytes moved token→untrusted",
 			func() float64 { return float64(tok.Totals().BusUp) }, shard)
+		// Write-path families: everything here reads the token's
+		// declassified mirrors (statement counts and page depths —
+		// derivable from statement text plus commit volume, which the
+		// model already reveals), never live delta state.
+		inst.compactSecs = append(inst.compactSecs, r.Histogram("ghostdb_compaction_seconds",
+			"wall-clock duration of delta compactions", obs.TimeBuckets(), shard))
+		r.GaugeFunc("ghostdb_delta_pages", "live delta-log depth in flash pages",
+			func() float64 { return float64(tok.DeltaPages()) }, shard)
+		r.CounterFunc("ghostdb_dml_statements_total", "committed UPDATE/DELETE statements",
+			func() float64 { return float64(tok.DMLStatements()) }, shard)
+		r.CounterFunc("ghostdb_compactions_total", "delta compactions completed",
+			func() float64 { return float64(tok.Compactions()) }, shard)
 	}
 
 	r.CounterFunc("ghostdb_cache_hits_total", "result-cache hits (zero token work)",

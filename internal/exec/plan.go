@@ -100,6 +100,7 @@ type Plan struct {
 	FastPath  bool
 	CountOnly bool
 	Insert    bool // non-SELECT plan (INSERT admission sizing)
+	DML       bool // UPDATE/DELETE plan (delta-log admission sizing)
 	Tables    []TablePlan
 	Projector Projector
 	Footprint Footprint
@@ -304,12 +305,15 @@ func maxInt(a, b int) int {
 
 // indexForPred returns the climbing index evaluating a hidden predicate
 // (the token's: index structures live on the token owning the table).
+// The catalog is read through the mu-guarded accessor because compaction
+// swaps it and plan-time callers run outside the execution slot.
 func (tok *Token) indexForPred(p query.Pred) *index.Climbing {
+	cat := tok.catalog()
 	if p.ColIdx == query.IDCol {
-		ci, _ := tok.Cat.IDIndex(p.Table)
+		ci, _ := cat.IDIndex(p.Table)
 		return ci
 	}
-	ci, _ := tok.Cat.AttrIndex(p.Table, p.ColIdx)
+	ci, _ := cat.AttrIndex(p.Table, p.ColIdx)
 	return ci
 }
 
@@ -504,7 +508,13 @@ func (db *DB) PlanQuery(q *query.Query, cfg QueryConfig) (*Plan, error) {
 	}
 	fp := &p.Footprint
 	fp.StoreWriters = len(needed) + 1
-	if len(needed) > 0 {
+	// The SKT reader is reserved for every multi-table query, not only
+	// when descendant columns are stored: the join may need it to check
+	// non-anchor tombstones after a DELETE. The floor must stay a pure
+	// function of the query shape — reserving it only when tombstones
+	// exist would make admission data-dependent (a leak) and could
+	// exhaust a floor-sized grant mid-run.
+	if len(needed) > 0 || len(q.Tables) > 1 {
 		fp.SKTReader = 1
 	}
 	if nGroups > 0 {
@@ -795,7 +805,7 @@ func idPredSel(hp query.Pred, rows int) float64 {
 // attrPredSel estimates an attribute predicate from the statistics the
 // token keeps beside the attribute's climbing index.
 func attrPredSel(tok *Token, hp query.Pred, col schema.Column) (float64, bool) {
-	ci, ok := tok.Cat.AttrIndex(hp.Table, hp.ColIdx)
+	ci, ok := tok.catalog().AttrIndex(hp.Table, hp.ColIdx)
 	if !ok {
 		return 0, false
 	}
@@ -843,6 +853,13 @@ func (p *Plan) Explain() string {
 	if p.Insert {
 		fmt.Fprintf(&b, "plan: INSERT INTO %s\n", p.SQL)
 		fmt.Fprintf(&b, "  admission: min %d of %d buffers (%d B each) — hidden record + SKT row staging\n",
+			p.MinBuffers, p.TotalBuffers, p.BufferBytes)
+		return b.String()
+	}
+	if p.DML {
+		fmt.Fprintf(&b, "plan: %s\n", p.SQL)
+		fmt.Fprintf(&b, "  token: %d\n", p.Shard)
+		fmt.Fprintf(&b, "  admission: min %d of %d buffers (%d B each) — match scan + row staging + delta append\n",
 			p.MinBuffers, p.TotalBuffers, p.BufferBytes)
 		return b.String()
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ghostdb/internal/bloom"
+	"ghostdb/internal/delta"
 	"ghostdb/internal/query"
 	"ghostdb/internal/ram"
 	"ghostdb/internal/schema"
@@ -364,6 +365,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 	var hidRd *store.SortedReader
 	var img *HiddenImage
 	var hidRec []byte
+	var dl *delta.Table
 	if tp.hidW > 0 {
 		img = r.tok.Hidden[tp.table]
 		if img == nil {
@@ -371,6 +373,7 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 		}
 		hidRd = img.File.NewSortedReader()
 		hidRec = make([]byte, img.File.RowWidth())
+		dl = r.tok.deltaOf(tp.table)
 	}
 
 	col := r.resCols[tp.table]
@@ -423,6 +426,13 @@ func (r *queryRun) mjoinTable(tp *tableProj) error {
 			if tp.hidW > 0 {
 				if err := hidRd.Read(id, hidRec); err != nil {
 					return err
+				}
+				// Delta overlay: the base image is immutable, so an
+				// upserted row's latest values live in the overlay.
+				if dl != nil {
+					if ov, ok := dl.Lookup(id); ok {
+						copy(hidRec, ov)
+					}
 				}
 				for _, c := range tp.hidCols {
 					o, w := img.Codec.ColumnRange(img.ColPos[c])

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ghostdb/internal/bloom"
+	"ghostdb/internal/delta"
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
 	"ghostdb/internal/query"
@@ -32,6 +33,7 @@ const (
 	spanProject    = "Project"
 	spanPostSelect = "PostSelect"
 	spanScan       = "Scan"
+	spanDelta      = "Delta"
 )
 
 // visSpool is the flash-resident copy of one table's Vis result: rows of
@@ -120,6 +122,10 @@ func (r *queryRun) execute() (*Result, error) {
 	defer r.cleanup()
 	q := r.q
 
+	if err := r.refreshDeltas(); err != nil {
+		return nil, err
+	}
+
 	if res, done, err := r.visibleOnlyFastPath(); done {
 		return res, err
 	}
@@ -162,6 +168,38 @@ func (r *queryRun) execute() (*Result, error) {
 
 	// ---- QEPP: projection.
 	return r.project()
+}
+
+// refreshDeltas replays the delta log of every dirty table the query
+// touches — the per-query read amplification of the LSM write path. The
+// replay is a sequential, data-independent scan of each log (its length
+// depends only on committed statement volume, which the untrusted side
+// already observes); it borrows a single buffer from the session's
+// grant, released before any operator runs, so plan floors are
+// unchanged.
+func (r *queryRun) refreshDeltas() error {
+	var touched []*delta.Table
+	for _, ti := range r.q.Tables {
+		if dl := r.tok.deltaOf(ti); dl != nil && dl.Depth() > 0 {
+			touched = append(touched, dl)
+		}
+	}
+	if len(touched) == 0 {
+		return nil
+	}
+	g, err := r.ram.AllocBuffers(1)
+	if err != nil {
+		return err
+	}
+	defer g.Release()
+	return r.col.Span(spanDelta, func() error {
+		for _, dl := range touched {
+			if err := dl.Refresh(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // projectedVisibleCols returns, per table, the visible column positions in
@@ -220,7 +258,13 @@ func (r *queryRun) visibleOnlyFastPath() (*Result, bool, error) {
 	for i, c := range cols {
 		offsets[i+1] = offsets[i] + t.Columns[c].EncodedWidth()
 	}
+	dl := r.tok.deltaOf(ti)
 	for i, id := range vr.IDs {
+		// Tombstone exclusion happens here, on the secure side: the
+		// untrusted store still holds (and returned) the deleted rows.
+		if dl != nil && dl.Dead(id) {
+			continue
+		}
 		var raw []byte
 		if len(cols) > 0 {
 			raw = vr.Rows[i*vr.RowWidth : (i+1)*vr.RowWidth]

@@ -116,8 +116,18 @@ func (r *queryRun) qepsj() error {
 			continue
 		}
 		g := &mergeGroup{label: fmt.Sprintf("hidden:%s", db.Sch.Tables[p.Table].Name)}
+		// An upsert overlay makes the table's climbing indexes stale for
+		// attribute keys (entries are never removed when a row's value
+		// changes): force the overlay-corrected scan. Id keys are exempt
+		// — ids never move, so id-index entries cannot go stale.
+		dirty := false
+		if p.ColIdx != query.IDCol {
+			if dl := r.tok.deltaOf(p.Table); dl != nil && dl.DirtyCount() > 0 {
+				dirty = true
+			}
+		}
 		ci := r.indexFor(p)
-		if ci == nil {
+		if ci == nil || dirty {
 			if err := r.scanFallback(g, p); err != nil {
 				return err
 			}
@@ -190,8 +200,25 @@ func (r *queryRun) qepsj() error {
 	} else {
 		claims = []ram.Claim{{Name: "store-stage", Min: 1, Want: 1}}
 	}
-	if len(needed) > 0 {
+	// The SKT reader claim mirrors the plan's data-independent floor
+	// condition exactly: every multi-table query reserves it, because the
+	// join may need to chase anchor tuples to joined tables and drop
+	// those referencing a tombstoned row. Whether tombstones actually
+	// exist is hidden state — neither the claim set nor any admission
+	// error may depend on it.
+	if len(needed) > 0 || len(q.Tables) > 1 {
 		claims = append(claims, ram.Claim{Name: "skt-reader", Min: 1, Want: 1})
+	}
+	// Joined non-anchor tables with live tombstones (consumed in-slot by
+	// joinAndStore's chase; never reaches untrusted-observable output).
+	var tombChecks []int
+	for _, ti := range q.Tables {
+		if ti == anchor {
+			continue
+		}
+		if dl := r.tok.deltaOf(ti); dl != nil && dl.TombCount() > 0 {
+			tombChecks = append(tombChecks, ti)
+		}
 	}
 	pipe, err := r.ram.Plan(claims...)
 	if err != nil {
@@ -280,9 +307,12 @@ func (r *queryRun) qepsj() error {
 	for _, p := range r.anchorPred {
 		merged = &filterStream{src: merged, keep: idPredFilter(p)}
 	}
+	// Anchor tombstones: deleted anchor rows are dropped from the merged
+	// stream before the join (their index entries survive a DELETE).
+	merged = r.dropDeadAnchors(q.Anchor, merged)
 
 	// ---- Pipeline: Merge -> SJoin -> ProbeBF -> Store.
-	err = r.joinAndStore(merged, needed, bfs)
+	err = r.joinAndStore(merged, needed, tombChecks, bfs)
 	merged.close()
 	pipe.Release()
 	if err != nil {
@@ -340,6 +370,14 @@ func (r *queryRun) crossingPreds(tv int, hidden []query.Pred, absorbed []bool) (
 	for i, p := range hidden {
 		if absorbed[i] {
 			continue
+		}
+		if p.ColIdx != query.IDCol {
+			if dl := r.tok.deltaOf(p.Table); dl != nil && dl.DirtyCount() > 0 {
+				// Upserts make the attribute index stale: the predicate
+				// must go through the overlay-corrected scan at the
+				// anchor level instead of being crossed here.
+				continue
+			}
 		}
 		if p.Table == tv {
 			if p.ColIdx == query.IDCol {
@@ -451,6 +489,20 @@ func (r *queryRun) preFilterGroup(tv int, ids []uint32) (*mergeGroup, error) {
 	return g, nil
 }
 
+// dropDeadAnchors wraps the merged stream with the anchor's tombstone
+// filter when the table has deletions: a DELETE leaves the row's index
+// entries in place, so the dead ids must be screened out here, on the
+// secure side, before the join ever sees them. Kept as its own function
+// so the hidden delta state it touches stays away from the pipeline's
+// error paths.
+func (r *queryRun) dropDeadAnchors(anchor int, src idStream) idStream {
+	dl := r.tok.deltaOf(anchor)
+	if dl == nil || dl.TombCount() == 0 {
+		return src
+	}
+	return &filterStream{src: src, keep: func(id uint32) bool { return !dl.Dead(id) }}
+}
+
 // scanFallback evaluates a hidden predicate without an index by scanning
 // the hidden image (only reachable with reduced index variants).
 func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
@@ -464,6 +516,7 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 	if !ok {
 		return fmt.Errorf("exec: column %d of %s is not hidden", p.ColIdx, db.Sch.Tables[p.Table].Name)
 	}
+	dl := r.tok.deltaOf(p.Table)
 	matches := r.newTemp()
 	err := r.col.Span(spanScan, func() error {
 		rd := img.File.NewSeqReader()
@@ -477,6 +530,14 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 			}
 			if !ok {
 				break
+			}
+			if dl != nil {
+				if dl.Dead(id) {
+					continue
+				}
+				if ov, ok := dl.Lookup(id); ok {
+					rec = ov
+				}
 			}
 			v, err := img.Codec.DecodeColumn(rec, pos)
 			if err != nil {

@@ -37,6 +37,16 @@ func forestDefs() []schema.TableDef {
 // token count, plus a matching reference engine.
 func newForestFixture(t testing.TB, seed uint64, cards map[string]int, shards int) *fixture {
 	t.Helper()
+	return newForestFixtureOpts(t, seed, cards, Options{
+		FlashParams: flash.Params{PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4},
+		Shards:      shards,
+	})
+}
+
+// newForestFixtureOpts is newForestFixture with full control over the
+// engine options (result cache, compaction threshold, ...).
+func newForestFixtureOpts(t testing.TB, seed uint64, cards map[string]int, opts Options) *fixture {
+	t.Helper()
 	sch, err := schema.New(forestDefs())
 	if err != nil {
 		t.Fatal(err)
@@ -74,10 +84,7 @@ func newForestFixture(t testing.TB, seed uint64, cards map[string]int, shards in
 		load[tb.Index] = ld
 		re.Load(tb.Index, rows, ld.FKs)
 	}
-	db, err := NewDB(sch, Options{
-		FlashParams: flash.Params{PageSize: 2048, PagesPerBlock: 16, Blocks: 8192, ReserveBlocks: 4},
-		Shards:      shards,
-	})
+	db, err := NewDB(sch, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ghostdb/internal/bus"
+	"ghostdb/internal/delta"
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
 	"ghostdb/internal/ram"
@@ -35,6 +36,12 @@ type Token struct {
 	// non-key attributes (only tables placed on this token appear).
 	Hidden map[int]*HiddenImage
 
+	// deltas maps table index -> the table's live delta state (created
+	// lazily by the first DML touching the table, always in-slot). The
+	// map itself is populated under mu; the *delta.Table values are only
+	// touched with the execution slot held.
+	deltas map[int]*delta.Table
+
 	// insBytes maps table index -> the staged working-set bytes of one
 	// INSERT (hidden record + SKT row). It is derived once at load time
 	// so the planner can size insert admission without touching the
@@ -44,12 +51,23 @@ type Token struct {
 	sched *sched.Scheduler
 
 	// mu guards rows (against the public Rows accessor; in-query reads
-	// are serialized by the token's execution slot), the per-token totals
-	// and the data version.
+	// are serialized by the token's execution slot), the per-token totals,
+	// the data version, the catalog pointer (swapped by compaction) and
+	// the declassified delta telemetry mirrors below.
 	mu      sync.Mutex
 	rows    map[int]int
 	totals  Totals
 	version uint64
+
+	// Declassified telemetry mirrors: public counts updated at DML
+	// commit and compaction so observability code never reads hidden
+	// delta state. What they reveal — statement counts and delta page
+	// depth — is derivable from statement text plus commit volume, both
+	// already visible to the untrusted observer.
+	deltaPages  int
+	dmlCount    uint64
+	compactions uint64
+	compacting  bool
 }
 
 // Unit is the narrow, read-only view of a secure token that the
@@ -141,6 +159,89 @@ func (t *Token) bumpVersion() {
 	t.mu.Lock()
 	t.version++
 	t.mu.Unlock()
+}
+
+// catalog returns the token's index catalog under mu: compaction swaps
+// the pointer (inside its execution slot), and plan-time readers run
+// outside any slot, so the accessor is what keeps them racefree. A plan
+// only derives scalar selectivities from the catalog; execution re-reads
+// it in-slot, where the swap cannot interleave.
+func (t *Token) catalog() *index.Catalog {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Cat
+}
+
+// deltaOf returns the table's delta state, or nil when the table has
+// never been touched by DML. Callers must hold the execution slot to
+// dereference the result.
+func (t *Token) deltaOf(table int) *delta.Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deltas[table]
+}
+
+// deltaFor returns the table's delta state, creating it on first use.
+// Must run with the execution slot held (it sizes the log off the
+// hidden image).
+//
+//ghostdb:requires-slot
+func (t *Token) deltaFor(table int) (*delta.Table, error) {
+	t.mu.Lock()
+	d := t.deltas[table]
+	t.mu.Unlock()
+	if d != nil {
+		return d, nil
+	}
+	rowW := 0
+	if img := t.Hidden[table]; img != nil {
+		rowW = img.Codec.Width()
+	}
+	d, err := delta.NewTable(t.Dev, rowW)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.deltas[table] = d
+	t.mu.Unlock()
+	return d, nil
+}
+
+// syncDeltaMirror refreshes the declassified delta-depth mirror from
+// the live delta logs. Must run with the execution slot held.
+//
+//ghostdb:requires-slot
+func (t *Token) syncDeltaMirror() {
+	pages := 0
+	t.mu.Lock()
+	for _, d := range t.deltas {
+		pages += d.Depth()
+	}
+	t.deltaPages = pages
+	t.mu.Unlock()
+}
+
+// DeltaPages reports the token's live delta log depth in flash pages
+// (declassified mirror; see the field comment).
+func (t *Token) DeltaPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deltaPages
+}
+
+// DMLStatements reports how many UPDATE/DELETE statements this token
+// has committed.
+func (t *Token) DMLStatements() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dmlCount
+}
+
+// Compactions reports how many delta compactions this token has run.
+func (t *Token) Compactions() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.compactions
 }
 
 // Leaked reports whether any token's shared RAM budget was released

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ghostdb/internal/datagen"
+	"ghostdb/internal/exec"
+)
+
+// The DML sweep replays the paper's write-window methodology on the
+// delta store: a mixed OLTP window (4 reads per write) pushed through
+// the engine at increasing session counts, against a write-free
+// baseline of the same reads on identical hardware. Writes commit
+// through the hidden delta log, mark their tables dirty (read sessions
+// fall back to overlay-corrected scans until the next compaction), and
+// drive the delta depth across the compaction threshold mid-window —
+// so the mixed cells measure exactly what the write path costs live
+// readers, with background compaction competing for the same admission
+// queue and token slot.
+//
+// The mixed window's writes are chosen answer-invariant: hidden UPDATEs
+// on columns no read touches, plus zero-match DELETEs (which still
+// append their one pad page — write volume is data-independent). Every
+// read's row count is therefore checked against the write-free
+// baseline while the deltas churn underneath; destructive deletes are
+// covered by the engine's reference-equality tests, where an oracle can
+// track them.
+
+// DMLPoint is one (sessions, mode) cell of the write-window sweep.
+type DMLPoint struct {
+	Concurrency int     `json:"concurrency"`
+	Mode        string  `json:"mode"` // "read-only" or "mixed"
+	Statements  int     `json:"statements"`
+	Reads       int     `json:"reads"`
+	Writes      int     `json:"writes"`
+	WallSeconds float64 `json:"wall_seconds"`
+	WallQPS     float64 `json:"wall_qps"`
+	SimP50Ms    float64 `json:"sim_p50_ms"`
+	SimP95Ms    float64 `json:"sim_p95_ms"`
+	// AnswerErrors counts reads whose row count diverged from the
+	// write-free baseline (the window's writes are answer-invariant, so
+	// any divergence is a bug surfacing under concurrent writers).
+	AnswerErrors int `json:"answer_errors"`
+	// PeakDeltaPages is the deepest the delta log got mid-window;
+	// FinalDeltaPages is what the last compaction left behind.
+	PeakDeltaPages  int    `json:"peak_delta_pages"`
+	FinalDeltaPages int    `json:"final_delta_pages"`
+	Compactions     uint64 `json:"compactions"`
+	DMLStatements   uint64 `json:"dml_statements"`
+	LeakedGrants    bool   `json:"leaked_grants"`
+}
+
+// DMLReport is the machine-readable output (BENCH_dml.json).
+type DMLReport struct {
+	Scale            float64    `json:"scale"`
+	Seed             int64      `json:"seed"`
+	RAMBudgetBytes   int        `json:"ram_budget_bytes"`
+	CompactThreshold int        `json:"compact_threshold_pages"`
+	Levels           []DMLPoint `json:"levels"`
+	// MixedOK records the acceptance check: at the highest session
+	// count, the mixed window's throughput held at least 85% of the
+	// write-free baseline while compaction ran concurrently.
+	MixedOK bool `json:"mixed_ok"`
+	// StarvationOK records that every statement of every cell was
+	// admitted and completed: background compaction sessions never
+	// starved query admission.
+	StarvationOK bool `json:"starvation_ok"`
+	// CompactionRan records that at least one mixed cell actually
+	// crossed the threshold and compacted mid-window (otherwise the
+	// MixedOK comparison would be vacuous).
+	CompactionRan bool `json:"compaction_ran"`
+}
+
+// dmlReadWorkload renders n reads over the two-tree forest: a join with
+// visible and hidden selections, touching only v1/h1/h2 — disjoint from
+// the columns the window's writes set.
+func dmlReadWorkload(n int) []string {
+	svs := []float64{0.05, 0.1, 0.2, 0.5}
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := i % 2
+		sv := svs[i/2%len(svs)]
+		out = append(out, fmt.Sprintf(
+			`SELECT S%d.id, S%d.v1, S%d.h1, C%d.v1 FROM S%d, C%d `+
+				`WHERE S%d.fkc%d = C%d.id AND S%d.v1 < '%s' AND C%d.h2 < '%s'`,
+			k, k, k, k, k, k, k, k, k, k, datagen.SelValue(sv), k, datagen.SelValue(SH)))
+	}
+	return out
+}
+
+// dmlWriteWorkload renders n answer-invariant writes: hidden UPDATEs on
+// h4 (driven by h5 ranges, so the match scan and upsert staging are
+// real) alternating with zero-match DELETEs (one pad page each — the
+// write volume a tombstone append would cost, with nothing deleted).
+func dmlWriteWorkload(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := i % 2
+		if i%3 == 2 {
+			out = append(out, fmt.Sprintf("DELETE FROM C%d WHERE C%d.id >= 1000000000", k, k))
+			continue
+		}
+		lo := (i * 7) % 80
+		out = append(out, fmt.Sprintf(
+			"UPDATE S%d SET h4 = '%s' WHERE S%d.h5 BETWEEN '%s' AND '%s'",
+			k, datagen.PadValue((i*131)%datagen.Domain), k,
+			datagen.SelValue(float64(lo)/100), datagen.SelValue(float64(lo+5)/100)))
+	}
+	return out
+}
+
+// dmlCompactThreshold keeps background compaction firing several times
+// inside one mixed window at the default bench scale.
+const dmlCompactThreshold = 16
+
+// dmlDB builds a fresh single-token engine over the two-tree forest
+// with the write window's compaction threshold and concurrency bound.
+func (l *Lab) dmlDB(maxConcurrent int) (*exec.DB, error) {
+	ds, err := l.ForestDataset(2)
+	if err != nil {
+		return nil, err
+	}
+	return ds.NewDB(exec.Options{
+		FlashParams:          flashFor(l.SF),
+		MaxConcurrentQueries: maxConcurrent,
+		PaceSimulation:       shardingPace,
+		CompactThreshold:     dmlCompactThreshold,
+	})
+}
+
+// DMLSweep measures the mixed write window against the write-free
+// baseline at each session count. readsPerCell is the read count of
+// one cell; the mixed cells interleave one write after every fourth
+// read on top of the same read list.
+func (l *Lab) DMLSweep(sessionCounts []int, readsPerCell int) (*DMLReport, error) {
+	rep := &DMLReport{Scale: l.SF, Seed: l.Seed,
+		CompactThreshold: dmlCompactThreshold, MixedOK: true, StarvationOK: true}
+	reads := dmlReadWorkload(readsPerCell)
+	writes := dmlWriteWorkload((readsPerCell + 3) / 4)
+	mixed := make([]string, 0, len(reads)+len(writes))
+	w := 0
+	for i, sql := range reads {
+		mixed = append(mixed, sql)
+		if i%4 == 3 && w < len(writes) {
+			mixed = append(mixed, writes[w])
+			w++
+		}
+	}
+	mixed = append(mixed, writes[w:]...)
+	isRead := make(map[string]bool, len(reads))
+	for _, sql := range reads {
+		isRead[sql] = true
+	}
+
+	// Row-count baseline from a serial read-only run.
+	baseline := map[string]int{}
+	{
+		db, err := l.dmlDB(1)
+		if err != nil {
+			return nil, err
+		}
+		for _, sql := range reads {
+			res, err := db.Run(sql)
+			if err != nil {
+				return nil, fmt.Errorf("dml baseline %q: %w", sql, err)
+			}
+			baseline[sql] = len(res.Rows)
+		}
+	}
+
+	qpsAt := map[[2]int]float64{} // {sessions, mixed?} -> wall qps
+	for _, sessions := range sessionCounts {
+		for _, mode := range []string{"read-only", "mixed"} {
+			stmts := reads
+			if mode == "mixed" {
+				stmts = mixed
+			}
+			db, err := l.dmlDB(sessions)
+			if err != nil {
+				return nil, err
+			}
+			rep.RAMBudgetBytes = db.RAM.Budget()
+			share := db.RAM.Buffers() / sessions
+			if share < 1 {
+				share = 1
+			}
+			cfg := exec.QueryConfig{WantBuffers: share}
+
+			answerErrs, peak := 0, 0
+			rs := runWorkload(db, sessions, stmts, cfg, func(sql string, res *exec.Result) {
+				if want, ok := baseline[sql]; ok && isRead[sql] && len(res.Rows) != want {
+					answerErrs++
+				}
+				for _, d := range db.TokenDeltaStats() {
+					if d.Pages > peak {
+						peak = d.Pages
+					}
+				}
+			})
+			if rs.firstErr != nil {
+				return nil, fmt.Errorf("dml sweep %d sessions (%s): %w", sessions, mode, rs.firstErr)
+			}
+			if rs.served != len(stmts) {
+				rep.StarvationOK = false
+			}
+			var finalPages int
+			var compactions, dmlCount uint64
+			for _, d := range db.TokenDeltaStats() {
+				finalPages += d.Pages
+				compactions += d.Compactions
+				dmlCount += d.DMLStatements
+			}
+			if compactions > 0 {
+				rep.CompactionRan = true
+			}
+			nWrites := 0
+			if mode == "mixed" {
+				nWrites = len(writes)
+			}
+			pt := DMLPoint{
+				Concurrency:     sessions,
+				Mode:            mode,
+				Statements:      len(stmts),
+				Reads:           len(reads),
+				Writes:          nWrites,
+				WallSeconds:     rs.wall.Seconds(),
+				WallQPS:         rs.qps(),
+				SimP50Ms:        rs.p50ms(),
+				SimP95Ms:        rs.p95ms(),
+				AnswerErrors:    answerErrs,
+				PeakDeltaPages:  peak,
+				FinalDeltaPages: finalPages,
+				Compactions:     compactions,
+				DMLStatements:   dmlCount,
+				LeakedGrants:    db.Leaked(),
+			}
+			rep.Levels = append(rep.Levels, pt)
+			key := [2]int{sessions, 0}
+			if mode == "mixed" {
+				key[1] = 1
+			}
+			qpsAt[key] = pt.WallQPS
+			if answerErrs > 0 {
+				rep.MixedOK = false
+			}
+		}
+	}
+	maxSess := sessionCounts[len(sessionCounts)-1]
+	if base := qpsAt[[2]int{maxSess, 0}]; base > 0 {
+		if qpsAt[[2]int{maxSess, 1}] < 0.85*base {
+			rep.MixedOK = false
+		}
+	}
+	return rep, nil
+}

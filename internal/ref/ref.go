@@ -18,6 +18,7 @@ type Engine struct {
 	sch  *schema.Schema
 	rows map[int][]schema.Row     // data columns, aligned with Columns
 	fks  map[int]map[int][]uint32 // table -> child table -> per-row id
+	dead map[int]map[uint32]bool  // table -> tombstoned ids (rows/fks kept: ids are positional)
 }
 
 // New creates an empty reference engine.
@@ -26,6 +27,7 @@ func New(sch *schema.Schema) *Engine {
 		sch:  sch,
 		rows: make(map[int][]schema.Row),
 		fks:  make(map[int]map[int][]uint32),
+		dead: make(map[int]map[uint32]bool),
 	}
 }
 
@@ -46,8 +48,62 @@ func (e *Engine) Insert(table int, row schema.Row, fks map[int]uint32) {
 	}
 }
 
-// Rows returns the row count of a table.
+// Rows returns the row count of a table (tombstoned rows included: ids
+// are positional and never reclaimed).
 func (e *Engine) Rows(table int) int { return len(e.rows[table]) }
+
+// matchRow evaluates one single-table DML predicate set against row id.
+func (e *Engine) matchRow(table int, id uint32, preds []query.Pred) bool {
+	for _, p := range preds {
+		var v schema.Value
+		if p.ColIdx == query.IDCol {
+			v = schema.IntVal(int64(id))
+		} else {
+			v = e.rows[table][id][p.ColIdx]
+		}
+		if !match(p.Op, v, p.Lo, p.Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// Update applies a resolved UPDATE: every live matching row gets the
+// SET values. Returns the number of rows updated.
+func (e *Engine) Update(d *query.DML) int {
+	n := 0
+	for id := range e.rows[d.Table] {
+		uid := uint32(id)
+		if e.dead[d.Table][uid] || !e.matchRow(d.Table, uid, d.Preds) {
+			continue
+		}
+		for _, s := range d.Sets {
+			e.rows[d.Table][uid][s.ColIdx] = s.Val
+		}
+		n++
+	}
+	return n
+}
+
+// Delete applies a resolved DELETE: every live matching row is
+// tombstoned. Rows and fk arrays are kept intact so id chasing through
+// dead rows still works, exactly as in the engine. Returns the number
+// of rows deleted.
+func (e *Engine) Delete(d *query.DML) int {
+	n := 0
+	for id := range e.rows[d.Table] {
+		uid := uint32(id)
+		if e.dead[d.Table][uid] || !e.matchRow(d.Table, uid, d.Preds) {
+			continue
+		}
+		if e.dead[d.Table] == nil {
+			e.dead[d.Table] = make(map[uint32]bool)
+		}
+		e.dead[d.Table][uid] = true
+		n++
+	}
+	return n
+}
 
 // chase returns the id of the q-descendant row referenced by row `id` of
 // table `a` (a must be an ancestor-or-self of d).
@@ -103,6 +159,21 @@ func (e *Engine) Evaluate(q *query.Query) ([]schema.Row, error) {
 	var out []schema.Row
 	for id := uint32(0); int(id) < anchorRows; id++ {
 		ok := true
+		// SQL join semantics over tombstones: the tuple dies if the
+		// chased row of ANY table in the FROM set was deleted.
+		for _, ti := range q.Tables {
+			did, err := e.chase(q.Anchor, ti, id)
+			if err != nil {
+				return nil, err
+			}
+			if e.dead[ti][did] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
 		for _, p := range q.Preds {
 			did, err := e.chase(q.Anchor, p.Table, id)
 			if err != nil {

@@ -17,9 +17,9 @@
 // Requests are single lines, terminated by '\n' (CRLF tolerated):
 //
 //	QUERY <sql>     execute a SELECT
-//	EXEC <sql>      execute an INSERT
+//	EXEC <sql>      execute an INSERT, UPDATE or DELETE
 //	EXPLAIN <sql>   plan a statement without executing it
-//	STATS           engine totals + result-cache counters
+//	STATS           engine totals + result-cache + delta/compaction counters
 //	PING            liveness check
 //	QUIT            close the connection
 //
@@ -391,6 +391,7 @@ func statsPairs(db *ghostdb.DB) []kv {
 		{"cache_invalidations", cs.Invalidations},
 	}
 	out = append(out, kv{"shards", db.Shards()})
+	ds := db.ShardDeltaStats()
 	for i, st := range db.ShardTotals() {
 		p := fmt.Sprintf("shard%d_", i)
 		out = append(out,
@@ -400,6 +401,9 @@ func statsPairs(db *ghostdb.DB) []kv {
 			kv{p + "flash_writes", st.Flash.PageWrites},
 			kv{p + "bus_down_bytes", st.BusDown},
 			kv{p + "bus_up_bytes", st.BusUp},
+			kv{p + "delta_pages", ds[i].Pages},
+			kv{p + "dml_statements", ds[i].DMLStatements},
+			kv{p + "compactions", ds[i].Compactions},
 		)
 	}
 	return out

@@ -122,6 +122,30 @@ type Select struct {
 	Joins       []JoinPred
 }
 
+// Assign is one `col = literal` clause of an UPDATE's SET list.
+type Assign struct {
+	Column string
+	Value  schema.Value
+}
+
+// Update modifies existing tuples in place: every matching row gets the
+// SET values. The WHERE clause is a conjunction of single-table
+// predicates (no joins — DML is single-table by design).
+type Update struct {
+	Table string
+	Sets  []Assign
+	Preds []Predicate
+}
+
+// Delete tombstones matching tuples. The surrogate ids of deleted rows
+// are never reused.
+type Delete struct {
+	Table string
+	Preds []Predicate
+}
+
 func (CreateTable) stmt() {}
 func (Insert) stmt()      {}
 func (*Select) stmt()     {}
+func (*Update) stmt()     {}
+func (*Delete) stmt()     {}

@@ -31,6 +31,16 @@ func FuzzParse(f *testing.F) {
 		"SELECT a FROM t WHERE a <> <> <>",
 		"INSERT INTO t VALUES (-1, +2, --3)",
 		"SELECT a FROM t WHERE a = 1e309",
+		"UPDATE Patients SET age = 51 WHERE id = 7",
+		"UPDATE t SET a = 'x', b = 2.5 WHERE c BETWEEN 1 AND 9 AND d < 'zz'",
+		"UPDATE t SET name = 'O''Brien' WHERE name = 'O''Brien'",
+		"UPDATE t SET",
+		"UPDATE t SET a = b",
+		"DELETE FROM Patients WHERE id >= 100 AND id < 200",
+		"DELETE FROM t",
+		"DELETE FROM t WHERE a = 'unterminated",
+		"DELETE FROM t WHERE a = b.c",
+		"DELETE t WHERE",
 		"\x00\xff;DROP TABLE t",
 		strings.Repeat("(", 1000),
 		"SELECT " + strings.Repeat("a,", 500) + "a FROM t",

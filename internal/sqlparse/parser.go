@@ -72,8 +72,114 @@ func (p *parser) statement() (Statement, error) {
 		return p.selectStmt()
 	case p.keyword("INSERT"):
 		return p.insertStmt()
+	case p.keyword("UPDATE"):
+		return p.updateStmt()
+	case p.keyword("DELETE"):
+		return p.deleteStmt()
 	}
-	return nil, p.errf("expected CREATE, SELECT or INSERT, found %q", p.cur().text)
+	return nil, p.errf("expected CREATE, SELECT, INSERT, UPDATE or DELETE, found %q", p.cur().text)
+}
+
+// updateStmt parses UPDATE t SET c1 = v1 [, c2 = v2 ...] [WHERE preds].
+func (p *parser) updateStmt() (Statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "SET"); err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: name.text}
+	for {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		upd.Sets = append(upd.Sets, Assign{Column: c.text, Value: v})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	upd.Preds, err = p.wherePreds()
+	if err != nil {
+		return nil, err
+	}
+	return upd, nil
+}
+
+// deleteStmt parses DELETE FROM t [WHERE preds].
+func (p *parser) deleteStmt() (Statement, error) {
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name.text}
+	del.Preds, err = p.wherePreds()
+	if err != nil {
+		return nil, err
+	}
+	return del, nil
+}
+
+// wherePreds parses an optional DML WHERE clause: selection conjuncts
+// only (col op literal, col BETWEEN lo AND hi) — joins are a SELECT
+// concept and are rejected here.
+func (p *parser) wherePreds() ([]Predicate, error) {
+	if !p.keyword("WHERE") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.keyword("BETWEEN") {
+			lo, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			if !p.keyword("AND") {
+				return nil, p.errf("BETWEEN needs AND")
+			}
+			hi, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Predicate{Col: left, Op: OpBetween, Lo: lo, Hi: hi})
+		} else {
+			opTok, err := p.expect(tokOp, "")
+			if err != nil {
+				return nil, err
+			}
+			op, err := compareOp(opTok.text)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tokIdent, "") && !isKeywordLiteral(p.cur().text) {
+				return nil, p.errf("DML predicates compare against literals, found column %q", p.cur().text)
+			}
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Predicate{Col: left, Op: op, Lo: v})
+		}
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	return preds, nil
 }
 
 // createTable parses

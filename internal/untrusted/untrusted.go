@@ -137,6 +137,36 @@ func (e *Engine) InsertRow(table int, visible []schema.Value) error {
 	return nil
 }
 
+// UpdateRows overwrites one visible column of the listed rows in place.
+// The caller (the resolver's write-path rule) guarantees ids were
+// derived from visible predicates or id arithmetic only — public data —
+// so handing the matched set to the untrusted store reveals nothing a
+// spy could not compute itself from the statement text.
+func (e *Engine) UpdateRows(table, colIdx int, ids []uint32, v schema.Value) error {
+	t := e.sch.Tables[table]
+	if colIdx < 0 || colIdx >= len(t.Columns) || t.Columns[colIdx].Hidden {
+		return fmt.Errorf("untrusted: bad visible column %d for %q", colIdx, t.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ts := e.tables[table]
+	c := ts.cols[colIdx]
+	if !c.present {
+		return fmt.Errorf("untrusted: column %s.%s not loaded", t.Name, t.Columns[colIdx].Name)
+	}
+	buf := make([]byte, c.width)
+	if err := schema.EncodeValue(buf, v); err != nil {
+		return fmt.Errorf("untrusted: %s.%s: %w", t.Name, t.Columns[colIdx].Name, err)
+	}
+	for _, id := range ids {
+		if int(id) >= ts.rows {
+			return fmt.Errorf("untrusted: row %d out of range for %q", id, t.Name)
+		}
+		copy(c.data[int(id)*c.width:(int(id)+1)*c.width], buf)
+	}
+	return nil
+}
+
 // matches evaluates one resolved predicate against a row.
 func (ts *tableStore) matches(p query.Pred, row int, lo, hi []byte) bool {
 	if p.ColIdx == query.IDCol {
