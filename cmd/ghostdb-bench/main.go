@@ -12,6 +12,9 @@
 //	ghostdb-bench -exp cache               # result cache: cold vs Zipf -> BENCH_cache.json
 //	ghostdb-bench -exp sharding            # 1/2/4 secure tokens -> BENCH_sharding.json
 //	ghostdb-bench -exp dml                 # OLTP write window vs read-only baseline -> BENCH_dml.json
+//	ghostdb-bench -exp slo                 # open-loop rate search under the SLO -> BENCH_slo.json
+//	ghostdb-bench -exp slo-gate -in BENCH_slo.json -baseline BENCH_slo_baseline.json
+//	                                       # CI perf gate: fail on sustainable-rate regression
 //
 // The paper's full scale (10M-tuple root table) is -scale 1.0; the
 // default keeps laptop runtimes pleasant. Reported times are simulated
@@ -31,11 +34,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding, dml")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding, dml, slo, slo-gate")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
 	out := flag.String("out", "", "output path for sweep reports (default BENCH_<exp>.json)")
+	in := flag.String("in", "BENCH_slo.json", "slo-gate: freshly measured report")
+	baseline := flag.String("baseline", "BENCH_slo_baseline.json", "slo-gate: committed baseline report")
+	tolerance := flag.Float64("tolerance", 0.10, "slo-gate: allowed relative drop in max sustainable qps")
 	flag.Parse()
 
 	lab := experiments.NewLab(*scale, *seed)
@@ -87,6 +93,22 @@ func main() {
 			path = "BENCH_dml.json"
 		}
 		if err := runDML(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "slo":
+		path := *out
+		if path == "" {
+			path = "BENCH_slo.json"
+		}
+		if err := runSLO(lab, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "slo-gate":
+		if err := runSLOGate(*in, *baseline, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -235,6 +257,84 @@ func runDML(lab *experiments.Lab, queries int, out string) error {
 	if !rep.StarvationOK {
 		return fmt.Errorf("dml contract violated: admission starved under background compaction")
 	}
+	return nil
+}
+
+// runSLO runs the open-loop rate search and writes the machine-readable
+// report the CI gate consumes. It fails loudly if the overload probe
+// did not degrade gracefully — that is the tentpole contract: past
+// capacity the engine sheds, it does not let admitted latency collapse.
+func runSLO(lab *experiments.Lab, out string) error {
+	rep, err := lab.SLOSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== slo: open-loop Poisson arrivals, mixed matrix over %d tokens (scale %g, SLO %gms wall p99, shed bound %gms queue wait) ==\n",
+		rep.Shards, rep.Scale, rep.SLOTargetMs, rep.MaxQueueWaitMs)
+	fmt.Printf("  %-10s %9s %8s %6s %10s %10s %10s %10s %12s\n",
+		"target-qps", "arrivals", "admitted", "shed", "wall-p50", "wall-p95", "wall-p99", "queue-p99", "sustainable")
+	points := rep.Levels
+	for _, p := range points {
+		fmt.Printf("  %-10.0f %9d %8d %6d %8.2fms %8.2fms %8.2fms %8.2fms %12v\n",
+			p.TargetQPS, p.Arrivals, p.Admitted, p.Shed,
+			p.WallP50Ms, p.WallP95Ms, p.WallP99Ms, p.QueueP99Ms, p.Sustainable)
+	}
+	fmt.Printf("  max sustainable rate under the SLO: %.0f qps\n", rep.MaxSustainableQPS)
+	if o := rep.Overload; o != nil {
+		fmt.Printf("  overload probe at %.0f qps: shed %d/%d (%.1f%%), admitted wall-p99 %.2fms, graceful: %v\n",
+			o.TargetQPS, o.Shed, o.Arrivals, 100*o.ShedFraction, o.WallP99Ms, rep.OverloadOK)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	if !rep.OverloadOK {
+		return fmt.Errorf("slo contract violated: overload probe did not shed gracefully (sheds and admitted-p99 within SLO expected)")
+	}
+	return nil
+}
+
+// runSLOGate compares a fresh report against the committed baseline and
+// fails (non-zero exit, so CI goes red) when the max sustainable rate
+// regressed by more than the tolerance.
+func runSLOGate(inPath, basePath string, tolerance float64) error {
+	read := func(path string) (*experiments.SLOReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep experiments.SLOReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	cur, err := read(inPath)
+	if err != nil {
+		return err
+	}
+	base, err := read(basePath)
+	if err != nil {
+		return err
+	}
+	if base.MaxSustainableQPS <= 0 {
+		return fmt.Errorf("slo-gate: baseline %s has no max_sustainable_qps", basePath)
+	}
+	floor := (1 - tolerance) * base.MaxSustainableQPS
+	fmt.Printf("== slo-gate: measured %.0f qps vs baseline %.0f qps (floor %.0f, tolerance %.0f%%) ==\n",
+		cur.MaxSustainableQPS, base.MaxSustainableQPS, floor, 100*tolerance)
+	if !cur.OverloadOK {
+		return fmt.Errorf("slo-gate: measured run failed the graceful-overload contract")
+	}
+	if cur.MaxSustainableQPS < floor {
+		return fmt.Errorf("slo-gate: max sustainable rate regressed: %.0f qps < %.0f qps floor (baseline %.0f, tolerance %.0f%%)",
+			cur.MaxSustainableQPS, floor, base.MaxSustainableQPS, 100*tolerance)
+	}
+	fmt.Println("  gate passed")
 	return nil
 }
 

@@ -50,10 +50,12 @@ func main() {
 	shards := flag.Int("shards", 1, "simulated secure tokens to place the demo's trees across")
 	metricsOn := flag.Bool("metrics", true, "expose telemetry over HTTP (/metrics, /trace, /slowlog); collection is always on")
 	slowMs := flag.Int("slowlog-ms", 250, "slow-query log threshold in simulated milliseconds (0 disables the log)")
+	maxQueueWaitMs := flag.Int("max-queue-wait-ms", 0, "shed statements whose predicted admission-queue wait exceeds this many wall milliseconds (0 disables shedding)")
 	flag.Parse()
 
 	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes, *shards,
-		time.Duration(*slowMs)*time.Millisecond)
+		time.Duration(*slowMs)*time.Millisecond,
+		time.Duration(*maxQueueWaitMs)*time.Millisecond)
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
 	}
@@ -64,8 +66,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("ghostdb-server: %v", err)
 	}
-	log.Printf("serving medical demo (scale %g) on %s — %d secure token(s), %d sessions, %dB result cache",
-		*scale, ln.Addr(), db.Shards(), *sessions, *cacheBytes)
+	log.Printf("GhostDB %s serving medical demo (scale %g) on %s — %d secure token(s), %d sessions, %dB result cache",
+		ghostdb.Version, *scale, ln.Addr(), db.Shards(), *sessions, *cacheBytes)
 	log.Printf(`try: printf 'QUERY SELECT COUNT(*) FROM Patients WHERE zipcode < '\''0000000100'\''\nSTATS\nQUIT\n' | nc %s`, hostPort(ln.Addr().String()))
 
 	var httpSrv *http.Server
@@ -132,7 +134,7 @@ func hostPort(addr string) string {
 // Values are zero-padded decimals over a domain of 1000 so range
 // predicates can target any selectivity, the same convention as
 // internal/datagen.
-func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int, slowThreshold time.Duration) (*ghostdb.DB, error) {
+func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int, slowThreshold, maxQueueWait time.Duration) (*ghostdb.DB, error) {
 	if sf <= 0 {
 		sf = 0.01
 	}
@@ -150,6 +152,7 @@ func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards in
 		ResultCacheBytes:     cacheBytes,
 		Shards:               shards,
 		SlowQueryThreshold:   slowThreshold,
+		MaxQueueWait:         maxQueueWait,
 	})
 	if err != nil {
 		return nil, err

@@ -57,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ghostdb:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("GhostDB demo shell — %s dataset at scale %g\n", *which, *scale)
+	fmt.Printf("GhostDB %s demo shell — %s dataset at scale %g\n", exec.Version, *which, *scale)
 	for _, t := range db.Sch.Tables {
 		fmt.Printf("  %-14s %8d tuples\n", t.Name, db.Rows(t.Index))
 	}
@@ -144,8 +144,8 @@ func main() {
 			fmt.Printf("slow-query log: %d recorded (threshold %v, ring holds %d)\n",
 				sl.Total(), sl.Threshold(), len(entries))
 			for _, e := range entries {
-				fmt.Printf("  [%s] sim %dµs, queue %dµs, grant %d/%d buffers: %s\n",
-					e.Time.Format("15:04:05"), e.SimUs, e.QueueWaitUs,
+				fmt.Printf("  [%s] %s sim %dµs, queue %dµs, grant %d/%d buffers: %s\n",
+					e.Time.Format("15:04:05"), e.Kind, e.SimUs, e.QueueWaitUs,
 					e.PlanMinBuffers, e.GrantBuffers, e.Query)
 				for _, sc := range e.Spans {
 					fmt.Printf("      %-12s %8dµs\n", sc.Name, sc.SimUs)
@@ -177,7 +177,9 @@ func main() {
 				}
 				os.Stdout.Write(blob)
 				fmt.Println()
-				fmt.Printf("(%d rows; simulated time %v)\n", len(res.Rows), res.Stats.SimTime)
+				fmt.Printf("(%d rows; simulated time %v; queue wait %v; grant %d/%d buffers)\n",
+					len(res.Rows), res.Stats.SimTime, res.Stats.QueueWait,
+					res.Stats.PlanMinBuffers, res.Stats.GrantBuffers)
 				continue
 			}
 			// EXPLAIN SELECT ... : print the plan (strategies, footprint,

@@ -120,6 +120,17 @@ var ErrBloomInfeasible = exec.ErrBloomInfeasible
 // rejected cleanly at admission time (inspect Stmt.Plan().MinBuffers).
 var ErrBudgetTooSmall = exec.ErrBudgetTooSmall
 
+// ErrOverloaded mirrors exec.ErrOverloaded: the statement was shed at
+// arrival because its token's predicted admission-queue wait exceeded
+// Options.MaxQueueWait. Nothing was reserved; retry after backing off.
+// Servers surface it as HTTP 429.
+var ErrOverloaded = exec.ErrOverloaded
+
+// Version identifies the GhostDB build (also carried by the
+// ghostdb_build_info metric, the server's STATS output and the demo
+// shell banner).
+const Version = exec.Version
+
 // Options configures the simulated secure platform. The zero value uses
 // the paper's Table 1 parameters: 2KB pages, 64KB RAM, 1.5 MB/s link.
 type Options struct {
@@ -155,10 +166,11 @@ type Options struct {
 	// queries over several trees fan out per-shard sub-plans and merge
 	// their cross product on the untrusted side.
 	Shards int
-	// SlowQueryThreshold enables the slow-query log: completed SELECTs
-	// whose simulated time reaches the threshold are recorded (canonical
-	// query text, costs and a span summary — all declassified scalars).
-	// Zero leaves the log disabled.
+	// SlowQueryThreshold enables the slow-query log: completed statements
+	// (SELECT, UPDATE, DELETE and background COMPACT sessions, each entry
+	// kind-tagged) whose simulated time reaches the threshold are
+	// recorded (canonical statement text, costs and a span summary — all
+	// declassified scalars). Zero leaves the log disabled.
 	SlowQueryThreshold time.Duration
 	// SlowLogEntries bounds the slow-query ring buffer (default 128;
 	// older entries are overwritten).
@@ -167,6 +179,23 @@ type Options struct {
 	// a token starts a background compaction (default 64; negative
 	// disables automatic compaction — DB.Compact still works).
 	CompactThreshold int
+	// MaxQueueWait enables load shedding: a statement arriving when its
+	// token's predicted admission wait exceeds the bound fails fast with
+	// ErrOverloaded instead of queueing, keeping admitted-query latency
+	// bounded under open-loop overload. 0 disables shedding (the
+	// default). Background compaction is never shed.
+	MaxQueueWait time.Duration
+	// SLOTarget is the wall-clock latency objective the rolling SLO
+	// window (DB.SLO, the /slo endpoint, ghostdb_slo_attainment) scores
+	// completed statements against (default 25ms).
+	SLOTarget time.Duration
+	// PaceSimulation > 0 makes every session hold its token's execution
+	// slot for SimTime/PaceSimulation of real time, so wall-clock
+	// latency reflects the modeled hardware's occupancy instead of host
+	// CPU speed. Answers and simulated counters are unaffected; 0
+	// disables pacing (the default). Benchmarks and overload tests use
+	// this — production embeddings normally leave it off.
+	PaceSimulation float64
 }
 
 func (o Options) toExec() exec.Options {
@@ -179,6 +208,9 @@ func (o Options) toExec() exec.Options {
 	eo.SlowQueryThreshold = o.SlowQueryThreshold
 	eo.SlowLogEntries = o.SlowLogEntries
 	eo.CompactThreshold = o.CompactThreshold
+	eo.MaxQueueWait = o.MaxQueueWait
+	eo.SLOTarget = o.SLOTarget
+	eo.PaceSimulation = o.PaceSimulation
 	fp := flash.DefaultParams()
 	if o.FlashPageSize > 0 {
 		fp.PageSize = o.FlashPageSize
@@ -475,6 +507,19 @@ func (db *DB) Metrics() *Metrics { return db.inner.Metrics() }
 // SlowLog returns the slow-query log, or nil when
 // Options.SlowQueryThreshold left it disabled.
 func (db *DB) SlowLog() *SlowLog { return db.inner.SlowLog() }
+
+// SLOSnapshot is the live SLO observatory's view: rolling attainment
+// and latency quantiles over the last minute of client-level wall
+// latency, plus per-shard queue depth, running sessions and shed
+// counts.
+type SLOSnapshot = exec.SLOSnapshot
+
+// SLOShard is one shard's admission-side state in an SLOSnapshot.
+type SLOShard = exec.SLOShard
+
+// SLO snapshots the rolling SLO window — the same numbers the /slo
+// endpoint serves and the ghostdb_slo_* gauges expose.
+func (db *DB) SLO() SLOSnapshot { return db.inner.SLO() }
 
 // Internal returns the underlying engine, for the benchmark harness and
 // tools living inside this module.

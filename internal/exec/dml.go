@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"time"
 
+	"ghostdb/internal/bus"
 	"ghostdb/internal/delta"
 	"ghostdb/internal/index"
+	"ghostdb/internal/metrics"
+	"ghostdb/internal/obs"
 	"ghostdb/internal/query"
 	"ghostdb/internal/sched"
 	"ghostdb/internal/schema"
@@ -65,23 +68,66 @@ func (db *DB) planDML(d *query.DML) (*Plan, error) {
 	}, nil
 }
 
+// spanDML / spanCompact name the cost spans covering the write path's
+// secure-side work, mirroring the read path's per-operator spans.
+const (
+	spanDML     = "DML"
+	spanCompact = "Compact"
+)
+
+// sessionStats summarizes a write-path session's cost from the counters
+// it observed while holding its token — the DML/compaction counterpart
+// of queryRun.collectStats.
+//
+//ghostdb:requires-slot
+func (db *DB) sessionStats(tok *Token, col *metrics.Collector, planMin, grant int) Stats {
+	down, up := tok.Bus.Counters()
+	total := metrics.Sample{Flash: tok.Dev.Counters(), BusDown: down, BusUp: up}
+	st := Stats{
+		IOTime:         db.opts.Model.IOTime(total),
+		CommTime:       db.opts.Model.CommTime(total, col.ThroughputMBps()),
+		Breakdown:      col.Breakdown(),
+		Flash:          tok.Dev.Counters(),
+		BusDown:        down,
+		BusUp:          up,
+		PlanMinBuffers: planMin,
+		GrantBuffers:   grant,
+		Shard:          tok.id,
+	}
+	st.SimTime = st.IOTime + st.CommTime
+	st.opSims = make(map[string]time.Duration)
+	for _, name := range col.Names() {
+		st.opSims[name] = col.SimTimeOf(name)
+	}
+	return st
+}
+
 // runDML executes an UPDATE/DELETE as a session on the token owning the
 // target table, exactly like runInsert: FIFO admission sized from the
 // plan floor, then exclusive use of the token while the statement stages
-// and commits. The result is the affected-row count.
-func (db *DB) runDML(ctx context.Context, d *query.DML, plan *Plan) (*Result, error) {
+// and commits. The result carries the affected-row count plus the
+// statement's Stats, and the session gets the same trace spans, slow-log
+// entry (kind-tagged UPDATE/DELETE) and pacing a SELECT gets.
+func (db *DB) runDML(ctx context.Context, d *query.DML, plan *Plan, cfg QueryConfig) (*Result, error) {
 	tok := plan.tok
+	parent := cfg.traceParent()
+	admSp := parent.Start("admission")
+	queued := time.Now()
 	sess, err := tok.sched.Acquire(ctx, sched.Request{
 		MinBuffers: plan.MinBuffers, WantBuffers: plan.WantBuffers})
+	admSp.End()
 	if err != nil {
-		if errors.Is(err, sched.ErrNeverAdmissible) {
-			db.inst.rejections[tok.id].Inc()
-		}
+		db.noteAdmissionErr(tok, err)
 		db.inst.queryErrs.Inc()
 		return nil, wrapAdmission(err)
 	}
+	wait := time.Since(queued)
 	defer sess.Release()
+	execSp := parent.Start("exec")
+	execSp.SetNote(fmt.Sprintf("token %d, grant %d buffers", tok.id, sess.Buffers()))
+	defer execSp.End()
 	var affected int
+	var st Stats
 	err = sess.Exclusive(ctx, func() error {
 		slotStart := time.Now()
 		defer func() {
@@ -92,18 +138,48 @@ func (db *DB) runDML(ctx context.Context, d *query.DML, plan *Plan) (*Result, er
 			return err
 		}
 		defer g.Release()
-		n, err := db.dmlOn(tok, d)
-		affected = n
-		return err
+		// The token is exclusively ours: zero the device/bus counters so
+		// the collector's spans see only this statement's I/O.
+		col := metrics.NewCollector(tok.Dev, tok.Bus, db.opts.Model)
+		col.Reset()
+		// Meter the statement-text upload like the read path does: the
+		// canonical text is the one thing the model reveals anyway.
+		if err := col.Span(spanBus, func() error {
+			sql := d.Canonical()
+			return tok.Bus.Transfer(bus.Up, "query", len(sql), sql)
+		}); err != nil {
+			return err
+		}
+		if err := col.Span(spanDML, func() error {
+			n, err := db.dmlOn(tok, d)
+			affected = n
+			return err
+		}); err != nil {
+			return err
+		}
+		st = db.sessionStats(tok, col, plan.MinBuffers, sess.Buffers())
+		attachOperatorSpans(execSp, col, st.SimTime)
+		// Paced mode: hold the slot for a real-time shadow of the
+		// simulated cost, so paced wall-clock benches see writes occupy
+		// the token like the modeled hardware would.
+		if pace := db.opts.PaceSimulation; pace > 0 {
+			paceSp := execSp.Start("pace")
+			time.Sleep(time.Duration(float64(st.SimTime) / pace))
+			paceSp.End()
+		}
+		return nil
 	})
 	if err != nil {
 		db.inst.queryErrs.Inc()
 		return nil, err
 	}
+	st.QueueWait = wait
+	db.observeDML(d, st)
 	db.maybeCompact(tok)
 	return &Result{
 		Columns: []string{"affected"},
 		Rows:    []schema.Row{{schema.IntVal(int64(affected))}},
+		Stats:   st,
 	}, nil
 }
 
@@ -328,6 +404,33 @@ func (db *DB) maybeCompact(tok *Token) {
 	}()
 }
 
+// WaitCompactions blocks until no token has a background compaction in
+// flight (or ctx expires). A compaction triggered by a just-returned
+// statement is already marked running when that statement's result is
+// delivered, so a caller that quiesces its own statements first cannot
+// race the trigger. Benches use this to read settled delta counters;
+// it does not prevent new DML from triggering further compactions.
+func (db *DB) WaitCompactions(ctx context.Context) error {
+	for {
+		busy := false
+		for _, tok := range db.tokens {
+			tok.mu.Lock()
+			if tok.compacting {
+				busy = true
+			}
+			tok.mu.Unlock()
+		}
+		if !busy {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
 // DeltaStats is one token's declassified write-path counters: the delta
 // log depth in flash pages, the DML statements committed, and the
 // compactions completed. All three are mirrors maintained at commit and
@@ -369,7 +472,12 @@ func (db *DB) Compact(ctx context.Context) error {
 	return nil
 }
 
-// compactOn runs one token's compaction under a scheduled session.
+// compactOn runs one token's compaction under a scheduled session. The
+// session is unsheddable (maintenance must run precisely when the
+// engine is busiest) but otherwise indistinguishable from query work in
+// the admission queue; it carries its own span tree and, past the slow
+// threshold, a COMPACT-kind slow-log entry, so background compactions
+// are as visible as the statements that triggered them.
 func (db *DB) compactOn(ctx context.Context, tok *Token) error {
 	if tok.DeltaPages() == 0 {
 		return nil
@@ -378,24 +486,52 @@ func (db *DB) compactOn(ctx context.Context, tok *Token) error {
 	if b := tok.RAM.Buffers(); b < min {
 		min = b
 	}
-	sess, err := tok.sched.Acquire(ctx, sched.Request{MinBuffers: min, WantBuffers: min})
+	name := fmt.Sprintf("COMPACT(token %d)", tok.id)
+	tr := obs.NewTrace(name)
+	admSp := tr.Root().Start("admission")
+	queued := time.Now()
+	sess, err := tok.sched.Acquire(ctx, sched.Request{
+		MinBuffers: min, WantBuffers: min, Unsheddable: true})
+	admSp.End()
 	if err != nil {
 		return wrapAdmission(err)
 	}
+	wait := time.Since(queued)
 	defer sess.Release()
+	execSp := tr.Root().Start("exec")
+	execSp.SetNote(fmt.Sprintf("token %d, grant %d buffers", tok.id, sess.Buffers()))
 	start := time.Now()
+	var st Stats
 	err = sess.Exclusive(ctx, func() error {
 		g, err := sess.RAM().AllocBuffers(min)
 		if err != nil {
 			return err
 		}
 		defer g.Release()
-		return db.compactToken(tok)
+		col := metrics.NewCollector(tok.Dev, tok.Bus, db.opts.Model)
+		col.Reset()
+		if err := col.Span(spanCompact, func() error {
+			return db.compactToken(tok)
+		}); err != nil {
+			return err
+		}
+		st = db.sessionStats(tok, col, min, sess.Buffers())
+		attachOperatorSpans(execSp, col, st.SimTime)
+		if pace := db.opts.PaceSimulation; pace > 0 {
+			paceSp := execSp.Start("pace")
+			time.Sleep(time.Duration(float64(st.SimTime) / pace))
+			paceSp.End()
+		}
+		return nil
 	})
+	execSp.End()
 	if err != nil {
 		return err
 	}
+	tr.Finish()
+	st.QueueWait = wait
 	db.inst.compactSecs[tok.id].Observe(time.Since(start).Seconds())
+	db.observeStatement("COMPACT", name, st)
 	return nil
 }
 

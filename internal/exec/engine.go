@@ -102,9 +102,22 @@ func (p Projector) String() string {
 	return "?"
 }
 
+// Version identifies this engine build; it is surfaced as the
+// ghostdb_build_info metric, the server's STATS output and the shell
+// banner, so a scrape or a session transcript always names the code it
+// measured.
+const Version = "0.9.0"
+
 // DefaultMaxConcurrentQueries bounds in-flight query sessions when
 // Options.MaxConcurrentQueries is unset.
 const DefaultMaxConcurrentQueries = 4
+
+// DefaultSLOTarget is the latency objective the rolling SLO window
+// scores client-level wall-clock latency against when Options.SLOTarget
+// is unset. 25ms of wall time covers the paced bench configurations and
+// any unpaced deployment by a wide margin while still catching
+// queueing collapse.
+const DefaultSLOTarget = 25 * time.Millisecond
 
 // DefaultCompactThreshold is the delta-log page depth that triggers a
 // background compaction (Options.CompactThreshold).
@@ -167,6 +180,18 @@ type Options struct {
 	// token starts (default DefaultCompactThreshold). Negative disables
 	// automatic compaction; DB.Compact still works.
 	CompactThreshold int
+	// MaxQueueWait enables load shedding: a statement arriving when its
+	// token's predicted admission-queue wait exceeds the bound is
+	// rejected immediately with ErrOverloaded instead of queueing, so
+	// open-loop overload yields bounded latency for admitted queries and
+	// an explicit, countable shed signal (ghostdb_shed_total) instead of
+	// an unbounded queue. 0 disables shedding (the default). Background
+	// compaction is never shed.
+	MaxQueueWait time.Duration
+	// SLOTarget is the wall-clock latency objective the rolling SLO
+	// window scores completed statements against (the /slo endpoint and
+	// the ghostdb_slo_attainment gauge). Default DefaultSLOTarget.
+	SLOTarget time.Duration
 }
 
 // withDefaults fills unset options with Table 1 values.
@@ -194,6 +219,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactThreshold == 0 {
 		o.CompactThreshold = DefaultCompactThreshold
+	}
+	if o.SLOTarget == 0 {
+		o.SLOTarget = DefaultSLOTarget
 	}
 	return o
 }
@@ -285,6 +313,9 @@ type DB struct {
 	inst *instruments
 	slow *obs.SlowLog
 
+	// start stamps engine construction, for the process-uptime gauge.
+	start time.Time
+
 	// mu guards the mutable engine state that outlives a single query:
 	// the default QueryConfig and the client-level cumulative totals
 	// (per-token totals live on each Token).
@@ -317,6 +348,7 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 		Sch:    sch,
 		opts:   opts,
 		defCfg: QueryConfig{Strategy: opts.ForceStrategy, Projector: opts.Projector},
+		start:  time.Now(),
 	}
 	var trees []shard.Tree
 	for _, r := range sch.Roots() {
@@ -349,6 +381,9 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 			rows:     make(map[int]int),
 		}
 		tok.sched = sched.New(tok.RAM, opts.MaxConcurrentQueries)
+		if opts.MaxQueueWait > 0 {
+			tok.sched.SetShedPolicy(opts.MaxQueueWait)
+		}
 		db.tokens = append(db.tokens, tok)
 	}
 	// Token 0 aliases (see the DB doc comment).
@@ -782,10 +817,10 @@ func (s *Stmt) Plan() *Plan { return s.plan }
 // one replans first, since those knobs change the plan itself.
 func (s *Stmt) RunCtx(ctx context.Context, cfg QueryConfig) (*Result, error) {
 	if s.ins != nil {
-		return s.db.runInsert(ctx, *s.ins, s.plan)
+		return s.db.runInsert(ctx, *s.ins, s.plan, cfg)
 	}
 	if s.dml != nil {
-		return s.db.runDML(ctx, s.dml, s.plan)
+		return s.db.runDML(ctx, s.dml, s.plan, cfg)
 	}
 	plan, key := s.plan, s.key
 	if cfg.Strategy != s.cfg.Strategy || cfg.Projector != s.cfg.Projector {
@@ -818,6 +853,22 @@ func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result,
 	if !db.loaded {
 		return nil, errors.New("exec: database not loaded")
 	}
+	// Client-level SLO bookkeeping: every statement entering here counts
+	// as in flight, and every success lands its wall-clock latency —
+	// queue wait, slot time and pacing included — in the rolling window
+	// behind /slo and ghostdb_slo_attainment.
+	db.inst.inFlight.Add(1)
+	start := time.Now()
+	res, err := db.runStatement(ctx, sql, cfg)
+	db.inst.inFlight.Add(-1)
+	if err == nil {
+		db.inst.wallWin.Observe(time.Since(start).Seconds())
+	}
+	return res, err
+}
+
+// runStatement is RunCtx minus the client-level instrumentation.
+func (db *DB) runStatement(ctx context.Context, sql string, cfg QueryConfig) (*Result, error) {
 	parseSp := cfg.Trace.Root().Start("parse")
 	stmt, err := sqlparse.Parse(sql)
 	parseSp.End()
@@ -839,18 +890,22 @@ func (db *DB) RunCtx(ctx context.Context, sql string, cfg QueryConfig) (*Result,
 // mutate shared structures (hidden images, indexes, row counts), so they
 // hold that token's slot — inserts into tables on *different* tokens
 // proceed in parallel (the write-through fan-out of a sharded load).
-func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan) (*Result, error) {
+func (db *DB) runInsert(ctx context.Context, ins sqlparse.Insert, plan *Plan, cfg QueryConfig) (*Result, error) {
 	tok := plan.tok
+	parent := cfg.traceParent()
+	admSp := parent.Start("admission")
 	sess, err := tok.sched.Acquire(ctx, sched.Request{
 		MinBuffers: plan.MinBuffers, WantBuffers: plan.WantBuffers})
+	admSp.End()
 	if err != nil {
-		if errors.Is(err, sched.ErrNeverAdmissible) {
-			db.inst.rejections[tok.id].Inc()
-		}
+		db.noteAdmissionErr(tok, err)
 		db.inst.queryErrs.Inc()
 		return nil, wrapAdmission(err)
 	}
 	defer sess.Release()
+	execSp := parent.Start("exec")
+	execSp.SetNote(fmt.Sprintf("token %d, grant %d buffers", tok.id, sess.Buffers()))
+	defer execSp.End()
 	err = sess.Exclusive(ctx, func() error {
 		slotStart := time.Now()
 		defer func() {
@@ -947,9 +1002,7 @@ func (db *DB) runSelectOn(ctx context.Context, q *query.Query, plan *Plan, cfg Q
 	sess, err := tok.sched.Acquire(ctx, req)
 	admSp.End()
 	if err != nil {
-		if errors.Is(err, sched.ErrNeverAdmissible) {
-			db.inst.rejections[tok.id].Inc()
-		}
+		db.noteAdmissionErr(tok, err)
 		return nil, wrapAdmission(err)
 	}
 	wait := time.Since(queued)

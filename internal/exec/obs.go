@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ghostdb/internal/metrics"
 	"ghostdb/internal/obs"
 	"ghostdb/internal/query"
+	"ghostdb/internal/sched"
 )
 
 // This file threads the leak-aware telemetry layer (internal/obs)
@@ -28,6 +31,15 @@ import (
 // transfer that, per §1, is the only data ever revealed to a spy.
 const spanBus = "Bus"
 
+// sloWindow / sloSlots shape the rolling wall-latency window behind the
+// SLO gauges and the /slo endpoint: one minute of history in 5-second
+// slots, so attainment reacts within seconds and forgets within the
+// minute.
+const (
+	sloWindow = time.Minute
+	sloSlots  = 12
+)
+
 // instruments holds the engine's always-on metric handles. Collection
 // is a few atomic adds per query; exposure (the /metrics endpoint, the
 // REPL command) is what processes opt into.
@@ -36,10 +48,17 @@ type instruments struct {
 	simHist   *obs.Histogram
 	grantHist *obs.Histogram
 
+	// inFlight counts client-level statements between RunCtx entry and
+	// return (queued included); wallWin is the rolling wall-clock
+	// latency window the SLO gauges and /slo read.
+	inFlight atomic.Int64
+	wallWin  *obs.WindowedHistogram
+
 	// Per-token (shard-labeled) instruments, indexed by token ordinal.
 	queueWait   []*obs.Histogram
 	slotOcc     []*obs.Histogram
 	rejections  []*obs.Counter
+	sheds       []*obs.Counter
 	compactSecs []*obs.Histogram
 
 	compactErrs *obs.Counter
@@ -64,6 +83,36 @@ func newInstruments(db *DB) *instruments {
 	r.CounterFunc("ghostdb_slowlog_entries_total", "queries recorded by the slow-query log",
 		func() float64 { return float64(db.slow.Total()) })
 
+	// Build metadata and liveness: the constant-1 info gauge names the
+	// code and topology a scrape measured; uptime dates the process.
+	r.GaugeFunc("ghostdb_build_info", "build metadata carried in labels; the value is always 1",
+		func() float64 { return 1 },
+		obs.L("version", Version),
+		obs.L("shards", fmt.Sprintf("%d", db.opts.Shards)),
+		obs.L("tokens", fmt.Sprintf("%d", db.opts.Shards)))
+	r.GaugeFunc("ghostdb_process_uptime_seconds", "seconds since engine construction",
+		func() float64 { return time.Since(db.start).Seconds() })
+
+	// The live SLO observatory: client-level wall latency in a rolling
+	// window, scored against Options.SLOTarget. These are the same
+	// obs.TimeBuckets the bench harness reads, so offline sweeps and
+	// live scrapes compute identical quantiles from identical data.
+	inst.wallWin = obs.NewWindowedHistogram(obs.TimeBuckets(), sloWindow, sloSlots)
+	target := db.opts.SLOTarget.Seconds()
+	r.GaugeFunc("ghostdb_queries_in_flight", "client-level statements currently queued or executing",
+		func() float64 { return float64(inst.inFlight.Load()) })
+	r.GaugeFunc("ghostdb_slo_target_seconds", "the wall-clock latency objective of the SLO window",
+		func() float64 { return target })
+	r.GaugeFunc("ghostdb_slo_attainment",
+		"fraction of windowed statements completing within the SLO target (1 when idle)",
+		func() float64 { return inst.wallWin.Attainment(target) })
+	r.GaugeFunc("ghostdb_slo_window_p50_seconds", "rolling p50 of client-level wall latency",
+		func() float64 { return inst.wallWin.Quantile(0.50) })
+	r.GaugeFunc("ghostdb_slo_window_p95_seconds", "rolling p95 of client-level wall latency",
+		func() float64 { return inst.wallWin.Quantile(0.95) })
+	r.GaugeFunc("ghostdb_slo_window_p99_seconds", "rolling p99 of client-level wall latency",
+		func() float64 { return inst.wallWin.Quantile(0.99) })
+
 	for i, t := range db.tokens {
 		tok := t
 		shard := obs.L("shard", fmt.Sprintf("%d", i))
@@ -74,6 +123,8 @@ func newInstruments(db *DB) *instruments {
 			"wall-clock time sessions hold the token's serial execution slot", obs.TimeBuckets(), shard))
 		inst.rejections = append(inst.rejections, r.Counter("ghostdb_sched_rejections_total",
 			"admission requests rejected up front (plan floor exceeds the budget)", shard))
+		inst.sheds = append(inst.sheds, r.Counter("ghostdb_shed_total",
+			"statements shed at arrival with ErrOverloaded (predicted queue wait over Options.MaxQueueWait)", shard))
 		admissions := r.Counter("ghostdb_sched_admissions_total", "sessions admitted", shard)
 		tok.sched.SetAdmitObserver(func(wait time.Duration, grantBuffers int) {
 			qw.Observe(wait.Seconds())
@@ -169,16 +220,30 @@ func attachOperatorSpans(sp *obs.Span, col *metrics.Collector, simTime time.Dura
 	sp.SetSim(simTime)
 }
 
-// observeSelect records one completed client-level SELECT into the
-// latency histogram and, when it clears the threshold, the slow log.
-func (db *DB) observeSelect(q *query.Query, st Stats) {
+// noteAdmissionErr classifies a failed Acquire into the per-shard
+// admission counters: clean up-front denials (plan floor over budget)
+// versus load sheds (predicted wait over the bound).
+func (db *DB) noteAdmissionErr(tok *Token, err error) {
+	switch {
+	case errors.Is(err, sched.ErrNeverAdmissible):
+		db.inst.rejections[tok.id].Inc()
+	case errors.Is(err, sched.ErrOverloaded):
+		db.inst.sheds[tok.id].Inc()
+	}
+}
+
+// observeStatement records one completed statement — kind-tagged
+// SELECT/UPDATE/DELETE/COMPACT — into the simulated-latency histogram
+// and, when it clears the threshold, the slow log.
+func (db *DB) observeStatement(kind, canonical string, st Stats) {
 	db.inst.simHist.Observe(st.SimTime.Seconds())
 	if db.slow == nil || st.SimTime < db.slow.Threshold() {
 		return
 	}
 	db.slow.Record(obs.SlowQuery{
 		Time:           time.Now(),
-		Query:          q.Canonical(),
+		Query:          canonical,
+		Kind:           kind,
 		Shard:          st.Shard,
 		Scatter:        st.Scatter,
 		SimUs:          st.SimTime.Microseconds(),
@@ -187,6 +252,79 @@ func (db *DB) observeSelect(q *query.Query, st Stats) {
 		GrantBuffers:   st.GrantBuffers,
 		Spans:          topSpanCosts(st.opSims, 8),
 	})
+}
+
+// observeSelect records one completed client-level SELECT.
+func (db *DB) observeSelect(q *query.Query, st Stats) {
+	db.observeStatement("SELECT", q.Canonical(), st)
+}
+
+// observeDML records one committed UPDATE or DELETE.
+func (db *DB) observeDML(d *query.DML, st Stats) {
+	kind := "UPDATE"
+	if d.Delete {
+		kind = "DELETE"
+	}
+	db.observeStatement(kind, d.Canonical(), st)
+}
+
+// SLOShard is one token's admission-side state in an SLO snapshot.
+type SLOShard struct {
+	Shard      int    `json:"shard"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	ShedTotal  uint64 `json:"shed_total"`
+}
+
+// SLOSnapshot is the live SLO observatory's view — the /slo endpoint
+// payload: rolling attainment and quantiles over the last sloWindow of
+// client-level wall latency, plus the per-shard admission state behind
+// them. Every field is declassified scheduling bookkeeping.
+type SLOSnapshot struct {
+	Version       string     `json:"version"`
+	TargetMs      float64    `json:"target_ms"`
+	WindowSeconds float64    `json:"window_seconds"`
+	Count         uint64     `json:"count"`
+	Attainment    float64    `json:"attainment"`
+	P50Ms         float64    `json:"p50_ms"`
+	P95Ms         float64    `json:"p95_ms"`
+	P99Ms         float64    `json:"p99_ms"`
+	InFlight      int64      `json:"in_flight"`
+	ShedTotal     uint64     `json:"shed_total"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Shards        []SLOShard `json:"shards"`
+}
+
+// SLO merges the rolling latency window and the per-token admission
+// gauges into one snapshot. The quantile and attainment math is the
+// plain-Histogram math over obs.TimeBuckets — identical to what a
+// Prometheus scrape of the ghostdb_slo_* gauges reports.
+func (db *DB) SLO() SLOSnapshot {
+	h := db.inst.wallWin.Snapshot()
+	target := db.opts.SLOTarget
+	s := SLOSnapshot{
+		Version:       Version,
+		TargetMs:      float64(target.Microseconds()) / 1000,
+		WindowSeconds: db.inst.wallWin.Window().Seconds(),
+		Count:         h.Count(),
+		Attainment:    h.FractionBelow(target.Seconds()),
+		P50Ms:         h.Quantile(0.50) * 1000,
+		P95Ms:         h.Quantile(0.95) * 1000,
+		P99Ms:         h.Quantile(0.99) * 1000,
+		InFlight:      db.inst.inFlight.Load(),
+		UptimeSeconds: time.Since(db.start).Seconds(),
+	}
+	for i, tok := range db.tokens {
+		shed := db.inst.sheds[i].Value()
+		s.ShedTotal += shed
+		s.Shards = append(s.Shards, SLOShard{
+			Shard:      i,
+			QueueDepth: tok.QueueLen(),
+			Running:    tok.Running(),
+			ShedTotal:  shed,
+		})
+	}
+	return s
 }
 
 // topSpanCosts renders the per-operator simulated costs as a span

@@ -11,6 +11,7 @@ import (
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
 	"ghostdb/internal/query"
+	"ghostdb/internal/sched"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 	"ghostdb/internal/store"
@@ -32,6 +33,13 @@ import (
 // admission time, before anything has run. It wraps the scheduler's
 // sentinel, which in turn wraps ram.ErrExhausted.
 var ErrBudgetTooSmall = errors.New("exec: plan footprint exceeds the RAM budget")
+
+// ErrOverloaded is the scheduler's load-shed sentinel re-exported at the
+// engine boundary: a statement rejected at arrival because its token's
+// predicted admission wait exceeded Options.MaxQueueWait. The statement
+// held nothing and can simply be retried later; servers surface it as
+// HTTP 429.
+var ErrOverloaded = sched.ErrOverloaded
 
 // TablePlan is the planned treatment of one table carrying a visible
 // selection.

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ghostdb/internal/datagen"
 	"ghostdb/internal/exec"
@@ -202,6 +204,15 @@ func (l *Lab) DMLSweep(sessionCounts []int, readsPerCell int) (*DMLReport, error
 			}
 			if rs.served != len(stmts) {
 				rep.StarvationOK = false
+			}
+			// A compaction triggered by the window's last writes may still
+			// be queued or pacing; let it settle so the cell's compaction
+			// and delta counters describe the whole window's work.
+			waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err = db.WaitCompactions(waitCtx)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("dml sweep %d sessions (%s): compaction never settled: %w", sessions, mode, err)
 			}
 			var finalPages int
 			var compactions, dmlCount uint64

@@ -28,6 +28,9 @@ type SlowQuery struct {
 	Time time.Time `json:"time"`
 	// Query is the canonical (normalized, resolved) statement text.
 	Query string `json:"query"`
+	// Kind tags what produced the entry: SELECT, UPDATE, DELETE, INSERT
+	// or COMPACT (empty in logs recorded before kinds existed).
+	Kind string `json:"kind,omitempty"`
 	// Shard is the token the session ran on (-1 for a scatter fan-out).
 	Shard int `json:"shard"`
 	// Scatter is the fan-out width of a cross-token query (0 otherwise).

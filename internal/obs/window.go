@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// WindowedHistogram is a rolling-window histogram: observations land in
+// the bucket layout of a plain Histogram (so offline benches and live
+// scrapes agree on quantile math), but only the last `window` of wall
+// time counts. The window is a ring of slot sub-histograms stamped with
+// their epoch; a slot is lazily reset the first time an observation
+// lands in a new epoch, so idle instruments cost nothing. This is the
+// primitive behind rolling SLO attainment: the /slo endpoint and the
+// ghostdb_slo_attainment gauge both read a merged snapshot of the live
+// slots.
+//
+// Like the rest of obs, a WindowedHistogram only ever sees values the
+// security model already reveals (wall-clock latencies, metered
+// durations) — never hidden tuple data.
+type WindowedHistogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	slotD  time.Duration
+	slots  []windowSlot
+	// now is the clock; tests swap it for a deterministic one.
+	now func() time.Time
+}
+
+// windowSlot is one ring entry: the epoch it was last reset for, and
+// the observations of that epoch.
+type windowSlot struct {
+	epoch int64
+	h     *Histogram
+}
+
+// NewWindowedHistogram creates a rolling histogram over the given
+// ascending finite bucket bounds, covering `window` of wall time split
+// into `slots` ring entries (more slots = smoother expiry). window
+// defaults to one minute, slots to 12, when non-positive.
+func NewWindowedHistogram(bounds []float64, window time.Duration, slots int) *WindowedHistogram {
+	if window <= 0 {
+		window = time.Minute
+	}
+	if slots < 1 {
+		slots = 12
+	}
+	w := &WindowedHistogram{
+		bounds: append([]float64(nil), bounds...),
+		slotD:  window / time.Duration(slots),
+		slots:  make([]windowSlot, slots),
+		now:    time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].epoch = -1
+	}
+	return w
+}
+
+// Window returns the span of wall time the histogram covers.
+func (w *WindowedHistogram) Window() time.Duration {
+	return w.slotD * time.Duration(len(w.slots))
+}
+
+// epochAt maps a wall-clock instant to a slot epoch.
+func (w *WindowedHistogram) epochAt(t time.Time) int64 {
+	return t.UnixNano() / int64(w.slotD)
+}
+
+// Observe records one value into the current epoch's slot.
+func (w *WindowedHistogram) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	epoch := w.epochAt(w.now())
+	s := &w.slots[int(epoch%int64(len(w.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		s.h = NewHistogram(w.bounds)
+	}
+	s.h.Observe(v)
+	w.mu.Unlock()
+}
+
+// Snapshot merges the slots still inside the window into one plain
+// Histogram, so quantiles and attainment are computed by exactly the
+// same bucket math a Prometheus scrape would use.
+func (w *WindowedHistogram) Snapshot() *Histogram {
+	out := NewHistogram(w.bounds)
+	if w == nil {
+		return out
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cur := w.epochAt(w.now())
+	min := cur - int64(len(w.slots)) + 1
+	var sum float64
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.h == nil || s.epoch < min || s.epoch > cur {
+			continue
+		}
+		for j := range s.h.counts {
+			out.counts[j].Add(s.h.counts[j].Load())
+		}
+		out.inf.Add(s.h.inf.Load())
+		out.count.Add(s.h.count.Load())
+		sum += s.h.Sum()
+	}
+	out.sum.Store(math.Float64bits(sum))
+	return out
+}
+
+// Count returns the number of observations inside the window.
+func (w *WindowedHistogram) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.Snapshot().Count()
+}
+
+// Quantile estimates the q-quantile over the window (see
+// Histogram.Quantile for the interpolation rule).
+func (w *WindowedHistogram) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	return w.Snapshot().Quantile(q)
+}
+
+// Attainment returns the fraction of windowed observations at or below
+// le — the SLO attainment against a latency objective. An empty window
+// attains trivially (returns 1).
+func (w *WindowedHistogram) Attainment(le float64) float64 {
+	if w == nil {
+		return 1
+	}
+	return w.Snapshot().FractionBelow(le)
+}
+
+// FractionBelow estimates the fraction of observations at or below le,
+// with linear interpolation inside the bucket containing le — the
+// cumulative counterpart of Quantile, and the estimate a recording rule
+// over this histogram's _bucket series would produce. Returns 1 when
+// empty (an SLO with no traffic is attained).
+func (h *Histogram) FractionBelow(le float64) float64 {
+	if h == nil {
+		return 1
+	}
+	total := float64(h.count.Load())
+	if total == 0 {
+		return 1
+	}
+	cum, lower := 0.0, 0.0
+	for i, upper := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if le < upper {
+			frac := 0.0
+			if upper > lower {
+				frac = (le - lower) / (upper - lower)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return (cum + c*frac) / total
+		}
+		cum += c
+		lower = upper
+	}
+	// le at or beyond the top finite bound: everything but the +Inf
+	// bucket qualifies.
+	return cum / total
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets a test step the windowed histogram's notion of time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestWindow(window time.Duration, slots int) (*WindowedHistogram, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewWindowedHistogram(TimeBuckets(), window, slots)
+	w.now = clk.now
+	return w, clk
+}
+
+func TestWindowedHistogramExpiresOldEpochs(t *testing.T) {
+	w, clk := newTestWindow(time.Minute, 6) // 10s slots
+
+	w.Observe(0.001)
+	w.Observe(0.002)
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+
+	// Half a window later the old slot still counts...
+	clk.advance(30 * time.Second)
+	w.Observe(0.004)
+	if got := w.Count(); got != 3 {
+		t.Fatalf("count after 30s = %d, want 3", got)
+	}
+
+	// ...but a full window past the first observations, only the newer
+	// one remains.
+	clk.advance(31 * time.Second)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count after window rolled = %d, want 1 (old epoch expired)", got)
+	}
+
+	// And once everything ages out, the window is empty and the SLO is
+	// trivially attained.
+	clk.advance(2 * time.Minute)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after full expiry = %d, want 0", got)
+	}
+	if got := w.Attainment(0.025); got != 1 {
+		t.Fatalf("attainment of empty window = %v, want 1", got)
+	}
+}
+
+func TestWindowedHistogramSlotReuseResets(t *testing.T) {
+	w, clk := newTestWindow(time.Minute, 6)
+	w.Observe(0.001)
+
+	// Advance exactly one full ring revolution: the same slot index is
+	// reused for a new epoch and must not resurrect the old counts.
+	clk.advance(time.Minute)
+	w.Observe(0.002)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count after ring wrap = %d, want 1", got)
+	}
+}
+
+func TestWindowedHistogramQuantileMatchesPlain(t *testing.T) {
+	w, _ := newTestWindow(time.Minute, 12)
+	plain := NewHistogram(TimeBuckets())
+	for i := 1; i <= 100; i++ {
+		v := float64(i) * 0.0005
+		w.Observe(v)
+		plain.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := w.Quantile(q), plain.Quantile(q); got != want {
+			t.Fatalf("q%.0f = %v, want the plain histogram's %v", q*100, got, want)
+		}
+	}
+	if got, want := w.Snapshot().Sum(), plain.Sum(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := NewHistogram([]float64{0.010, 0.020, 0.040})
+	if got := h.FractionBelow(0.020); got != 1 {
+		t.Fatalf("empty histogram = %v, want 1", got)
+	}
+	// 2 obs in (0,10ms], 2 in (10,20ms], 1 in (20,40ms], 1 beyond.
+	for _, v := range []float64{0.004, 0.008, 0.012, 0.018, 0.030, 0.100} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		le, want float64
+	}{
+		{0.020, 4.0 / 6},         // exact bucket boundary: no interpolation
+		{0.040, 5.0 / 6},         // top finite bound: all but +Inf
+		{0.100, 5.0 / 6},         // beyond top bound: same
+		{0.030, (4.0 + 0.5) / 6}, // halfway through the (20,40] bucket
+		{0.005, (2.0 * 0.5) / 6}, // halfway through the first bucket
+	}
+	for _, c := range cases {
+		if got := h.FractionBelow(c.le); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.le, got, c.want)
+		}
+	}
+}
+
+// TestWindowedHistogramConcurrent hammers one windowed histogram from 16
+// goroutines — writers observing, readers snapshotting quantiles and
+// attainment — the shape `go test -race` needs to certify the lock
+// discipline.
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	w := NewWindowedHistogram(TimeBuckets(), 100*time.Millisecond, 4)
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					w.Observe(float64(i%50) * 0.0004)
+				} else {
+					_ = w.Quantile(0.99)
+					_ = w.Attainment(0.025)
+					_ = w.Count()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Snapshot() == nil {
+		t.Fatal("nil snapshot")
+	}
+}

@@ -30,6 +30,14 @@
 // flash/bus work in Exclusive, which holds the token's single execution
 // slot. Per-query counters therefore see only their own I/O and the
 // simulated timings stay deterministic per query.
+//
+// FIFO admission guarantees no starvation, but under sustained
+// open-loop overload (arrivals beyond the token's service rate) it also
+// guarantees an unbounded queue. SetShedPolicy bounds the damage: once
+// the predicted admission wait exceeds the configured limit, new
+// requests are rejected at arrival with ErrOverloaded — holding nothing
+// — so admitted queries keep bounded latency and overload becomes an
+// explicit, countable signal instead of a silent latency cliff.
 package sched
 
 import (
@@ -49,12 +57,24 @@ import (
 // clean up-front denial from a mid-run exhaustion.
 var ErrNeverAdmissible = errors.New("sched: session minimum exceeds the budget")
 
+// ErrOverloaded marks a request shed at arrival because the scheduler
+// predicted its admission-queue wait would exceed the configured bound
+// (SetShedPolicy). Shedding keeps overload visible and bounded: under
+// open-loop traffic beyond the token's capacity the queue would
+// otherwise grow without limit and every query's latency with it.
+// Rejected requests held nothing — no RAM, no queue slot.
+var ErrOverloaded = errors.New("sched: overloaded, predicted queue wait exceeds the bound")
+
 // Request declares a session's RAM needs in whole buffers: at least Min
 // (admission blocks until Min is free), up to Want (the elastic top-up
 // taken when the budget allows).
 type Request struct {
 	MinBuffers  int
 	WantBuffers int
+	// Unsheddable exempts the request from load shedding — set by
+	// internal maintenance sessions (background compaction) that must
+	// run precisely when the engine is busiest.
+	Unsheddable bool
 }
 
 // Scheduler admits query sessions against one ram.Manager with a bounded
@@ -74,6 +94,10 @@ type Scheduler struct {
 	admitted uint64 // admission sequence, for fairness assertions
 	leaks    int    // sessions released with outstanding sub-grants
 	onAdmit  func(wait time.Duration, grantBuffers int)
+
+	maxWait time.Duration // shed bound; 0 disables shedding
+	avgSlot time.Duration // EWMA of Exclusive hold times, the wait predictor
+	sheds   uint64        // requests rejected with ErrOverloaded
 }
 
 type waiter struct {
@@ -132,10 +156,60 @@ func (s *Scheduler) SetAdmitObserver(fn func(wait time.Duration, grantBuffers in
 	s.mu.Unlock()
 }
 
+// SetShedPolicy bounds the admission-queue wait: an arriving request
+// whose predicted wait exceeds maxWait is rejected immediately with
+// ErrOverloaded instead of joining the queue. 0 (the default) disables
+// shedding. The prediction is the scheduler's own bookkeeping — queue
+// depth, running sessions, an EWMA of execution-slot hold times, and
+// the age of the queue head — so overload detection costs no extra
+// coordination and never consults query data.
+func (s *Scheduler) SetShedPolicy(maxWait time.Duration) {
+	s.mu.Lock()
+	s.maxWait = maxWait
+	s.mu.Unlock()
+}
+
+// Sheds counts requests rejected with ErrOverloaded since construction.
+func (s *Scheduler) Sheds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sheds
+}
+
+// predictedWaitLocked estimates how long a request arriving now would
+// sit in the admission queue: everyone already queued or running will
+// hold the serial execution slot for ~avgSlot each, and FIFO order
+// means a new arrival cannot be admitted before the current head — so
+// the head's age is a lower bound once the queue has stopped draining.
+func (s *Scheduler) predictedWaitLocked() time.Duration {
+	pred := time.Duration(len(s.queue)+s.running) * s.avgSlot
+	if len(s.queue) > 0 {
+		if age := time.Since(s.queue[0].enq); age > pred {
+			pred = age
+		}
+	}
+	return pred
+}
+
+// noteSlotHold feeds one Exclusive hold duration into the shed
+// predictor's EWMA (alpha 1/4: jumpy enough to track load shifts,
+// smooth enough to ignore one odd query).
+func (s *Scheduler) noteSlotHold(d time.Duration) {
+	s.mu.Lock()
+	if s.avgSlot == 0 {
+		s.avgSlot = d
+	} else {
+		s.avgSlot = (3*s.avgSlot + d) / 4
+	}
+	s.mu.Unlock()
+}
+
 // Acquire blocks until the request is admitted (FIFO order) or the
 // context is cancelled. A cancelled request leaves the scheduler exactly
 // as it found it: nothing reserved, nothing held, and the queue pumped so
-// later requests are not blocked by the vacancy.
+// later requests are not blocked by the vacancy. When a shed policy is
+// set, a request predicted to wait longer than the bound fails fast
+// with ErrOverloaded instead of queueing.
 func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Session, error) {
 	if req.MinBuffers < 1 {
 		req.MinBuffers = 1
@@ -152,6 +226,14 @@ func (s *Scheduler) Acquire(ctx context.Context, req Request) (*Session, error) 
 	}
 	w := &waiter{req: req, enq: time.Now(), ready: make(chan *Session, 1)}
 	s.mu.Lock()
+	if s.maxWait > 0 && !req.Unsheddable {
+		if wait := s.predictedWaitLocked(); wait > s.maxWait {
+			s.sheds++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("sched: predicted queue wait %v exceeds the %v bound: %w",
+				wait.Round(time.Microsecond), s.maxWait, ErrOverloaded)
+		}
+	}
 	s.queue = append(s.queue, w)
 	s.pumpLocked()
 	s.mu.Unlock()
@@ -243,7 +325,11 @@ func (sess *Session) Exclusive(ctx context.Context, fn func() error) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	defer func() { sess.s.token <- struct{}{} }()
+	start := time.Now()
+	defer func() {
+		sess.s.noteSlotHold(time.Since(start))
+		sess.s.token <- struct{}{}
+	}()
 	return fn()
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 
 	"ghostdb"
@@ -19,6 +20,11 @@ import (
 //	GET      /metrics             -> Prometheus text exposition
 //	GET/POST /trace?q=SELECT...   -> execute with a span tree attached
 //	GET      /slowlog             -> slow-query ring, oldest first
+//	GET      /slo                 -> rolling SLO attainment snapshot
+//
+// Statements rejected by the load shedder (ghostdb.ErrOverloaded)
+// return 429 Too Many Requests rather than 400, so clients and load
+// balancers can distinguish "back off" from "your query is wrong".
 //
 // The observability trio (/metrics, /trace, /slowlog) is gated by
 // SetTelemetry and exports only declassified values: simulated costs
@@ -38,7 +44,7 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		res, err := s.db.QueryCtx(r.Context(), sql)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err.Error())
+			httpErr(w, statusFor(err), err.Error())
 			return
 		}
 		rows := make([][]any, len(res.Rows))
@@ -71,7 +77,7 @@ func (s *Server) HTTPHandler() http.Handler {
 			return
 		}
 		if err := s.db.ExecCtx(r.Context(), sql); err != nil {
-			httpErr(w, http.StatusBadRequest, err.Error())
+			httpErr(w, statusFor(err), err.Error())
 			return
 		}
 		writeJSON(w, map[string]any{"ok": true})
@@ -126,7 +132,7 @@ func (s *Server) HTTPHandler() http.Handler {
 		tr := ghostdb.NewTrace(sql)
 		res, err := s.db.QueryCtx(r.Context(), sql, ghostdb.WithTrace(tr))
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err.Error())
+			httpErr(w, statusFor(err), err.Error())
 			return
 		}
 		tr.Finish()
@@ -139,6 +145,13 @@ func (s *Server) HTTPHandler() http.Handler {
 				"cache":         cacheLabel(res.Stats),
 			},
 		})
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		if !s.telemetry.Load() {
+			httpErr(w, http.StatusNotFound, "telemetry disabled")
+			return
+		}
+		writeJSON(w, s.db.SLO())
 	})
 	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
 		if !s.telemetry.Load() {
@@ -200,6 +213,15 @@ func jsonValue(v ghostdb.Value) any {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps an engine error to an HTTP status: shed statements are
+// a load condition (429), everything else is a client error (400).
+func statusFor(err error) int {
+	if errors.Is(err, ghostdb.ErrOverloaded) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusBadRequest
 }
 
 func httpErr(w http.ResponseWriter, code int, msg string) {

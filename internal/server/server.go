@@ -374,6 +374,7 @@ func statsPairs(db *ghostdb.DB) []kv {
 	tot := db.Totals()
 	cs := db.CacheStats()
 	out := []kv{
+		{"version", ghostdb.Version},
 		{"queries", tot.Queries},
 		{"sim_us", tot.SimTime.Microseconds()},
 		{"io_us", tot.IOTime.Microseconds()},

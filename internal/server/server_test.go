@@ -3,12 +3,14 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -143,7 +145,7 @@ func TestProtocolQueryExplainStats(t *testing.T) {
 
 	st := c.roundtrip(t, "STATS")
 	joined := strings.Join(st, "\n")
-	for _, want := range []string{"INFO queries=", "INFO cache_hits=1", "INFO cache_entries=1",
+	for _, want := range []string{"INFO version=" + ghostdb.Version, "INFO queries=", "INFO cache_hits=1", "INFO cache_entries=1",
 		"INFO shards=1", "INFO shard0_sessions=", "INFO shard0_flash_reads="} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("STATS missing %q:\n%s", want, joined)
@@ -300,5 +302,168 @@ func TestHTTPFacade(t *testing.T) {
 	}
 	if body = get("/explain?q=SELECT+id+FROM+Customers+WHERE+region+=+'north'"); !strings.Contains(body, `"plan"`) {
 		t.Fatalf("explain body: %s", body)
+	}
+}
+
+// obsDB builds the test database with telemetry instruments armed: a
+// 1ns slow threshold (every statement logs) and no result cache, so
+// every request does real engine work.
+func obsDB(t testing.TB, opts ghostdb.Options) *ghostdb.DB {
+	t.Helper()
+	opts.FlashBlocks = 4096
+	opts.SlowQueryThreshold = time.Nanosecond
+	db, err := ghostdb.Create([]string{
+		`CREATE TABLE Orders (id int, customer_id int REFERENCES Customers HIDDEN,
+		   quarter char(7), amount float HIDDEN)`,
+		`CREATE TABLE Customers (id int, company char(30) HIDDEN, region char(20))`,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := db.Loader()
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 30; i++ {
+		if err := ld.Append("Customers", ghostdb.R{"company": fmt.Sprintf("corp-%02d", i), "region": regions[i%4]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if err := ld.Append("Orders", ghostdb.R{"customer_id": i % 30, "quarter": fmt.Sprintf("2006-Q%d", i%4+1), "amount": float64(i % 250)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ld.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestTraceAndSlowlogCoverDML: UPDATE and DELETE through /trace carry
+// the write path's span tree, and the slow log tags their entries with
+// the statement kind — the same observability SELECTs get.
+func TestTraceAndSlowlogCoverDML(t *testing.T) {
+	s := New(obsDB(t, ghostdb.Options{MaxConcurrentQueries: 4}), t.Logf)
+	s.SetTelemetry(true)
+	ts := httptest.NewServer(s.HTTPHandler())
+	defer ts.Close()
+
+	get := func(path, q string) (int, string) {
+		t.Helper()
+		res, err := ts.Client().Get(ts.URL + path + "?q=" + strings.ReplaceAll(q, " ", "+"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, string(body)
+	}
+
+	code, body := get("/trace", `UPDATE Orders SET amount = 999.0 WHERE Orders.quarter = '2006-Q1'`)
+	if code != 200 {
+		t.Fatalf("trace UPDATE: status %d, body %s", code, body)
+	}
+	for _, want := range []string{`"admission"`, `"exec"`, `"DML"`, `"queue_wait_us"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("trace UPDATE body missing %s:\n%s", want, body)
+		}
+	}
+	if code, body = get("/trace", `DELETE FROM Orders WHERE Orders.id >= 1000000`); code != 200 {
+		t.Fatalf("trace DELETE: status %d, body %s", code, body)
+	}
+	if !strings.Contains(body, `"DML"`) {
+		t.Fatalf("trace DELETE body missing DML span:\n%s", body)
+	}
+
+	code, body = get("/slowlog", "")
+	if code != 200 {
+		t.Fatalf("slowlog: status %d", code)
+	}
+	for _, want := range []string{`"kind":"UPDATE"`, `"kind":"DELETE"`, `"queue_wait_us"`, `"grant_buffers"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("slowlog missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestHTTPOverloadSheds429: with a 1ns queue-wait bound and one
+// admission slot, concurrent clients force the shedder to reject
+// statements; the HTTP facade must answer those with 429 (not 400),
+// keep serving afterwards, and surface the sheds in /slo and /metrics.
+func TestHTTPOverloadSheds429(t *testing.T) {
+	s := New(obsDB(t, ghostdb.Options{
+		MaxConcurrentQueries: 1,
+		MaxQueueWait:         time.Nanosecond,
+		PaceSimulation:       1,
+	}), t.Logf)
+	s.SetTelemetry(true)
+	ts := httptest.NewServer(s.HTTPHandler())
+	defer ts.Close()
+
+	q := ts.URL + "/query?q=" + strings.ReplaceAll(
+		"SELECT Orders.id FROM Orders, Customers WHERE Orders.customer_id = Customers.id AND Customers.company < 'corp-20'", " ", "+")
+	var shed, served atomic.Int64
+	for round := 0; round < 10 && shed.Load() == 0; round++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := ts.Client().Get(q)
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				defer res.Body.Close()
+				body, _ := io.ReadAll(res.Body)
+				switch res.StatusCode {
+				case 200:
+					served.Add(1)
+				case 429:
+					if !strings.Contains(string(body), "overloaded") {
+						t.Errorf("429 body: %s", body)
+					}
+					shed.Add(1)
+				default:
+					t.Errorf("status %d, body %s", res.StatusCode, body)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if shed.Load() == 0 {
+		t.Fatal("8 concurrent clients x 10 rounds against one paced slot never shed")
+	}
+	if served.Load() == 0 {
+		t.Fatal("overload shed everything; admitted traffic expected too")
+	}
+
+	// The server still serves, and the sheds are visible downstream.
+	res, err := ts.Client().Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), `"shed_total"`) {
+		t.Fatalf("/slo body missing shed_total: %s", body)
+	}
+	var slo ghostdb.SLOSnapshot
+	if err := json.Unmarshal(body, &slo); err != nil {
+		t.Fatalf("/slo decode: %v", err)
+	}
+	if slo.ShedTotal != uint64(shed.Load()) {
+		t.Fatalf("/slo shed_total = %d, clients saw %d rejections", slo.ShedTotal, shed.Load())
+	}
+	res, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "ghostdb_shed_total") {
+		t.Fatal("/metrics missing ghostdb_shed_total")
 	}
 }
