@@ -10,6 +10,7 @@
 //	ghostdb-bench -exp concurrency         # scheduler sweep -> BENCH_concurrency.json
 //	ghostdb-bench -exp planner             # plan-sized vs fixed-floor admission -> BENCH_planner.json
 //	ghostdb-bench -exp cache               # result cache: cold vs Zipf -> BENCH_cache.json
+//	ghostdb-bench -exp pagecache           # page cache: Zipf with/without -> BENCH_pagecache.json
 //	ghostdb-bench -exp sharding            # 1/2/4 secure tokens -> BENCH_sharding.json
 //	ghostdb-bench -exp dml                 # OLTP write window vs read-only baseline -> BENCH_dml.json
 //	ghostdb-bench -exp slo                 # open-loop rate search under the SLO -> BENCH_slo.json
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, sharding, dml, slo, slo-gate")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig7..fig16, ablations, concurrency, planner, cache, pagecache, sharding, dml, slo, slo-gate")
 	scale := flag.Float64("scale", 0.01, "scale factor (paper = 1.0)")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	queries := flag.Int("queries", 60, "queries per level in the concurrency/planner sweeps")
@@ -73,6 +74,16 @@ func main() {
 			path = "BENCH_cache.json"
 		}
 		if err := runCache(lab, *queries, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
+			os.Exit(1)
+		}
+		return
+	case "pagecache":
+		path := *out
+		if path == "" {
+			path = "BENCH_pagecache.json"
+		}
+		if err := runPagecache(lab, *queries, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostdb-bench:", err)
 			os.Exit(1)
 		}
@@ -181,6 +192,56 @@ func runCache(lab *experiments.Lab, queries int, out string) error {
 	}
 	if !rep.ZipfSpeedupOK {
 		return fmt.Errorf("cache contract violated: zipf workload not faster than cold")
+	}
+	return nil
+}
+
+// runPagecache compares the cache-off and cache-on arms on the Zipf
+// mixed workload and writes the machine-readable report. It fails
+// loudly on any of PR 10's contract points: the Down-byte saving floor,
+// no-worse simulated latency, byte-identical uplink audit trails, and
+// exact answers on both arms.
+func runPagecache(lab *experiments.Lab, queries int, out string) error {
+	rep, err := lab.PagecacheSweep(queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== pagecache: Zipf mixed workload, cache off vs on, %d queries per arm (scale %g, %dB secure RAM, %dB page cache) ==\n",
+		queries, rep.Scale, rep.RAMBudgetBytes, rep.PageCacheBytes)
+	fmt.Printf("  %-6s %10s %10s %10s %12s %12s %8s %10s %8s\n",
+		"mode", "wall-qps", "sim-p50", "sim-total", "bus-down", "flash-reads", "pc-hits", "coalesced", "uplinks")
+	for _, p := range []experiments.PagecachePoint{rep.Off, rep.On} {
+		fmt.Printf("  %-6s %10.1f %8.2fms %8.2fms %11dB %12d %8d %10d %8d\n",
+			p.Mode, p.WallQPS, p.SimP50Ms, p.SimTotalMs, p.BusDownBytes, p.FlashReads,
+			p.PagecacheHits, p.BusCoalesced, p.UplinkRecords)
+	}
+	fmt.Printf("  down-byte drop: %.1f%% (floor %.0f%%): %v\n",
+		rep.BusDownDropPct, experiments.MinBusDownDropPct, rep.BusSavingsOK)
+	fmt.Printf("  simulated latency no worse (p50) and strictly lower (total): %v\n", rep.LatencyOK)
+	fmt.Printf("  uplink audit trails byte-identical across arms: %v\n", rep.UplinkParityOK)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  report written to %s\n", out)
+	if !rep.UplinkParityOK {
+		return fmt.Errorf("pagecache contract violated: the cache changed the uplink audit trail")
+	}
+	if rep.Off.AnswerErrors != 0 || rep.On.AnswerErrors != 0 {
+		return fmt.Errorf("pagecache contract violated: answers diverged from the fresh-engine baseline")
+	}
+	if !rep.BusSavingsOK {
+		return fmt.Errorf("pagecache contract violated: Down-byte drop %.1f%% below the %.0f%% floor",
+			rep.BusDownDropPct, experiments.MinBusDownDropPct)
+	}
+	if !rep.LatencyOK {
+		return fmt.Errorf("pagecache contract violated: cache-on arm was not faster in simulated time")
+	}
+	if !rep.PrefetchQuiesced {
+		return fmt.Errorf("pagecache contract violated: prefetch in-flight gauge nonzero after drain")
 	}
 	return nil
 }

@@ -45,6 +45,8 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "demo dataset scale factor (paper's medical DB = 1.0)")
 	seed := flag.Int64("seed", 1, "demo dataset seed")
 	cacheBytes := flag.Int("cache", 8<<20, "result cache bound in bytes (0 disables caching)")
+	pageCacheBytes := flag.Int("page-cache", 4<<20, "untrusted page cache bound in bytes (0 disables it)")
+	busAudit := flag.Int("bus-audit", -1, "per-token bus audit trail: -1 off (default for servers), 0 full, n>0 ring of n records")
 	sessions := flag.Int("sessions", 8, "max concurrently admitted query sessions")
 	ramBytes := flag.Int("ram", 0, "secure RAM budget in bytes (default 65536, the paper's Table 1)")
 	shards := flag.Int("shards", 1, "simulated secure tokens to place the demo's trees across")
@@ -53,7 +55,7 @@ func main() {
 	maxQueueWaitMs := flag.Int("max-queue-wait-ms", 0, "shed statements whose predicted admission-queue wait exceeds this many wall milliseconds (0 disables shedding)")
 	flag.Parse()
 
-	db, err := buildDemo(*scale, *seed, *cacheBytes, *sessions, *ramBytes, *shards,
+	db, err := buildDemo(*scale, *seed, *cacheBytes, *pageCacheBytes, *busAudit, *sessions, *ramBytes, *shards,
 		time.Duration(*slowMs)*time.Millisecond,
 		time.Duration(*maxQueueWaitMs)*time.Millisecond)
 	if err != nil {
@@ -134,7 +136,7 @@ func hostPort(addr string) string {
 // Values are zero-padded decimals over a domain of 1000 so range
 // predicates can target any selectivity, the same convention as
 // internal/datagen.
-func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards int, slowThreshold, maxQueueWait time.Duration) (*ghostdb.DB, error) {
+func buildDemo(sf float64, seed int64, cacheBytes, pageCacheBytes, busAudit, sessions, ramBytes, shards int, slowThreshold, maxQueueWait time.Duration) (*ghostdb.DB, error) {
 	if sf <= 0 {
 		sf = 0.01
 	}
@@ -150,6 +152,8 @@ func buildDemo(sf float64, seed int64, cacheBytes, sessions, ramBytes, shards in
 		FlashBlocks:          1 << 14,
 		MaxConcurrentQueries: sessions,
 		ResultCacheBytes:     cacheBytes,
+		PageCacheBytes:       pageCacheBytes,
+		BusAuditEntries:      busAudit,
 		Shards:               shards,
 		SlowQueryThreshold:   slowThreshold,
 		MaxQueueWait:         maxQueueWait,

@@ -34,6 +34,7 @@ import (
 	"ghostdb/internal/flash"
 	"ghostdb/internal/index"
 	"ghostdb/internal/obs"
+	"ghostdb/internal/pagecache"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
 )
@@ -158,6 +159,25 @@ type Options struct {
 	// results whose queries touch the inserted table's shard (per-shard
 	// version vector).
 	ResultCacheBytes int
+	// PageCacheBytes bounds the untrusted-side page cache (0 disables
+	// it): a buffer pool below the result cache that retains computed
+	// visible-column runs in untrusted host RAM and lets each token keep
+	// its matching Vis spools flash-resident, so a repeated visible
+	// selection at the same data version ships a fixed-size header
+	// instead of the full run. Keys are canonical per-table predicate
+	// text — already revealed by the query — and invalidation rides the
+	// same per-shard committed-write versions as the result cache, so
+	// hits and misses are a pure function of public state.
+	PageCacheBytes int
+	// PageCachePolicy selects the page-cache eviction policy: "lru"
+	// (default) or "clock".
+	PageCachePolicy string
+	// BusAuditEntries bounds each token's bus audit trail: 0 (default)
+	// keeps the full trail (tests and forensics), n > 0 keeps a ring of
+	// the most recent n records, and negative disables recording
+	// entirely (benchmarks and servers; the byte/time counters always
+	// accumulate).
+	BusAuditEntries int
 	// Shards is the number of simulated secure tokens to place the
 	// schema's trees across (default 1). Each token is a complete secure
 	// unit — its own flash, RAM budget, bus and admission queue — so
@@ -204,6 +224,9 @@ func (o Options) toExec() exec.Options {
 	eo.ThroughputMBps = o.ThroughputMBps
 	eo.MaxConcurrentQueries = o.MaxConcurrentQueries
 	eo.ResultCacheBytes = o.ResultCacheBytes
+	eo.PageCacheBytes = o.PageCacheBytes
+	eo.PageCachePolicy = o.PageCachePolicy
+	eo.BusAuditEntries = o.BusAuditEntries
 	eo.Shards = o.Shards
 	eo.SlowQueryThreshold = o.SlowQueryThreshold
 	eo.SlowLogEntries = o.SlowLogEntries
@@ -498,6 +521,14 @@ func (db *DB) DescribePlacement() string {
 // zero value is returned when Options.ResultCacheBytes left the cache
 // disabled.
 func (db *DB) CacheStats() CacheStats { return db.inner.CacheStats() }
+
+// PageCacheStats reports the page cache's counters (db.PageCacheStats).
+type PageCacheStats = pagecache.Stats
+
+// PageCacheStats snapshots the page cache's counters: frames, bytes,
+// hits, misses, evictions and invalidations. The zero value is returned
+// when Options.PageCacheBytes left the cache disabled.
+func (db *DB) PageCacheStats() PageCacheStats { return db.inner.PageCacheStats() }
 
 // Metrics returns the engine's metric registry. It is always collecting
 // (a few atomic adds per query); render it with WritePrometheus when the

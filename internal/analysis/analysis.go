@@ -148,6 +148,7 @@ func All() []*Analyzer {
 		BusMeter,
 		GrantSize,
 		SlotDiscipline,
+		PrefetchDepth,
 		ExportDoc,
 	}
 }

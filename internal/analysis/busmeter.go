@@ -52,10 +52,10 @@ func runBusMeter(pass *Pass) error {
 					cfg.DeviceType, sel.Sel.Name)
 			}
 			if checkBus && isPkgType(recv, cfg.BusPkg, cfg.ChannelType) &&
-				sel.Sel.Name == cfg.TransferMethod {
+				contains(cfg.TransferMethods, sel.Sel.Name) {
 				pass.Reportf(call.Pos(),
 					"raw bus %s.%s outside the audited protocol layers moves unaccounted bytes across the trust boundary",
-					cfg.ChannelType, cfg.TransferMethod)
+					cfg.ChannelType, sel.Sel.Name)
 			}
 			return true
 		})

@@ -23,13 +23,14 @@ type Config struct {
 	DeviceDataMethods []string
 	MeteredPkgs       []string
 
-	// BusPkg, ChannelType and TransferMethod identify the metered link;
-	// only BusCallerPkgs may invoke a raw transfer, so no operator can
-	// move bytes across the boundary outside the audited path.
-	BusPkg         string
-	ChannelType    string
-	TransferMethod string
-	BusCallerPkgs  []string
+	// BusPkg, ChannelType and TransferMethods identify the metered link;
+	// only BusCallerPkgs may invoke a raw transfer (single or batched),
+	// so no operator can move bytes across the boundary outside the
+	// audited path.
+	BusPkg          string
+	ChannelType     string
+	TransferMethods []string
+	BusCallerPkgs   []string
 
 	// ExecPkg scopes the grantsize and slotdiscipline rules to the
 	// query-execution package.
@@ -51,6 +52,15 @@ type Config struct {
 	SessionType     string
 	ExclusiveMethod string
 
+	// PrefetchMethods are the method names that arm a read-ahead window
+	// (the depth is their first argument); prefetchdepth requires that
+	// depth to be a constant or a field of ExecPkg's BindingType.
+	PrefetchMethods []string
+	// BindingType is the ExecPkg type whose fields are all derived from
+	// the admission grant (the per-session operator binding); selectors
+	// on it are legitimate read-ahead depths.
+	BindingType string
+
 	// DocPkgs are the packages whose exported identifiers exportdoc
 	// requires doc comments on.
 	DocPkgs []string
@@ -63,22 +73,23 @@ func DefaultConfig() *Config {
 		UntrustedPkgs: []string{
 			"ghostdb/internal/untrusted",
 			"ghostdb/internal/cache",
+			"ghostdb/internal/pagecache",
 			"ghostdb/internal/server",
 			"ghostdb/internal/metrics",
 			"ghostdb/internal/obs",
 		},
 		FlashPkg:          "ghostdb/internal/flash",
 		DeviceType:        "Device",
-		DeviceDataMethods: []string{"Read", "ReadFull", "ReadRange", "Write", "Alloc", "Free"},
+		DeviceDataMethods: []string{"Read", "ReadFull", "ReadRange", "ReadMulti", "Write", "Alloc", "Free"},
 		MeteredPkgs: []string{
 			"ghostdb/internal/flash",
 			"ghostdb/internal/store",
 			"ghostdb/internal/btree",
 			"ghostdb/internal/bus",
 		},
-		BusPkg:         "ghostdb/internal/bus",
-		ChannelType:    "Channel",
-		TransferMethod: "Transfer",
+		BusPkg:          "ghostdb/internal/bus",
+		ChannelType:     "Channel",
+		TransferMethods: []string{"Transfer", "TransferBatch"},
 		BusCallerPkgs: []string{
 			"ghostdb/internal/untrusted",
 			"ghostdb/internal/exec",
@@ -90,6 +101,8 @@ func DefaultConfig() *Config {
 		SchedPkg:        "ghostdb/internal/sched",
 		SessionType:     "Session",
 		ExclusiveMethod: "Exclusive",
+		PrefetchMethods: []string{"SetReadAhead"},
+		BindingType:     "Binding",
 		DocPkgs: []string{
 			"ghostdb",
 			"ghostdb/internal/delta",
@@ -97,6 +110,7 @@ func DefaultConfig() *Config {
 			"ghostdb/internal/analysis",
 			"ghostdb/internal/analysis/analysistest",
 			"ghostdb/internal/obs",
+			"ghostdb/internal/pagecache",
 		},
 	}
 }

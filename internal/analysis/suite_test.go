@@ -14,14 +14,14 @@ import (
 func fixtureConfig() *analysis.Config {
 	return &analysis.Config{
 		ModulePath:        "fixture",
-		UntrustedPkgs:     []string{"fixture/untrusted"},
+		UntrustedPkgs:     []string{"fixture/untrusted", "fixture/pagecache"},
 		FlashPkg:          "fixture/flash",
 		DeviceType:        "Device",
-		DeviceDataMethods: []string{"Read", "ReadFull", "ReadRange", "Write", "Alloc", "Free"},
+		DeviceDataMethods: []string{"Read", "ReadFull", "ReadRange", "ReadMulti", "Write", "Alloc", "Free"},
 		MeteredPkgs:       []string{"fixture/flash", "fixture/store", "fixture/bus"},
 		BusPkg:            "fixture/bus",
 		ChannelType:       "Channel",
-		TransferMethod:    "Transfer",
+		TransferMethods:   []string{"Transfer", "TransferBatch"},
 		BusCallerPkgs:     []string{"fixture/exec"},
 		ExecPkg:           "fixture/exec",
 		GrantSizeMin:      8,
@@ -30,6 +30,8 @@ func fixtureConfig() *analysis.Config {
 		SchedPkg:          "fixture/sched",
 		SessionType:       "Session",
 		ExclusiveMethod:   "Exclusive",
+		PrefetchMethods:   []string{"SetReadAhead"},
+		BindingType:       "Binding",
 		DocPkgs:           []string{"fixture/docpkg"},
 	}
 }
@@ -67,6 +69,10 @@ func TestGrantSizeFixtures(t *testing.T) {
 
 func TestSlotDisciplineFixtures(t *testing.T) {
 	analysistest.RunProgram(t, fixtureProgram(t), fixtureConfig(), analysis.SlotDiscipline)
+}
+
+func TestPrefetchDepthFixtures(t *testing.T) {
+	analysistest.RunProgram(t, fixtureProgram(t), fixtureConfig(), analysis.PrefetchDepth)
 }
 
 func TestExportDocFixtures(t *testing.T) {

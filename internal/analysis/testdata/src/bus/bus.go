@@ -21,3 +21,14 @@ func (c *Channel) Transfer(dir int, payload []byte) error {
 func (c *Channel) Counters() (up, down int) {
 	return c.up, c.down
 }
+
+// TransferBatch moves several payloads in one accounted round-trip;
+// like Transfer, only the audited protocol packages may call it.
+func (c *Channel) TransferBatch(dir int, payloads [][]byte) error {
+	for _, p := range payloads {
+		if err := c.Transfer(dir, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

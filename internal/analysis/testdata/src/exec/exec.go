@@ -10,6 +10,7 @@ import (
 	"fixture/flash"
 	"fixture/hidden"
 	"fixture/sched"
+	"fixture/store"
 	"fixture/untrusted"
 )
 
@@ -134,4 +135,25 @@ func callOutside(t *Token) {
 //ghostdb:requires-slot
 func Expose(t *Token) *hidden.Image { // want slotdiscipline:"exported function Expose must acquire an admitted session"
 	return t.Hidden[0]
+}
+
+// Binding is the session's operator binding: every field derives from
+// the admission grant, a public quantity, so selectors on it are
+// legitimate read-ahead depths.
+type Binding struct {
+	PrefetchPages int
+}
+
+// scanAhead arms read-ahead from grant-derived depths only: a Binding
+// field, a constant and a builtin min over both all stay silent.
+func scanAhead(r *store.SeqReader, b *Binding, staging [][]byte) {
+	r.SetReadAhead(b.PrefetchPages, staging)
+	r.SetReadAhead(2, staging)
+	r.SetReadAhead(min(b.PrefetchPages, 4), staging)
+}
+
+// leakDepth is a seeded violation: a hidden-derived cardinality as the
+// read-ahead depth would let the scan's flash traffic encode data.
+func leakDepth(r *store.SeqReader, img *hidden.Image, staging [][]byte) {
+	r.SetReadAhead(img.Count(), staging) // want prefetchdepth:"read-ahead depth must be a constant"
 }

@@ -1,0 +1,24 @@
+// Package pagecache is the fixture untrusted-side buffer pool: it
+// lives in host RAM, so hidden types must never appear in it.
+package pagecache
+
+import "fixture/hidden"
+
+// Cache caches visible runs in untrusted host RAM under public keys.
+type Cache struct {
+	frames map[string][]byte
+}
+
+// PutVisible stores one visible run under its canonical key.
+func (c *Cache) PutVisible(key string, run []byte) {
+	if c.frames == nil {
+		c.frames = map[string][]byte{}
+	}
+	c.frames[key] = run
+}
+
+// CacheHidden is a seeded violation: a hidden image handed to the
+// untrusted-side pool. Both the parameter type and the use fire.
+func CacheHidden(im *hidden.Image) int { // want trustboundary:"crosses the trust boundary into untrusted-side package"
+	return im.Count() // want trustboundary:"crosses the trust boundary into untrusted-side package"
+}

@@ -29,3 +29,15 @@ func Poll(c *bus.Channel, d *flash.Device) int {
 	up, down := c.Counters()
 	return up + down + d.PageCount()
 }
+
+// Batch is a seeded violation: the batched transfer is as raw as the
+// single one.
+func Batch(c *bus.Channel) error {
+	return c.TransferBatch(1, [][]byte{[]byte("x")}) // want busmeter:"outside the audited protocol layers"
+}
+
+// Slurp is a seeded violation: the batched read bypasses the metered
+// storage layer the same way the single read does.
+func Slurp(d *flash.Device) error {
+	return d.ReadMulti([]int{0}, [][]byte{make([]byte, 64)}) // want busmeter:"bypasses the metered storage layer"
+}

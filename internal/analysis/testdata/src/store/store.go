@@ -20,3 +20,23 @@ func (r *Reader) ReadPage(page int) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// SeqReader streams pages sequentially with an optional read-ahead
+// window.
+type SeqReader struct {
+	dev   *flash.Device
+	depth int
+}
+
+// SetReadAhead arms the read-ahead window; the depth must be
+// grant-derived, which the prefetchdepth rule enforces at call sites.
+func (r *SeqReader) SetReadAhead(depth int, staging [][]byte) {
+	r.depth = depth
+	_ = staging
+}
+
+// fill stages the next window through the batched device read — a
+// legitimate raw call, store being a metered package.
+func (r *SeqReader) fill(pages []int, staging [][]byte) error {
+	return r.dev.ReadMulti(pages, staging)
+}

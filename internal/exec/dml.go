@@ -372,6 +372,9 @@ func (db *DB) dmlOn(tok *Token, d *query.DML) (int, error) {
 	if db.cache != nil {
 		db.cache.BumpShard(tok.id)
 	}
+	if db.pages != nil {
+		db.pages.BumpShard(tok.id)
+	}
 	return len(matched), nil
 }
 

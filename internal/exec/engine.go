@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghostdb/internal/bus"
@@ -14,6 +15,7 @@ import (
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
 	"ghostdb/internal/obs"
+	"ghostdb/internal/pagecache"
 	"ghostdb/internal/query"
 	"ghostdb/internal/ram"
 	"ghostdb/internal/sched"
@@ -151,6 +153,23 @@ type Options struct {
 	// RAMBudget — the cache trades plentiful untrusted memory for scarce
 	// secure-token round-trips, and a hit performs zero token work.
 	ResultCacheBytes int
+	// PageCacheBytes bounds the untrusted-side page cache (0 disables
+	// it): a buffer pool one level below the result cache holding encoded
+	// Vis runs keyed on canonical per-table predicate text, paired with
+	// token-retained spools so a repeated run ships a fixed header
+	// instead of its full payload. Like the result cache it is host RAM,
+	// never charged against the secure budget, and leak-free by
+	// construction (see internal/pagecache).
+	PageCacheBytes int
+	// PageCachePolicy selects the page-cache eviction policy: "lru" (the
+	// default) or "clock".
+	PageCachePolicy string
+	// BusAuditEntries bounds each token bus's payload audit trail: 0 (the
+	// default) keeps the full unbounded trail byte-parity tests rely on,
+	// n > 0 keeps a ring of the most recent n records, and negative
+	// disables payload auditing entirely for long-lived servers and
+	// benches (byte counters always keep working).
+	BusAuditEntries int
 	// Shards is the number of simulated secure tokens (default 1). Each
 	// token gets its own flash device, RAM budget, bus and admission
 	// scheduler; tables are placed across tokens at schema-tree
@@ -305,6 +324,12 @@ type DB struct {
 	// per-shard version vector fed by each token's committed updates.
 	cache *cache.Cache
 
+	// pages is the untrusted-side page cache (nil when disabled): the
+	// buffer pool under the result cache, shared by every token's
+	// untrusted engine and invalidated by the same per-shard committed-
+	// write bumps as the result cache.
+	pages *pagecache.Cache
+
 	// reg/inst/slow are the telemetry layer (internal/obs): the metric
 	// registry and its engine instruments always exist and collect
 	// (cheap atomics — exposure is opt-in per process), the slow-query
@@ -315,6 +340,11 @@ type DB struct {
 
 	// start stamps engine construction, for the process-uptime gauge.
 	start time.Time
+
+	// prefetchInflight gauges flash pages staged by read-ahead windows
+	// but not yet consumed, summed over every live scan (the
+	// ghostdb_prefetch_inflight metric).
+	prefetchInflight atomic.Int64
 
 	// mu guards the mutable engine state that outlives a single query:
 	// the default QueryConfig and the client-level cumulative totals
@@ -391,6 +421,21 @@ func NewDB(sch *schema.Schema, opts Options) (*DB, error) {
 	db.Dev, db.RAM, db.Bus, db.Untr, db.Hidden = t0.Dev, t0.RAM, t0.Bus, t0.Untr, t0.Hidden
 	if opts.ResultCacheBytes > 0 {
 		db.cache = cache.New(int64(opts.ResultCacheBytes))
+	}
+	if opts.PageCacheBytes > 0 {
+		var pol pagecache.Policy
+		if opts.PageCachePolicy == "clock" {
+			pol = pagecache.NewClock()
+		}
+		db.pages = pagecache.New(int64(opts.PageCacheBytes), pol)
+		for _, tok := range db.tokens {
+			tok.Untr.SetPageCache(db.pages, tok.id)
+		}
+	}
+	if opts.BusAuditEntries != 0 {
+		for _, tok := range db.tokens {
+			tok.Bus.SetAuditLimit(opts.BusAuditEntries)
+		}
 	}
 	db.reg = obs.NewRegistry()
 	if opts.SlowQueryThreshold > 0 {

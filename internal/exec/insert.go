@@ -201,6 +201,9 @@ func (db *DB) insertOn(tok *Token, ins sqlparse.Insert) error {
 	if db.cache != nil {
 		db.cache.BumpShard(tok.id)
 	}
+	if db.pages != nil {
+		db.pages.BumpShard(tok.id)
+	}
 	return nil
 }
 

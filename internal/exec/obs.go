@@ -177,6 +177,26 @@ func newInstruments(db *DB) *instruments {
 		func() float64 { return float64(db.CacheStats().Entries) })
 	r.GaugeFunc("ghostdb_cache_bytes", "result-cache occupancy in bytes",
 		func() float64 { return float64(db.CacheStats().Bytes) })
+
+	// Page-cache / bus-batching families (PR 10). Everything here reads
+	// untrusted-side counters or declassified link totals — never hidden
+	// state.
+	r.CounterFunc("ghostdb_pagecache_hits_total", "page-cache hits (visible runs served from host RAM)",
+		func() float64 { return float64(db.PageCacheStats().Hits) })
+	r.CounterFunc("ghostdb_pagecache_misses_total", "page-cache misses",
+		func() float64 { return float64(db.PageCacheStats().Misses) })
+	r.CounterFunc("ghostdb_pagecache_evictions_total", "page-cache frame evictions",
+		func() float64 { return float64(db.PageCacheStats().Evictions) })
+	r.CounterFunc("ghostdb_pagecache_invalidations_total", "page-cache frames dropped by committed writes",
+		func() float64 { return float64(db.PageCacheStats().Invalidations) })
+	r.GaugeFunc("ghostdb_pagecache_entries", "live page-cache frames",
+		func() float64 { return float64(db.PageCacheStats().Entries) })
+	r.GaugeFunc("ghostdb_pagecache_bytes", "page-cache occupancy in bytes",
+		func() float64 { return float64(db.PageCacheStats().Bytes) })
+	r.CounterFunc("ghostdb_bus_coalesced_total", "link round-trips saved by batched transfers",
+		func() float64 { return float64(db.BusCoalesced()) })
+	r.GaugeFunc("ghostdb_prefetch_inflight", "flash pages staged by read-ahead but not yet consumed",
+		func() float64 { return float64(db.PrefetchInflight()) })
 	return inst
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ghostdb/internal/bloom"
+	"ghostdb/internal/bus"
 	"ghostdb/internal/delta"
 	"ghostdb/internal/index"
 	"ghostdb/internal/metrics"
@@ -71,8 +72,15 @@ type queryRun struct {
 	ram     *ram.Manager       // session-private budget, sized at admission
 	col     *metrics.Collector // per-query span collector (snapshots link speed)
 
-	vis   map[int]*untrusted.VisResult
-	spool map[int]*visSpool
+	vis     map[int]*untrusted.VisResult
+	visKeys map[int]string // canonical Vis key per table (spool retention)
+	spool   map[int]*visSpool
+	// retain maps table -> retention key for spools built this query;
+	// after a successful run their files move from r.files to the
+	// token's retained set. reused marks tables whose spool came from
+	// that set (header-only shipment, file owned by the token).
+	retain map[int]string
+	reused map[int]bool
 	// strategies starts as the plan's per-table choice and is mutated
 	// only when an operator degrades (e.g. an infeasible Bloom filter
 	// falling back to No-Filter).
@@ -130,33 +138,39 @@ func (r *queryRun) execute() (*Result, error) {
 		return res, err
 	}
 
-	// ---- Vis: visible selections and projected visible values.
+	// ---- Vis: visible selections and projected visible values. The
+	// compute side is untrusted (free, page-cached); shipping happens in
+	// spoolVis, which knows which tables can reuse a retained spool and
+	// coalesces the remaining payloads into one batched round-trip.
 	visPreds := q.VisiblePreds()
 	projVis := r.projectedVisibleCols()
 	r.vis = map[int]*untrusted.VisResult{}
-	for _, ti := range q.Tables {
-		preds, hasPreds := visPreds[ti]
-		cols := projVis[ti]
-		if !hasPreds && len(cols) == 0 {
-			continue
+	r.visKeys = map[int]string{}
+	err := r.col.Span(spanVis, func() error {
+		for _, ti := range q.Tables {
+			preds, hasPreds := visPreds[ti]
+			cols := projVis[ti]
+			if !hasPreds && len(cols) == 0 {
+				continue
+			}
+			vr, err := r.tok.Untr.ComputeVis(ti, preds, cols)
+			if err != nil {
+				return err
+			}
+			r.vis[ti] = vr
+			r.visKeys[ti] = r.tok.Untr.VisKey(ti, preds, cols)
 		}
-		var vr *untrusted.VisResult
-		err := r.col.Span(spanVis, func() error {
-			var err error
-			vr, err = r.tok.Untr.Vis(ti, preds, cols)
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		r.vis[ti] = vr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Per-query working sets for the planned strategies.
 	r.exactAtProject = map[int]bool{}
 	r.postSelect = map[int][]uint32{}
 
-	// ---- Spool visible rows needed at projection time.
+	// ---- Ship Vis results and spool the rows needed at projection time.
 	if err := r.spoolVis(); err != nil {
 		return nil, err
 	}
@@ -167,7 +181,12 @@ func (r *queryRun) execute() (*Result, error) {
 	}
 
 	// ---- QEPP: projection.
-	return r.project()
+	res, err := r.project()
+	if err != nil {
+		return nil, err
+	}
+	r.retainSpools()
+	return res, nil
 }
 
 // refreshDeltas replays the delta log of every dirty table the query
@@ -294,26 +313,83 @@ func (r *queryRun) indexFor(p query.Pred) *index.Climbing {
 	return r.tok.indexForPred(p)
 }
 
-// spoolVis writes the Vis rows needed at projection time to flash.
+// spoolVis ships every Vis result down the link and writes the rows
+// needed at projection time to flash. Two optimizations live here, both
+// gated on the page cache being enabled:
+//
+//   - Spool reuse: when the token still retains the identical spool
+//     (same canonical Vis key, same shape, same data version) only a
+//     fixed VisHeaderBytes header crosses the link, and the token
+//     replays its flash-resident copy — a sequential re-read at 25µs a
+//     page instead of per-byte link time plus 200µs-a-page spool
+//     writes. Reuse is a pure function of the public query history and
+//     committed-write versions, so it leaks nothing.
+//
+//   - Bus coalescing: all per-table shipments of the query merge into
+//     one batched Down round-trip (bus.TransferBatch).
 func (r *queryRun) spoolVis() error {
 	r.spool = map[int]*visSpool{}
-	for ti, vr := range r.vis {
+	r.retain = map[int]string{}
+	r.reused = map[int]bool{}
+	type pending struct {
+		ti         int
+		vr         *untrusted.VisResult
+		needValues bool
+	}
+	var reqs []bus.Req
+	var builds []pending
+	var replays []*store.RowFile
+	for _, ti := range r.q.Tables {
+		vr := r.vis[ti]
+		if vr == nil {
+			continue
+		}
 		needValues := len(vr.ProjCols) > 0
 		needIDs := r.needsExact(ti) || ti == r.q.Anchor && needValues
 		if !needValues && !needIDs {
+			// Streamed only: the ids feed the merge directly and no
+			// flash copy exists to reuse, so the full run always ships.
+			reqs = append(reqs, r.tok.Untr.ShipVisReq(vr))
 			continue
 		}
-		sp := &visSpool{cols: vr.ProjCols, width: vr.RowWidth}
-		if !needValues {
-			sp.width = store.IDBytes
+		key := fmt.Sprintf("%s|vals=%t", r.visKeys[ti], needValues)
+		if r.db.pages != nil {
+			if sp := r.tok.retainedSpoolFor(key); sp != nil {
+				r.spool[ti] = &visSpool{file: sp.file, cols: sp.cols, width: sp.width}
+				r.reused[ti] = true
+				reqs = append(reqs, r.tok.Untr.ShipVisHeader(ti))
+				replays = append(replays, sp.file)
+				continue
+			}
 		}
-		f, err := store.NewRowFile(r.tok.Dev, sp.width)
-		if err != nil {
+		reqs = append(reqs, r.tok.Untr.ShipVisReq(vr))
+		builds = append(builds, pending{ti, vr, needValues})
+	}
+	return r.col.Span(spanVis, func() error {
+		if len(reqs) > 1 {
+			if err := r.tok.Untr.ShipBatch(reqs); err != nil {
+				return err
+			}
+		} else if len(reqs) == 1 {
+			if err := r.tok.Untr.Ship(reqs[0]); err != nil {
+				return err
+			}
+		}
+		if err := r.replaySpools(replays); err != nil {
 			return err
 		}
-		r.files = append(r.files, f)
-		err = r.col.Span(spanVis, func() error {
-			if needValues {
+		for _, b := range builds {
+			vr := b.vr
+			sp := &visSpool{cols: vr.ProjCols, width: vr.RowWidth}
+			if !b.needValues {
+				sp.width = store.IDBytes
+			}
+			f, err := store.NewRowFile(r.tok.Dev, sp.width)
+			if err != nil {
+				return err
+			}
+			r.files = append(r.files, f)
+			if b.needValues {
 				for i := range vr.IDs {
 					if err := f.Append(vr.Rows[i*vr.RowWidth : (i+1)*vr.RowWidth]); err != nil {
 						return err
@@ -328,15 +404,71 @@ func (r *queryRun) spoolVis() error {
 					}
 				}
 			}
-			return f.Seal()
-		})
-		if err != nil {
-			return err
+			if err := f.Seal(); err != nil {
+				return err
+			}
+			sp.file = f
+			r.spool[b.ti] = sp
+			if r.db.pages != nil {
+				r.retain[b.ti] = fmt.Sprintf("%s|vals=%t", r.visKeys[b.ti], b.needValues)
+			}
 		}
-		sp.file = f
-		r.spool[ti] = sp
+		return nil
+	})
+}
+
+// replaySpools charges the token-side sequential re-read of each reused
+// spool: with a header-only shipment the ids stream from the retained
+// flash copy instead of the link. One grant buffer is borrowed for the
+// duration, as refreshDeltas does.
+func (r *queryRun) replaySpools(files []*store.RowFile) error {
+	if len(files) == 0 {
+		return nil
+	}
+	g, err := r.ram.AllocBuffers(1)
+	if err != nil {
+		return err
+	}
+	defer g.Release()
+	for _, f := range files {
+		rd := f.NewSeqReader()
+		for {
+			_, _, ok, err := rd.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+		}
 	}
 	return nil
+}
+
+// retainSpools parks this query's freshly built spools on the token for
+// later header-only reuse, moving ownership of their files out of
+// r.files so cleanup leaves them resident. Runs only after a fully
+// successful execution, with the slot still held.
+//
+//ghostdb:requires-slot
+func (r *queryRun) retainSpools() {
+	if len(r.retain) == 0 {
+		return
+	}
+	ver := r.tok.DataVersion()
+	for ti, key := range r.retain {
+		sp := r.spool[ti]
+		if sp == nil || sp.file == nil {
+			continue
+		}
+		for i, f := range r.files {
+			if f == sp.file {
+				r.files = append(r.files[:i], r.files[i+1:]...)
+				break
+			}
+		}
+		r.tok.retainSpool(key, &retainedSpool{file: sp.file, cols: sp.cols, width: sp.width, version: ver})
+	}
 }
 
 // needsExact reports whether a table's visible selection must be verified

@@ -520,6 +520,7 @@ func (r *queryRun) scanFallback(g *mergeGroup, p query.Pred) error {
 	matches := r.newTemp()
 	err := r.col.Span(spanScan, func() error {
 		rd := img.File.NewSeqReader()
+		defer r.prefetch(rd)()
 		if err := matches.BeginRun(); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"ghostdb/internal/cache"
 	"ghostdb/internal/obs"
+	"ghostdb/internal/pagecache"
 	"ghostdb/internal/query"
 	"ghostdb/internal/sqlparse"
 )
@@ -82,6 +83,33 @@ func (db *DB) CacheStats() cache.Stats {
 	}
 	return db.cache.Stats()
 }
+
+// PageCache exposes the untrusted-side page cache (nil when
+// Options.PageCacheBytes <= 0) for tests and tools inside this module.
+func (db *DB) PageCache() *pagecache.Cache { return db.pages }
+
+// PageCacheStats snapshots the page cache's counters (zero value when
+// the cache is disabled).
+func (db *DB) PageCacheStats() pagecache.Stats {
+	if db.pages == nil {
+		return pagecache.Stats{}
+	}
+	return db.pages.Stats()
+}
+
+// BusCoalesced sums the batched-transfer round-trips saved across every
+// token's link (the ghostdb_bus_coalesced_total counter).
+func (db *DB) BusCoalesced() uint64 {
+	var n uint64
+	for _, tok := range db.tokens {
+		n += tok.Bus.Coalesced()
+	}
+	return n
+}
+
+// PrefetchInflight gauges flash pages staged by read-ahead windows but
+// not yet consumed, summed over every live scan.
+func (db *DB) PrefetchInflight() int64 { return db.prefetchInflight.Load() }
 
 // runCachedSelect is the cache fast path for one-shot SELECTs (RunCtx):
 // it resolves just far enough to derive the cache key, then defers

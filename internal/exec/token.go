@@ -9,6 +9,7 @@ import (
 	"ghostdb/internal/index"
 	"ghostdb/internal/ram"
 	"ghostdb/internal/sched"
+	"ghostdb/internal/store"
 	"ghostdb/internal/untrusted"
 )
 
@@ -47,6 +48,15 @@ type Token struct {
 	// so the planner can size insert admission without touching the
 	// hidden images outside the token slot; immutable after Load.
 	insBytes map[int]int
+
+	// spools maps a canonical Vis key (plus spool shape) to the
+	// flash-resident spool retained from an earlier query, so a repeat of
+	// the same visible selection at the same data version ships a fixed
+	// header instead of the full run (the token side of the page cache).
+	// Like Hidden, the map and its files are only touched with the
+	// execution slot held; spoolLRU orders keys for in-slot eviction.
+	spools   map[string]*retainedSpool
+	spoolLRU []string
 
 	sched *sched.Scheduler
 
@@ -205,6 +215,88 @@ func (t *Token) deltaFor(table int) (*delta.Table, error) {
 	t.deltas[table] = d
 	t.mu.Unlock()
 	return d, nil
+}
+
+// retainedSpool is one table's flash-resident Vis spool kept across
+// queries, stamped with the token data version it was built under.
+//
+//ghostdb:requires-slot
+type retainedSpool struct {
+	file    *store.RowFile
+	cols    []int
+	width   int
+	version uint64
+}
+
+// maxRetainedSpools bounds the flash pages parked in retained Vis
+// spools per token. The bound is a constant of the engine — spool
+// residency is a function of the public query history, never of hidden
+// match counts.
+const maxRetainedSpools = 32
+
+// retainedSpoolFor returns the still-valid retained spool for key, or
+// nil. A spool built under an older data version is freed on sight —
+// any committed write on this token may have changed the visible rows
+// it encodes. Must run with the execution slot held.
+//
+//ghostdb:requires-slot
+func (t *Token) retainedSpoolFor(key string) *retainedSpool {
+	sp := t.spools[key]
+	if sp == nil {
+		return nil
+	}
+	if sp.version != t.DataVersion() {
+		t.dropSpool(key, sp)
+		return nil
+	}
+	t.touchSpool(key)
+	return sp
+}
+
+// retainSpool parks a sealed spool under key, evicting the least
+// recently used spools beyond the bound. Must run with the execution
+// slot held (eviction frees flash pages).
+//
+//ghostdb:requires-slot
+func (t *Token) retainSpool(key string, sp *retainedSpool) {
+	if t.spools == nil {
+		t.spools = make(map[string]*retainedSpool)
+	}
+	if old := t.spools[key]; old != nil {
+		t.dropSpool(key, old)
+	}
+	t.spools[key] = sp
+	t.spoolLRU = append(t.spoolLRU, key)
+	for len(t.spoolLRU) > maxRetainedSpools {
+		victim := t.spoolLRU[0]
+		t.dropSpool(victim, t.spools[victim])
+	}
+}
+
+// dropSpool frees one retained spool's pages and forgets its key.
+//
+//ghostdb:requires-slot
+func (t *Token) dropSpool(key string, sp *retainedSpool) {
+	delete(t.spools, key)
+	for i, k := range t.spoolLRU {
+		if k == key {
+			t.spoolLRU = append(t.spoolLRU[:i], t.spoolLRU[i+1:]...)
+			break
+		}
+	}
+	if sp != nil {
+		_ = sp.file.Free()
+	}
+}
+
+// touchSpool moves key to the most-recently-used end.
+func (t *Token) touchSpool(key string) {
+	for i, k := range t.spoolLRU {
+		if k == key {
+			t.spoolLRU = append(append(t.spoolLRU[:i], t.spoolLRU[i+1:]...), key)
+			return
+		}
+	}
 }
 
 // syncDeltaMirror refreshes the declassified delta-depth mirror from

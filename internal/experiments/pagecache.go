@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ghostdb/internal/bus"
+	"ghostdb/internal/datagen"
+	"ghostdb/internal/exec"
+)
+
+// The pagecache sweep measures what PR 10's untrusted-side page cache
+// (plus the token's retained vis spools and bus coalescing) buys on
+// repeated traffic, and verifies that it buys it without widening the
+// leak surface:
+//
+//   - both arms run the identical Zipf mixed workload (the cache.go
+//     pool: visible-value and hidden-value projection shapes) with the
+//     result cache OFF, so every repeat re-executes and the only
+//     savings mechanism in play is the page cache;
+//   - the "off" arm is the seed engine (PageCacheBytes = 0), the "on"
+//     arm adds the cache and nothing else;
+//   - both arms run single-worker so the uplink audit trails are
+//     directly comparable record by record: the cache must add no Up
+//     traffic at all — byte-for-byte, the query text stays the only
+//     thing that ever crosses the boundary upward.
+//
+// The contract asserted by the bench runner (and CI): the cache-on arm
+// moves at least MinBusDownDropPct fewer Down bytes, its simulated p50
+// is no worse (and total simulated time strictly lower), the uplink
+// trails are identical, and every answer matches the cache-off arm's.
+
+// DefaultPageCacheBytes is the sweep's page-cache bound: comfortably
+// larger than the working set of the Zipf pool's visible runs, so the
+// "on" arm measures reuse, not eviction churn.
+const DefaultPageCacheBytes = 8 << 20
+
+// MinBusDownDropPct is the acceptance floor: the cache-on arm must cut
+// total Down bus bytes by at least this percentage on the Zipf mixed
+// workload.
+const MinBusDownDropPct = 20.0
+
+// PagecachePoint is one arm ("off" or "on") of the comparison.
+type PagecachePoint struct {
+	Mode         string  `json:"mode"` // "off" or "on"
+	Queries      int     `json:"queries"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	WallQPS      float64 `json:"wall_qps"`
+	SimP50Ms     float64 `json:"sim_p50_ms"`
+	SimP95Ms     float64 `json:"sim_p95_ms"`
+	SimTotalMs   float64 `json:"sim_total_ms"`
+	BusDownBytes uint64  `json:"bus_down_bytes"`
+	BusUpBytes   uint64  `json:"bus_up_bytes"`
+	FlashReads   uint64  `json:"flash_reads"`
+	// PagecacheHits / PagecacheMisses are the untrusted frame pool's
+	// counters (zero on the "off" arm); BusCoalesced counts Down
+	// payloads that rode a batched transfer instead of their own — the
+	// batching is unconditional (and sim-time-neutral), so both arms
+	// report it.
+	PagecacheHits   uint64 `json:"pagecache_hits"`
+	PagecacheMisses uint64 `json:"pagecache_misses"`
+	BusCoalesced    uint64 `json:"bus_coalesced"`
+	UplinkRecords   int    `json:"uplink_records"`
+	AnswerErrors    int    `json:"answer_errors"` // row-count mismatches vs the other arm's baseline
+	LeakedGrants    bool   `json:"leaked_grants"`
+}
+
+// PagecacheReport is the machine-readable output (BENCH_pagecache.json).
+type PagecacheReport struct {
+	Scale          float64        `json:"scale"`
+	Seed           int64          `json:"seed"`
+	RAMBudgetBytes int            `json:"ram_budget_bytes"`
+	PageCacheBytes int            `json:"page_cache_bytes"`
+	Off            PagecachePoint `json:"off"`
+	On             PagecachePoint `json:"on"`
+	// BusDownDropPct is the measured Down-byte saving of the cache-on
+	// arm, as a percentage of the cache-off arm's total.
+	BusDownDropPct float64 `json:"bus_down_drop_pct"`
+	// BusSavingsOK records the first acceptance check: the drop met
+	// MinBusDownDropPct.
+	BusSavingsOK bool `json:"bus_savings_ok"`
+	// LatencyOK records the second: simulated p50 no worse than the
+	// cache-off arm's (p50 is read off shared histogram buckets, so a
+	// same-bucket tie is tolerated) and total simulated time strictly
+	// lower.
+	LatencyOK bool `json:"latency_ok"`
+	// UplinkParityOK records the leak check: both arms produced
+	// byte-for-byte identical uplink audit trails.
+	UplinkParityOK bool `json:"uplink_parity_ok"`
+	// PrefetchQuiesced records that the read-ahead in-flight gauge
+	// returned to zero on both arms after the workload drained.
+	PrefetchQuiesced bool `json:"prefetch_quiesced"`
+}
+
+// pagecachePool extends the result-cache sweep's Zipf pool with
+// two-visible-table shapes (visible predicates on both T1 and T2):
+// those ship more than one Vis run per query, which is what exercises
+// the Down-side TransferBatch coalescing.
+func pagecachePool() []string {
+	pool := zipfPool()
+	for _, sv := range SVGrid[2:4] {
+		pool = append(pool, fmt.Sprintf(`SELECT T0.id, T1.v1, T2.v1 FROM T0, T1, T2 `+
+			`WHERE T0.fk1 = T1.id AND T0.fk2 = T2.id AND T1.v1 < '%s' AND T2.v2 < '%s'`,
+			datagen.SelValue(sv), datagen.SelValue(0.05)))
+	}
+	return pool
+}
+
+// pagecacheWorkload draws n queries from pagecachePool with the same
+// Zipf-skewed popularity as zipfWorkload.
+func pagecacheWorkload(n int, seed int64) []string {
+	pool := pagecachePool()
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(len(pool)-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pool[z.Uint64()]
+	}
+	return out
+}
+
+// PagecacheSweep runs the identical Zipf mixed workload through a
+// cache-off and a cache-on engine over the same dataset (result cache
+// disabled on both) and reports byte totals, latency percentiles, and
+// the contract checks described above.
+func (l *Lab) PagecacheSweep(queries int) (*PagecacheReport, error) {
+	ds, err := l.SynthDataset()
+	if err != nil {
+		return nil, err
+	}
+	rep := &PagecacheReport{
+		Scale:          l.SF,
+		Seed:           l.Seed,
+		PageCacheBytes: DefaultPageCacheBytes,
+	}
+	workload := pagecacheWorkload(queries, l.Seed)
+
+	// Expected row counts from the cache-off arm's first pass are not
+	// enough (it could be wrong the same way twice), so verify both
+	// arms against a fresh per-query baseline engine instead.
+	baseline := map[string]int{}
+	baseDB, err := ds.NewDB(exec.Options{FlashParams: flashFor(l.SF)})
+	if err != nil {
+		return nil, err
+	}
+	for _, sql := range pagecachePool() {
+		res, err := baseDB.Run(sql)
+		if err != nil {
+			return nil, fmt.Errorf("pagecache baseline %q: %w", sql, err)
+		}
+		baseline[sql] = len(res.Rows)
+	}
+
+	runArm := func(mode string, pageCacheBytes int) (PagecachePoint, []bus.Record, *exec.DB, error) {
+		db, err := ds.NewDB(exec.Options{
+			FlashParams:    flashFor(l.SF),
+			PageCacheBytes: pageCacheBytes,
+		})
+		if err != nil {
+			return PagecachePoint{}, nil, nil, err
+		}
+		rep.RAMBudgetBytes = db.RAM.Budget()
+		answerErrs := 0
+		// Single worker: a deterministic execution order makes the two
+		// uplink audit trails comparable record by record. The per-query
+		// cost collector resets the channel trail at each query start,
+		// so the arm's full trail is stitched together query by query
+		// from the onResult hook.
+		var uplink []bus.Record
+		rs := runWorkload(db, 1, workload, exec.QueryConfig{}, func(sql string, res *exec.Result) {
+			uplink = append(uplink, db.Bus.UplinkRecords()...)
+			if want, ok := baseline[sql]; ok && len(res.Rows) != want {
+				answerErrs++
+			}
+		})
+		if rs.firstErr != nil {
+			return PagecachePoint{}, nil, nil, fmt.Errorf("pagecache sweep %s: %w", mode, rs.firstErr)
+		}
+		tot := db.Totals()
+		pcs := db.PageCacheStats()
+		return PagecachePoint{
+			Mode:            mode,
+			Queries:         len(workload),
+			WallSeconds:     rs.wall.Seconds(),
+			WallQPS:         rs.qps(),
+			SimP50Ms:        rs.p50ms(),
+			SimP95Ms:        rs.p95ms(),
+			SimTotalMs:      float64(rs.simTotal.Microseconds()) / 1000,
+			BusDownBytes:    tot.BusDown,
+			BusUpBytes:      tot.BusUp,
+			FlashReads:      tot.Flash.PageReads,
+			PagecacheHits:   pcs.Hits,
+			PagecacheMisses: pcs.Misses,
+			BusCoalesced:    db.BusCoalesced(),
+			UplinkRecords:   len(uplink),
+			AnswerErrors:    answerErrs,
+			LeakedGrants:    db.RAM.Leaked(),
+		}, uplink, db, nil
+	}
+
+	offPt, uplinkOff, offDB, err := runArm("off", 0)
+	if err != nil {
+		return nil, err
+	}
+	onPt, uplinkOn, onDB, err := runArm("on", DefaultPageCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Off, rep.On = offPt, onPt
+
+	// Leak check: identical uplink audit trails, byte for byte.
+	rep.UplinkParityOK = len(uplinkOff) == len(uplinkOn)
+	if rep.UplinkParityOK {
+		for i := range uplinkOff {
+			a, b := uplinkOff[i], uplinkOn[i]
+			if a.Kind != b.Kind || a.Bytes != b.Bytes || a.Payload != b.Payload {
+				rep.UplinkParityOK = false
+				break
+			}
+		}
+	}
+
+	if offPt.BusDownBytes > 0 {
+		rep.BusDownDropPct = 100 * (float64(offPt.BusDownBytes) - float64(onPt.BusDownBytes)) /
+			float64(offPt.BusDownBytes)
+	}
+	rep.BusSavingsOK = rep.BusDownDropPct >= MinBusDownDropPct
+	rep.LatencyOK = onPt.SimP50Ms <= offPt.SimP50Ms && onPt.SimTotalMs < offPt.SimTotalMs
+	rep.PrefetchQuiesced = offDB.PrefetchInflight() == 0 && onDB.PrefetchInflight() == 0
+	return rep, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestPagecacheSweepContract runs a small sweep and checks PR 10's
+// contract points: the cache-on arm cuts Down bus bytes by at least
+// MinBusDownDropPct and is no slower in simulated time, the uplink
+// audit trails are byte-for-byte identical, and both arms' answers
+// match the fresh-engine baseline.
+func TestPagecacheSweepContract(t *testing.T) {
+	lab := NewLab(0.002, 7)
+	rep, err := lab.PagecacheSweep(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BusSavingsOK {
+		t.Fatalf("page cache saved only %.1f%% of Down bytes, want >= %.0f%% (off %d, on %d)",
+			rep.BusDownDropPct, MinBusDownDropPct, rep.Off.BusDownBytes, rep.On.BusDownBytes)
+	}
+	if !rep.LatencyOK {
+		t.Fatalf("page cache did not lower simulated latency: p50 %.3fms vs %.3fms, total %.3fms vs %.3fms",
+			rep.On.SimP50Ms, rep.Off.SimP50Ms, rep.On.SimTotalMs, rep.Off.SimTotalMs)
+	}
+	if !rep.UplinkParityOK {
+		t.Fatalf("uplink audit trails diverged: off %d records, on %d",
+			rep.Off.UplinkRecords, rep.On.UplinkRecords)
+	}
+	if !rep.PrefetchQuiesced {
+		t.Fatal("prefetch in-flight gauge nonzero after the workload drained")
+	}
+	for _, p := range []PagecachePoint{rep.Off, rep.On} {
+		if p.AnswerErrors != 0 {
+			t.Fatalf("%s: %d answers diverged from the fresh-engine baseline", p.Mode, p.AnswerErrors)
+		}
+		if p.LeakedGrants {
+			t.Fatalf("%s: leaked RAM grants", p.Mode)
+		}
+	}
+	if rep.Off.PagecacheHits != 0 {
+		t.Fatalf("cache-off arm recorded %d page-cache hits", rep.Off.PagecacheHits)
+	}
+	if rep.On.PagecacheHits == 0 {
+		t.Fatal("cache-on arm recorded no page-cache hits on a Zipf workload")
+	}
+	if rep.On.BusCoalesced == 0 {
+		t.Fatal("cache-on arm coalesced no Down transfers")
+	}
+}

@@ -309,6 +309,11 @@ func (d *Device) Read(id PageID, dst []byte, n int) error {
 	if err := d.checkMapped(id); err != nil {
 		return err
 	}
+	if n == 0 {
+		// Nothing enters the data register: a zero-length read is a
+		// validated no-op and must not charge a page load.
+		return nil
+	}
 	pp := int(d.l2p[id])
 	blk, off := pp/d.params.PagesPerBlock, pp%d.params.PagesPerBlock
 	src := d.data[blk][off*d.params.PageSize:]
@@ -341,12 +346,61 @@ func (d *Device) ReadRange(id PageID, dst []byte, off, n int) error {
 	if err := d.checkMapped(id); err != nil {
 		return err
 	}
+	if n == 0 {
+		// Validated no-op, as in Read: no page load, no transfer.
+		return nil
+	}
 	pp := int(d.l2p[id])
 	blk, o := pp/d.params.PagesPerBlock, pp%d.params.PagesPerBlock
 	src := d.data[blk][o*d.params.PageSize:]
 	copy(dst[:n], src[off:off+n])
 	d.c.PageReads++
 	d.c.BytesToRAM += uint64(n)
+	return nil
+}
+
+// ReadReq is one page read inside a coalesced ReadMulti request.
+type ReadReq struct {
+	ID  PageID
+	Dst []byte // must hold N bytes
+	N   int    // bytes to transfer from the start of the page
+}
+
+// ReadMulti coalesces several page reads into one request, the
+// secure-side analogue of bus batching: read-ahead pipelines hand the
+// FTL a whole run of (typically adjacent) pages at once instead of
+// issuing them one call at a time. The cost model is unchanged —
+// counters advance by exactly what the equivalent sequence of Read
+// calls would charge (one page load each, per-byte transfers), so
+// coalescing is simulated-time-neutral by construction; zero-length
+// entries charge nothing, as in Read. All requests are validated before
+// any counter moves, so a failed batch leaves the accounting untouched.
+func (d *Device) ReadMulti(reqs []ReadReq) error {
+	if d.closed {
+		return ErrDeviceClose
+	}
+	for _, r := range reqs {
+		if r.N < 0 || r.N > d.params.PageSize {
+			return fmt.Errorf("flash: read size %d out of range", r.N)
+		}
+		if len(r.Dst) < r.N {
+			return fmt.Errorf("flash: dst too small: %d < %d", len(r.Dst), r.N)
+		}
+		if err := d.checkMapped(r.ID); err != nil {
+			return err
+		}
+	}
+	for _, r := range reqs {
+		if r.N == 0 {
+			continue
+		}
+		pp := int(d.l2p[r.ID])
+		blk, off := pp/d.params.PagesPerBlock, pp%d.params.PagesPerBlock
+		src := d.data[blk][off*d.params.PageSize:]
+		copy(r.Dst[:r.N], src[:r.N])
+		d.c.PageReads++
+		d.c.BytesToRAM += uint64(r.N)
+	}
 	return nil
 }
 

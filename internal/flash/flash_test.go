@@ -70,6 +70,130 @@ func TestReadRange(t *testing.T) {
 	}
 }
 
+func TestReadEdgeAccounting(t *testing.T) {
+	d := MustDevice(tinyParams())
+	id, _ := d.Alloc()
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// offset+n landing exactly on the page boundary is legal and charges
+	// exactly n transferred bytes.
+	before := d.Counters()
+	got := make([]byte, 14)
+	if err := d.ReadRange(id, got, 50, 14); err != nil {
+		t.Fatalf("boundary range: %v", err)
+	}
+	if !bytes.Equal(got, data[50:64]) {
+		t.Fatalf("boundary range mismatch: %v", got)
+	}
+	if delta := d.Counters().Sub(before); delta.PageReads != 1 || delta.BytesToRAM != 14 {
+		t.Fatalf("boundary cost = %+v, want 1 read / 14 bytes", delta)
+	}
+	// One past the boundary is rejected without counter movement.
+	before = d.Counters()
+	if err := d.ReadRange(id, got, 51, 14); err == nil {
+		t.Fatal("range past page boundary accepted")
+	}
+	if d.Counters() != before {
+		t.Fatal("failed range moved counters")
+	}
+
+	// Zero-length reads are validated no-ops: no page load, no bytes.
+	before = d.Counters()
+	if err := d.Read(id, nil, 0); err != nil {
+		t.Fatalf("zero-length Read: %v", err)
+	}
+	if err := d.ReadRange(id, nil, 64, 0); err != nil {
+		t.Fatalf("zero-length ReadRange at boundary: %v", err)
+	}
+	if err := d.ReadMulti([]ReadReq{{ID: id, N: 0}}); err != nil {
+		t.Fatalf("zero-length ReadMulti: %v", err)
+	}
+	if d.Counters() != before {
+		t.Fatalf("zero-length reads moved counters: %+v", d.Counters().Sub(before))
+	}
+	// ...but an unmapped page still fails even for zero bytes.
+	if err := d.Read(PageID(999), nil, 0); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("zero-length read of bad page = %v", err)
+	}
+
+	// Read-after-Free is ErrBadPage with no counter movement.
+	if err := d.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	before = d.Counters()
+	if err := d.Read(id, got, 4); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read-after-Free = %v", err)
+	}
+	if err := d.ReadRange(id, got, 0, 4); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("range-after-Free = %v", err)
+	}
+	if d.Counters() != before {
+		t.Fatal("read-after-Free moved counters")
+	}
+}
+
+func TestReadMultiParity(t *testing.T) {
+	// A coalesced batch must charge exactly what the equivalent sequence
+	// of Read calls charges, and a batch with any invalid request must
+	// leave the counters untouched.
+	a := MustDevice(tinyParams())
+	b := MustDevice(tinyParams())
+	var idsA, idsB []PageID
+	for i := 0; i < 3; i++ {
+		pa, _ := a.Alloc()
+		pb, _ := b.Alloc()
+		data := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		if err := a.Write(pa, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Write(pb, data); err != nil {
+			t.Fatal(err)
+		}
+		idsA, idsB = append(idsA, pa), append(idsB, pb)
+	}
+	ns := []int{64, 64, 10} // partial last page, as SeqReader issues
+	var reqs []ReadReq
+	single := make([][]byte, 3)
+	batched := make([][]byte, 3)
+	for i := range ns {
+		single[i] = make([]byte, ns[i])
+		batched[i] = make([]byte, ns[i])
+		reqs = append(reqs, ReadReq{ID: idsB[i], Dst: batched[i], N: ns[i]})
+	}
+	beforeA, beforeB := a.Counters(), b.Counters()
+	for i := range ns {
+		if err := a.Read(idsA[i], single[i], ns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.ReadMulti(reqs); err != nil {
+		t.Fatal(err)
+	}
+	dA, dB := a.Counters().Sub(beforeA), b.Counters().Sub(beforeB)
+	if dA != dB {
+		t.Fatalf("batched cost %+v != sequential cost %+v", dB, dA)
+	}
+	for i := range ns {
+		if !bytes.Equal(single[i], batched[i]) {
+			t.Fatalf("page %d content mismatch", i)
+		}
+	}
+	before := b.Counters()
+	bad := append(append([]ReadReq(nil), reqs...), ReadReq{ID: PageID(999), N: 1, Dst: make([]byte, 1)})
+	if err := b.ReadMulti(bad); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("bad batch = %v", err)
+	}
+	if b.Counters() != before {
+		t.Fatal("failed batch moved counters")
+	}
+}
+
 func TestOutOfPlaceUpdate(t *testing.T) {
 	d := MustDevice(tinyParams())
 	id, _ := d.Alloc()

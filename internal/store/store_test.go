@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -378,5 +379,63 @@ func TestSegmentReopenPreservesOffsets(t *testing.T) {
 	_ = s2.Seal()
 	if s2.Bytes() != 257 {
 		t.Fatalf("aligned reopen bytes = %d", s2.Bytes())
+	}
+}
+
+func TestSeqReaderReadAheadParity(t *testing.T) {
+	// A read-ahead scan must return the same records and charge exactly
+	// the same counters as the classic one-page-at-a-time scan,
+	// including the partial last page.
+	mk := func() (*flash.Device, *RowFile) {
+		dev := testDev(t)
+		f, _ := NewRowFile(dev, 24) // 10 rows per 256B page
+		for i := 0; i < 157; i++ {  // partial last page
+			rec := make([]byte, 24)
+			binary.BigEndian.PutUint32(rec, uint32(i*3))
+			if err := f.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		dev.ResetCounters()
+		return dev, f
+	}
+	devA, fA := mk()
+	devB, fB := mk()
+	plain := fA.NewSeqReader()
+	var inflight atomic.Int64
+	ahead := fB.NewSeqReader()
+	staging := [][]byte{make([]byte, 256), make([]byte, 256), make([]byte, 256)}
+	ahead.SetReadAhead(3, staging, &inflight)
+	for i := 0; ; i++ {
+		ra, ida, oka, erra := plain.Next()
+		rb, idb, okb, errb := ahead.Next()
+		if erra != nil || errb != nil {
+			t.Fatal(erra, errb)
+		}
+		if oka != okb || ida != idb || !bytes.Equal(ra, rb) {
+			t.Fatalf("row %d diverged: ok %v/%v id %d/%d", i, oka, okb, ida, idb)
+		}
+		if !oka {
+			break
+		}
+	}
+	if devA.Counters() != devB.Counters() {
+		t.Fatalf("read-ahead counters %+v != plain %+v", devB.Counters(), devA.Counters())
+	}
+	if inflight.Load() != 0 {
+		t.Fatalf("inflight gauge = %d after full drain", inflight.Load())
+	}
+	// Depth below 2 or undersized staging must leave classic mode on.
+	r := fB.NewSeqReader()
+	r.SetReadAhead(1, staging, nil)
+	if r.ra != nil {
+		t.Fatal("depth 1 should not enable read-ahead")
+	}
+	r.SetReadAhead(2, [][]byte{make([]byte, 8), make([]byte, 8)}, nil)
+	if r.ra != nil {
+		t.Fatal("undersized staging should not enable read-ahead")
 	}
 }

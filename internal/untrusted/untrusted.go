@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"ghostdb/internal/bus"
+	"ghostdb/internal/pagecache"
 	"ghostdb/internal/query"
 	"ghostdb/internal/schema"
 	"ghostdb/internal/sqlparse"
@@ -33,6 +34,12 @@ type Engine struct {
 	ch     *bus.Channel
 	mu     sync.RWMutex
 	tables []*tableStore
+	// pc, when set, caches encoded Vis runs keyed on canonical per-table
+	// predicate text (VisKey). Cached values are shared *VisResult
+	// pointers and immutable by contract; pcShard is the shard whose
+	// version vector stamps and invalidates this engine's frames.
+	pc      *pagecache.Cache
+	pcShard int
 }
 
 type tableStore struct {
@@ -291,10 +298,113 @@ func (e *Engine) CountVis(table int, preds []query.Pred) (int, error) {
 	return n, nil
 }
 
+// SetPageCache attaches the untrusted-side page cache: ComputeVis will
+// serve repeated canonical keys from it instead of rescanning and
+// re-encoding. shard is the secure token this engine fronts, so
+// committed writes invalidate exactly this engine's frames via
+// pagecache.BumpShard.
+func (e *Engine) SetPageCache(pc *pagecache.Cache, shard int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pc, e.pcShard = pc, shard
+}
+
+// VisKey canonicalizes one table's Vis computation: table name, each
+// resolved predicate's column/operator/bounds, and the projected
+// columns. It is a deterministic function of the resolved query text —
+// the one thing GhostDB's model already reveals — so using it as a
+// cache key leaks nothing (hit-or-miss is predictable from the public
+// query history alone).
+func (e *Engine) VisKey(table int, preds []query.Pred, projCols []int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "vis|%s", e.sch.Tables[table].Name)
+	for _, p := range preds {
+		fmt.Fprintf(&b, "|p%d.%d:%v:%v", p.ColIdx, p.Op, p.Lo, p.Hi)
+	}
+	b.WriteString("|c")
+	for _, ci := range projCols {
+		fmt.Fprintf(&b, ".%d", ci)
+	}
+	return b.String()
+}
+
+// VisHeaderBytes is the size of the fixed control header shipped in
+// place of a full Vis payload when the token already retains the
+// identical spool from an earlier execution: a 4-byte row count, a
+// 4-byte row width and an 8-byte version stamp. Its size is a constant
+// of the protocol — never a function of data — so header shipments are
+// indistinguishable from one another on the wire.
+const VisHeaderBytes = 16
+
+// ShipVisHeader meters the fixed header telling the token to reuse its
+// retained, still-valid spool for this table instead of receiving the
+// full run again. Returns the bus.Req so callers can coalesce several
+// per-table shipments into one TransferBatch instead.
+func (e *Engine) ShipVisHeader(table int) bus.Req {
+	return bus.Req{Kind: "vis-hdr:" + e.sch.Tables[table].Name, Bytes: VisHeaderBytes}
+}
+
+// ShipVisReq describes the full Down shipment of a computed VisResult
+// as a bus.Req, for coalescing with other tables' shipments.
+func (e *Engine) ShipVisReq(res *VisResult) bus.Req {
+	return bus.Req{Kind: "vis:" + e.sch.Tables[res.Table].Name, Bytes: res.Bytes}
+}
+
+// Ship meters one prepared request on the Down link.
+func (e *Engine) Ship(req bus.Req) error {
+	return e.ch.Transfer(bus.Down, req.Kind, req.Bytes, "")
+}
+
+// ShipBatch meters several prepared requests as one coalesced Down
+// round-trip.
+func (e *Engine) ShipBatch(reqs []bus.Req) error {
+	return e.ch.TransferBatch(bus.Down, reqs)
+}
+
+// ComputeVis evaluates the visible conjunction for one table without
+// metering anything: untrusted compute is free in the paper's cost
+// model, and the caller decides how the result reaches the token
+// (ShipVisReq for the full payload, ShipVisHeader when the token
+// retains the identical spool). Repeated canonical keys are served from
+// the page cache when one is attached — the returned *VisResult is then
+// shared and must be treated as immutable, which every reader in
+// internal/exec already does.
+func (e *Engine) ComputeVis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
+	if e.pc == nil {
+		return e.computeVis(table, preds, projCols)
+	}
+	key := e.VisKey(table, preds, projCols)
+	if v, ok := e.pc.Get(key); ok {
+		return v.(*VisResult), nil
+	}
+	stamp := e.pc.Stamp([]int{e.pcShard})
+	res, err := e.computeVis(table, preds, projCols)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(res.Rows) + len(res.IDs)*store.IDBytes + 64)
+	e.pc.Put(key, res, size, []int{e.pcShard}, stamp)
+	return res, nil
+}
+
 // Vis evaluates the visible conjunction for one table and transfers the
 // result down to Secure, accounting every byte on the channel. projCols
 // lists the visible columns whose values the projection will need.
 func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
+	res, err := e.ComputeVis(table, preds, projCols)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Ship(e.ShipVisReq(res)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// computeVis is the uncached scan-and-encode: every row satisfying the
+// visible conjunction yields its id (and, with projCols, its encoded
+// visible values).
+func (e *Engine) computeVis(table int, preds []query.Pred, projCols []int) (*VisResult, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	t := e.sch.Tables[table]
@@ -336,17 +446,13 @@ func (e *Engine) Vis(table int, preds []query.Pred, projCols []int) (*VisResult,
 			}
 		}
 	}
-	// Account the transfer: a 4-byte count header, then either bare ids
-	// or full (id, values) rows.
+	// Account the transfer size: a 4-byte count header, then either bare
+	// ids or full (id, values) rows. The bytes are metered at ship time.
 	res.Bytes = 4
 	if len(projCols) > 0 {
 		res.Bytes += len(res.Rows)
 	} else {
 		res.Bytes += len(res.IDs) * store.IDBytes
-	}
-	label := "vis:" + t.Name
-	if err := e.ch.Transfer(bus.Down, label, res.Bytes, ""); err != nil {
-		return nil, err
 	}
 	return res, nil
 }
